@@ -1,0 +1,38 @@
+# Convenience targets for the coordcharge reproduction.
+
+GO ?= go
+
+.PHONY: build test test-short bench cover fuzz reproduce examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) vet ./...
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
+	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/config/
+
+reproduce:
+	$(GO) run ./cmd/reproduce -out artifacts
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/priorityrow
+	$(GO) run ./examples/reliability
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/psufailure
+
+clean:
+	rm -rf artifacts

@@ -1,0 +1,121 @@
+package coordcharge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/rng"
+	"coordcharge/internal/units"
+)
+
+// Chaos: random open transitions and outages at random hierarchy levels,
+// random load drift, random topologies — under the coordinated control
+// plane, the safety invariants must hold throughout:
+//
+//  1. no breaker ever trips;
+//  2. parent power equals the sum of its parts at every node, every tick;
+//  3. every charge eventually completes (no rack charges forever);
+//  4. caps are released once headroom returns.
+func TestChaosInvariants(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src := rng.New(seed)
+			nRacks := 12 + src.Intn(24)
+			racks := make([]*rack.Rack, nRacks)
+			loads := make([]power.Load, nRacks)
+			for i := range racks {
+				racks[i] = rack.New(fmt.Sprintf("c%02d", i), rack.Priority(1+src.Intn(3)),
+					charger.Variable{}, battery.Fig5Surface())
+				loads[i] = racks[i]
+			}
+			msb, err := power.Build(power.Spec{
+				Name:        "chaos",
+				RacksPerRPP: 3 + src.Intn(6),
+				MSBLimit:    units.Power(float64(nRacks) * src.Uniform(7000, 9500)),
+			}, loads)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hier, err := dynamo.BuildHierarchy(msb, dynamo.ModePriorityAware, core.DefaultConfig(), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var nodes []*power.Node
+			msb.Walk(func(n *power.Node) { nodes = append(nodes, n) })
+
+			const step = 3 * time.Second
+			horizon := 4 * time.Hour
+			var pendingRestore *power.Node
+			var restoreAt time.Duration
+			for now := step; now <= horizon; now += step {
+				// Random load drift.
+				if src.Intn(10) == 0 {
+					for _, r := range racks {
+						r.SetDemand(units.Power(src.Uniform(3000, 9500)))
+					}
+				}
+				// Random transition injection (one at a time).
+				// Leave room for the slowest possible charge (1 A from full
+				// discharge: ~142 min) before the horizon check.
+				if pendingRestore == nil && src.Intn(400) == 0 && now < horizon-170*time.Minute {
+					pendingRestore = nodes[src.Intn(len(nodes))]
+					pendingRestore.Deenergize(now)
+					restoreAt = now + time.Duration(src.Uniform(3, 120))*time.Second
+				}
+				if pendingRestore != nil && now >= restoreAt {
+					pendingRestore.Reenergize(now)
+					pendingRestore = nil
+				}
+				for _, r := range racks {
+					r.Step(now, step)
+				}
+				hier.Tick(now)
+
+				// Invariant 1: no trips.
+				for _, n := range nodes {
+					if n.Tripped() {
+						t.Fatalf("t=%v: breaker %s tripped", now, n.Name())
+					}
+				}
+				// Invariant 2: aggregation consistency (spot-check the root).
+				var sum units.Power
+				for _, c := range msb.Children() {
+					sum += c.Power()
+				}
+				if d := float64(msb.Power() - sum); d > 1 || d < -1 {
+					t.Fatalf("t=%v: root power %v != children sum %v", now, msb.Power(), sum)
+				}
+			}
+			// Invariant 3: nothing charges forever (horizon is generous).
+			for _, r := range racks {
+				if r.Charging() {
+					t.Errorf("rack %s still charging at the 4 h horizon", r.Name())
+				}
+			}
+			// Invariant 4: with demand dropped to near zero, caps lift.
+			for _, r := range racks {
+				r.SetDemand(1000 * units.Watt)
+			}
+			for k := 1; k <= 3; k++ {
+				now := horizon + time.Duration(k)*step
+				for _, r := range racks {
+					r.Step(now, step)
+				}
+				hier.Tick(now)
+			}
+			for _, r := range racks {
+				if r.CappedPower() != 0 {
+					t.Errorf("rack %s still capped after load collapse", r.Name())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,77 @@
+// Command advisor answers the capacity question behind the paper's
+// introduction: how much breaker capacity does a rack population need under
+// a given charging strategy? It compares static worst-case provisioning
+// (peak IT plus 1.9 kW of recharge per rack — the 25 % reserve the paper
+// calls "stranded most of the time") against the minimum limit at which the
+// strategy avoids all server capping and meets every feasible charging-time
+// SLA, and prices the difference at the paper's $10–$20 per watt.
+//
+// Usage:
+//
+//	advisor -p1 89 -p2 142 -p3 85 -dod 0.7 -mode priority-aware
+//	advisor -mode none -policy original        # the uncoordinated baseline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/units"
+)
+
+func main() {
+	p1 := flag.Int("p1", 89, "P1 rack count")
+	p2 := flag.Int("p2", 142, "P2 rack count")
+	p3 := flag.Int("p3", 85, "P3 rack count")
+	dod := flag.Float64("dod", 0.7, "discharge level to provision for")
+	modeStr := flag.String("mode", "priority-aware", "none, global, priority-aware, or postpone")
+	policyStr := flag.String("policy", "variable", "local charger: original or variable")
+	seed := flag.Int64("seed", 1, "trace seed")
+	resKW := flag.Float64("res", 10, "limit search resolution in kW")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+
+	var mode dynamo.Mode
+	switch *modeStr {
+	case "none":
+		mode = dynamo.ModeNone
+	case "global":
+		mode = dynamo.ModeGlobal
+	case "priority-aware":
+		mode = dynamo.ModePriorityAware
+	case "postpone":
+		mode = dynamo.ModePostpone
+	default:
+		fmt.Fprintf(os.Stderr, "advisor: unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+	pol, err := charger.ByName(*policyStr)
+	check(err)
+
+	adv, err := scenario.Advise(scenario.AdvisorSpec{
+		NumP1: *p1, NumP2: *p2, NumP3: *p3,
+		AvgDOD:      units.Fraction(*dod),
+		Mode:        mode,
+		LocalPolicy: pol,
+		Seed:        *seed,
+		Resolution:  units.Power(*resKW) * units.Kilowatt,
+	})
+	check(err)
+	tbl := scenario.AdviceTable(adv)
+	if *csv {
+		check(tbl.RenderCSV(os.Stdout))
+	} else {
+		check(tbl.Render(os.Stdout))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "advisor: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,97 @@
+// Command aorsim runs the reliability analysis of the paper's §IV-A: the
+// Monte Carlo over the Table I component failure model that relates battery
+// charging time to the availability of redundancy (AOR) of rack power.
+//
+// Usage:
+//
+//	aorsim -table 1          # the component failure/repair input data
+//	aorsim -fig 9a           # AOR vs charging time sweep
+//	aorsim -fig 9b           # SLA charging current vs DOD per priority
+//	aorsim -table 2          # AOR achieved by each priority's SLA
+//	aorsim -all
+//
+// The -years flag sets the simulated horizon (the paper uses 1e5 years).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"coordcharge/internal/report"
+	"coordcharge/internal/scenario"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate (9a or 9b)")
+	table := flag.Int("table", 0, "table to regenerate (1 or 2)")
+	all := flag.Bool("all", false, "regenerate every reliability artifact")
+	years := flag.Float64("years", 1e5, "simulated years for the Monte Carlo")
+	seed := flag.Int64("seed", 1, "random seed")
+	breakdown := flag.Bool("breakdown", false, "attribute loss of redundancy per component")
+	chargeMin := flag.Float64("charge", 30, "charge time in minutes for -breakdown")
+	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	flag.Parse()
+
+	emitChart := func(c *report.Chart) {
+		var err error
+		if *csv {
+			err = c.RenderCSV(os.Stdout)
+		} else {
+			err = c.RenderASCII(os.Stdout, 78, 18)
+		}
+		check(err)
+		fmt.Println()
+	}
+	emitTable := func(t *report.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+		}
+		check(err)
+		fmt.Println()
+	}
+
+	ran := false
+	if *all || *table == 1 {
+		emitTable(scenario.TableITable())
+		ran = true
+	}
+	if *all || *fig == "9a" {
+		c, err := scenario.Fig9aChart(*years, *seed)
+		check(err)
+		emitChart(c)
+		ran = true
+	}
+	if *all || *table == 2 {
+		t, err := scenario.TableIITable(*years, *seed)
+		check(err)
+		emitTable(t)
+		ran = true
+	}
+	if *all || *fig == "9b" {
+		emitChart(scenario.Fig9bChart())
+		ran = true
+	}
+	if *all || *breakdown {
+		t, err := scenario.BreakdownTable(*years, *seed, time.Duration(*chargeMin*float64(time.Minute)))
+		check(err)
+		emitTable(t)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "aorsim: pass -fig 9a|9b, -table 1|2, or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aorsim: %v\n", err)
+		os.Exit(1)
+	}
+}

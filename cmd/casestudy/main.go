@@ -1,0 +1,88 @@
+// Command casestudy replays the paper's production events and prototype
+// experiments: Fig 2 (the regional utility-sag recharge spike), Fig 7 (the
+// variable-charger production validation row), Fig 10 (the coordinated
+// 17-rack prototype row), and Fig 11 (the fine-grained override latency).
+//
+// The -case2 flag additionally replays Case II (§II-D): a building-wide open
+// transition to diesel generators under the original charger, showing the
+// >20 % per-MSB power jump and the building-wide server capping.
+//
+// Usage:
+//
+//	casestudy -fig 2|7|10|11 [-csv]
+//	casestudy -case2 [-msbs 12]
+//	casestudy -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coordcharge/internal/report"
+	"coordcharge/internal/scenario"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to replay (2, 7, 10, or 11)")
+	all := flag.Bool("all", false, "replay every case study")
+	sample := flag.Int("sample", 1, "Fig 2 population divisor (1 = every rack in the region)")
+	case2 := flag.Bool("case2", false, "replay the Case II building-wide event")
+	msbs := flag.Int("msbs", 12, "Case II building size in MSBs")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+	flag.Parse()
+
+	if *case2 || *all {
+		res, err := scenario.RunCaseII(*msbs, 1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casestudy: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			err = res.Table.RenderCSV(os.Stdout)
+		} else {
+			err = res.Table.Render(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casestudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("estimated servers power-capped: %d (max per-MSB increase %v)\n\n",
+			res.ServersCapped, res.MaxIncrease)
+		if !*all && *fig == 0 {
+			return
+		}
+	}
+
+	var charts []*report.Chart
+	if *all || *fig == 2 {
+		charts = append(charts, scenario.Fig2Chart(*sample))
+	}
+	if *all || *fig == 7 {
+		charts = append(charts, scenario.Fig7Chart())
+	}
+	if *all || *fig == 10 {
+		charts = append(charts, scenario.Fig10Chart())
+	}
+	if *all || *fig == 11 {
+		charts = append(charts, scenario.Fig11Chart())
+	}
+	if len(charts) == 0 {
+		fmt.Fprintln(os.Stderr, "casestudy: pass -fig 2|7|10|11 or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, c := range charts {
+		var err error
+		if *csv {
+			err = c.RenderCSV(os.Stdout)
+		} else {
+			err = c.RenderASCII(os.Stdout, 78, 18)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casestudy: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,58 @@
+// Command chargesim regenerates the battery-charger figures of the paper:
+// Fig 3 (full-discharge CC-CV profile), Fig 4 (recharge power by depth of
+// discharge), Fig 5 (charge time surface), and Fig 6(b) (the variable
+// charger's Eq 1 current selection).
+//
+// Usage:
+//
+//	chargesim -fig 3|4|5|6 [-csv]
+//	chargesim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coordcharge/internal/report"
+	"coordcharge/internal/scenario"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (3, 4, 5, or 6)")
+	all := flag.Bool("all", false, "regenerate every charger figure")
+	csv := flag.Bool("csv", false, "emit CSV instead of ASCII charts")
+	flag.Parse()
+
+	var charts []*report.Chart
+	switch {
+	case *all:
+		charts = append(charts, scenario.Fig3Charts()...)
+		charts = append(charts, scenario.Fig4Chart(), scenario.Fig5Chart(), scenario.Fig6bChart())
+	case *fig == 3:
+		charts = scenario.Fig3Charts()
+	case *fig == 4:
+		charts = []*report.Chart{scenario.Fig4Chart()}
+	case *fig == 5:
+		charts = []*report.Chart{scenario.Fig5Chart()}
+	case *fig == 6:
+		charts = []*report.Chart{scenario.Fig6bChart()}
+	default:
+		fmt.Fprintln(os.Stderr, "chargesim: pass -fig 3|4|5|6 or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, c := range charts {
+		var err error
+		if *csv {
+			err = c.RenderCSV(os.Stdout)
+		} else {
+			err = c.RenderASCII(os.Stdout, 78, 18)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "chargesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/config"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// customSpec collects the -run flags.
+type customSpec struct {
+	mode, policy string
+	limitMW, dod float64
+	p1, p2, p3   int
+	seed         int64
+	tracePath    string
+	analytics    bool
+}
+
+func parseMode(s string) (dynamo.Mode, error) { return config.ParseMode(s) }
+
+// runConfig executes every experiment section of a JSON experiment file.
+func runConfig(path string, csv bool) {
+	f, err := config.Load(path)
+	check(err)
+	if f.Coordinated != nil {
+		spec, err := f.Coordinated.CoordSpec()
+		check(err)
+		res, err := scenario.RunCoordinated(spec)
+		check(err)
+		printCoordSummary(spec, res)
+	}
+	if f.Endurance != nil {
+		spec, err := f.Endurance.EnduranceSpec()
+		check(err)
+		res, err := scenario.RunEndurance(spec)
+		check(err)
+		tbl := scenario.EnduranceTable(res)
+		if csv {
+			check(tbl.RenderCSV(os.Stdout))
+		} else {
+			check(tbl.Render(os.Stdout))
+		}
+	}
+	if f.Advisor != nil {
+		spec, err := f.Advisor.AdvisorSpec()
+		check(err)
+		adv, err := scenario.Advise(spec)
+		check(err)
+		tbl := scenario.AdviceTable(adv)
+		if csv {
+			check(tbl.RenderCSV(os.Stdout))
+		} else {
+			check(tbl.Render(os.Stdout))
+		}
+	}
+}
+
+// printCoordSummary prints the standard single-experiment report.
+func printCoordSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
+	fmt.Printf("experiment: %d racks (%d/%d/%d), %s mode, %s charger, %v limit\n",
+		spec.NumP1+spec.NumP2+spec.NumP3, spec.NumP1, spec.NumP2, spec.NumP3,
+		spec.Mode, spec.LocalPolicy.Name(), spec.MSBLimit)
+	fmt.Printf("  transition length:        %v (realised avg DOD %v)\n",
+		res.TransitionLength, res.AvgDOD)
+	fmt.Printf("  peak MSB draw:            %v\n", res.PeakPower)
+	fmt.Printf("  max server capping:       %v (%.0f%% of IT load)\n",
+		res.Metrics.MaxCapping, float64(res.Metrics.MaxCappingFraction)*100)
+	fmt.Printf("  SLAs met:                 P1 %d/%d, P2 %d/%d, P3 %d/%d\n",
+		res.SLAMet[rack.P1], res.Racks[rack.P1],
+		res.SLAMet[rack.P2], res.Racks[rack.P2],
+		res.SLAMet[rack.P3], res.Racks[rack.P3])
+	fmt.Printf("  last charge completed:    %v after the transition\n",
+		res.LastChargeDone.Round(time.Second))
+	if len(res.Tripped) > 0 {
+		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
+	}
+}
+
+// printAnalytics renders the run's distribution analytics.
+func printAnalytics(res *scenario.CoordResult) {
+	fmt.Println()
+	check(scenario.ChargeDurationTable(res).Render(os.Stdout))
+	fmt.Println()
+	check(scenario.DODHistogramTable(res, 8).Render(os.Stdout))
+	fmt.Println()
+	check(scenario.ChargeDurationCDF(res).RenderASCII(os.Stdout, 78, 16))
+}
+
+// runEndurance executes the multi-year realized-AOR simulation and prints
+// the comparison against Table II targets.
+func runEndurance(years float64, seed int64, modeStr, policyStr string, limitMW float64, p1, p2, p3 int, csv bool) {
+	mode, err := parseMode(modeStr)
+	check(err)
+	pol, err := charger.ByName(policyStr)
+	check(err)
+	spec := scenario.EnduranceSpec{
+		Years: years, Seed: seed,
+		NumP1: p1, NumP2: p2, NumP3: p3,
+		Mode: mode, LocalPolicy: pol,
+	}
+	if limitMW > 0 {
+		spec.MSBLimit = units.Power(limitMW) * units.Megawatt
+	}
+	res, err := scenario.RunEndurance(spec)
+	check(err)
+	tbl := scenario.EnduranceTable(res)
+	if csv {
+		check(tbl.RenderCSV(os.Stdout))
+	} else {
+		check(tbl.Render(os.Stdout))
+	}
+	fmt.Printf("\nmax server capping over the horizon: %v; overrides issued: %d\n",
+		res.Metrics.MaxCapping, res.Metrics.OverridesIssued)
+}
+
+// runCustom executes one user-specified experiment and prints a summary.
+func runCustom(cs customSpec) {
+	mode, err := parseMode(cs.mode)
+	check(err)
+	pol, err := charger.ByName(cs.policy)
+	check(err)
+	spec := scenario.CoordSpec{
+		NumP1: cs.p1, NumP2: cs.p2, NumP3: cs.p3,
+		Seed:        cs.seed,
+		MSBLimit:    units.Power(cs.limitMW) * units.Megawatt,
+		Mode:        mode,
+		LocalPolicy: pol,
+		AvgDOD:      units.Fraction(cs.dod),
+	}
+	if cs.tracePath != "" {
+		f, err := os.Open(cs.tracePath)
+		check(err)
+		m, err := trace.ReadCSV(f)
+		f.Close()
+		check(err)
+		spec.Trace = m
+	}
+	res, err := scenario.RunCoordinated(spec)
+	check(err)
+
+	fmt.Printf("experiment: %d racks (%d/%d/%d), %s mode, %s charger, %.2f MW limit, target DOD %.0f%%\n",
+		cs.p1+cs.p2+cs.p3, cs.p1, cs.p2, cs.p3, mode, pol.Name(), cs.limitMW, cs.dod*100)
+	fmt.Printf("  transition length:        %v (realised avg DOD %v)\n",
+		res.TransitionLength, res.AvgDOD)
+	fmt.Printf("  peak MSB draw:            %v\n", res.PeakPower)
+	fmt.Printf("  max server capping:       %v (%.0f%% of IT load)\n",
+		res.Metrics.MaxCapping, float64(res.Metrics.MaxCappingFraction)*100)
+	fmt.Printf("  capped energy:            %v\n", res.Metrics.CappedEnergy)
+	fmt.Printf("  overrides issued:         %d (plans %d, throttle events %d)\n",
+		res.Metrics.OverridesIssued, res.Metrics.PlansComputed, res.Metrics.ThrottleEvents)
+	fmt.Printf("  SLAs met:                 P1 %d/%d, P2 %d/%d, P3 %d/%d\n",
+		res.SLAMet[rack.P1], res.Racks[rack.P1],
+		res.SLAMet[rack.P2], res.Racks[rack.P2],
+		res.SLAMet[rack.P3], res.Racks[rack.P3])
+	fmt.Printf("  last charge completed:    %v after the transition\n",
+		res.LastChargeDone.Round(time.Second))
+	if len(res.Tripped) > 0 {
+		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
+	}
+	if cs.analytics {
+		printAnalytics(res)
+	}
+}

@@ -1,0 +1,132 @@
+// Command coordsim runs the MSB-level coordinated-charging evaluation of the
+// paper's §V-B: 316 racks (89 P1 / 142 P2 / 85 P3) replaying a synthetic
+// production trace with an open transition injected at the first peak.
+//
+// Usage:
+//
+//	coordsim -fig 12             # the weekly aggregate trace
+//	coordsim -fig 13 [-table 3]  # MSB power by algorithm × limit × discharge
+//	coordsim -fig 14             # racks meeting SLA vs power limit (prod mix)
+//	coordsim -fig 15             # ... for even and all-P1 distributions
+//	coordsim -all
+//
+// Beyond the paper's artifacts:
+//
+//	coordsim -run -mode postpone -limit 2.15 -dod 0.7 [-analytics]
+//	coordsim -run -trace t.csv -p1 4 -p2 4 -p3 4   # replay an imported trace
+//	coordsim -endurance -years 50                  # realized AOR vs Table II
+//	coordsim -config exp.json                      # experiments from a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coordcharge/internal/report"
+	"coordcharge/internal/scenario"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (12, 13, 14, or 15)")
+	table := flag.Int("table", 0, "table to regenerate (3)")
+	all := flag.Bool("all", false, "regenerate every evaluation artifact")
+	seed := flag.Int64("seed", 1, "trace seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of text")
+	configPath := flag.String("config", "", "run the experiments in a JSON experiment file")
+	// Endurance flags.
+	endurance := flag.Bool("endurance", false, "run the multi-year realized-AOR endurance simulation")
+	years := flag.Float64("years", 50, "endurance horizon in simulated years")
+	// Custom single-experiment flags.
+	run := flag.Bool("run", false, "run one custom experiment instead of a paper artifact")
+	mode := flag.String("mode", "priority-aware", "custom run: none, global, priority-aware, or postpone")
+	policy := flag.String("policy", "variable", "custom run: local charger (original or variable)")
+	limitMW := flag.Float64("limit", 2.5, "custom run: MSB power limit in MW")
+	dod := flag.Float64("dod", 0.5, "custom run: target average depth of discharge")
+	p1 := flag.Int("p1", 89, "custom run: P1 rack count")
+	p2 := flag.Int("p2", 142, "custom run: P2 rack count")
+	p3 := flag.Int("p3", 85, "custom run: P3 rack count")
+	tracePath := flag.String("trace", "", "custom run: CSV trace file (tracegen format) replacing the synthetic trace")
+	analytics := flag.Bool("analytics", false, "custom run: also print duration/DOD distribution analytics")
+	flag.Parse()
+
+	if *configPath != "" {
+		runConfig(*configPath, *csv)
+		return
+	}
+	if *run {
+		runCustom(customSpec{
+			mode: *mode, policy: *policy, limitMW: *limitMW, dod: *dod,
+			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
+			analytics: *analytics,
+		})
+		return
+	}
+	if *endurance {
+		runEndurance(*years, *seed, *mode, *policy, *limitMW, *p1, *p2, *p3, *csv)
+		return
+	}
+
+	emitChart := func(c *report.Chart) {
+		var err error
+		if *csv {
+			err = c.RenderCSV(os.Stdout)
+		} else {
+			err = c.RenderASCII(os.Stdout, 78, 18)
+		}
+		check(err)
+		fmt.Println()
+	}
+
+	ran := false
+	if *all || *fig == 12 {
+		c, err := scenario.Fig12Chart(*seed)
+		check(err)
+		emitChart(c)
+		ran = true
+	}
+	if *all || *fig == 13 || *table == 3 {
+		res, err := scenario.RunFig13(*seed)
+		check(err)
+		if *all || *fig == 13 {
+			for _, c := range res.Charts {
+				emitChart(c)
+			}
+		}
+		if *csv {
+			check(res.TableIII.RenderCSV(os.Stdout))
+		} else {
+			check(res.TableIII.Render(os.Stdout))
+		}
+		fmt.Println()
+		ran = true
+	}
+	if *all || *fig == 14 {
+		charts, err := scenario.RunFig14(*seed)
+		check(err)
+		for _, c := range charts {
+			emitChart(c)
+		}
+		ran = true
+	}
+	if *all || *fig == 15 {
+		charts, err := scenario.RunFig15(*seed)
+		check(err)
+		for _, c := range charts {
+			emitChart(c)
+		}
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "coordsim: pass -fig 12|13|14|15, -table 3, or -all")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coordsim: %v\n", err)
+		os.Exit(1)
+	}
+}

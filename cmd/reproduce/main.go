@@ -1,0 +1,194 @@
+// Command reproduce regenerates every artifact of the paper in one run and
+// writes them to an output directory: each figure as an ASCII chart and a
+// CSV series, each table as text and CSV, plus a summary index.
+//
+// Usage:
+//
+//	reproduce -out artifacts [-years 20000] [-seed 1] [-fast]
+//
+// -fast skips the slowest artifacts (the full Fig 13/14/15 sweeps and the
+// full-population Fig 2) for a quick smoke of the pipeline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"coordcharge/internal/report"
+	"coordcharge/internal/scenario"
+)
+
+type artifact struct {
+	name  string
+	build func() (*report.Chart, *report.Table, error)
+}
+
+func main() {
+	out := flag.String("out", "artifacts", "output directory")
+	years := flag.Float64("years", 20000, "Monte Carlo horizon in simulated years")
+	seed := flag.Int64("seed", 1, "seed for traces and the Monte Carlo")
+	fast := flag.Bool("fast", false, "skip the slowest artifacts")
+	flag.Parse()
+
+	arts := collect(*years, *seed, *fast)
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	var index strings.Builder
+	fmt.Fprintf(&index, "coordcharge reproduction artifacts (seed %d, %s)\n\n", *seed, time.Now().UTC().Format(time.RFC3339))
+	for _, a := range arts {
+		start := time.Now()
+		chart, table, err := a.build()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a.name, err))
+		}
+		if chart != nil {
+			if err := writeChart(*out, a.name, chart); err != nil {
+				fatal(err)
+			}
+		}
+		if table != nil {
+			if err := writeTable(*out, a.name, table); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(&index, "%-22s %8s\n", a.name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("wrote %s (%s)\n", a.name, time.Since(start).Round(time.Millisecond))
+	}
+	if err := os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+// collect enumerates the artifact builders in paper order.
+func collect(years float64, seed int64, fast bool) []artifact {
+	chartOnly := func(f func() *report.Chart) func() (*report.Chart, *report.Table, error) {
+		return func() (*report.Chart, *report.Table, error) { return f(), nil, nil }
+	}
+	arts := []artifact{
+		{name: "fig02_region_outage", build: func() (*report.Chart, *report.Table, error) {
+			factor := 1
+			if fast {
+				factor = 16
+			}
+			return scenario.Fig2Chart(factor), nil, nil
+		}},
+		{name: "fig03_charge_profile", build: func() (*report.Chart, *report.Table, error) {
+			charts := scenario.Fig3Charts()
+			// The power chart is the headline; current/voltage are appended
+			// as extra series files by the caller loop, so merge titles.
+			return charts[0], nil, nil
+		}},
+		{name: "fig03_current", build: chartOnly(func() *report.Chart { return scenario.Fig3Charts()[1] })},
+		{name: "fig03_voltage", build: chartOnly(func() *report.Chart { return scenario.Fig3Charts()[2] })},
+		{name: "fig04_power_by_dod", build: chartOnly(scenario.Fig4Chart)},
+		{name: "fig05_charge_time", build: chartOnly(scenario.Fig5Chart)},
+		{name: "fig06b_eq1", build: chartOnly(scenario.Fig6bChart)},
+		{name: "fig07_row_validation", build: chartOnly(scenario.Fig7Chart)},
+		{name: "table1_components", build: func() (*report.Chart, *report.Table, error) {
+			return nil, scenario.TableITable(), nil
+		}},
+		{name: "fig09a_aor", build: func() (*report.Chart, *report.Table, error) {
+			c, err := scenario.Fig9aChart(years, seed)
+			return c, nil, err
+		}},
+		{name: "table2_sla", build: func() (*report.Chart, *report.Table, error) {
+			t, err := scenario.TableIITable(years, seed)
+			return nil, t, err
+		}},
+		{name: "table2_breakdown", build: func() (*report.Chart, *report.Table, error) {
+			t, err := scenario.BreakdownTable(years, seed, 30*time.Minute)
+			return nil, t, err
+		}},
+		{name: "fig09b_sla_current", build: chartOnly(scenario.Fig9bChart)},
+		{name: "fig10_prototype_row", build: chartOnly(scenario.Fig10Chart)},
+		{name: "fig11_override", build: chartOnly(scenario.Fig11Chart)},
+		{name: "fig12_trace", build: func() (*report.Chart, *report.Table, error) {
+			c, err := scenario.Fig12Chart(seed)
+			return c, nil, err
+		}},
+	}
+	if !fast {
+		arts = append(arts,
+			artifact{name: "fig13_table3", build: func() (*report.Chart, *report.Table, error) {
+				res, err := scenario.RunFig13(seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				// Fig 13 produces six charts; write them here and return the
+				// table through the normal path.
+				for i, c := range res.Charts {
+					if err := writeChart(flag.Lookup("out").Value.String(), fmt.Sprintf("fig13%c", 'a'+i), c); err != nil {
+						return nil, nil, err
+					}
+				}
+				return nil, res.TableIII, nil
+			}},
+			artifact{name: "fig14_sweeps", build: func() (*report.Chart, *report.Table, error) {
+				charts, err := scenario.RunFig14(seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				for i, c := range charts {
+					if err := writeChart(flag.Lookup("out").Value.String(), fmt.Sprintf("fig14%c", 'a'+i), c); err != nil {
+						return nil, nil, err
+					}
+				}
+				return nil, nil, nil
+			}},
+			artifact{name: "fig15_distributions", build: func() (*report.Chart, *report.Table, error) {
+				charts, err := scenario.RunFig15(seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				for i, c := range charts {
+					if err := writeChart(flag.Lookup("out").Value.String(), fmt.Sprintf("fig15%c", 'a'+i), c); err != nil {
+						return nil, nil, err
+					}
+				}
+				return nil, nil, nil
+			}},
+			artifact{name: "case2_building", build: func() (*report.Chart, *report.Table, error) {
+				res, err := scenario.RunCaseII(12, seed)
+				if err != nil {
+					return nil, nil, err
+				}
+				return nil, res.Table, nil
+			}},
+			artifact{name: "endurance_realized_aor", build: func() (*report.Chart, *report.Table, error) {
+				res, err := scenario.RunEndurance(scenario.EnduranceSpec{Years: 30, Seed: seed})
+				if err != nil {
+					return nil, nil, err
+				}
+				return nil, scenario.EnduranceTable(res), nil
+			}},
+			artifact{name: "capacity_advice", build: func() (*report.Chart, *report.Table, error) {
+				adv, err := scenario.Advise(scenario.AdvisorSpec{
+					NumP1: 89, NumP2: 142, NumP3: 85, Seed: seed,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				return nil, scenario.AdviceTable(adv), nil
+			}},
+		)
+	}
+	return arts
+}
+
+func writeChart(dir, name string, c *report.Chart) error {
+	return report.SaveChart(dir, name, c)
+}
+
+func writeTable(dir, name string, t *report.Table) error {
+	return report.SaveTable(dir, name, t)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "reproduce: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+package coordcharge_test
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge"
+)
+
+// The variable charger's Eq 1: the CC setpoint scales with depth of
+// discharge, cutting shallow-discharge recharge power by 60 %.
+func ExampleEq1() {
+	for _, dod := range []coordcharge.Fraction{0.2, 0.5, 0.75, 1.0} {
+		fmt.Printf("DOD %v -> %v\n", dod, coordcharge.Eq1(dod))
+	}
+	// Output:
+	// DOD 20.0% -> 2.00 A
+	// DOD 50.0% -> 2.00 A
+	// DOD 75.0% -> 3.50 A
+	// DOD 100.0% -> 5.00 A
+}
+
+// A rack rides an open transition on its batteries and recharges at the
+// current its local variable charger picks from the depth of discharge.
+func ExampleRack() {
+	r := coordcharge.NewRack("web-42", coordcharge.P2,
+		coordcharge.VariableCharger{}, coordcharge.Fig5Surface())
+	r.SetDemand(12600 * coordcharge.Watt)
+
+	r.LoseInput(0)
+	r.Step(45*time.Second, 45*time.Second) // 45 s on battery at full load
+	r.RestoreInput(45 * time.Second)
+
+	fmt.Printf("DOD %v, charging at %v, recharge power %v\n",
+		r.LastDOD(), r.Pack().Setpoint(), r.RechargePower())
+	// Output:
+	// DOD 50.0%, charging at 2.00 A, recharge power 760.0 W
+}
+
+// Algorithm 1 grants SLA charging currents highest-priority-lowest-
+// discharge-first within the breaker's available power.
+func ExamplePlanPriorityAware() {
+	cfg := coordcharge.DefaultPlannerConfig()
+	racks := []coordcharge.RackView{
+		{ID: 0, Name: "db-1", Priority: coordcharge.P1, DOD: 0.30},
+		{ID: 1, Name: "web-1", Priority: coordcharge.P3, DOD: 0.30},
+	}
+	// Power for the two 1 A floors plus one 2-amp upgrade: the P1 rack wins.
+	plan := coordcharge.PlanPriorityAware(2*380+2*380, racks, cfg)
+	for _, a := range plan {
+		fmt.Printf("%s (%v): %v, meets SLA %v\n", a.Name, a.Priority, a.Current, a.MeetsSLA)
+	}
+	// Output:
+	// db-1 (P1): 3.00 A, meets SLA true
+	// web-1 (P3): 1.00 A, meets SLA true
+}
+
+// The charge-time surface answers both directions: how long a charge takes,
+// and the minimum current that meets a deadline.
+func ExampleChargeTimeSurface() {
+	s := coordcharge.Fig5Surface()
+	fmt.Printf("full charge at 5 A: %v\n", s.ChargeTime(5, 1.0))
+	i, ok := s.RequiredCurrent(0.5, 60*time.Minute, 1)
+	fmt.Printf("60-minute SLA at 50%% DOD needs %v (feasible %v)\n", i, ok)
+	// Output:
+	// full charge at 5 A: 36m0s
+	// 60-minute SLA at 50% DOD needs 2.00 A (feasible true)
+}
+
+// DODFromOutage is the controller's depth-of-discharge estimate from the
+// outage length and IT load (§IV-B).
+func ExampleDODFromOutage() {
+	fmt.Println(coordcharge.DODFromOutage(12600*coordcharge.Watt, 90*time.Second))
+	fmt.Println(coordcharge.DODFromOutage(6300*coordcharge.Watt, 45*time.Second))
+	// Output:
+	// 100.0%
+	// 25.0%
+}

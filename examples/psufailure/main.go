@@ -1,0 +1,59 @@
+// PSU failure: the hardware-explicit rack model (paper §III-A — two power
+// zones, each with three PSU+BBU pairs in a 2+1 redundant arrangement)
+// riding through an open transition with a failed power supply.
+//
+// Demonstrates why the paper defines a "full discharge" as 3,300 W per BBU
+// for 90 seconds: with a PSU out, the surviving BBUs in its zone carry a
+// larger share and discharge deeper, and their chargers independently pick
+// higher recharge currents afterwards.
+//
+// Run with:
+//
+//	go run ./examples/psufailure
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge"
+)
+
+func main() {
+	r := coordcharge.NewDetailedRack("db-07", coordcharge.VariableCharger{},
+		coordcharge.DefaultBatteryParams())
+	r.SetDemand(12 * coordcharge.Kilowatt) // 6 kW per zone
+
+	fmt.Println("healthy rack at 12 kW:")
+	fmt.Printf("  battery runtime at this load: %v\n\n", r.Runtime().Round(time.Second))
+
+	// One PSU in zone 0 fails: the 2+1 redundancy absorbs it.
+	r.FailPSU(0, 2)
+	fmt.Println("after one PSU failure in zone 0 (2+1 redundancy holds):")
+	fmt.Printf("  unserved load: %v\n", r.Shortfall())
+	fmt.Printf("  battery runtime: %v\n\n", r.Runtime().Round(time.Second))
+
+	// A 60-second open transition.
+	r.LoseInput(0)
+	r.Step(60*time.Second, 60*time.Second)
+	r.RestoreInput(60 * time.Second)
+
+	fmt.Println("depth of discharge and recharge current per BBU after a 60 s transition:")
+	for zi, z := range r.Zones() {
+		for pi, p := range z.PSUs() {
+			status := "ok"
+			if p.Failed() {
+				status = "FAILED"
+			}
+			fmt.Printf("  zone %d PSU %d [%s]: DOD %v, charging at %v\n",
+				zi, pi, status, p.BBU().DOD(), p.BBU().Setpoint())
+		}
+	}
+	fmt.Printf("\nrack recharge power: %v\n", r.RechargePower())
+
+	// The zone-0 survivors discharged 3 kW each vs 2 kW in zone 1, so their
+	// DOD — and with the variable charger, their recharge current — can be
+	// higher. A second failure in the same zone would exceed the redundancy:
+	r.FailPSU(0, 1)
+	fmt.Printf("\nafter a second zone-0 PSU failure: unserved load %v (beyond 2+1)\n", r.Shortfall())
+}

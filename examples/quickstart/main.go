@@ -1,0 +1,55 @@
+// Quickstart: a single rack rides out an open transition on its battery
+// backup units and recharges afterwards, comparing the original fixed-5A
+// charger against the paper's variable charger (Eq 1).
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge"
+)
+
+func main() {
+	surface := coordcharge.Fig5Surface()
+
+	for _, policy := range []coordcharge.ChargerPolicy{
+		coordcharge.OriginalCharger{},
+		coordcharge.VariableCharger{},
+	} {
+		r := coordcharge.NewRack("web-42", coordcharge.P2, policy, surface)
+		r.SetDemand(9 * coordcharge.Kilowatt)
+
+		// A 45-second open transition: the rack input power is lost while a
+		// switch board is transferred to its reserve.
+		r.LoseInput(0)
+		r.Step(45*time.Second, 45*time.Second)
+		r.RestoreInput(45 * time.Second)
+
+		fmt.Printf("%s charger:\n", policy.Name())
+		fmt.Printf("  depth of discharge after the transition: %v\n", r.LastDOD())
+		fmt.Printf("  charging current selected locally:       %v\n", r.Pack().Setpoint())
+		fmt.Printf("  recharge power drawn by the rack:        %v\n", r.RechargePower())
+		fmt.Printf("  rack input power (IT + recharge):        %v\n", r.Power())
+
+		// Step until the battery is full again.
+		now := 45 * time.Second
+		for r.Charging() {
+			now += 3 * time.Second
+			r.Step(now, 3*time.Second)
+		}
+		d, _ := r.ChargeDuration(now)
+		fmt.Printf("  time to fully recharge:                  %v\n\n", d.Round(time.Second))
+	}
+
+	// The variable charger's whole point: the recharge spike scales with the
+	// energy actually discharged instead of always being worst-case.
+	fmt.Println("Eq 1 current selection by depth of discharge:")
+	for _, dod := range []coordcharge.Fraction{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+		fmt.Printf("  DOD %v -> %v\n", dod, coordcharge.Eq1(dod))
+	}
+}

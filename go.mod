@@ -1,0 +1,3 @@
+module coordcharge
+
+go 1.22

@@ -1,0 +1,175 @@
+package coordcharge
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// The system's safety property, end to end: whatever the power limit,
+// discharge depth, charger hardware, and coordination mode, the Dynamo
+// control plane prevents every breaker from tripping. This is the paper's
+// raison d'être — batteries must never cause the outage they exist to
+// prevent.
+func TestIntegrationNoBreakerEverTrips(t *testing.T) {
+	limits := []float64{250, 220, 205, 190} // kW, for a 30-rack population
+	dods := []units.Fraction{0.3, 0.7, 1.0}
+	cases := []struct {
+		mode dynamo.Mode
+		pol  charger.Policy
+	}{
+		{dynamo.ModeNone, charger.Original{}},
+		{dynamo.ModeNone, charger.Variable{}},
+		{dynamo.ModeGlobal, charger.Variable{}},
+		{dynamo.ModePriorityAware, charger.Variable{}},
+		{dynamo.ModePostpone, charger.Variable{}},
+	}
+	for _, limit := range limits {
+		for _, dod := range dods {
+			for _, c := range cases {
+				res, err := scenario.RunCoordinated(scenario.CoordSpec{
+					NumP1: 10, NumP2: 10, NumP3: 10, Seed: 3,
+					MSBLimit:    units.Power(limit) * units.Kilowatt,
+					Mode:        c.mode,
+					LocalPolicy: c.pol,
+					AvgDOD:      dod,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Tripped) != 0 {
+					t.Errorf("limit=%vkW dod=%v mode=%v policy=%s: breakers tripped: %v",
+						limit, dod, c.mode, c.pol.Name(), res.Tripped)
+				}
+			}
+		}
+	}
+}
+
+// Priority-aware coordination never performs worse than the uncoordinated
+// variable charger on capping, across the sweep.
+func TestIntegrationCoordinationNeverIncreasesCapping(t *testing.T) {
+	for _, limit := range []float64{230, 215, 205} {
+		for _, dod := range []units.Fraction{0.3, 0.5, 0.7} {
+			uncoord, err := scenario.RunCoordinated(scenario.CoordSpec{
+				NumP1: 10, NumP2: 10, NumP3: 10, Seed: 7,
+				MSBLimit: units.Power(limit) * units.Kilowatt,
+				Mode:     dynamo.ModeNone, LocalPolicy: charger.Variable{}, AvgDOD: dod,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err := scenario.RunCoordinated(scenario.CoordSpec{
+				NumP1: 10, NumP2: 10, NumP3: 10, Seed: 7,
+				MSBLimit: units.Power(limit) * units.Kilowatt,
+				Mode:     dynamo.ModePriorityAware, LocalPolicy: charger.Variable{}, AvgDOD: dod,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if coord.Metrics.MaxCapping > uncoord.Metrics.MaxCapping {
+				t.Errorf("limit=%v dod=%v: coordinated capping %v exceeds uncoordinated %v",
+					limit, dod, coord.Metrics.MaxCapping, uncoord.Metrics.MaxCapping)
+			}
+		}
+	}
+}
+
+// A trace exported to CSV and re-imported drives the simulation to the same
+// outcome as the in-memory source: the full tracegen → ReadCSV → experiment
+// pipeline is lossless at simulation granularity.
+func TestIntegrationExternalTraceRoundTrip(t *testing.T) {
+	gen, err := trace.NewGenerator(trace.Spec{
+		NumRacks: 12, Seed: 5,
+		TroughPower: units.Power(1.9e6 * 12.0 / 316),
+		PeakPower:   units.Power(2.1e6 * 12.0 / 316),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Materialize a window covering the whole experiment at the simulation
+	// step.
+	m, err := trace.Materialize(gen, 0, 20*time.Hour, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.CoordSpec{
+		NumP1: 4, NumP2: 4, NumP3: 4, Seed: 5,
+		MSBLimit: 90 * units.Kilowatt, Mode: dynamo.ModePriorityAware, AvgDOD: 0.5,
+	}
+	direct := spec
+	direct.Trace = m
+	imported := spec
+	imported.Trace = back
+	a, err := scenario.RunCoordinated(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scenario.RunCoordinated(imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgDOD != b.AvgDOD {
+		// CSV rounds to 0.1 W; DOD may differ in the last digits only.
+		if d := float64(a.AvgDOD - b.AvgDOD); d > 1e-4 || d < -1e-4 {
+			t.Errorf("avg DOD differs: %v vs %v", a.AvgDOD, b.AvgDOD)
+		}
+	}
+	for _, p := range []Priority{P1, P2, P3} {
+		if a.SLAMet[p] != b.SLAMet[p] {
+			t.Errorf("%v SLAs differ: %d vs %d", p, a.SLAMet[p], b.SLAMet[p])
+		}
+	}
+	if a.Metrics.MaxCapping != b.Metrics.MaxCapping {
+		t.Errorf("capping differs: %v vs %v", a.Metrics.MaxCapping, b.Metrics.MaxCapping)
+	}
+}
+
+// Rejects a trace whose rack count does not match the spec.
+func TestIntegrationTraceShapeMismatch(t *testing.T) {
+	gen, _ := trace.NewGenerator(trace.Spec{NumRacks: 5, Seed: 1})
+	_, err := scenario.RunCoordinated(scenario.CoordSpec{
+		NumP1: 4, NumP2: 4, NumP3: 4, AvgDOD: 0.5, Trace: gen,
+	})
+	if err == nil {
+		t.Error("mismatched trace accepted")
+	}
+}
+
+// The postpone extension dominates stock priority-aware charging on P1 SLAs
+// under severe constraint (its design goal) without tripping anything.
+func TestIntegrationPostponeHelpsUnderSevereConstraint(t *testing.T) {
+	run := func(mode dynamo.Mode) *scenario.CoordResult {
+		res, err := scenario.RunCoordinated(scenario.CoordSpec{
+			NumP1: 10, NumP2: 10, NumP3: 10, Seed: 3,
+			MSBLimit: 206 * units.Kilowatt, // below the 30-rack floor threshold
+			Mode:     mode, AvgDOD: 0.5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	pa := run(dynamo.ModePriorityAware)
+	pp := run(dynamo.ModePostpone)
+	if pp.SLAMet[P1] < pa.SLAMet[P1] {
+		t.Errorf("postpone P1 SLAs (%d) worse than stock (%d)", pp.SLAMet[P1], pa.SLAMet[P1])
+	}
+	if len(pp.Tripped) != 0 {
+		t.Errorf("postpone tripped breakers: %v", pp.Tripped)
+	}
+}

@@ -1,0 +1,125 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+func agedParams(fade float64) Params {
+	p := DefaultParams()
+	p.FadePerCycle = fade
+	return p
+}
+
+func cycleOnce(b *BBU) {
+	b.Discharge(3300*units.Watt, 90*time.Second)
+	b.StartCharge(5)
+	b.StepCharge(3 * time.Hour)
+}
+
+func TestAgingDisabledByDefault(t *testing.T) {
+	b := New(DefaultParams())
+	for i := 0; i < 20; i++ {
+		cycleOnce(b)
+	}
+	if b.Health() != 1 {
+		t.Errorf("health with aging disabled = %v, want 1", b.Health())
+	}
+	if math.Abs(b.EquivalentCycles()-20) > 1e-9 {
+		t.Errorf("equivalent cycles = %v, want 20", b.EquivalentCycles())
+	}
+	// Full capacity still available.
+	got := b.Discharge(3300*units.Watt, 90*time.Second)
+	if math.Abs(got.KJ()-297) > 1e-6 {
+		t.Errorf("discharge after 20 cycles = %v, want 297 kJ", got)
+	}
+}
+
+func TestAgingValidation(t *testing.T) {
+	p := agedParams(0.5) // absurd fade
+	if err := p.Validate(); err == nil {
+		t.Error("fade 0.5/cycle accepted")
+	}
+	p = agedParams(-0.001)
+	if err := p.Validate(); err == nil {
+		t.Error("negative fade accepted")
+	}
+	p = agedParams(0.001)
+	p.MinHealth = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("min health >1 accepted")
+	}
+}
+
+func TestAgingReducesUsableCapacity(t *testing.T) {
+	b := New(agedParams(0.001)) // 0.1% per cycle
+	for i := 0; i < 100; i++ {
+		cycleOnce(b)
+	}
+	h := float64(b.Health())
+	// ~100 equivalent cycles at 0.1% each → ~90% health (cycles accrue
+	// slightly less than 1 per loop as capacity shrinks).
+	if h < 0.88 || h > 0.93 {
+		t.Errorf("health after 100 cycles = %v, want ~0.90", h)
+	}
+	got := b.Discharge(3300*units.Watt, 90*time.Second)
+	want := 297e3 * h
+	if math.Abs(float64(got)-want) > 1 {
+		t.Errorf("aged discharge = %v, want %.0f J", got, want)
+	}
+}
+
+func TestAgingHealthFloor(t *testing.T) {
+	p := agedParams(0.01)
+	p.MinHealth = 0.8
+	b := New(p)
+	for i := 0; i < 100; i++ {
+		cycleOnce(b)
+	}
+	if got := b.Health(); got != 0.8 {
+		t.Errorf("health = %v, want floored at 0.8", got)
+	}
+}
+
+func TestAgingDefaultFloor(t *testing.T) {
+	b := New(agedParams(0.01))
+	for i := 0; i < 200; i++ {
+		cycleOnce(b)
+	}
+	if got := b.Health(); got != 0.6 {
+		t.Errorf("health = %v, want default 0.6 floor", got)
+	}
+}
+
+func TestAgingShortensRuntime(t *testing.T) {
+	// An aged battery holds the same load for less time: the AOR-relevant
+	// consequence of fade.
+	fresh := New(DefaultParams())
+	aged := New(agedParams(0.002))
+	for i := 0; i < 100; i++ {
+		cycleOnce(aged)
+	}
+	freshOut := fresh.Discharge(3300*units.Watt, 90*time.Second)
+	aged.StartCharge(5)
+	aged.StepCharge(3 * time.Hour)
+	agedOut := aged.Discharge(3300*units.Watt, 90*time.Second)
+	if agedOut >= freshOut {
+		t.Errorf("aged battery delivered %v, fresh %v", agedOut, freshOut)
+	}
+}
+
+func TestPartialCyclesAccrueProportionally(t *testing.T) {
+	b := New(agedParams(0.001))
+	// Four quarter discharges ≈ one equivalent cycle.
+	for i := 0; i < 4; i++ {
+		b.Discharge(3300*units.Watt, 22500*time.Millisecond)
+		b.StartCharge(5)
+		b.StepCharge(2 * time.Hour)
+	}
+	if c := b.EquivalentCycles(); math.Abs(c-1) > 0.02 {
+		t.Errorf("equivalent cycles after 4 quarter-discharges = %v, want ~1", c)
+	}
+}

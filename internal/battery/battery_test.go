@@ -1,0 +1,487 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+func fullDischarge(b *BBU) {
+	b.Discharge(3300*units.Watt, 90*time.Second)
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	base := DefaultParams()
+	mutations := []func(*Params){
+		func(p *Params) { p.Capacity = 0 },
+		func(p *Params) { p.OCVSpan = -1 },
+		func(p *Params) { p.InternalR = 0 },
+		func(p *Params) { p.CutoffI = 0 },
+		func(p *Params) { p.FullEnergy = 0 },
+		func(p *Params) { p.MaxDischarge = 0 },
+		func(p *Params) { p.MinChargeI = 0.1 }, // below cutoff
+		func(p *Params) { p.MaxChargeI = 0.5 }, // below min
+		func(p *Params) { p.OCVEmpty = 40 },    // breaks OCV(1)=Vcv−Imin·R
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d: Validate accepted invalid params", i)
+		}
+	}
+}
+
+func TestNewIsFullyCharged(t *testing.T) {
+	b := New(DefaultParams())
+	if b.State() != FullyCharged {
+		t.Errorf("new BBU state = %v, want FullyCharged", b.State())
+	}
+	if b.SOC() != 1 {
+		t.Errorf("new BBU SOC = %v, want 1", b.SOC())
+	}
+	if b.ChargePower() != 0 {
+		t.Errorf("fully charged BBU draws %v, want 0", b.ChargePower())
+	}
+}
+
+// Paper §III-A / Fig 3: full charge at 5 A spends ~20 min in CC (transition
+// at 52 V) and completes in ~36 min.
+func TestFig3FullChargeAt5A(t *testing.T) {
+	p := DefaultParams()
+	ct := p.ChargeTime(5, 1)
+	if ct < 34*time.Minute || ct > 38*time.Minute {
+		t.Errorf("full charge time at 5A = %v, want ~36 min", ct)
+	}
+	// CC duration: soc_cv(5)·Q/5.
+	cc := time.Duration(float64(p.SOCAtCV(5)) * float64(p.Capacity) / 5 * float64(time.Second))
+	if cc < 19*time.Minute || cc > 21*time.Minute {
+		t.Errorf("CC phase at 5A = %v, want ~20 min", cc)
+	}
+}
+
+// Paper Fig 5: charge time is constant below ~22 % DOD at 5 A (pure CV).
+func TestFig5FlatRegionBelow22PctDOD(t *testing.T) {
+	p := DefaultParams()
+	socCV := p.SOCAtCV(5)
+	dodFlat := 1 - float64(socCV)
+	if dodFlat < 0.20 || dodFlat > 0.25 {
+		t.Errorf("pure-CV DOD boundary at 5A = %.3f, want ~0.22", dodFlat)
+	}
+	// Paper Fig 4: CV-phase time differs by less than 4 minutes across DODs.
+	t10 := p.ChargeTime(5, 0.10)
+	t20 := p.ChargeTime(5, 0.20)
+	diff := (t20 - t10).Minutes()
+	if math.Abs(diff) > 4 {
+		t.Errorf("charge time at 10%% vs 20%% DOD differs by %.1f min, want <4 (flat region)", diff)
+	}
+	if t10 < 10*time.Minute || t10 > 18*time.Minute {
+		t.Errorf("low-DOD CV-only charge time = %v, want 12-16 min", t10)
+	}
+}
+
+// Paper §III-B: a 2 A current charges a <50 % discharged BBU within ~45 min,
+// and 4 A charges a 70 % discharged BBU in ~40 min.
+func TestFig5VariableChargerDesignPoints(t *testing.T) {
+	p := DefaultParams()
+	if ct := p.ChargeTime(2, 0.50); ct > 45*time.Minute {
+		t.Errorf("2A at 50%% DOD = %v, want ≤45 min", ct)
+	}
+	if ct := p.ChargeTime(4, 0.70); ct > 45*time.Minute {
+		t.Errorf("4A at 70%% DOD = %v, want ≤45 min", ct)
+	}
+	if ct := p.ChargeTime(5, 1); ct > 45*time.Minute {
+		t.Errorf("5A at 100%% DOD = %v, want ≤45 min (worst case bound)", ct)
+	}
+	// 1 A is "considerably high": more than double the 45-minute bound at
+	// full discharge.
+	if ct := p.ChargeTime(1, 1); ct < 100*time.Minute {
+		t.Errorf("1A at 100%% DOD = %v, want >100 min", ct)
+	}
+}
+
+// Paper §V-B1: the CV tail is ≈ A·e^(−0.18 t[min]), i.e. τ ≈ 5.6 min.
+func TestCVDecayConstant(t *testing.T) {
+	tau := DefaultParams().Tau()
+	perMin := 1 / tau.Minutes()
+	if perMin < 0.14 || perMin > 0.20 {
+		t.Errorf("CV decay rate = %.3f /min, want ~0.18", perMin)
+	}
+}
+
+// Paper §III-A: initial CC charge power at 5 A is ~260 W per BBU.
+func TestInitialChargePower(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(5)
+	p0 := b.ChargePower()
+	if p0 < 230*units.Watt || p0 > 270*units.Watt {
+		t.Errorf("initial charge power at 5A = %v, want ~260 W", p0)
+	}
+	// Late in CC the power approaches Vcv·I = 262.5 W.
+	b.StepCharge(19 * time.Minute)
+	pLate := b.ChargePower()
+	if pLate < 255*units.Watt || pLate > 265*units.Watt {
+		t.Errorf("late CC charge power = %v, want ~262 W", pLate)
+	}
+}
+
+func TestFullDischargeTakes90Seconds(t *testing.T) {
+	b := New(DefaultParams())
+	got := b.Discharge(3300*units.Watt, 90*time.Second)
+	if math.Abs(got.KJ()-297) > 1e-9 {
+		t.Errorf("full discharge energy = %v, want 297 kJ", got)
+	}
+	if b.State() != FullyDischarged {
+		t.Errorf("state after full discharge = %v, want FullyDischarged", b.State())
+	}
+	if b.DOD() != 1 {
+		t.Errorf("DOD = %v, want 1", b.DOD())
+	}
+}
+
+func TestPartialDischargeDOD(t *testing.T) {
+	b := New(DefaultParams())
+	b.Discharge(3300*units.Watt, 45*time.Second)
+	if math.Abs(float64(b.DOD())-0.5) > 1e-9 {
+		t.Errorf("45s full-load discharge DOD = %v, want 0.5", b.DOD())
+	}
+	if b.State() != Discharging {
+		t.Errorf("state = %v, want Discharging", b.State())
+	}
+}
+
+func TestDischargeRateDependsOnLoad(t *testing.T) {
+	b := New(DefaultParams())
+	b.Discharge(1650*units.Watt, 90*time.Second) // half load
+	if math.Abs(float64(b.DOD())-0.5) > 1e-9 {
+		t.Errorf("half-load 90s discharge DOD = %v, want 0.5", b.DOD())
+	}
+}
+
+func TestDischargeBeyondEmpty(t *testing.T) {
+	b := New(DefaultParams())
+	got := b.Discharge(3300*units.Watt, 200*time.Second)
+	if math.Abs(got.KJ()-297) > 1e-6 {
+		t.Errorf("over-discharge delivered %v, want capped at 297 kJ", got)
+	}
+	if b.State() != FullyDischarged {
+		t.Errorf("state = %v, want FullyDischarged", b.State())
+	}
+}
+
+func TestDischargePowerCappedAtMax(t *testing.T) {
+	b := New(DefaultParams())
+	got := b.Discharge(10000*units.Watt, 10*time.Second)
+	want := units.EnergyOver(3300*units.Watt, 10*time.Second)
+	if math.Abs(float64(got-want)) > 1e-6 {
+		t.Errorf("over-power discharge delivered %v, want %v", got, want)
+	}
+}
+
+func TestChargeDischargeRoundTrip(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(5)
+	for b.State() == Charging {
+		b.StepCharge(time.Second)
+	}
+	if b.State() != FullyCharged {
+		t.Fatalf("state after charging = %v", b.State())
+	}
+	if math.Abs(float64(b.SOC())-1) > 1e-9 {
+		t.Errorf("SOC after full charge = %v, want 1", b.SOC())
+	}
+	// And it can discharge the full energy again.
+	got := b.Discharge(3300*units.Watt, 90*time.Second)
+	if math.Abs(got.KJ()-297) > 1e-6 {
+		t.Errorf("post-recharge discharge = %v, want 297 kJ", got)
+	}
+}
+
+func TestStepChargeMatchesChargeTime(t *testing.T) {
+	p := DefaultParams()
+	for _, tc := range []struct {
+		i   units.Current
+		dod units.Fraction
+	}{{5, 1}, {5, 0.3}, {2, 0.5}, {3, 0.8}, {1, 1}, {4, 0.1}} {
+		want := p.ChargeTime(tc.i, tc.dod)
+		b := New(p)
+		b.Discharge(3300*units.Watt, time.Duration(float64(tc.dod)*90*float64(time.Second)))
+		b.StartCharge(tc.i)
+		var elapsed time.Duration
+		const step = 500 * time.Millisecond
+		for b.State() == Charging && elapsed < 10*time.Hour {
+			b.StepCharge(step)
+			elapsed += step
+		}
+		diff := (elapsed - want).Seconds()
+		if math.Abs(diff) > 1 {
+			t.Errorf("I=%v dod=%v: stepped completion %v vs analytic %v", tc.i, tc.dod, elapsed, want)
+		}
+	}
+}
+
+func TestStepChargeLargeSingleStep(t *testing.T) {
+	// One giant step must land exactly at full without overshoot.
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(5)
+	b.StepCharge(5 * time.Hour)
+	if b.State() != FullyCharged || b.SOC() != 1 {
+		t.Errorf("after huge step: state=%v soc=%v", b.State(), b.SOC())
+	}
+}
+
+func TestChargeEnergyExceedsDischargeEnergy(t *testing.T) {
+	// Conversion/overpotential losses: energy absorbed while charging must
+	// be at least the energy discharged, and within a sane efficiency bound.
+	b := New(DefaultParams())
+	out := b.Discharge(3300*units.Watt, 90*time.Second)
+	b.StartCharge(5)
+	var in units.Energy
+	for b.State() == Charging {
+		in += b.StepCharge(time.Second)
+	}
+	eff := float64(out) / float64(in)
+	if eff >= 1 {
+		t.Errorf("round-trip efficiency %v ≥ 1 violates thermodynamics", eff)
+	}
+	if eff < 0.5 {
+		t.Errorf("round-trip efficiency %v implausibly low", eff)
+	}
+}
+
+func TestManualOverrideMidCharge(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(5)
+	b.StepCharge(5 * time.Minute)
+	b.SetChargeCurrent(1)
+	if b.Current() != 1 {
+		t.Errorf("current after override = %v, want 1 A", b.Current())
+	}
+	b.StepCharge(time.Minute)
+	if got := b.Current(); got != 1 {
+		t.Errorf("current after stepping at override = %v, want 1 A", got)
+	}
+}
+
+func TestOverrideClampedToHardwareRange(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(10)
+	if b.Setpoint() != 5 {
+		t.Errorf("setpoint clamped to %v, want 5 A", b.Setpoint())
+	}
+	b.SetChargeCurrent(0.2)
+	if b.Setpoint() != 1 {
+		t.Errorf("setpoint clamped to %v, want 1 A", b.Setpoint())
+	}
+}
+
+func TestSetChargeCurrentIgnoredWhenNotCharging(t *testing.T) {
+	b := New(DefaultParams())
+	b.SetChargeCurrent(3)
+	if b.Setpoint() != 0 || b.State() != FullyCharged {
+		t.Errorf("override while FullyCharged changed state: %v %v", b.Setpoint(), b.State())
+	}
+}
+
+func TestStartChargeOnFullBatteryStaysFull(t *testing.T) {
+	b := New(DefaultParams())
+	b.StartCharge(5)
+	if b.State() != FullyCharged {
+		t.Errorf("state = %v, want FullyCharged", b.State())
+	}
+}
+
+func TestDischargeInterruptsCharging(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	b.StartCharge(5)
+	b.StepCharge(10 * time.Minute)
+	b.Discharge(3300*units.Watt, 5*time.Second)
+	if b.State() != Discharging {
+		t.Errorf("state = %v, want Discharging", b.State())
+	}
+	if b.ChargePower() != 0 {
+		t.Errorf("charge power while discharging = %v", b.ChargePower())
+	}
+}
+
+func TestChargeTimeMonotoneInCurrent(t *testing.T) {
+	p := DefaultParams()
+	for dod := 0.05; dod <= 1.0; dod += 0.05 {
+		prev := time.Duration(math.MaxInt64)
+		for i := units.Current(1); i <= 5; i += 0.5 {
+			ct := p.ChargeTime(i, units.Fraction(dod))
+			if ct > prev {
+				t.Fatalf("charge time increased with current at dod=%.2f i=%v: %v > %v", dod, i, ct, prev)
+			}
+			prev = ct
+		}
+	}
+}
+
+func TestChargeTimeMonotoneInDOD(t *testing.T) {
+	p := DefaultParams()
+	for i := units.Current(1); i <= 5; i += 1 {
+		prev := time.Duration(-1)
+		for dod := 0.0; dod <= 1.0; dod += 0.02 {
+			ct := p.ChargeTime(i, units.Fraction(dod))
+			if ct < prev {
+				t.Fatalf("charge time decreased with DOD at i=%v dod=%.2f", i, dod)
+			}
+			prev = ct
+		}
+	}
+}
+
+func TestChargeTimeZeroAtZeroDOD(t *testing.T) {
+	p := DefaultParams()
+	if ct := p.ChargeTime(5, 0); ct != 0 {
+		t.Errorf("charge time at 0 DOD = %v, want 0", ct)
+	}
+}
+
+func TestRequiredCurrent(t *testing.T) {
+	p := DefaultParams()
+	// Full discharge within 45 min is feasible and needs a high current.
+	i, ok := p.RequiredCurrent(1, 45*time.Minute, 0.01)
+	if !ok || i < 3 {
+		t.Errorf("RequiredCurrent(100%%, 45min) = %v/%v, want ≥3 A, ok", i, ok)
+	}
+	if ct := p.ChargeTime(i, 1); ct > 45*time.Minute {
+		t.Errorf("returned current %v misses the deadline: %v", i, ct)
+	}
+	// 30 minutes at full DOD is infeasible even at 5 A (~36 min needed).
+	if _, ok := p.RequiredCurrent(1, 30*time.Minute, 0.01); ok {
+		t.Error("RequiredCurrent(100%, 30min) reported feasible, want infeasible")
+	}
+	// Tiny DOD is satisfied at the minimum current for a 90-minute SLA.
+	i, ok = p.RequiredCurrent(0.05, 90*time.Minute, 0.01)
+	if !ok || i != p.MinChargeI {
+		t.Errorf("RequiredCurrent(5%%, 90min) = %v/%v, want min current, ok", i, ok)
+	}
+}
+
+func TestRequiredCurrentMeetsDeadlineProperty(t *testing.T) {
+	p := DefaultParams()
+	prop := func(dodRaw, dlRaw uint8) bool {
+		dod := units.Fraction(dodRaw%101) / 100
+		deadline := time.Duration(20+int(dlRaw)%120) * time.Minute
+		i, ok := p.RequiredCurrent(dod, deadline, 0.01)
+		if i < p.MinChargeI || i > p.MaxChargeI {
+			return false
+		}
+		if ok {
+			return p.ChargeTime(i, dod) <= deadline
+		}
+		return p.ChargeTime(p.MaxChargeI, dod) > deadline
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSOCBoundsProperty(t *testing.T) {
+	// Arbitrary interleavings of discharge and charge steps keep SOC in [0,1].
+	prop := func(ops []byte) bool {
+		b := New(DefaultParams())
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				b.Discharge(units.Power(op)*50, time.Duration(op%10)*time.Second)
+			case 1:
+				b.StartCharge(units.Current(op % 7))
+			case 2:
+				b.StepCharge(time.Duration(op) * time.Second)
+			case 3:
+				b.SetChargeCurrent(units.Current(op % 9))
+			}
+			if b.soc < 0 || b.soc > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileFig3Shape(t *testing.T) {
+	p := DefaultParams()
+	pts := Profile(p, 5, 1, 10*time.Second)
+	if len(pts) < 100 {
+		t.Fatalf("profile too short: %d points", len(pts))
+	}
+	// Current holds at 5 A through CC then decays.
+	if pts[1].Current != 5 {
+		t.Errorf("early profile current = %v, want 5 A", pts[1].Current)
+	}
+	last := pts[len(pts)-1]
+	if last.SOC < 0.999 {
+		t.Errorf("profile end SOC = %v, want 1", last.SOC)
+	}
+	total := last.T
+	if total < 34*time.Minute || total > 38*time.Minute {
+		t.Errorf("profile duration %v, want ~36 min", total)
+	}
+	// Voltage is monotone nondecreasing up to the CV plateau.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Voltage < pts[i-1].Voltage-1e-9 && pts[i].SOC < 1 {
+			t.Fatalf("voltage decreased during charge at %v", pts[i].T)
+		}
+	}
+}
+
+func TestProfileZeroDOD(t *testing.T) {
+	pts := Profile(DefaultParams(), 5, 0, time.Second)
+	if len(pts) != 1 || pts[0].SOC != 1 {
+		t.Errorf("zero-DOD profile = %+v, want single full point", pts)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	b := New(DefaultParams())
+	fullDischarge(b)
+	c := b.Clone()
+	c.StartCharge(5)
+	c.StepCharge(time.Hour)
+	if b.State() != FullyDischarged {
+		t.Errorf("mutating clone changed original: %v", b.State())
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	want := map[State]string{
+		FullyCharged:    "FullyCharged",
+		Charging:        "Charging",
+		Discharging:     "Discharging",
+		FullyDischarged: "FullyDischarged",
+		State(99):       "State(99)",
+	}
+	for s, w := range want {
+		if got := s.String(); got != w {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, w)
+		}
+	}
+}
+
+func TestTauValue(t *testing.T) {
+	tau := DefaultParams().Tau()
+	if tau < 370*time.Second || tau > 390*time.Second {
+		t.Errorf("tau = %v, want ~380 s", tau)
+	}
+}

@@ -1,0 +1,52 @@
+package battery
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+func BenchmarkBBUStepCharge(b *testing.B) {
+	p := DefaultParams()
+	bb := New(p)
+	for i := 0; i < b.N; i++ {
+		if bb.State() != Charging {
+			bb.Discharge(3300*units.Watt, 90*time.Second)
+			bb.StartCharge(5)
+		}
+		bb.StepCharge(3 * time.Second)
+	}
+}
+
+func BenchmarkChargeTimeAnalytic(b *testing.B) {
+	p := DefaultParams()
+	for i := 0; i < b.N; i++ {
+		_ = p.ChargeTime(units.Current(1+i%5), units.Fraction(i%101)/100)
+	}
+}
+
+func BenchmarkSurfaceChargeTime(b *testing.B) {
+	s := Fig5Surface()
+	for i := 0; i < b.N; i++ {
+		_ = s.ChargeTime(units.Current(1)+units.Current(i%41)/10, units.Fraction(i%101)/100)
+	}
+}
+
+func BenchmarkSurfaceRequiredCurrent(b *testing.B) {
+	s := Fig5Surface()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.RequiredCurrent(units.Fraction(i%101)/100, 30*time.Minute, 1)
+	}
+}
+
+func BenchmarkRackPackStep(b *testing.B) {
+	s := Fig5Surface()
+	rp := NewRackPack(s)
+	for i := 0; i < b.N; i++ {
+		if !rp.Charging() {
+			rp.StartCharge(5, 1)
+		}
+		rp.Step(3 * time.Second)
+	}
+}

@@ -1,0 +1,129 @@
+// Package bus provides deterministic in-simulation message passing between
+// control-plane components: the network that connects Dynamo agents on TOR
+// switches to the distributed controllers (paper §IV-B). Messages are
+// delivered through the discrete-event engine with a configurable latency
+// model, so ordering is reproducible run-to-run and network delay becomes a
+// first-class experimental variable (the ~20 s override settling of Fig 11
+// is mostly command execution, but the read/override round trips themselves
+// ride this bus).
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/sim"
+)
+
+// Message is one datagram between endpoints.
+type Message struct {
+	From, To string
+	// Kind discriminates the protocol operation ("read", "override", ...).
+	Kind string
+	// Payload carries the operation's argument or result.
+	Payload any
+	// reply carries the response path for request/response exchanges.
+	reply func(now time.Duration, payload any)
+}
+
+// Handler processes a delivered message.
+type Handler func(now time.Duration, msg *Message)
+
+// LatencyModel returns the one-way delivery delay between two endpoints.
+type LatencyModel func(from, to string) time.Duration
+
+// ConstantLatency returns a LatencyModel with a fixed one-way delay.
+func ConstantLatency(d time.Duration) LatencyModel {
+	return func(_, _ string) time.Duration { return d }
+}
+
+// Bus is the message fabric. Construct with New.
+type Bus struct {
+	engine    *sim.Engine
+	latency   LatencyModel
+	endpoints map[string]Handler
+	delivered uint64
+	dropped   uint64
+	// DropFilter, when set, discards matching messages (fault injection).
+	DropFilter func(msg *Message) bool
+}
+
+// New builds a bus over the engine. A nil latency model means instant
+// delivery (still engine-ordered).
+func New(engine *sim.Engine, latency LatencyModel) *Bus {
+	if engine == nil {
+		panic(fmt.Errorf("bus: nil engine"))
+	}
+	if latency == nil {
+		latency = ConstantLatency(0)
+	}
+	return &Bus{engine: engine, latency: latency, endpoints: make(map[string]Handler)}
+}
+
+// Register attaches a handler to an endpoint name. Registering a name twice
+// panics: endpoint identity is a wiring invariant.
+func (b *Bus) Register(name string, h Handler) {
+	if _, dup := b.endpoints[name]; dup {
+		panic(fmt.Errorf("bus: endpoint %q registered twice", name))
+	}
+	if h == nil {
+		panic(fmt.Errorf("bus: nil handler for %q", name))
+	}
+	b.endpoints[name] = h
+}
+
+// Delivered and Dropped report traffic counters.
+func (b *Bus) Delivered() uint64 { return b.delivered }
+
+// Dropped counts messages discarded by the DropFilter or sent to unknown
+// endpoints.
+func (b *Bus) Dropped() uint64 { return b.dropped }
+
+// Send dispatches a one-way message; delivery happens after the latency
+// model's delay. Messages to unregistered endpoints are counted as dropped
+// (a controller may poll an agent that has been decommissioned).
+func (b *Bus) Send(from, to, kind string, payload any) {
+	b.send(&Message{From: from, To: to, Kind: kind, Payload: payload})
+}
+
+// Request dispatches a message and routes the response back through the bus
+// (paying latency both ways). The responder completes the exchange by
+// calling Reply on the delivered message.
+func (b *Bus) Request(from, to, kind string, payload any, onReply func(now time.Duration, payload any)) {
+	b.send(&Message{
+		From: from, To: to, Kind: kind, Payload: payload,
+		reply: func(_ time.Duration, result any) {
+			// The response travels back with its own delay.
+			d := b.latency(to, from)
+			b.engine.ScheduleAfter(d, "bus:reply:"+kind, func(now time.Duration) {
+				onReply(now, result)
+			})
+		},
+	})
+}
+
+// Reply completes a request/response exchange. Replying to a one-way
+// message is a protocol bug and panics.
+func (b *Bus) Reply(now time.Duration, msg *Message, payload any) {
+	if msg.reply == nil {
+		panic(fmt.Errorf("bus: reply to one-way %s message from %s", msg.Kind, msg.From))
+	}
+	msg.reply(now, payload)
+}
+
+func (b *Bus) send(msg *Message) {
+	if b.DropFilter != nil && b.DropFilter(msg) {
+		b.dropped++
+		return
+	}
+	d := b.latency(msg.From, msg.To)
+	b.engine.ScheduleAfter(d, "bus:"+msg.Kind+":"+msg.To, func(now time.Duration) {
+		h, ok := b.endpoints[msg.To]
+		if !ok {
+			b.dropped++
+			return
+		}
+		b.delivered++
+		h(now, msg)
+	})
+}

@@ -1,0 +1,148 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/sim"
+)
+
+func TestSendDeliversWithLatency(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, ConstantLatency(100*time.Millisecond))
+	var gotAt time.Duration
+	var gotPayload any
+	b.Register("dst", func(now time.Duration, msg *Message) {
+		gotAt = now
+		gotPayload = msg.Payload
+	})
+	b.Send("src", "dst", "ping", 42)
+	e.Run(time.Second)
+	if gotAt != 100*time.Millisecond {
+		t.Errorf("delivered at %v, want 100ms", gotAt)
+	}
+	if gotPayload != 42 {
+		t.Errorf("payload = %v", gotPayload)
+	}
+	if b.Delivered() != 1 || b.Dropped() != 0 {
+		t.Errorf("counters = %d/%d", b.Delivered(), b.Dropped())
+	}
+}
+
+func TestRequestReplyRoundTrip(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, ConstantLatency(50*time.Millisecond))
+	b.Register("server", func(now time.Duration, msg *Message) {
+		b.Reply(now, msg, msg.Payload.(int)*2)
+	})
+	var replyAt time.Duration
+	var result any
+	b.Request("client", "server", "double", 21, func(now time.Duration, payload any) {
+		replyAt = now
+		result = payload
+	})
+	e.Run(time.Second)
+	if result != 42 {
+		t.Errorf("result = %v", result)
+	}
+	if replyAt != 100*time.Millisecond { // 50ms out + 50ms back
+		t.Errorf("reply at %v, want 100ms", replyAt)
+	}
+}
+
+func TestUnknownEndpointDropped(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, nil)
+	b.Send("a", "ghost", "x", nil)
+	e.Run(time.Second)
+	if b.Dropped() != 1 || b.Delivered() != 0 {
+		t.Errorf("counters = %d/%d", b.Delivered(), b.Dropped())
+	}
+}
+
+func TestDropFilter(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, nil)
+	n := 0
+	b.Register("dst", func(time.Duration, *Message) { n++ })
+	b.DropFilter = func(m *Message) bool { return m.Kind == "lossy" }
+	b.Send("a", "dst", "lossy", nil)
+	b.Send("a", "dst", "ok", nil)
+	e.Run(time.Second)
+	if n != 1 || b.Dropped() != 1 {
+		t.Errorf("delivered=%d dropped=%d", n, b.Dropped())
+	}
+}
+
+func TestReplyToOneWayPanics(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, nil)
+	b.Register("dst", func(now time.Duration, msg *Message) {
+		defer func() {
+			if recover() == nil {
+				t.Error("reply to one-way message did not panic")
+			}
+		}()
+		b.Reply(now, msg, nil)
+	})
+	b.Send("a", "dst", "oneway", nil)
+	e.Run(time.Second)
+}
+
+func TestRegisterTwicePanics(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, nil)
+	b.Register("x", func(time.Duration, *Message) {})
+	defer func() {
+		if recover() == nil {
+			t.Error("double registration did not panic")
+		}
+	}()
+	b.Register("x", func(time.Duration, *Message) {})
+}
+
+func TestNilArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil engine did not panic")
+		}
+	}()
+	New(nil, nil)
+}
+
+func TestPerPathLatency(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, func(from, to string) time.Duration {
+		if to == "far" {
+			return time.Second
+		}
+		return time.Millisecond
+	})
+	var nearAt, farAt time.Duration
+	b.Register("near", func(now time.Duration, _ *Message) { nearAt = now })
+	b.Register("far", func(now time.Duration, _ *Message) { farAt = now })
+	b.Send("src", "near", "x", nil)
+	b.Send("src", "far", "x", nil)
+	e.Run(2 * time.Second)
+	if nearAt != time.Millisecond || farAt != time.Second {
+		t.Errorf("near=%v far=%v", nearAt, farAt)
+	}
+}
+
+func TestFIFOBetweenSameEndpoints(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, ConstantLatency(10*time.Millisecond))
+	var order []int
+	b.Register("dst", func(_ time.Duration, msg *Message) {
+		order = append(order, msg.Payload.(int))
+	})
+	for i := 0; i < 5; i++ {
+		b.Send("src", "dst", "seq", i)
+	}
+	e.Run(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("out-of-order delivery: %v", order)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package charger implements the battery-charger policies of the paper's
+// §III: the original fixed-5A charger and the new variable charger whose
+// initial constant-current setpoint scales with the battery's depth of
+// discharge (Eq 1 and the Fig 6(a) flowchart), including the manual-override
+// range used by the coordinated control plane.
+package charger
+
+import (
+	"fmt"
+
+	"coordcharge/internal/units"
+)
+
+// Hardware limits of the charger (paper §III-B): the variable charger's
+// automatic range is 2–5 A and the manual override extends down to 1 A, the
+// lower end of the recommended constant-current range for Li-ion cells.
+const (
+	// OverrideMin is the lowest settable charging current.
+	OverrideMin units.Current = 1
+	// AutoMin is the lowest current the variable charger selects on its own.
+	AutoMin units.Current = 2
+	// Max is the highest charging current (and the original charger's fixed
+	// setting).
+	Max units.Current = 5
+)
+
+// Policy selects the initial CC charging current a rack's PSUs apply when a
+// discharged battery begins to recharge. The decision is local to the rack
+// (no coordination): the paper's two hardware generations are the two
+// implementations.
+type Policy interface {
+	// Name identifies the policy in reports ("original", "variable").
+	Name() string
+	// InitialCurrent returns the CC setpoint for a battery at the given
+	// depth of discharge.
+	InitialCurrent(dod units.Fraction) units.Current
+}
+
+// Original is the first-generation charger: a constant 5 A regardless of the
+// energy discharged, the root cause of the worst-case recharge spike after
+// every open transition (paper §III-A).
+type Original struct{}
+
+// Name implements Policy.
+func (Original) Name() string { return "original" }
+
+// InitialCurrent implements Policy: always the maximum.
+func (Original) InitialCurrent(units.Fraction) units.Current { return Max }
+
+// Variable is the new variable charger (paper §III-B): the initial current
+// follows Eq 1, between 2 A and 5 A according to the depth of discharge.
+type Variable struct{}
+
+// Name implements Policy.
+func (Variable) Name() string { return "variable" }
+
+// InitialCurrent implements Policy using Eq 1.
+func (Variable) InitialCurrent(dod units.Fraction) units.Current { return Eq1(dod) }
+
+// Eq1 is the paper's Equation 1, the variable charger's current selection:
+//
+//	Ic = 2 + (DOD − 0.5) × 6   if DOD ≥ 50 %
+//	Ic = 2                     if DOD < 50 %
+//
+// clamped to the charger's [2 A, 5 A] automatic range.
+func Eq1(dod units.Fraction) units.Current {
+	d := float64(dod.Clamp01())
+	if d < 0.5 {
+		return AutoMin
+	}
+	return units.Current(2+(d-0.5)*6).Clamp(AutoMin, Max)
+}
+
+// ClampOverride clamps a requested manual-override current to the hardware's
+// settable range [1 A, 5 A].
+func ClampOverride(i units.Current) units.Current {
+	return i.Clamp(OverrideMin, Max)
+}
+
+// ByName returns the policy with the given name.
+func ByName(name string) (Policy, error) {
+	switch name {
+	case "original":
+		return Original{}, nil
+	case "variable":
+		return Variable{}, nil
+	default:
+		return nil, fmt.Errorf("charger: unknown policy %q (want original or variable)", name)
+	}
+}

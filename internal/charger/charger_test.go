@@ -1,0 +1,118 @@
+package charger
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coordcharge/internal/units"
+)
+
+func TestOriginalAlwaysMax(t *testing.T) {
+	p := Original{}
+	for _, dod := range []units.Fraction{0, 0.1, 0.5, 0.9, 1} {
+		if got := p.InitialCurrent(dod); got != 5 {
+			t.Errorf("original charger at DOD %v = %v, want 5 A", dod, got)
+		}
+	}
+	if p.Name() != "original" {
+		t.Errorf("Name = %q", p.Name())
+	}
+}
+
+// Paper Fig 6(b): 2 A below 50 % DOD, rising linearly to 5 A at 100 %.
+func TestEq1Anchors(t *testing.T) {
+	cases := []struct {
+		dod  units.Fraction
+		want units.Current
+	}{
+		{0, 2},
+		{0.2, 2},
+		{0.499, 2},
+		{0.5, 2},
+		{0.6, 2.6},
+		{0.7, 3.2},
+		{0.75, 3.5},
+		{0.9, 4.4},
+		{1.0, 5},
+	}
+	for _, c := range cases {
+		got := Eq1(c.dod)
+		if math.Abs(float64(got-c.want)) > 1e-9 {
+			t.Errorf("Eq1(%v) = %v, want %v", c.dod, got, c.want)
+		}
+	}
+}
+
+func TestEq1ClampsOutOfRangeDOD(t *testing.T) {
+	if got := Eq1(-0.5); got != 2 {
+		t.Errorf("Eq1(-0.5) = %v, want 2 A", got)
+	}
+	if got := Eq1(1.5); got != 5 {
+		t.Errorf("Eq1(1.5) = %v, want 5 A", got)
+	}
+}
+
+func TestEq1RangeProperty(t *testing.T) {
+	prop := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		i := Eq1(units.Fraction(x))
+		return i >= 2 && i <= 5
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEq1MonotoneProperty(t *testing.T) {
+	prop := func(aRaw, bRaw uint8) bool {
+		a := units.Fraction(aRaw%101) / 100
+		b := units.Fraction(bRaw%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return Eq1(a) <= Eq1(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Paper §III-B: the variable charger cuts the recharge power by up to 60 %
+// for shallow discharges (2 A vs 5 A).
+func TestVariableChargerPowerReduction(t *testing.T) {
+	v := Variable{}
+	shallow := v.InitialCurrent(0.2)
+	reduction := 1 - float64(shallow)/float64(Max)
+	if math.Abs(reduction-0.6) > 1e-9 {
+		t.Errorf("shallow-discharge power reduction = %.0f%%, want 60%%", reduction*100)
+	}
+	if v.Name() != "variable" {
+		t.Errorf("Name = %q", v.Name())
+	}
+}
+
+func TestClampOverride(t *testing.T) {
+	cases := []struct{ in, want units.Current }{
+		{0, 1}, {0.5, 1}, {1, 1}, {3, 3}, {5, 5}, {6, 5},
+	}
+	for _, c := range cases {
+		if got := ClampOverride(c.in); got != c.want {
+			t.Errorf("ClampOverride(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"original", "variable"} {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Errorf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Error("ByName accepted unknown policy")
+	}
+}

@@ -1,0 +1,206 @@
+// Package config loads experiment specifications from JSON files, so that
+// fleets of experiments can be versioned and replayed without recompiling.
+// The on-disk schema uses plain strings and numbers; Load translates them
+// into the scenario package's typed specs (charger policies, coordination
+// modes, typed power units) with validation.
+//
+// Example file:
+//
+//	{
+//	  "coordinated": {
+//	    "p1": 89, "p2": 142, "p3": 85,
+//	    "mode": "priority-aware",
+//	    "charger": "variable",
+//	    "limit_mw": 2.3,
+//	    "avg_dod": 0.5,
+//	    "seed": 1
+//	  }
+//	}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// Coordinated is the JSON shape of a scenario.CoordSpec.
+type Coordinated struct {
+	P1      int     `json:"p1"`
+	P2      int     `json:"p2"`
+	P3      int     `json:"p3"`
+	Mode    string  `json:"mode"`
+	Charger string  `json:"charger,omitempty"`
+	LimitMW float64 `json:"limit_mw"`
+	AvgDOD  float64 `json:"avg_dod"`
+	Seed    int64   `json:"seed,omitempty"`
+	// LatencySec models the override command-settling latency.
+	LatencySec float64 `json:"latency_sec,omitempty"`
+	// Distributed selects the message-passing control plane.
+	Distributed bool `json:"distributed,omitempty"`
+	// TraceCSV optionally names a trace file (tracegen format) to replay in
+	// place of the synthetic generator. Relative to the working directory.
+	TraceCSV string `json:"trace_csv,omitempty"`
+}
+
+// Endurance is the JSON shape of a scenario.EnduranceSpec.
+type Endurance struct {
+	Years   float64 `json:"years"`
+	P1      int     `json:"p1,omitempty"`
+	P2      int     `json:"p2,omitempty"`
+	P3      int     `json:"p3,omitempty"`
+	Mode    string  `json:"mode"`
+	Charger string  `json:"charger,omitempty"`
+	LimitMW float64 `json:"limit_mw,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// Advisor is the JSON shape of a scenario.AdvisorSpec.
+type Advisor struct {
+	P1      int     `json:"p1"`
+	P2      int     `json:"p2"`
+	P3      int     `json:"p3"`
+	Mode    string  `json:"mode"`
+	Charger string  `json:"charger,omitempty"`
+	AvgDOD  float64 `json:"avg_dod,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+// File is a complete experiment specification: any combination of sections.
+type File struct {
+	Coordinated *Coordinated `json:"coordinated,omitempty"`
+	Endurance   *Endurance   `json:"endurance,omitempty"`
+	Advisor     *Advisor     `json:"advisor,omitempty"`
+}
+
+// ParseMode translates a mode name used across CLIs and config files.
+func ParseMode(s string) (dynamo.Mode, error) {
+	switch s {
+	case "", "priority-aware":
+		return dynamo.ModePriorityAware, nil
+	case "none":
+		return dynamo.ModeNone, nil
+	case "global":
+		return dynamo.ModeGlobal, nil
+	case "postpone":
+		return dynamo.ModePostpone, nil
+	default:
+		return 0, fmt.Errorf("config: unknown mode %q (want none, global, priority-aware, or postpone)", s)
+	}
+}
+
+func parseCharger(s string) (charger.Policy, error) {
+	if s == "" {
+		return charger.Variable{}, nil
+	}
+	return charger.ByName(s)
+}
+
+// Read parses a File from JSON, rejecting unknown fields so that typos in
+// experiment files fail loudly.
+func Read(r io.Reader) (*File, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if f.Coordinated == nil && f.Endurance == nil && f.Advisor == nil {
+		return nil, fmt.Errorf("config: file has no experiment sections")
+	}
+	return &f, nil
+}
+
+// Load reads a File from disk.
+func Load(path string) (*File, error) {
+	fh, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	defer fh.Close()
+	return Read(fh)
+}
+
+// CoordSpec converts the JSON section into a runnable spec.
+func (c *Coordinated) CoordSpec() (scenario.CoordSpec, error) {
+	mode, err := ParseMode(c.Mode)
+	if err != nil {
+		return scenario.CoordSpec{}, err
+	}
+	pol, err := parseCharger(c.Charger)
+	if err != nil {
+		return scenario.CoordSpec{}, err
+	}
+	spec := scenario.CoordSpec{
+		NumP1: c.P1, NumP2: c.P2, NumP3: c.P3,
+		Seed:        c.Seed,
+		MSBLimit:    units.Power(c.LimitMW) * units.Megawatt,
+		Mode:        mode,
+		LocalPolicy: pol,
+		AvgDOD:      units.Fraction(c.AvgDOD),
+	}
+	if c.LatencySec > 0 {
+		spec.CommandLatency = time.Duration(c.LatencySec * float64(time.Second))
+	}
+	spec.Distributed = c.Distributed
+	if c.TraceCSV != "" {
+		f, err := os.Open(c.TraceCSV)
+		if err != nil {
+			return scenario.CoordSpec{}, fmt.Errorf("config: trace_csv: %w", err)
+		}
+		defer f.Close()
+		m, err := trace.ReadCSV(f)
+		if err != nil {
+			return scenario.CoordSpec{}, fmt.Errorf("config: trace_csv: %w", err)
+		}
+		spec.Trace = m
+	}
+	return spec, nil
+}
+
+// EnduranceSpec converts the JSON section into a runnable spec.
+func (e *Endurance) EnduranceSpec() (scenario.EnduranceSpec, error) {
+	mode, err := ParseMode(e.Mode)
+	if err != nil {
+		return scenario.EnduranceSpec{}, err
+	}
+	pol, err := parseCharger(e.Charger)
+	if err != nil {
+		return scenario.EnduranceSpec{}, err
+	}
+	return scenario.EnduranceSpec{
+		Years: e.Years,
+		NumP1: e.P1, NumP2: e.P2, NumP3: e.P3,
+		Seed:        e.Seed,
+		MSBLimit:    units.Power(e.LimitMW) * units.Megawatt,
+		Mode:        mode,
+		LocalPolicy: pol,
+	}, nil
+}
+
+// AdvisorSpec converts the JSON section into a runnable spec.
+func (a *Advisor) AdvisorSpec() (scenario.AdvisorSpec, error) {
+	mode, err := ParseMode(a.Mode)
+	if err != nil {
+		return scenario.AdvisorSpec{}, err
+	}
+	pol, err := parseCharger(a.Charger)
+	if err != nil {
+		return scenario.AdvisorSpec{}, err
+	}
+	return scenario.AdvisorSpec{
+		NumP1: a.P1, NumP2: a.P2, NumP3: a.P3,
+		AvgDOD:      units.Fraction(a.AvgDOD),
+		Mode:        mode,
+		LocalPolicy: pol,
+		Seed:        a.Seed,
+	}, nil
+}

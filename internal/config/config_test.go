@@ -1,0 +1,197 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+const sample = `{
+  "coordinated": {
+    "p1": 89, "p2": 142, "p3": 85,
+    "mode": "priority-aware",
+    "charger": "variable",
+    "limit_mw": 2.3,
+    "avg_dod": 0.5,
+    "seed": 7,
+    "latency_sec": 20
+  },
+  "endurance": {
+    "years": 30,
+    "mode": "global",
+    "limit_mw": 0.205,
+    "seed": 2
+  },
+  "advisor": {
+    "p1": 10, "p2": 10, "p3": 10,
+    "mode": "none",
+    "charger": "original",
+    "avg_dod": 0.7
+  }
+}`
+
+func TestReadFullFile(t *testing.T) {
+	f, err := Read(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := f.Coordinated.CoordSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.NumP1 != 89 || cs.NumP2 != 142 || cs.NumP3 != 85 {
+		t.Errorf("rack counts: %d/%d/%d", cs.NumP1, cs.NumP2, cs.NumP3)
+	}
+	if cs.Mode != dynamo.ModePriorityAware {
+		t.Errorf("mode = %v", cs.Mode)
+	}
+	if cs.MSBLimit != 2.3*units.Megawatt {
+		t.Errorf("limit = %v", cs.MSBLimit)
+	}
+	if cs.AvgDOD != 0.5 || cs.Seed != 7 {
+		t.Errorf("dod/seed = %v/%d", cs.AvgDOD, cs.Seed)
+	}
+	if cs.CommandLatency != 20*time.Second {
+		t.Errorf("latency = %v", cs.CommandLatency)
+	}
+	if cs.LocalPolicy.Name() != "variable" {
+		t.Errorf("policy = %s", cs.LocalPolicy.Name())
+	}
+
+	es, err := f.Endurance.EnduranceSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Years != 30 || es.Mode != dynamo.ModeGlobal || es.MSBLimit != 205*units.Kilowatt {
+		t.Errorf("endurance spec: %+v", es)
+	}
+
+	as, err := f.Advisor.AdvisorSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as.Mode != dynamo.ModeNone || as.LocalPolicy.Name() != "original" || as.AvgDOD != 0.7 {
+		t.Errorf("advisor spec: %+v", as)
+	}
+}
+
+func TestReadRejectsUnknownFields(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"coordinated": {"p1": 1, "typo_field": 2}}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestReadRejectsEmptyFile(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{}`)); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := Read(strings.NewReader(`not json`)); err == nil {
+		t.Error("malformed file accepted")
+	}
+}
+
+func TestParseModeAll(t *testing.T) {
+	cases := map[string]dynamo.Mode{
+		"":               dynamo.ModePriorityAware,
+		"priority-aware": dynamo.ModePriorityAware,
+		"none":           dynamo.ModeNone,
+		"global":         dynamo.ModeGlobal,
+		"postpone":       dynamo.ModePostpone,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestBadModeOrChargerInSections(t *testing.T) {
+	f, err := Read(strings.NewReader(`{"coordinated": {"p1": 1, "mode": "bogus"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Coordinated.CoordSpec(); err == nil {
+		t.Error("bogus coordinated mode accepted")
+	}
+	f, _ = Read(strings.NewReader(`{"advisor": {"p1": 1, "charger": "bogus"}}`))
+	if _, err := f.Advisor.AdvisorSpec(); err == nil {
+		t.Error("bogus advisor charger accepted")
+	}
+	f, _ = Read(strings.NewReader(`{"endurance": {"years": 1, "mode": "bogus"}}`))
+	if _, err := f.Endurance.EnduranceSpec(); err == nil {
+		t.Error("bogus endurance mode accepted")
+	}
+}
+
+func TestCoordinatedTraceAndDistributed(t *testing.T) {
+	// Write a valid trace file and reference it.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	gen, err := trace.NewGenerator(trace.Spec{NumRacks: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := trace.Materialize(gen, 0, time.Minute, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	cfgJSON := `{"coordinated": {"p1": 1, "p2": 1, "p3": 1, "mode": "priority-aware",
+		"limit_mw": 0.05, "avg_dod": 0.5, "distributed": true, "trace_csv": ` + strconv.Quote(path) + `}}`
+	file, err := Read(strings.NewReader(cfgJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := file.Coordinated.CoordSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !spec.Distributed {
+		t.Error("distributed flag lost")
+	}
+	if spec.Trace == nil || spec.Trace.NumRacks() != 3 {
+		t.Error("trace not loaded")
+	}
+	// A missing trace file errors cleanly.
+	file, _ = Read(strings.NewReader(`{"coordinated": {"p1": 1, "trace_csv": "/no/such/file.csv"}}`))
+	if _, err := file.Coordinated.CoordSpec(); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestLoadFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "exp.json")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Coordinated == nil || f.Endurance == nil || f.Advisor == nil {
+		t.Error("sections missing after disk round trip")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

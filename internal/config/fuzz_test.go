@@ -1,0 +1,35 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the experiment-file parser: arbitrary JSON must either
+// error or produce sections that convert into specs without panicking.
+func FuzzRead(f *testing.F) {
+	f.Add(sample)
+	f.Add(`{}`)
+	f.Add(`{"coordinated": {"p1": 1}}`)
+	f.Add(`{"endurance": {"years": 1e308, "mode": "global"}}`)
+	f.Add(`{"advisor": {"p1": -5, "charger": "original"}}`)
+	f.Add(`not json at all`)
+	f.Add(`{"coordinated": null, "advisor": null}`)
+
+	f.Fuzz(func(t *testing.T, data string) {
+		file, err := Read(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Conversions must not panic; spec validation happens at run time.
+		if file.Coordinated != nil {
+			_, _ = file.Coordinated.CoordSpec()
+		}
+		if file.Endurance != nil {
+			_, _ = file.Endurance.EnduranceSpec()
+		}
+		if file.Advisor != nil {
+			_, _ = file.Advisor.AdvisorSpec()
+		}
+	})
+}

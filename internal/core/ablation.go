@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"coordcharge/internal/units"
+)
+
+// OrderPolicy selects the grant order used by PlanPriorityAware: the
+// ablation axis for Algorithm 1's highest-priority-lowest-discharge-first
+// design choice.
+type OrderPolicy int
+
+// Grant orders.
+const (
+	// OrderPriorityThenDOD is Algorithm 1: priority first, lowest DOD first
+	// within a priority.
+	OrderPriorityThenDOD OrderPolicy = iota
+	// OrderPriorityOnly sorts by priority alone (arrival order within).
+	OrderPriorityOnly
+	// OrderDODOnly sorts by lowest DOD alone, ignoring priority.
+	OrderDODOnly
+	// OrderArrival grants in input order.
+	OrderArrival
+)
+
+// String names the order policy.
+func (o OrderPolicy) String() string {
+	switch o {
+	case OrderPriorityThenDOD:
+		return "priority+dod"
+	case OrderPriorityOnly:
+		return "priority-only"
+	case OrderDODOnly:
+		return "dod-only"
+	case OrderArrival:
+		return "arrival"
+	default:
+		return "unknown"
+	}
+}
+
+// sortForGrantWith orders assignments according to the policy, with ID as
+// the final deterministic tie-break.
+func sortForGrantWith(racks []Assignment, order OrderPolicy) {
+	sort.SliceStable(racks, func(i, j int) bool {
+		a, b := racks[i], racks[j]
+		switch order {
+		case OrderPriorityOnly:
+			if a.Priority != b.Priority {
+				return a.Priority < b.Priority
+			}
+		case OrderDODOnly:
+			if a.DOD != b.DOD {
+				return a.DOD < b.DOD
+			}
+		case OrderArrival:
+		default:
+			if a.Priority != b.Priority {
+				return a.Priority < b.Priority
+			}
+			if a.DOD != b.DOD {
+				return a.DOD < b.DOD
+			}
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Override pairs a rack with a new charging current.
+type Override struct {
+	ID      int
+	Current units.Current
+}
+
+// ThrottleProportional is the ablation alternative to ThrottleToMinimum: on
+// an overload it scales every active charge down by the same factor
+// (quantised to the resolution grid, floored at the hardware minimum)
+// instead of zeroing out the lowest-priority racks first. It returns the
+// overrides to apply. Like the reverse-order policy it may fail to cover the
+// excess, in which case the caller falls back to capping.
+func ThrottleProportional(excess units.Power, active []ActiveCharge, cfg Config) []Override {
+	if excess <= 0 || len(active) == 0 {
+		return nil
+	}
+	min := cfg.Surface.MinCurrent()
+	var total units.Power
+	for _, ac := range active {
+		total += units.Power(float64(ac.Current) * cfg.WattsPerAmp)
+	}
+	if total <= 0 {
+		return nil
+	}
+	target := total - excess
+	factor := float64(target) / float64(total)
+	if factor < 0 {
+		factor = 0
+	}
+	var out []Override
+	for _, ac := range active {
+		want := units.Current(float64(ac.Current) * factor)
+		// Quantise down so the aggregate stays at or below target.
+		steps := int(want / cfg.Resolution)
+		want = (units.Current(steps) * cfg.Resolution).Clamp(min, cfg.Surface.MaxCurrent())
+		if want < ac.Current {
+			out = append(out, Override{ID: ac.ID, Current: want})
+		}
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func mixedPopulation(n int) []RackInfo {
+	out := make([]RackInfo, n)
+	for i := range out {
+		out[i] = RackInfo{
+			ID:       i,
+			Priority: rack.Priority(1 + i%3),
+			DOD:      units.Fraction(10+(i*13)%81) / 100,
+		}
+	}
+	return out
+}
+
+func TestOrderPolicyStrings(t *testing.T) {
+	want := map[OrderPolicy]string{
+		OrderPriorityThenDOD: "priority+dod",
+		OrderPriorityOnly:    "priority-only",
+		OrderDODOnly:         "dod-only",
+		OrderArrival:         "arrival",
+		OrderPolicy(9):       "unknown",
+	}
+	for o, w := range want {
+		if got := o.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", int(o), got, w)
+		}
+	}
+}
+
+// Algorithm 1's order dominates the alternatives on the paper's objective:
+// P1 SLAs first, and within equal priorities, the count of SLAs met.
+func TestOrderAblationAlgorithm1Dominates(t *testing.T) {
+	racks := mixedPopulation(60)
+	available := 60*380*units.Watt + 20*380*units.Watt // floors + ~20 amps of upgrades
+
+	results := map[OrderPolicy]map[rack.Priority]int{}
+	for _, o := range []OrderPolicy{OrderPriorityThenDOD, OrderPriorityOnly, OrderDODOnly, OrderArrival} {
+		cfg := DefaultConfig()
+		cfg.Order = o
+		results[o] = SLAMetByPriority(PlanPriorityAware(available, racks, cfg))
+	}
+	alg1 := results[OrderPriorityThenDOD]
+	// Priority-blind orders must not beat Algorithm 1 on P1 SLAs.
+	for _, o := range []OrderPolicy{OrderDODOnly, OrderArrival} {
+		if results[o][rack.P1] > alg1[rack.P1] {
+			t.Errorf("%v beat Algorithm 1 on P1 SLAs: %d > %d", o, results[o][rack.P1], alg1[rack.P1])
+		}
+	}
+	// Priority-only (ignoring DOD) must not beat Algorithm 1 on total SLAs.
+	sum := func(m map[rack.Priority]int) int { return m[rack.P1] + m[rack.P2] + m[rack.P3] }
+	if sum(results[OrderPriorityOnly]) > sum(alg1) {
+		t.Errorf("priority-only beat Algorithm 1 on total SLAs: %d > %d", sum(results[OrderPriorityOnly]), sum(alg1))
+	}
+}
+
+func TestQuantisationAblation(t *testing.T) {
+	// Finer override resolution can only help: more racks meet SLA with the
+	// same power budget.
+	racks := mixedPopulation(40)
+	available := 40*380*units.Watt + 12*380*units.Watt
+
+	coarse := DefaultConfig()
+	fine := DefaultConfig()
+	fine.Resolution = 0.1
+	sum := func(m map[rack.Priority]int) int { return m[rack.P1] + m[rack.P2] + m[rack.P3] }
+	nc := sum(SLAMetByPriority(PlanPriorityAware(available, racks, coarse)))
+	nf := sum(SLAMetByPriority(PlanPriorityAware(available, racks, fine)))
+	if nf < nc {
+		t.Errorf("fine resolution met fewer SLAs: %d vs %d", nf, nc)
+	}
+}
+
+func TestThrottleProportionalCoversExcess(t *testing.T) {
+	cfg := DefaultConfig()
+	active := []ActiveCharge{
+		{RackInfo: RackInfo{ID: 0, Priority: rack.P1, DOD: 0.3}, Current: 4},
+		{RackInfo: RackInfo{ID: 1, Priority: rack.P2, DOD: 0.5}, Current: 3},
+		{RackInfo: RackInfo{ID: 2, Priority: rack.P3, DOD: 0.7}, Current: 5},
+	}
+	excess := 2000 * units.Watt // total 12 A × 380 = 4560 W; target 2560 W
+	ovr := ThrottleProportional(excess, active, cfg)
+	if len(ovr) == 0 {
+		t.Fatal("no overrides produced")
+	}
+	current := map[int]units.Current{0: 4, 1: 3, 2: 5}
+	for _, o := range ovr {
+		if o.Current >= current[o.ID] {
+			t.Errorf("override did not lower rack %d: %v", o.ID, o.Current)
+		}
+		if o.Current < 1 {
+			t.Errorf("override below hardware floor: %v", o.Current)
+		}
+		current[o.ID] = o.Current
+	}
+	var after units.Power
+	for _, i := range current {
+		after += units.Power(float64(i) * cfg.WattsPerAmp)
+	}
+	// Proportional scaling recovers the excess unless floored.
+	if after > 4560*units.Watt-excess+1 {
+		t.Errorf("after throttle %v, want ≤ %v", after, 4560*units.Watt-excess)
+	}
+}
+
+func TestThrottleProportionalFloorsAtMinimum(t *testing.T) {
+	cfg := DefaultConfig()
+	active := []ActiveCharge{
+		{RackInfo: RackInfo{ID: 0, Priority: rack.P1, DOD: 0.3}, Current: 2},
+	}
+	ovr := ThrottleProportional(10*units.Kilowatt, active, cfg)
+	if len(ovr) != 1 || ovr[0].Current != 1 {
+		t.Errorf("overrides = %v, want single floor-1A", ovr)
+	}
+}
+
+func TestThrottleProportionalNoExcess(t *testing.T) {
+	if got := ThrottleProportional(0, []ActiveCharge{{Current: 5}}, DefaultConfig()); got != nil {
+		t.Errorf("overrides with no excess = %v", got)
+	}
+	if got := ThrottleProportional(100, nil, DefaultConfig()); got != nil {
+		t.Errorf("overrides with no active charges = %v", got)
+	}
+}
+
+// The design-choice contrast: reverse-order minimum throttling shields P1
+// racks entirely, while proportional scaling degrades everyone.
+func TestThrottlePolicyContrast(t *testing.T) {
+	cfg := DefaultConfig()
+	var active []ActiveCharge
+	for i := 0; i < 12; i++ {
+		active = append(active, ActiveCharge{
+			RackInfo: RackInfo{ID: i, Priority: rack.Priority(1 + i%3), DOD: 0.5},
+			Current:  3,
+		})
+	}
+	excess := 6 * 380 * units.Watt // recover six amps' worth
+	reverseIDs := ThrottleToMinimum(excess, active, cfg)
+	for _, id := range reverseIDs {
+		if active[id].Priority == rack.P1 {
+			t.Errorf("reverse-order throttle touched P1 rack %d", id)
+		}
+	}
+	prop := ThrottleProportional(excess, active, cfg)
+	touchedP1 := false
+	for _, o := range prop {
+		if active[o.ID].Priority == rack.P1 {
+			touchedP1 = true
+		}
+	}
+	if !touchedP1 {
+		t.Error("proportional throttle unexpectedly spared P1 racks")
+	}
+}

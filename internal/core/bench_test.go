@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func benchRacks(n int) []RackInfo {
+	out := make([]RackInfo, n)
+	for i := range out {
+		out[i] = RackInfo{
+			ID:       i,
+			Priority: rack.Priority(1 + i%3),
+			DOD:      units.Fraction(5+(i*13)%91) / 100,
+		}
+	}
+	return out
+}
+
+// The production MSB population: one full Algorithm 1 planning pass.
+func BenchmarkPlanPriorityAware316(b *testing.B) {
+	cfg := DefaultConfig()
+	racks := benchRacks(316)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PlanPriorityAware(200*units.Kilowatt, racks, cfg)
+	}
+}
+
+func BenchmarkPlanGlobal316(b *testing.B) {
+	cfg := DefaultConfig()
+	racks := benchRacks(316)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = PlanGlobal(200*units.Kilowatt, racks, cfg)
+	}
+}
+
+func BenchmarkThrottleToMinimum316(b *testing.B) {
+	cfg := DefaultConfig()
+	active := make([]ActiveCharge, 316)
+	for i := range active {
+		active[i] = ActiveCharge{RackInfo: benchRacks(316)[i], Current: 3}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ThrottleToMinimum(50*units.Kilowatt, active, cfg)
+	}
+}
+
+func BenchmarkSLACurrent(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		_, _ = cfg.SLACurrent(rack.Priority(1+i%3), units.Fraction(i%101)/100)
+	}
+}

@@ -1,0 +1,309 @@
+// Package core implements the paper's primary contribution: coordinated,
+// priority-aware battery charging (§IV).
+//
+// Given the available power at a circuit breaker and each rack's priority
+// and depth of discharge, the planner:
+//
+//  1. computes the SLA charging current for every rack by inverting the
+//     empirical charge-time surface against the priority's charging-time SLA
+//     (Table II / Fig 9b);
+//  2. runs Algorithm 1 — highest-priority-lowest-discharge-first — granting
+//     each rack its SLA current while available power remains, with every
+//     charging rack floored at the 1 A hardware minimum;
+//  3. on a later overload, selects racks in the reverse order
+//     (lowest-priority-highest-discharge-first) to throttle to the minimum;
+//     server power capping is the caller's last resort beyond that.
+//
+// The package also implements the evaluation's baseline, the global charging
+// algorithm (uniform rate, priority-blind), and the paper's future-work
+// extension of postponing low-priority charges entirely.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+// DefaultDeadlines is Table II: the charging-time SLA per rack priority that
+// meets each priority's availability-of-redundancy target.
+func DefaultDeadlines() map[rack.Priority]time.Duration {
+	return map[rack.Priority]time.Duration{
+		rack.P1: 30 * time.Minute,
+		rack.P2: 60 * time.Minute,
+		rack.P3: 90 * time.Minute,
+	}
+}
+
+// Config carries the planner's battery model and policy knobs.
+type Config struct {
+	// Surface is the empirical charge-time surface (Fig 5 data).
+	Surface *battery.Surface
+	// Deadlines maps priority to its charging-time SLA (Table II).
+	Deadlines map[rack.Priority]time.Duration
+	// Resolution is the charging-current override grid. The production
+	// charger takes integer-amp overrides, so the default is 1 A.
+	Resolution units.Current
+	// WattsPerAmp converts a per-BBU charging current to rack-input recharge
+	// power (1.9 kW at 5 A → 380 W/A).
+	WattsPerAmp float64
+	// AllowPostpone enables the future-work extension (§IV-A): racks whose
+	// SLA current does not fit are assigned zero current (charge postponed)
+	// instead of the 1 A floor, freeing their floor power for others.
+	AllowPostpone bool
+	// Order is the grant order (ablation knob; the default is Algorithm 1's
+	// highest-priority-lowest-discharge-first).
+	Order OrderPolicy
+}
+
+// DefaultConfig returns the production configuration.
+func DefaultConfig() Config {
+	return Config{
+		Surface:     battery.Fig5Surface(),
+		Deadlines:   DefaultDeadlines(),
+		Resolution:  1,
+		WattsPerAmp: battery.RackWattsPerAmp,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Surface == nil {
+		return fmt.Errorf("core: nil charge-time surface")
+	}
+	if c.WattsPerAmp <= 0 {
+		return fmt.Errorf("core: non-positive WattsPerAmp %v", c.WattsPerAmp)
+	}
+	if c.Resolution <= 0 {
+		return fmt.Errorf("core: non-positive current resolution %v", c.Resolution)
+	}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if d, ok := c.Deadlines[p]; !ok || d <= 0 {
+			return fmt.Errorf("core: missing or non-positive deadline for %v", p)
+		}
+	}
+	return nil
+}
+
+// SLACurrent returns the charging current required for a rack of priority p
+// at depth of discharge dod to meet its charging-time SLA (the Fig 9b
+// curves), and whether the SLA is achievable within the charger's range.
+func (c Config) SLACurrent(p rack.Priority, dod units.Fraction) (units.Current, bool) {
+	return c.Surface.RequiredCurrent(dod, c.Deadlines[p], c.Resolution)
+}
+
+// RackInfo is the controller's view of one rack at the start of a charging
+// sequence.
+type RackInfo struct {
+	// ID is a stable index used for deterministic tie-breaking.
+	ID       int
+	Name     string
+	Priority rack.Priority
+	// DOD is the depth of discharge estimated from the open transition.
+	DOD units.Fraction
+}
+
+// Assignment is the planner's decision for one rack.
+type Assignment struct {
+	RackInfo
+	// Current is the charging current to apply; zero means the rack has
+	// nothing to charge (DOD zero) or its charge is postponed.
+	Current units.Current
+	// SLACurrent is the minimum current that meets the rack's SLA.
+	SLACurrent units.Current
+	// Feasible is false when no current within hardware range meets the SLA.
+	Feasible bool
+	// MeetsSLA reports whether the assigned current charges the rack within
+	// its deadline.
+	MeetsSLA bool
+	// Postponed is true when the extension deferred this rack's charge.
+	Postponed bool
+}
+
+// RechargePower returns the rack-input recharge power this assignment draws.
+func (a Assignment) RechargePower(wattsPerAmp float64) units.Power {
+	return units.Power(float64(a.Current) * wattsPerAmp)
+}
+
+// meetsSLA evaluates whether current i charges the rack within its deadline.
+func (c Config) meetsSLA(ri RackInfo, i units.Current) bool {
+	if ri.DOD <= 0 {
+		return true
+	}
+	if i <= 0 {
+		return false
+	}
+	return c.Surface.ChargeTime(i, ri.DOD) <= c.Deadlines[ri.Priority]
+}
+
+// PlanPriorityAware implements Algorithm 1, the
+// highest-priority-lowest-discharge-first charging plan. available is the
+// breaker's available power for battery recharging (limit minus IT load) at
+// the start of the charging sequence. Racks with zero DOD receive no charge.
+// Every discharged rack is floored at the minimum current (the hardware
+// charges at ≥1 A once a charge begins) unless postponing is enabled and its
+// floor does not fit.
+//
+// The returned assignments are in Algorithm 1's grant order.
+func PlanPriorityAware(available units.Power, racks []RackInfo, cfg Config) []Assignment {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	min := cfg.Surface.MinCurrent()
+	out := make([]Assignment, 0, len(racks))
+	for _, ri := range racks {
+		a := Assignment{RackInfo: ri}
+		if ri.DOD > 0 {
+			a.SLACurrent, a.Feasible = cfg.SLACurrent(ri.Priority, ri.DOD)
+			a.Current = min // step 2: initialize to the 1 A minimum
+		}
+		out = append(out, a)
+	}
+	sortForGrantWith(out, cfg.Order)
+	// Budget: the floors of all charging racks are committed first, since
+	// the chargers draw at least the minimum once charging begins.
+	budget := float64(available)
+	if !cfg.AllowPostpone {
+		for i := range out {
+			if out[i].Current > 0 {
+				budget -= float64(min) * cfg.WattsPerAmp
+			}
+		}
+	}
+	// Grant pass in Algorithm 1 order.
+	for i := range out {
+		a := &out[i]
+		if a.DOD <= 0 {
+			a.MeetsSLA = true
+			continue
+		}
+		if cfg.AllowPostpone {
+			// The floor itself must fit; otherwise postpone this rack.
+			if budget < float64(min)*cfg.WattsPerAmp {
+				a.Current = 0
+				a.Postponed = true
+				continue
+			}
+			budget -= float64(min) * cfg.WattsPerAmp
+		}
+		// When the SLA is infeasible within hardware range, SLACurrent is
+		// the 5 A maximum: the best-effort setting (Fig 9b saturates there).
+		upgrade := float64(a.SLACurrent-min) * cfg.WattsPerAmp
+		if upgrade <= budget {
+			budget -= upgrade
+			a.Current = a.SLACurrent
+		}
+		a.MeetsSLA = cfg.meetsSLA(a.RackInfo, a.Current)
+	}
+	return out
+}
+
+// PlanGlobal implements the evaluation's baseline, the global charging
+// algorithm: it looks only at available power and charges every discharged
+// rack at the same rate, ignoring priority and DOD. The uniform rate is the
+// largest current on the resolution grid whose aggregate recharge power fits
+// within available, floored at the hardware minimum.
+func PlanGlobal(available units.Power, racks []RackInfo, cfg Config) []Assignment {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	min, max := cfg.Surface.MinCurrent(), cfg.Surface.MaxCurrent()
+	var charging int
+	for _, ri := range racks {
+		if ri.DOD > 0 {
+			charging++
+		}
+	}
+	uniform := max
+	if charging > 0 {
+		perRack := float64(available) / float64(charging) / cfg.WattsPerAmp
+		uniform = units.Current(perRack)
+		// Round down to the resolution grid.
+		steps := int(uniform / cfg.Resolution)
+		uniform = units.Current(steps) * cfg.Resolution
+		uniform = uniform.Clamp(min, max)
+	}
+	out := make([]Assignment, 0, len(racks))
+	for _, ri := range racks {
+		a := Assignment{RackInfo: ri}
+		if ri.DOD > 0 {
+			a.SLACurrent, a.Feasible = cfg.SLACurrent(ri.Priority, ri.DOD)
+			a.Current = uniform
+		}
+		a.MeetsSLA = cfg.meetsSLA(ri, a.Current)
+		out = append(out, a)
+	}
+	return out
+}
+
+// ActiveCharge is the controller's view of a rack mid-charge, used when an
+// overload is detected during the charging period.
+type ActiveCharge struct {
+	RackInfo
+	// Current is the setpoint the rack is charging at now.
+	Current units.Current
+}
+
+// ThrottleToMinimum selects racks to set to the minimum charging current in
+// the paper's reverse order — lowest-priority-highest-discharge-first —
+// until the projected recovered power covers excess. It returns the IDs of
+// the racks to throttle, in order. If throttling every rack cannot cover the
+// excess, all throttleable racks are returned and the caller must fall back
+// to server power capping.
+func ThrottleToMinimum(excess units.Power, active []ActiveCharge, cfg Config) []int {
+	if excess <= 0 {
+		return nil
+	}
+	min := cfg.Surface.MinCurrent()
+	order := make([]ActiveCharge, 0, len(active))
+	for _, ac := range active {
+		if ac.Current > min {
+			order = append(order, ac)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Priority != b.Priority {
+			return a.Priority > b.Priority // lowest priority first
+		}
+		if a.DOD != b.DOD {
+			return a.DOD > b.DOD // highest discharge first
+		}
+		return a.ID < b.ID
+	})
+	var ids []int
+	recovered := 0.0
+	for _, ac := range order {
+		if recovered >= float64(excess) {
+			break
+		}
+		recovered += float64(ac.Current-min) * cfg.WattsPerAmp
+		ids = append(ids, ac.ID)
+	}
+	return ids
+}
+
+// SLAMetByPriority counts, per priority, the racks whose assignment meets
+// the charging-time SLA (the Fig 14/15 metric).
+func SLAMetByPriority(assignments []Assignment) map[rack.Priority]int {
+	out := make(map[rack.Priority]int)
+	for _, a := range assignments {
+		if a.MeetsSLA {
+			out[a.Priority]++
+		}
+	}
+	return out
+}
+
+// TotalRechargePower sums the recharge power of a set of assignments.
+func TotalRechargePower(assignments []Assignment, cfg Config) units.Power {
+	var total units.Power
+	for _, a := range assignments {
+		total += a.RechargePower(cfg.WattsPerAmp)
+	}
+	return total
+}

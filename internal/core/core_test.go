@@ -1,0 +1,464 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func cfg() Config { return DefaultConfig() }
+
+func mkRacks(spec ...struct {
+	p   rack.Priority
+	dod units.Fraction
+}) []RackInfo {
+	out := make([]RackInfo, len(spec))
+	for i, s := range spec {
+		out[i] = RackInfo{ID: i, Name: "r", Priority: s.p, DOD: s.dod}
+	}
+	return out
+}
+
+func ri(id int, p rack.Priority, dod units.Fraction) RackInfo {
+	return RackInfo{ID: id, Priority: p, DOD: dod}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := cfg().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := cfg()
+	c.Surface = nil
+	if err := c.Validate(); err == nil {
+		t.Error("nil surface accepted")
+	}
+	c = cfg()
+	c.WattsPerAmp = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero WattsPerAmp accepted")
+	}
+	c = cfg()
+	c.Resolution = 0
+	if err := c.Validate(); err == nil {
+		t.Error("zero resolution accepted")
+	}
+	c = cfg()
+	delete(c.Deadlines, rack.P2)
+	if err := c.Validate(); err == nil {
+		t.Error("missing deadline accepted")
+	}
+}
+
+// Table II deadlines.
+func TestDefaultDeadlines(t *testing.T) {
+	d := DefaultDeadlines()
+	if d[rack.P1] != 30*time.Minute || d[rack.P2] != 60*time.Minute || d[rack.P3] != 90*time.Minute {
+		t.Errorf("deadlines = %v", d)
+	}
+}
+
+// Fig 9b / Fig 10: at <5% DOD, P1 needs 2 A while P2 and P3 need 1 A.
+func TestSLACurrentPrototypeAnchors(t *testing.T) {
+	c := cfg()
+	if i, ok := c.SLACurrent(rack.P1, 0.04); !ok || i != 2 {
+		t.Errorf("P1 SLA current = %v/%v, want 2 A", i, ok)
+	}
+	if i, ok := c.SLACurrent(rack.P2, 0.04); !ok || i != 1 {
+		t.Errorf("P2 SLA current = %v/%v, want 1 A", i, ok)
+	}
+	if i, ok := c.SLACurrent(rack.P3, 0.04); !ok || i != 1 {
+		t.Errorf("P3 SLA current = %v/%v, want 1 A", i, ok)
+	}
+}
+
+func TestSLACurrentMonotoneInDODAndPriority(t *testing.T) {
+	c := cfg()
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		prev := units.Current(0)
+		for dod := 0.0; dod <= 1.0; dod += 0.05 {
+			i, _ := c.SLACurrent(p, units.Fraction(dod))
+			if i < prev {
+				t.Errorf("%v SLA current decreased at dod=%.2f", p, dod)
+			}
+			prev = i
+		}
+	}
+	// Stricter SLA needs at least as much current.
+	for dod := 0.0; dod <= 1.0; dod += 0.05 {
+		i1, _ := c.SLACurrent(rack.P1, units.Fraction(dod))
+		i2, _ := c.SLACurrent(rack.P2, units.Fraction(dod))
+		i3, _ := c.SLACurrent(rack.P3, units.Fraction(dod))
+		if i1 < i2 || i2 < i3 {
+			t.Errorf("SLA currents not ordered at dod=%.2f: P1=%v P2=%v P3=%v", dod, i1, i2, i3)
+		}
+	}
+}
+
+func TestPlanUnconstrainedGrantsAllSLAs(t *testing.T) {
+	racks := []RackInfo{
+		ri(0, rack.P1, 0.04), ri(1, rack.P1, 0.04),
+		ri(2, rack.P2, 0.04), ri(3, rack.P3, 0.04),
+	}
+	plan := PlanPriorityAware(1*units.Megawatt, racks, cfg())
+	for _, a := range plan {
+		if !a.MeetsSLA {
+			t.Errorf("rack %d (%v) misses SLA with unconstrained power", a.ID, a.Priority)
+		}
+		if a.Current != a.SLACurrent {
+			t.Errorf("rack %d assigned %v, want SLA current %v", a.ID, a.Current, a.SLACurrent)
+		}
+	}
+}
+
+// The Fig 10 prototype scenario: 9 P1, 5 P2, 3 P3 racks at <5% DOD under an
+// unconstrained RPP: P1 charge at 2 A, P2/P3 at 1 A.
+func TestFig10PrototypePlan(t *testing.T) {
+	var racks []RackInfo
+	for i := 0; i < 9; i++ {
+		racks = append(racks, ri(i, rack.P1, 0.04))
+	}
+	for i := 9; i < 14; i++ {
+		racks = append(racks, ri(i, rack.P2, 0.04))
+	}
+	for i := 14; i < 17; i++ {
+		racks = append(racks, ri(i, rack.P3, 0.04))
+	}
+	plan := PlanPriorityAware(190*units.Kilowatt, racks, cfg())
+	for _, a := range plan {
+		want := units.Current(1)
+		if a.Priority == rack.P1 {
+			want = 2
+		}
+		if a.Current != want {
+			t.Errorf("%v rack %d assigned %v, want %v", a.Priority, a.ID, a.Current, want)
+		}
+		if !a.MeetsSLA {
+			t.Errorf("%v rack %d misses SLA", a.Priority, a.ID)
+		}
+	}
+}
+
+func TestPlanRespectsAvailablePower(t *testing.T) {
+	// 10 racks at 60% DOD; power for floors plus a couple of upgrades only.
+	var racks []RackInfo
+	for i := 0; i < 10; i++ {
+		racks = append(racks, ri(i, rack.P2, 0.6))
+	}
+	c := cfg()
+	// P2 at 60% DOD needs 2 A (T(2,0.6)=47 ≤ 60). Floors: 10×380 W. Budget
+	// allows floors plus two upgrades of 380 W.
+	available := units.Power(10*380 + 2*380)
+	plan := PlanPriorityAware(available, racks, c)
+	if got := TotalRechargePower(plan, c); got > available {
+		t.Errorf("plan draws %v, exceeding available %v", got, available)
+	}
+	upgraded := 0
+	for _, a := range plan {
+		if a.Current > 1 {
+			upgraded++
+		}
+	}
+	if upgraded != 2 {
+		t.Errorf("upgraded %d racks, want exactly 2", upgraded)
+	}
+}
+
+func TestPlanPriorityOrdering(t *testing.T) {
+	// Power for only one upgrade: it must go to the P1 rack even though the
+	// P3 rack appears first.
+	racks := []RackInfo{
+		ri(0, rack.P3, 0.6),
+		ri(1, rack.P1, 0.6),
+	}
+	c := cfg()
+	// P1 at 60% DOD needs 4 A (T(4,0.6)=29 ≤ 30); upgrade cost 3×380 W.
+	available := units.Power(2*380 + 3*380)
+	plan := PlanPriorityAware(available, racks, c)
+	byID := map[int]Assignment{}
+	for _, a := range plan {
+		byID[a.ID] = a
+	}
+	if byID[1].Current != byID[1].SLACurrent {
+		t.Errorf("P1 rack not granted SLA current: %v vs %v", byID[1].Current, byID[1].SLACurrent)
+	}
+	if byID[0].Current != 1 {
+		t.Errorf("P3 rack = %v, want floored at 1 A", byID[0].Current)
+	}
+}
+
+func TestPlanLowestDODFirstWithinPriority(t *testing.T) {
+	// Two P1 racks; power for one upgrade. The lower-DOD rack (cheaper
+	// upgrade) must win, maximizing racks meeting SLA.
+	racks := []RackInfo{
+		ri(0, rack.P1, 0.6),  // needs 4 A
+		ri(1, rack.P1, 0.25), // needs 3 A (T(2,0.25)=30.5 > 30, T(3,0.25)=22.75)
+	}
+	c := cfg()
+	available := units.Power(2*380 + 2*380) // floors + one 2-amp upgrade
+	plan := PlanPriorityAware(available, racks, c)
+	byID := map[int]Assignment{}
+	for _, a := range plan {
+		byID[a.ID] = a
+	}
+	if !byID[1].MeetsSLA {
+		t.Error("low-DOD P1 rack not satisfied first")
+	}
+	if byID[0].MeetsSLA {
+		t.Error("high-DOD P1 rack satisfied despite insufficient power")
+	}
+}
+
+func TestPlanZeroDODRacksIdle(t *testing.T) {
+	racks := []RackInfo{ri(0, rack.P1, 0), ri(1, rack.P2, 0.3)}
+	plan := PlanPriorityAware(1*units.Megawatt, racks, cfg())
+	for _, a := range plan {
+		if a.ID == 0 {
+			if a.Current != 0 || !a.MeetsSLA {
+				t.Errorf("zero-DOD rack: current=%v meets=%v", a.Current, a.MeetsSLA)
+			}
+		}
+	}
+}
+
+func TestPlanInfeasibleSLAStillCharges(t *testing.T) {
+	// P1 at 100% DOD cannot meet 30 min even at 5 A; it still charges.
+	racks := []RackInfo{ri(0, rack.P1, 1.0)}
+	plan := PlanPriorityAware(1*units.Megawatt, racks, cfg())
+	a := plan[0]
+	if a.Feasible {
+		t.Error("100% DOD P1 SLA reported feasible")
+	}
+	if a.Current < 1 {
+		t.Errorf("infeasible rack not charging: %v", a.Current)
+	}
+	if a.MeetsSLA {
+		t.Error("infeasible rack reported meeting SLA")
+	}
+}
+
+func TestPlanNeverExceedsAvailableProperty(t *testing.T) {
+	c := cfg()
+	prop := func(seed uint8, n uint8, availKW uint16) bool {
+		nr := 1 + int(n)%40
+		racks := make([]RackInfo, nr)
+		for i := range racks {
+			racks[i] = RackInfo{
+				ID:       i,
+				Priority: rack.Priority(1 + (i+int(seed))%3),
+				DOD:      units.Fraction((i*7+int(seed))%101) / 100,
+			}
+		}
+		available := units.Power(availKW) * units.Kilowatt / 8
+		plan := PlanPriorityAware(available, racks, c)
+		total := TotalRechargePower(plan, c)
+		// The floors are mandatory; beyond them the plan must fit.
+		var floors units.Power
+		for _, a := range plan {
+			if a.DOD > 0 {
+				floors += 380
+			}
+		}
+		budget := available
+		if floors > budget {
+			budget = floors // floor power is unavoidable
+		}
+		return total <= budget+1 // 1 W float tolerance
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanPriorityMonotoneProperty(t *testing.T) {
+	// Among racks with identical priority and DOD (identical upgrade cost),
+	// a denial implies every later-ordered twin is denied too: the grant is
+	// a prefix in Algorithm 1's order. (Across different costs the
+	// algorithm deliberately skips racks that do not fit and continues —
+	// the paper's "maximizing the number of racks that meet the SLA".)
+	c := cfg()
+	prop := func(availRaw uint8) bool {
+		racks := []RackInfo{
+			ri(0, rack.P1, 0.5), ri(1, rack.P2, 0.5), ri(2, rack.P3, 0.5),
+			ri(3, rack.P1, 0.5), ri(4, rack.P2, 0.5), ri(5, rack.P3, 0.5),
+		}
+		available := units.Power(availRaw) * 100
+		plan := PlanPriorityAware(available, racks, c)
+		type key struct {
+			p   rack.Priority
+			dod units.Fraction
+		}
+		deniedSeen := map[key]bool{}
+		for _, a := range plan { // plan is in grant order
+			k := key{a.Priority, a.DOD}
+			granted := a.Current >= a.SLACurrent
+			if deniedSeen[k] && granted {
+				return false
+			}
+			if !granted {
+				deniedSeen[k] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanGlobalUniformRate(t *testing.T) {
+	var racks []RackInfo
+	for i := 0; i < 10; i++ {
+		racks = append(racks, ri(i, rack.Priority(1+i%3), 0.5))
+	}
+	c := cfg()
+	// Power for 2.5 A per rack → quantized down to 2 A.
+	plan := PlanGlobal(units.Power(10*2.5*380), racks, c)
+	for _, a := range plan {
+		if a.Current != 2 {
+			t.Errorf("global rate = %v, want 2 A", a.Current)
+		}
+	}
+}
+
+func TestPlanGlobalClampsToHardware(t *testing.T) {
+	racks := []RackInfo{ri(0, rack.P1, 0.5)}
+	c := cfg()
+	// Abundant power → 5 A max.
+	plan := PlanGlobal(1*units.Megawatt, racks, c)
+	if plan[0].Current != 5 {
+		t.Errorf("global rate = %v, want 5 A", plan[0].Current)
+	}
+	// No power → still the 1 A floor.
+	plan = PlanGlobal(0, racks, c)
+	if plan[0].Current != 1 {
+		t.Errorf("global rate = %v, want 1 A floor", plan[0].Current)
+	}
+}
+
+// The paper's key contrast (Fig 14): under constrained power the global
+// algorithm penalizes P1 racks first (they need the highest current but get
+// the uniform rate), while priority-aware protects them.
+func TestPriorityAwareBeatsGlobalForP1(t *testing.T) {
+	var racks []RackInfo
+	for i := 0; i < 30; i++ {
+		racks = append(racks, ri(i, rack.Priority(1+i%3), 0.5))
+	}
+	c := cfg()
+	available := units.Power(30 * 1.6 * 380) // ~1.6 A per rack on average
+	pa := SLAMetByPriority(PlanPriorityAware(available, racks, c))
+	gl := SLAMetByPriority(PlanGlobal(available, racks, c))
+	if pa[rack.P1] <= gl[rack.P1] {
+		t.Errorf("priority-aware P1 SLAs (%d) not better than global (%d)", pa[rack.P1], gl[rack.P1])
+	}
+	// Global at 1 A uniform: P1 (needs 3-4 A at 50% DOD) all miss; P3
+	// (1 A suffices: T(1,0.5)=80 ≤ 90) all pass.
+	if gl[rack.P1] != 0 {
+		t.Errorf("global satisfied %d P1 racks, want 0", gl[rack.P1])
+	}
+	if gl[rack.P3] != 10 {
+		t.Errorf("global satisfied %d P3 racks, want 10", gl[rack.P3])
+	}
+}
+
+func TestThrottleToMinimumOrder(t *testing.T) {
+	active := []ActiveCharge{
+		{RackInfo: ri(0, rack.P1, 0.3), Current: 3},
+		{RackInfo: ri(1, rack.P3, 0.2), Current: 2},
+		{RackInfo: ri(2, rack.P3, 0.8), Current: 5},
+		{RackInfo: ri(3, rack.P2, 0.5), Current: 3},
+	}
+	c := cfg()
+	// Excess of 1.5 kW: throttling rack 2 recovers 4×380=1520 W. Reverse
+	// order picks the P3 with the highest DOD first.
+	ids := ThrottleToMinimum(1500*units.Watt, active, c)
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("throttle ids = %v, want [2]", ids)
+	}
+	// Larger excess (2.6 kW): next is the other P3 (380 W), then the P2
+	// (760 W), reaching 2660 W ≥ 2600 W without touching the P1.
+	ids = ThrottleToMinimum(2600*units.Watt, active, c)
+	want := []int{2, 1, 3}
+	if len(ids) != len(want) {
+		t.Fatalf("throttle ids = %v, want %v", ids, want)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("throttle ids = %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestThrottleSkipsRacksAtMinimum(t *testing.T) {
+	active := []ActiveCharge{
+		{RackInfo: ri(0, rack.P3, 0.9), Current: 1},
+		{RackInfo: ri(1, rack.P1, 0.2), Current: 2},
+	}
+	ids := ThrottleToMinimum(10*units.Kilowatt, active, cfg())
+	if len(ids) != 1 || ids[0] != 1 {
+		t.Errorf("throttle ids = %v, want [1] (rack 0 already at minimum)", ids)
+	}
+}
+
+func TestThrottleZeroExcess(t *testing.T) {
+	active := []ActiveCharge{{RackInfo: ri(0, rack.P3, 0.9), Current: 5}}
+	if ids := ThrottleToMinimum(0, active, cfg()); ids != nil {
+		t.Errorf("throttle with no excess = %v, want nil", ids)
+	}
+}
+
+func TestPostponeExtension(t *testing.T) {
+	c := cfg()
+	c.AllowPostpone = true
+	var racks []RackInfo
+	for i := 0; i < 10; i++ {
+		racks = append(racks, ri(i, rack.Priority(1+i%3), 0.5))
+	}
+	// Power for only 3 floors.
+	available := units.Power(3 * 380)
+	plan := PlanPriorityAware(available, racks, c)
+	var postponed, charging int
+	for _, a := range plan {
+		if a.Postponed {
+			postponed++
+			if a.Current != 0 {
+				t.Errorf("postponed rack charging at %v", a.Current)
+			}
+		} else if a.Current > 0 {
+			charging++
+		}
+	}
+	if charging != 3 {
+		t.Errorf("charging racks = %d, want 3", charging)
+	}
+	if postponed != 7 {
+		t.Errorf("postponed racks = %d, want 7", postponed)
+	}
+	if got := TotalRechargePower(plan, c); got > available {
+		t.Errorf("postpone plan draws %v > available %v", got, available)
+	}
+	// Charging is granted strictly in priority order: with power for only
+	// three floors and four P1 racks, only P1 racks charge.
+	for _, a := range plan {
+		if a.Current > 0 && a.Priority != rack.P1 {
+			t.Errorf("%v rack charging while P1 racks are postponed", a.Priority)
+		}
+	}
+}
+
+func TestSLAMetByPriorityCounts(t *testing.T) {
+	plan := []Assignment{
+		{RackInfo: ri(0, rack.P1, 0.1), MeetsSLA: true},
+		{RackInfo: ri(1, rack.P1, 0.1), MeetsSLA: false},
+		{RackInfo: ri(2, rack.P3, 0.1), MeetsSLA: true},
+	}
+	got := SLAMetByPriority(plan)
+	if got[rack.P1] != 1 || got[rack.P2] != 0 || got[rack.P3] != 1 {
+		t.Errorf("counts = %v", got)
+	}
+}

@@ -1,0 +1,592 @@
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/bus"
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+	"coordcharge/internal/units"
+)
+
+// This file implements the distributed variant of the control plane: the
+// paper's actual deployment shape, where agents on TOR switches and the
+// controllers mirroring the power hierarchy are separate processes
+// exchanging messages over the network (§IV-B). The synchronous Controller
+// in dynamo.go models the same logic with direct reads — convenient for
+// large parameter sweeps; this variant makes polling cadence, network
+// latency, and message loss first-class, and upper-level controllers
+// communicate exclusively through leaf controllers, as in production.
+//
+// Protocol, all over internal/bus:
+//
+//	controller → agent   "read"        → reply Snapshot
+//	controller → agent   "override"    (units.Current; one-way)
+//	controller → agent   "cap"/"uncap" (CapRequest; one-way)
+//	upper → leaf         "aggregate"   → reply AggregateReply
+//	upper → leaf         "setcurrents" (map[string]units.Current; one-way)
+//	upper → leaf         "caps"        (map[string]units.Power; one-way)
+
+// Snapshot is an agent's rack-state report.
+type Snapshot struct {
+	Name     string
+	Priority rack.Priority
+	Demand   units.Power
+	ITLoad   units.Power
+	Recharge units.Power
+	DOD      units.Fraction
+	Charging bool
+	InputUp  bool
+	Setpoint units.Current
+}
+
+// CapRequest asks an agent to cap its rack's servers on behalf of a
+// controller.
+type CapRequest struct {
+	Source string
+	Level  units.Power
+}
+
+// AggregateReply is a leaf controller's answer to an upper controller: the
+// aggregate draw under its breaker plus the latest per-rack snapshots.
+type AggregateReply struct {
+	Power units.Power
+	Racks []Snapshot
+}
+
+// AsyncAgent is the message-driven per-rack request handler.
+type AsyncAgent struct {
+	name   string
+	r      *rack.Rack
+	b      *bus.Bus
+	engine *sim.Engine
+	settle time.Duration
+}
+
+// AgentEndpoint returns the bus endpoint name for a rack.
+func AgentEndpoint(rackName string) string { return "agent/" + rackName }
+
+// NewAsyncAgent registers a rack's agent on the bus. settle is the charger's
+// command-settling time (the ~20 s of Fig 11), applied after the override
+// message is delivered.
+func NewAsyncAgent(b *bus.Bus, engine *sim.Engine, r *rack.Rack, settle time.Duration) *AsyncAgent {
+	a := &AsyncAgent{name: AgentEndpoint(r.Name()), r: r, b: b, engine: engine, settle: settle}
+	b.Register(a.name, a.handle)
+	return a
+}
+
+func (a *AsyncAgent) handle(now time.Duration, msg *bus.Message) {
+	switch msg.Kind {
+	case "read":
+		a.b.Reply(now, msg, Snapshot{
+			Name:     a.r.Name(),
+			Priority: a.r.Priority(),
+			Demand:   a.r.Demand(),
+			ITLoad:   a.r.ITLoad(),
+			Recharge: a.r.RechargePower(),
+			DOD:      a.r.LastDOD(),
+			Charging: a.r.Charging(),
+			InputUp:  a.r.InputUp(),
+			Setpoint: a.r.Pack().Setpoint(),
+		})
+	case "override":
+		i := msg.Payload.(units.Current)
+		if a.settle <= 0 {
+			a.r.OverrideCurrent(i)
+			return
+		}
+		a.engine.ScheduleAfter(a.settle, "settle:"+a.name, func(time.Duration) {
+			a.r.OverrideCurrent(i)
+		})
+	case "cap":
+		req := msg.Payload.(CapRequest)
+		a.r.Cap(req.Source, req.Level)
+	case "uncap":
+		a.r.Uncap(msg.Payload.(string))
+	default:
+		panic(fmt.Errorf("dynamo: agent %s received unknown message kind %q", a.name, msg.Kind))
+	}
+}
+
+// AsyncLeaf is the message-driven leaf controller: it protects one RPP by
+// polling its agents, optionally plans charging sequences, and executes
+// current/cap directives from upper-level controllers.
+type AsyncLeaf struct {
+	name       string
+	node       *power.Node
+	b          *bus.Bus
+	engine     *sim.Engine
+	cfg        core.Config
+	mode       Mode
+	plans      bool
+	pollPeriod time.Duration
+	agents     []string // agent endpoints, index-aligned with rackNames
+	cache      map[string]Snapshot
+	was        map[string]bool
+	metrics    Metrics
+}
+
+// LeafEndpoint returns the bus endpoint name for a leaf controller.
+func LeafEndpoint(nodeName string) string { return "leaf/" + nodeName }
+
+// NewAsyncLeaf registers a leaf controller polling the given agents every
+// poll period. plans selects whether this controller computes initial
+// charging plans (true for a standalone row; false when an upper controller
+// owns planning).
+func NewAsyncLeaf(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRacks []*rack.Rack, mode Mode, cfg core.Config, plans bool, poll time.Duration) *AsyncLeaf {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	l := &AsyncLeaf{
+		name:       LeafEndpoint(node.Name()),
+		node:       node,
+		b:          b,
+		engine:     engine,
+		cfg:        cfg,
+		mode:       mode,
+		plans:      plans,
+		pollPeriod: poll,
+		cache:      make(map[string]Snapshot),
+		was:        make(map[string]bool),
+	}
+	for _, r := range agentRacks {
+		l.agents = append(l.agents, AgentEndpoint(r.Name()))
+	}
+	b.Register(l.name, l.handle)
+	engine.Every(poll, "poll:"+l.name, l.poll)
+	return l
+}
+
+// Metrics returns the controller's protective-action counters.
+func (l *AsyncLeaf) Metrics() Metrics { return l.metrics }
+
+// poll requests fresh snapshots from every agent; the last reply of a round
+// triggers evaluation, so decisions always see a coherent poll generation.
+func (l *AsyncLeaf) poll(time.Duration) {
+	pending := len(l.agents)
+	for _, ep := range l.agents {
+		l.b.Request(l.name, ep, "read", nil, func(now time.Duration, payload any) {
+			snap := payload.(Snapshot)
+			l.cache[snap.Name] = snap
+			pending--
+			if pending == 0 {
+				l.evaluate(now)
+			}
+		})
+	}
+}
+
+// sortedSnapshots returns the cache in deterministic (name) order.
+func (l *AsyncLeaf) sortedSnapshots() []Snapshot {
+	out := make([]Snapshot, 0, len(l.cache))
+	for _, s := range l.cache {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// evaluate runs the leaf's control logic over the freshly completed poll.
+// A generation that just planned skips protection: the plan's overrides are
+// still in flight and the cached setpoints are stale; the next poll sees
+// their effect (plan, then monitor — the paper's sequencing).
+func (l *AsyncLeaf) evaluate(now time.Duration) {
+	snaps := l.sortedSnapshots()
+	if l.plans && l.coordinates() && l.planFresh(snaps) {
+		return
+	}
+	l.protect(now, snaps)
+}
+
+func (l *AsyncLeaf) coordinates() bool {
+	return l.mode == ModeGlobal || l.mode == ModePriorityAware || l.mode == ModePostpone
+}
+
+// planFresh detects racks whose charge began since the previous poll and
+// plans their currents from this breaker's available power. It reports
+// whether a plan was issued.
+func (l *AsyncLeaf) planFresh(snaps []Snapshot) bool {
+	var fresh []core.RackInfo
+	var it units.Power
+	for i, s := range snaps {
+		if s.InputUp {
+			it += s.ITLoad
+		}
+		if s.Charging && !l.was[s.Name] {
+			fresh = append(fresh, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
+		}
+		l.was[s.Name] = s.Charging
+	}
+	if len(fresh) == 0 {
+		return false
+	}
+	available := l.node.Limit() - it
+	var plan []core.Assignment
+	switch l.mode {
+	case ModeGlobal:
+		plan = core.PlanGlobal(available, fresh, l.cfg)
+	default:
+		cfg := l.cfg
+		cfg.AllowPostpone = l.mode == ModePostpone
+		plan = core.PlanPriorityAware(available, fresh, cfg)
+	}
+	l.metrics.PlansComputed++
+	for _, asg := range plan {
+		if asg.DOD <= 0 || asg.Postponed {
+			continue
+		}
+		l.b.Send(l.name, AgentEndpoint(asg.Name), "override", asg.Current)
+		l.metrics.OverridesIssued++
+	}
+	return true
+}
+
+// protect throttles and caps from cached state when the breaker is
+// overloaded, mirroring the synchronous controller's policy.
+func (l *AsyncLeaf) protect(now time.Duration, snaps []Snapshot) {
+	var wouldBe units.Power
+	for _, s := range snaps {
+		if s.InputUp {
+			wouldBe += s.Demand + s.Recharge
+		}
+	}
+	excess := wouldBe - l.node.Limit()
+	if excess <= 0 {
+		for _, s := range snaps {
+			l.b.Send(l.name, AgentEndpoint(s.Name), "uncap", l.name)
+		}
+		return
+	}
+	if l.coordinates() {
+		var active []core.ActiveCharge
+		for i, s := range snaps {
+			if s.InputUp && s.Charging {
+				active = append(active, core.ActiveCharge{
+					RackInfo: core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD},
+					Current:  s.Setpoint,
+				})
+			}
+		}
+		ids := core.ThrottleToMinimum(excess, active, l.cfg)
+		if len(ids) > 0 {
+			l.metrics.ThrottleEvents++
+		}
+		min := l.cfg.Surface.MinCurrent()
+		for _, id := range ids {
+			s := snaps[id]
+			l.b.Send(l.name, AgentEndpoint(s.Name), "override", min)
+			l.metrics.OverridesIssued++
+			excess -= units.Power(float64(s.Setpoint-min) * l.cfg.WattsPerAmp)
+		}
+	}
+	if excess <= 0 {
+		return
+	}
+	l.applyCaps(now, snaps, excess)
+}
+
+// applyCaps distributes a server power reduction lowest-priority-first via
+// cap messages.
+func (l *AsyncLeaf) applyCaps(_ time.Duration, snaps []Snapshot, needed units.Power) {
+	order := append([]Snapshot(nil), snaps...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
+	var applied, it units.Power
+	for _, s := range order {
+		if s.InputUp {
+			it += s.ITLoad
+		}
+	}
+	for _, s := range order {
+		if needed <= 0 {
+			l.b.Send(l.name, AgentEndpoint(s.Name), "uncap", l.name)
+			continue
+		}
+		if !s.InputUp {
+			continue
+		}
+		cut := s.Demand
+		if cut > needed {
+			cut = needed
+		}
+		l.b.Send(l.name, AgentEndpoint(s.Name), "cap", CapRequest{Source: l.name, Level: s.Demand - cut})
+		needed -= cut
+		applied += cut
+	}
+	if applied > l.metrics.MaxCapping {
+		l.metrics.MaxCapping = applied
+		if it > 0 {
+			l.metrics.MaxCappingFraction = units.Fraction(float64(applied) / float64(it))
+		}
+	}
+	// CappedEnergy integrates at the poll period: caps hold until at least
+	// the next generation.
+	l.metrics.CappedEnergy += units.EnergyOver(applied, l.pollPeriod)
+}
+
+// handle serves upper-controller requests.
+func (l *AsyncLeaf) handle(now time.Duration, msg *bus.Message) {
+	switch msg.Kind {
+	case "aggregate":
+		snaps := l.sortedSnapshots()
+		var total units.Power
+		for _, s := range snaps {
+			if s.InputUp {
+				total += s.ITLoad + s.Recharge
+			}
+		}
+		l.b.Reply(now, msg, AggregateReply{Power: total, Racks: snaps})
+	case "setcurrents":
+		for name, i := range msg.Payload.(map[string]units.Current) {
+			l.b.Send(l.name, AgentEndpoint(name), "override", i)
+			l.metrics.OverridesIssued++
+		}
+	case "caps":
+		for name, level := range msg.Payload.(map[string]units.Power) {
+			l.b.Send(l.name, AgentEndpoint(name), "cap", CapRequest{Source: l.name + "/upper", Level: level})
+		}
+	case "uncaps":
+		for _, name := range msg.Payload.([]string) {
+			l.b.Send(l.name, AgentEndpoint(name), "uncap", l.name+"/upper")
+		}
+	default:
+		panic(fmt.Errorf("dynamo: leaf %s received unknown message kind %q", l.name, msg.Kind))
+	}
+}
+
+// AsyncUpper is the message-driven upper-level controller (SB or MSB): it
+// aggregates exclusively through leaf controllers, plans charging sequences
+// at the hierarchy root, and directs leaves to throttle or cap on overload.
+type AsyncUpper struct {
+	name    string
+	node    *power.Node
+	b       *bus.Bus
+	cfg     core.Config
+	mode    Mode
+	leaves  []string
+	agg     map[string]AggregateReply
+	was     map[string]bool
+	metrics Metrics
+}
+
+// UpperEndpoint returns the bus endpoint name for an upper controller.
+func UpperEndpoint(nodeName string) string { return "ctl/" + nodeName }
+
+// NewAsyncUpper registers an upper controller polling the given leaf
+// controllers every poll period.
+func NewAsyncUpper(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves []*AsyncLeaf, mode Mode, cfg core.Config, poll time.Duration) *AsyncUpper {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	u := &AsyncUpper{
+		name: UpperEndpoint(node.Name()),
+		node: node,
+		b:    b,
+		cfg:  cfg,
+		mode: mode,
+		agg:  make(map[string]AggregateReply),
+		was:  make(map[string]bool),
+	}
+	for _, l := range leaves {
+		u.leaves = append(u.leaves, l.name)
+	}
+	b.Register(u.name, func(now time.Duration, msg *bus.Message) {
+		panic(fmt.Errorf("dynamo: upper %s received unexpected %q", u.name, msg.Kind))
+	})
+	engine.Every(poll, "poll:"+u.name, u.poll)
+	return u
+}
+
+// Metrics returns the controller's protective-action counters.
+func (u *AsyncUpper) Metrics() Metrics { return u.metrics }
+
+func (u *AsyncUpper) poll(time.Duration) {
+	pending := len(u.leaves)
+	for _, ep := range u.leaves {
+		ep := ep
+		u.b.Request(u.name, ep, "aggregate", nil, func(now time.Duration, payload any) {
+			u.agg[ep] = payload.(AggregateReply)
+			pending--
+			if pending == 0 {
+				u.evaluate(now)
+			}
+		})
+	}
+}
+
+// leafOf returns the leaf endpoint owning a rack name in the current
+// aggregate generation.
+func (u *AsyncUpper) leafOf(rackName string) string {
+	for ep, rep := range u.agg {
+		for _, s := range rep.Racks {
+			if s.Name == rackName {
+				return ep
+			}
+		}
+	}
+	return ""
+}
+
+func (u *AsyncUpper) evaluate(now time.Duration) {
+	// Deterministic flattened view.
+	var snaps []Snapshot
+	for _, ep := range u.leaves {
+		snaps = append(snaps, u.agg[ep].Racks...)
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+
+	if u.mode == ModeGlobal || u.mode == ModePriorityAware || u.mode == ModePostpone {
+		// A generation that planned defers protection to the next poll: the
+		// overrides are in flight and cached setpoints are stale.
+		if u.planFresh(snaps) {
+			return
+		}
+	}
+	u.protect(now, snaps)
+}
+
+func (u *AsyncUpper) planFresh(snaps []Snapshot) bool {
+	var fresh []core.RackInfo
+	var it units.Power
+	for i, s := range snaps {
+		if s.InputUp {
+			it += s.ITLoad
+		}
+		if s.Charging && !u.was[s.Name] {
+			fresh = append(fresh, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
+		}
+		u.was[s.Name] = s.Charging
+	}
+	if len(fresh) == 0 {
+		return false
+	}
+	available := u.node.Limit() - it
+	var plan []core.Assignment
+	switch u.mode {
+	case ModeGlobal:
+		plan = core.PlanGlobal(available, fresh, u.cfg)
+	default:
+		cfg := u.cfg
+		cfg.AllowPostpone = u.mode == ModePostpone
+		plan = core.PlanPriorityAware(available, fresh, cfg)
+	}
+	u.metrics.PlansComputed++
+	byLeaf := map[string]map[string]units.Current{}
+	for _, asg := range plan {
+		if asg.DOD <= 0 || asg.Postponed {
+			continue
+		}
+		leaf := u.leafOf(asg.Name)
+		if leaf == "" {
+			continue
+		}
+		if byLeaf[leaf] == nil {
+			byLeaf[leaf] = map[string]units.Current{}
+		}
+		byLeaf[leaf][asg.Name] = asg.Current
+		u.metrics.OverridesIssued++
+	}
+	for leaf, currents := range byLeaf {
+		u.b.Send(u.name, leaf, "setcurrents", currents)
+	}
+	return true
+}
+
+func (u *AsyncUpper) protect(_ time.Duration, snaps []Snapshot) {
+	var wouldBe units.Power
+	for _, s := range snaps {
+		if s.InputUp {
+			wouldBe += s.Demand + s.Recharge
+		}
+	}
+	excess := wouldBe - u.node.Limit()
+	if excess <= 0 {
+		for _, ep := range u.leaves {
+			var names []string
+			for _, s := range u.agg[ep].Racks {
+				names = append(names, s.Name)
+			}
+			u.b.Send(u.name, ep, "uncaps", names)
+		}
+		return
+	}
+	// Battery throttling first, lowest-priority-highest-DOD order.
+	var active []core.ActiveCharge
+	for i, s := range snaps {
+		if s.InputUp && s.Charging {
+			active = append(active, core.ActiveCharge{
+				RackInfo: core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD},
+				Current:  s.Setpoint,
+			})
+		}
+	}
+	ids := core.ThrottleToMinimum(excess, active, u.cfg)
+	if len(ids) > 0 {
+		u.metrics.ThrottleEvents++
+	}
+	min := u.cfg.Surface.MinCurrent()
+	byLeaf := map[string]map[string]units.Current{}
+	for _, id := range ids {
+		s := snaps[id]
+		leaf := u.leafOf(s.Name)
+		if leaf == "" {
+			continue
+		}
+		if byLeaf[leaf] == nil {
+			byLeaf[leaf] = map[string]units.Current{}
+		}
+		byLeaf[leaf][s.Name] = min
+		u.metrics.OverridesIssued++
+		excess -= units.Power(float64(s.Setpoint-min) * u.cfg.WattsPerAmp)
+	}
+	for leaf, currents := range byLeaf {
+		u.b.Send(u.name, leaf, "setcurrents", currents)
+	}
+	if excess <= 0 {
+		return
+	}
+	// Server capping as the last resort, delegated to the leaves.
+	order := append([]Snapshot(nil), snaps...)
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
+	caps := map[string]map[string]units.Power{}
+	var applied, it units.Power
+	for _, s := range order {
+		if s.InputUp {
+			it += s.ITLoad
+		}
+	}
+	for _, s := range order {
+		if excess <= 0 {
+			break
+		}
+		if !s.InputUp {
+			continue
+		}
+		cut := s.Demand
+		if cut > excess {
+			cut = excess
+		}
+		leaf := u.leafOf(s.Name)
+		if leaf == "" {
+			continue
+		}
+		if caps[leaf] == nil {
+			caps[leaf] = map[string]units.Power{}
+		}
+		caps[leaf][s.Name] = s.Demand - cut
+		excess -= cut
+		applied += cut
+	}
+	for leaf, m := range caps {
+		u.b.Send(u.name, leaf, "caps", m)
+	}
+	if applied > u.metrics.MaxCapping {
+		u.metrics.MaxCapping = applied
+		if it > 0 {
+			u.metrics.MaxCappingFraction = units.Fraction(float64(applied) / float64(it))
+		}
+	}
+}

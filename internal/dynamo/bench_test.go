@@ -1,0 +1,43 @@
+package dynamo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+// One full control-plane monitoring cycle over a production-sized MSB with
+// all 316 racks mid-charge.
+func BenchmarkHierarchyTick316(b *testing.B) {
+	racks := make([]*rack.Rack, 316)
+	loads := make([]power.Load, 316)
+	for i := range racks {
+		racks[i] = rack.New(fmt.Sprintf("r%d", i), rack.Priority(1+i%3), charger.Variable{}, battery.Fig5Surface())
+		racks[i].SetDemand(6 * units.Kilowatt)
+		loads[i] = racks[i]
+	}
+	msb, err := power.Build(power.Spec{Name: "m"}, loads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := BuildHierarchy(msb, ModePriorityAware, core.DefaultConfig(), nil, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range racks {
+		r.LoseInput(0)
+		r.Step(45*time.Second, 45*time.Second)
+		r.RestoreInput(45 * time.Second)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Tick(45*time.Second + time.Duration(i+1)*3*time.Second)
+	}
+}

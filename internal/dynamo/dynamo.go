@@ -1,0 +1,446 @@
+// Package dynamo implements the coordinated control plane of the paper's
+// §IV-B: a power monitoring and control system modelled on Facebook's
+// Dynamo, extended with battery-charging coordination.
+//
+//   - An Agent runs on each rack's TOR switch: it reads rack power and BBU
+//     recharge power and applies manual charging-current overrides (with the
+//     ~20 s command-settling latency the prototype measured in Fig 11).
+//   - A Controller protects one circuit breaker. The leaf controller (RPP)
+//     detects charging sequences beginning under it and computes the initial
+//     plan; every controller monitors its breaker for the entire charging
+//     period and, on overload, first throttles battery charging in
+//     lowest-priority-highest-discharge-first order and only then falls back
+//     to priority-aware server power capping.
+//   - A Hierarchy assembles one controller per breaker, mirroring the power
+//     tree, and ticks them bottom-up.
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+	"coordcharge/internal/units"
+)
+
+// Mode selects the charging-coordination policy a controller runs.
+type Mode int
+
+// Coordination modes.
+const (
+	// ModeNone performs no charging coordination: chargers act locally
+	// (original or variable policy) and the controller only power-caps
+	// servers on overload — the paper's two baseline hardware deployments.
+	ModeNone Mode = iota
+	// ModeGlobal runs the evaluation's baseline algorithm: all racks charge
+	// at the same uniform rate chosen from available power, priority-blind.
+	ModeGlobal
+	// ModePriorityAware runs Algorithm 1 plus reverse-order throttling.
+	ModePriorityAware
+	// ModePostpone is ModePriorityAware with the future-work extension:
+	// charges that do not fit are postponed entirely and restarted when
+	// headroom returns.
+	ModePostpone
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNone:
+		return "none"
+	case ModeGlobal:
+		return "global"
+	case ModePriorityAware:
+		return "priority-aware"
+	case ModePostpone:
+		return "postpone"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Agent is the per-rack request handler on the TOR switch. It performs no
+// actions on its own (paper §IV-B): controllers issue reads and overrides
+// through it.
+type Agent struct {
+	rack    *rack.Rack
+	engine  *sim.Engine
+	latency time.Duration
+}
+
+// NewAgent wraps a rack. engine may be nil when latency is zero; a non-zero
+// latency requires an engine to schedule the deferred application.
+func NewAgent(r *rack.Rack, engine *sim.Engine, latency time.Duration) *Agent {
+	if latency > 0 && engine == nil {
+		panic(fmt.Errorf("dynamo: agent for %s has latency %v but no engine", r.Name(), latency))
+	}
+	return &Agent{rack: r, engine: engine, latency: latency}
+}
+
+// Rack returns the underlying rack.
+func (a *Agent) Rack() *rack.Rack { return a.rack }
+
+// ReadPower returns the rack's total input power.
+func (a *Agent) ReadPower() units.Power { return a.rack.Power() }
+
+// ReadRecharge returns the BBU recharge component.
+func (a *Agent) ReadRecharge() units.Power { return a.rack.RechargePower() }
+
+// Latency returns the agent's command-settling delay.
+func (a *Agent) Latency() time.Duration { return a.latency }
+
+// Override issues a charging-current override; the new setpoint takes effect
+// after the command-settling latency (Fig 11 measures ~20 s in production).
+func (a *Agent) Override(i units.Current) {
+	if a.latency <= 0 {
+		a.rack.OverrideCurrent(i)
+		return
+	}
+	a.engine.ScheduleAfter(a.latency, "override:"+a.rack.Name(), func(time.Duration) {
+		a.rack.OverrideCurrent(i)
+	})
+}
+
+// Metrics accumulates a controller's protective actions.
+type Metrics struct {
+	// MaxCapping is the largest instantaneous server power reduction the
+	// controller had to apply (the Table III metric).
+	MaxCapping units.Power
+	// MaxCappingFraction is MaxCapping over the IT load at that instant.
+	MaxCappingFraction units.Fraction
+	// CappedEnergy integrates capped power over time.
+	CappedEnergy units.Energy
+	// OverridesIssued counts charging-current override commands.
+	OverridesIssued int
+	// ThrottleEvents counts ticks on which battery throttling was applied.
+	ThrottleEvents int
+	// PlansComputed counts charging sequences planned.
+	PlansComputed int
+}
+
+// Controller protects one circuit breaker (paper §IV-B). Construct with
+// NewController.
+type Controller struct {
+	node    *power.Node
+	agents  []*Agent
+	mode    Mode
+	cfg     core.Config
+	plans   bool
+	metrics Metrics
+
+	wasCharging map[*rack.Rack]bool
+	postponed   map[*rack.Rack]core.RackInfo
+	lastTick    time.Duration
+}
+
+// NewController builds a controller protecting node, managing the racks
+// under it through agents. Planning controllers (plans=true) compute initial
+// charging plans for sequences starting under them; the others only monitor
+// and protect. In production the leaf controller plans for its RPP; the
+// paper's MSB-level simulation plans at the MSB, where the power constraint
+// lives, so the hierarchy marks its root as the planner.
+func NewController(node *power.Node, agents []*Agent, mode Mode, cfg core.Config, plans bool) *Controller {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Controller{
+		node:        node,
+		agents:      agents,
+		mode:        mode,
+		cfg:         cfg,
+		plans:       plans,
+		wasCharging: make(map[*rack.Rack]bool),
+		postponed:   make(map[*rack.Rack]core.RackInfo),
+	}
+}
+
+// Node returns the protected breaker.
+func (c *Controller) Node() *power.Node { return c.node }
+
+// Metrics returns the accumulated protective-action metrics.
+func (c *Controller) Metrics() Metrics { return c.metrics }
+
+// rackInfo builds the planner's view of agent i's rack.
+func (c *Controller) rackInfo(i int) core.RackInfo {
+	r := c.agents[i].Rack()
+	return core.RackInfo{ID: i, Name: r.Name(), Priority: r.Priority(), DOD: r.LastDOD()}
+}
+
+// Tick runs one monitoring cycle at virtual time now. Call it once per
+// simulation step, after racks have advanced.
+func (c *Controller) Tick(now time.Duration) {
+	dt := now - c.lastTick
+	c.lastTick = now
+	if c.plans && c.coordinates() {
+		c.detectChargingStart()
+	}
+	c.restartPostponed()
+	c.protect(now, dt)
+	c.node.Observe(now)
+}
+
+func (c *Controller) coordinates() bool {
+	return c.mode == ModeGlobal || c.mode == ModePriorityAware || c.mode == ModePostpone
+}
+
+// detectChargingStart finds racks whose batteries began recharging since the
+// last tick and, in a coordinating mode, plans and applies their charging
+// currents using the breaker's available power.
+func (c *Controller) detectChargingStart() {
+	var fresh []core.RackInfo
+	for i, a := range c.agents {
+		r := a.Rack()
+		charging := r.Charging()
+		if charging && !c.wasCharging[r] {
+			fresh = append(fresh, c.rackInfo(i))
+		}
+		c.wasCharging[r] = charging
+	}
+	if len(fresh) == 0 || !c.coordinates() {
+		return
+	}
+	// Available power for recharge: the breaker's headroom over the IT load
+	// (recharge power excluded — the plan decides it).
+	available := c.node.Limit() - c.itLoad()
+	cfg := c.cfg
+	var plan []core.Assignment
+	switch c.mode {
+	case ModeGlobal:
+		plan = core.PlanGlobal(available, fresh, cfg)
+	case ModePostpone:
+		cfg.AllowPostpone = true
+		plan = core.PlanPriorityAware(available, fresh, cfg)
+	default:
+		plan = core.PlanPriorityAware(available, fresh, cfg)
+	}
+	c.metrics.PlansComputed++
+	for _, asg := range plan {
+		if asg.DOD <= 0 {
+			continue
+		}
+		r := c.agents[asg.ID].Rack()
+		if asg.Postponed {
+			// Stop the charge entirely; remember the rack for restart.
+			r.Pack().Abort()
+			c.postponed[r] = asg.RackInfo
+			c.wasCharging[r] = false
+			continue
+		}
+		c.agents[asg.ID].Override(asg.Current)
+		c.metrics.OverridesIssued++
+	}
+}
+
+// restartPostponed resumes postponed charges, highest priority and lowest
+// DOD first, while headroom allows their floor power (§IV-A future work,
+// ModePostpone only).
+func (c *Controller) restartPostponed() {
+	if c.mode != ModePostpone || len(c.postponed) == 0 {
+		return
+	}
+	floor := units.Power(float64(c.cfg.Surface.MinCurrent()) * c.cfg.WattsPerAmp)
+	var waiting []core.RackInfo
+	byID := make(map[int]*rack.Rack)
+	for r, ri := range c.postponed {
+		waiting = append(waiting, ri)
+		byID[ri.ID] = r
+	}
+	sort.Slice(waiting, func(i, j int) bool {
+		a, b := waiting[i], waiting[j]
+		if a.Priority != b.Priority {
+			return a.Priority < b.Priority
+		}
+		if a.DOD != b.DOD {
+			return a.DOD < b.DOD
+		}
+		return a.ID < b.ID
+	})
+	headroom := c.node.Headroom()
+	for _, ri := range waiting {
+		if headroom < floor {
+			break
+		}
+		r := byID[ri.ID]
+		want, _ := c.cfg.SLACurrent(ri.Priority, ri.DOD)
+		grant := c.cfg.Surface.MinCurrent()
+		wantPower := units.Power(float64(want) * c.cfg.WattsPerAmp)
+		if wantPower <= headroom {
+			grant = want
+		}
+		r.Pack().StartCharge(grant, ri.DOD)
+		headroom -= units.Power(float64(grant) * c.cfg.WattsPerAmp)
+		c.wasCharging[r] = true
+		c.metrics.OverridesIssued++
+		delete(c.postponed, r)
+	}
+}
+
+// itLoad sums the (capped) server power of the racks under this controller.
+func (c *Controller) itLoad() units.Power {
+	var total units.Power
+	for _, a := range c.agents {
+		if a.Rack().InputUp() {
+			total += a.Rack().ITLoad()
+		}
+	}
+	return total
+}
+
+// protect handles an instantaneous overload: battery throttling as the first
+// line of defense (coordinating modes), then priority-aware server capping
+// as the last resort. When the breaker is not overloaded, caps are released.
+func (c *Controller) protect(now time.Duration, dt time.Duration) {
+	excess := -c.headroomUncapped()
+	if excess <= 0 {
+		c.releaseCaps()
+		return
+	}
+	switch c.mode {
+	case ModePriorityAware, ModePostpone:
+		excess -= c.throttleBatteries(excess)
+	case ModeGlobal:
+		excess -= c.lowerGlobalRate()
+	}
+	if excess < 0 {
+		excess = 0
+	}
+	c.applyCaps(excess, dt)
+}
+
+// headroomUncapped is limit minus the draw the breaker would see with all
+// caps released: capping decisions are recomputed from scratch each tick.
+func (c *Controller) headroomUncapped() units.Power {
+	var uncapped units.Power
+	for _, a := range c.agents {
+		r := a.Rack()
+		if !r.InputUp() {
+			continue
+		}
+		uncapped += r.Demand() + r.RechargePower()
+	}
+	// Include draw from loads not managed by this controller (none in the
+	// standard topologies, but a child breaker may have foreign loads).
+	return c.node.Limit() - uncapped
+}
+
+// throttleBatteries sets charging currents to the minimum in reverse order
+// until the projected recovery covers excess; it returns the projected
+// recovered power.
+func (c *Controller) throttleBatteries(excess units.Power) units.Power {
+	var active []core.ActiveCharge
+	for i, a := range c.agents {
+		r := a.Rack()
+		if r.InputUp() && r.Charging() {
+			active = append(active, core.ActiveCharge{
+				RackInfo: c.rackInfo(i),
+				Current:  r.Pack().Setpoint(),
+			})
+		}
+	}
+	ids := core.ThrottleToMinimum(excess, active, c.cfg)
+	if len(ids) == 0 {
+		return 0
+	}
+	c.metrics.ThrottleEvents++
+	min := c.cfg.Surface.MinCurrent()
+	var recovered units.Power
+	current := make(map[int]units.Current, len(active))
+	for _, ac := range active {
+		current[ac.ID] = ac.Current
+	}
+	for _, id := range ids {
+		c.agents[id].Override(min)
+		c.metrics.OverridesIssued++
+		// Only instantly-settling overrides count against this tick's
+		// excess: a command still in its settling window has not recovered
+		// anything yet, and Dynamo caps on the overload it measures now
+		// (releasing the caps once the throttle lands).
+		if c.agents[id].Latency() <= 0 {
+			recovered += units.Power(float64(current[id]-min) * c.cfg.WattsPerAmp)
+		}
+	}
+	return recovered
+}
+
+// lowerGlobalRate recomputes the uniform rate from present available power
+// and applies it to every charging rack (the global baseline's only
+// overload response short of capping). It returns the projected recovery.
+func (c *Controller) lowerGlobalRate() units.Power {
+	var charging []core.RackInfo
+	var before units.Power
+	for i, a := range c.agents {
+		r := a.Rack()
+		if r.InputUp() && r.Charging() {
+			charging = append(charging, c.rackInfo(i))
+			before += r.RechargePower()
+		}
+	}
+	if len(charging) == 0 {
+		return 0
+	}
+	available := c.node.Limit() - c.itLoad()
+	plan := core.PlanGlobal(available, charging, c.cfg)
+	var after units.Power
+	for _, asg := range plan {
+		c.agents[asg.ID].Override(asg.Current)
+		c.metrics.OverridesIssued++
+		after += asg.RechargePower(c.cfg.WattsPerAmp)
+	}
+	c.metrics.ThrottleEvents++
+	if after >= before {
+		return 0
+	}
+	return before - after
+}
+
+// applyCaps distributes a required server power reduction across racks,
+// lowest priority first (Dynamo caps "according to priority of services
+// running on those servers"), and records the Table III metrics.
+func (c *Controller) applyCaps(needed units.Power, dt time.Duration) {
+	order := make([]*rack.Rack, 0, len(c.agents))
+	for _, a := range c.agents {
+		if a.Rack().InputUp() {
+			order = append(order, a.Rack())
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return order[i].Priority() > order[j].Priority()
+	})
+	source := c.node.Name()
+	var applied units.Power
+	remaining := needed
+	for _, r := range order {
+		if remaining <= 0 {
+			r.Uncap(source)
+			continue
+		}
+		cut := r.Demand()
+		if cut > remaining {
+			cut = remaining
+		}
+		r.Cap(source, r.Demand()-cut)
+		applied += cut
+		remaining -= cut
+	}
+	if applied > c.metrics.MaxCapping {
+		c.metrics.MaxCapping = applied
+		if it := c.itLoad() + applied; it > 0 {
+			c.metrics.MaxCappingFraction = units.Fraction(float64(applied) / float64(it))
+		}
+	}
+	if dt > 0 {
+		c.metrics.CappedEnergy += units.EnergyOver(applied, dt)
+	}
+}
+
+// releaseCaps removes this controller's server power caps (headroom has
+// returned); caps from other controllers are untouched.
+func (c *Controller) releaseCaps() {
+	for _, a := range c.agents {
+		a.Rack().Uncap(c.node.Name())
+	}
+}

@@ -1,0 +1,93 @@
+package dynamo
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+)
+
+// Hierarchy mirrors the power tree with one controller per breaker, as the
+// production deployment does: leaf controllers on every RPP and upper-level
+// controllers protecting SBs and the MSB (paper §IV-B). Controllers tick
+// bottom-up so that upper levels observe the corrective actions of the
+// levels below them within the same cycle.
+type Hierarchy struct {
+	controllers []*Controller
+	byNode      map[*power.Node]*Controller
+	agents      map[*rack.Rack]*Agent
+}
+
+// BuildHierarchy walks the power tree rooted at root and creates a
+// controller for every breaker. Every load in the tree must be a *rack.Rack.
+// engine may be nil when latency is zero.
+func BuildHierarchy(root *power.Node, mode Mode, cfg core.Config, engine *sim.Engine, latency time.Duration) (*Hierarchy, error) {
+	h := &Hierarchy{
+		byNode: make(map[*power.Node]*Controller),
+		agents: make(map[*rack.Rack]*Agent),
+	}
+	var nodes []*power.Node
+	root.Walk(func(n *power.Node) { nodes = append(nodes, n) })
+	// Bottom-up: deepest level first, stable within a level.
+	sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Level() > nodes[j].Level() })
+	for _, n := range nodes {
+		var agents []*Agent
+		for _, l := range n.RackLoads() {
+			r, ok := l.(*rack.Rack)
+			if !ok {
+				return nil, fmt.Errorf("dynamo: load %s under %s is %T, want *rack.Rack", l.Name(), n.Name(), l)
+			}
+			a := h.agents[r]
+			if a == nil {
+				a = NewAgent(r, engine, latency)
+				h.agents[r] = a
+			}
+			agents = append(agents, a)
+		}
+		// The root controller computes initial plans: it protects the
+		// breaker where the binding power constraint lives in the paper's
+		// experiments; lower levels monitor and protect.
+		ctl := NewController(n, agents, mode, cfg, n == root)
+		h.controllers = append(h.controllers, ctl)
+		h.byNode[n] = ctl
+	}
+	return h, nil
+}
+
+// Tick runs one monitoring cycle on every controller, bottom-up.
+func (h *Hierarchy) Tick(now time.Duration) {
+	for _, c := range h.controllers {
+		c.Tick(now)
+	}
+}
+
+// Controller returns the controller protecting node, or nil.
+func (h *Hierarchy) Controller(node *power.Node) *Controller { return h.byNode[node] }
+
+// Controllers returns all controllers in tick (bottom-up) order.
+func (h *Hierarchy) Controllers() []*Controller { return h.controllers }
+
+// Agent returns the agent for a rack, or nil.
+func (h *Hierarchy) Agent(r *rack.Rack) *Agent { return h.agents[r] }
+
+// TotalMetrics aggregates metrics across controllers: counters sum, capping
+// maxima take the hierarchy-wide maximum.
+func (h *Hierarchy) TotalMetrics() Metrics {
+	var m Metrics
+	for _, c := range h.controllers {
+		cm := c.Metrics()
+		if cm.MaxCapping > m.MaxCapping {
+			m.MaxCapping = cm.MaxCapping
+			m.MaxCappingFraction = cm.MaxCappingFraction
+		}
+		m.CappedEnergy += cm.CappedEnergy
+		m.OverridesIssued += cm.OverridesIssued
+		m.ThrottleEvents += cm.ThrottleEvents
+		m.PlansComputed += cm.PlansComputed
+	}
+	return m
+}

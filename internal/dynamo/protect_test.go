@@ -1,0 +1,169 @@
+package dynamo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/bus"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+	"coordcharge/internal/units"
+)
+
+// Global mode lowers the uniform rate when the IT load drifts up after the
+// initial plan (the baseline's only overload response short of capping).
+func TestGlobalModeLowersRateAfterDrift(t *testing.T) {
+	rpp, racks := row(t, []rack.Priority{rack.P1, rack.P2, rack.P3}, charger.Variable{})
+	transition(racks, 11000*units.Watt, 90*time.Second)
+	// Generous at plan time: everyone gets 5 A.
+	rpp.SetLimit(33*units.Kilowatt + 3*5*380)
+	ctl := NewController(rpp, agentsFor(racks), ModeGlobal, core.DefaultConfig(), true)
+	ctl.Tick(91 * time.Second)
+	for i, r := range racks {
+		if got := r.Pack().Setpoint(); got != 5 {
+			t.Fatalf("rack %d planned at %v, want 5 A", i, got)
+		}
+	}
+	// Drift: +1 kW per rack leaves room for only ~2.4 A per rack.
+	for _, r := range racks {
+		r.SetDemand(12 * units.Kilowatt)
+	}
+	ctl.Tick(94 * time.Second)
+	for i, r := range racks {
+		if got := r.Pack().Setpoint(); got != 2 {
+			t.Errorf("rack %d setpoint after drift = %v, want lowered to 2 A", i, got)
+		}
+	}
+	if got := ctl.Metrics().MaxCapping; got != 0 {
+		t.Errorf("global mode capped %v, want rate-lowering to suffice", got)
+	}
+}
+
+// The async leaf caps servers when even minimum-rate charging overloads its
+// breaker, and releases the caps when headroom returns.
+func TestAsyncLeafCapsAsLastResort(t *testing.T) {
+	engine := sim.NewEngine()
+	b := bus.New(engine, bus.ConstantLatency(5*time.Millisecond))
+	rpp := power.NewNode("rppcap", power.LevelRPP, 21*units.Kilowatt)
+	var racks []*rack.Rack
+	for i := 0; i < 2; i++ {
+		r := rack.New(fmt.Sprintf("cap%d", i), rack.Priority(1+2*i), charger.Variable{}, battery.Fig5Surface())
+		r.SetDemand(11 * units.Kilowatt)
+		rpp.AttachLoad(r)
+		NewAsyncAgent(b, engine, r, 0)
+		racks = append(racks, r)
+	}
+	leaf := NewAsyncLeaf(b, engine, rpp, racks, ModePriorityAware, core.DefaultConfig(), true, 3*time.Second)
+
+	drive := func(from, to time.Duration) {
+		for now := from; now <= to; now += time.Second {
+			for _, r := range racks {
+				r.Step(now, time.Second)
+			}
+			engine.Run(now)
+		}
+	}
+	// 22 kW of demand under a 21 kW breaker: caps must appear even before
+	// any charging happens.
+	drive(time.Second, 10*time.Second)
+	var capped units.Power
+	for _, r := range racks {
+		capped += r.CappedPower()
+	}
+	if capped < 900*units.Watt || capped > 1100*units.Watt {
+		t.Fatalf("capped = %v, want ~1 kW", capped)
+	}
+	// The P3 rack absorbs the cut.
+	if racks[1].CappedPower() == 0 || racks[0].CappedPower() != 0 {
+		t.Errorf("cap distribution wrong: P1 %v, P3 %v", racks[0].CappedPower(), racks[1].CappedPower())
+	}
+	if leaf.Metrics().MaxCapping == 0 {
+		t.Error("leaf metrics did not record capping")
+	}
+	// Demand falls; caps must be released.
+	for _, r := range racks {
+		r.SetDemand(9 * units.Kilowatt)
+	}
+	drive(11*time.Second, 20*time.Second)
+	for i, r := range racks {
+		if r.CappedPower() != 0 {
+			t.Errorf("rack %d still capped %v after headroom returned", i, r.CappedPower())
+		}
+	}
+}
+
+// The async upper controller throttles through leaves on post-plan drift
+// and escalates to delegated capping when throttling cannot cover the
+// excess.
+func TestAsyncUpperProtects(t *testing.T) {
+	engine := sim.NewEngine()
+	b := bus.New(engine, bus.ConstantLatency(5*time.Millisecond))
+	msb := power.NewNode("msbprot", power.LevelMSB, 47*units.Kilowatt)
+	var racks []*rack.Rack
+	var leaves []*AsyncLeaf
+	for li := 0; li < 2; li++ {
+		rpp := msb.AddChild(power.NewNode(fmt.Sprintf("rppp%d", li), power.LevelRPP, power.DefaultRPPLimit))
+		var leafRacks []*rack.Rack
+		for i := 0; i < 2; i++ {
+			r := rack.New(fmt.Sprintf("up%d%d", li, i), rack.Priority(1+2*i), charger.Variable{}, battery.Fig5Surface())
+			r.SetDemand(11 * units.Kilowatt)
+			rpp.AttachLoad(r)
+			NewAsyncAgent(b, engine, r, 0)
+			leafRacks = append(leafRacks, r)
+			racks = append(racks, r)
+		}
+		leaves = append(leaves, NewAsyncLeaf(b, engine, rpp, leafRacks, ModePriorityAware, core.DefaultConfig(), false, 2*time.Second))
+	}
+	upper := NewAsyncUpper(b, engine, msb, leaves, ModePriorityAware, core.DefaultConfig(), 4*time.Second)
+
+	drive := func(from, to time.Duration) {
+		for now := from; now <= to; now += time.Second {
+			for _, r := range racks {
+				r.Step(now, time.Second)
+			}
+			engine.Run(now)
+		}
+	}
+	drive(time.Second, 10*time.Second)
+	// Transition: all racks discharge ~35% and restore.
+	for _, r := range racks {
+		r.LoseInput(10 * time.Second)
+	}
+	drive(11*time.Second, 46*time.Second)
+	for _, r := range racks {
+		r.RestoreInput(46 * time.Second)
+	}
+	// 44 kW IT + plan: available 3 kW → P1s get 2 A, P3s floored. Let the
+	// plan land, then drift demand upward to force throttling.
+	drive(47*time.Second, 70*time.Second)
+	if upper.Metrics().PlansComputed != 1 {
+		t.Fatalf("plans = %d, want 1", upper.Metrics().PlansComputed)
+	}
+	for _, r := range racks {
+		r.SetDemand(11400 * units.Watt)
+	}
+	drive(71*time.Second, 95*time.Second)
+	if upper.Metrics().ThrottleEvents == 0 {
+		t.Error("upper never throttled after drift")
+	}
+	// Escalate: demand beyond what throttling recovers → delegated caps.
+	for _, r := range racks {
+		r.SetDemand(12500 * units.Watt)
+	}
+	drive(96*time.Second, 120*time.Second)
+	var capped units.Power
+	for _, r := range racks {
+		capped += r.CappedPower()
+	}
+	if capped == 0 {
+		t.Error("upper never delegated capping despite a 3 kW overload")
+	}
+	if upper.Metrics().MaxCapping == 0 {
+		t.Error("upper metrics did not record capping")
+	}
+}

@@ -1,0 +1,113 @@
+// Package oversub quantifies power oversubscription (paper §II-B): how much
+// IT equipment can share a breaker whose limit is far below the equipment's
+// aggregate nameplate rating, because statistical multiplexing makes the
+// simultaneous-peak probability negligible. Facebook's twenty largest data
+// centers averaged 47 % more racks than nameplate provisioning would allow;
+// this package computes the same ratios and exceedance probabilities for a
+// trace, giving the operator the "how far can I push it" numbers that make
+// the battery-recharge problem acute in the first place.
+package oversub
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/stats"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// Result summarises a trace's aggregate-power distribution against nameplate
+// provisioning.
+type Result struct {
+	// Racks is the population size; Nameplate is Racks × 12.6 kW.
+	Racks     int
+	Nameplate units.Power
+	// Min, Mean, Peak, P99 describe the observed aggregate draw.
+	Min, Mean, Peak, P99 units.Power
+	// PeakToNameplate is the diversity factor: observed peak over nameplate.
+	PeakToNameplate float64
+}
+
+// Analyze scans a trace's aggregate power over [0, window] at the given
+// step. A non-positive window defaults to a week; a non-positive step to a
+// minute.
+func Analyze(src trace.Source, window, step time.Duration) Result {
+	if window <= 0 {
+		window = 7 * 24 * time.Hour
+	}
+	if step <= 0 {
+		step = time.Minute
+	}
+	samples := collect(src, window, step)
+	s := stats.Summarize(samples)
+	r := Result{
+		Racks:     src.NumRacks(),
+		Nameplate: units.Power(src.NumRacks()) * rack.MaxITLoad,
+		Min:       units.Power(s.Min),
+		Mean:      units.Power(s.Mean),
+		Peak:      units.Power(s.Max),
+		P99:       units.Power(s.P99),
+	}
+	if r.Nameplate > 0 {
+		r.PeakToNameplate = float64(r.Peak) / float64(r.Nameplate)
+	}
+	return r
+}
+
+func collect(src trace.Source, window, step time.Duration) []float64 {
+	var out []float64
+	for t := time.Duration(0); t <= window; t += step {
+		out = append(out, float64(trace.Aggregate(src, t)))
+	}
+	return out
+}
+
+// Ratio returns the oversubscription ratio of a deployment: aggregate
+// nameplate over the breaker limit (1.47 on average across the paper's
+// twenty largest data centers; 1.7 at the most aggressive site).
+func Ratio(nameplate, limit units.Power) float64 {
+	if limit <= 0 {
+		return 0
+	}
+	return float64(nameplate) / float64(limit)
+}
+
+// LimitForExceedance returns the smallest breaker limit whose probability of
+// instantaneous overload — the fraction of trace samples above the limit —
+// does not exceed target. target 0 returns the observed peak; larger targets
+// permit deeper oversubscription at the price of more frequent capping. The
+// error reports a target outside [0, 1).
+func LimitForExceedance(src trace.Source, target float64, window, step time.Duration) (units.Power, error) {
+	if target < 0 || target >= 1 {
+		return 0, fmt.Errorf("oversub: exceedance target %v outside [0, 1)", target)
+	}
+	if window <= 0 {
+		window = 7 * 24 * time.Hour
+	}
+	if step <= 0 {
+		step = time.Minute
+	}
+	samples := collect(src, window, step)
+	sort.Float64s(samples)
+	return units.Power(stats.Percentile(samples, 1-target)), nil
+}
+
+// SupportableRacks estimates how many racks with the same statistical
+// profile as the trace's population fit under the limit at the given
+// exceedance target: the aggregate distribution is assumed to scale
+// proportionally with the population (the statistical-multiplexing
+// approximation behind §II-B's deployment numbers).
+func SupportableRacks(src trace.Source, limit units.Power, target float64, window, step time.Duration) (int, error) {
+	atCurrent, err := LimitForExceedance(src, target, window, step)
+	if err != nil {
+		return 0, err
+	}
+	if atCurrent <= 0 {
+		return 0, fmt.Errorf("oversub: trace has no load")
+	}
+	scale := float64(limit) / float64(atCurrent)
+	return int(float64(src.NumRacks()) * scale), nil
+}

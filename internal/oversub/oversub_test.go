@@ -1,0 +1,112 @@
+package oversub
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+func gen(t *testing.T) *trace.Generator {
+	t.Helper()
+	g, err := trace.NewGenerator(trace.Spec{NumRacks: 316, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestAnalyzeProductionTrace(t *testing.T) {
+	r := Analyze(gen(t), 7*24*time.Hour, 10*time.Minute)
+	if r.Racks != 316 {
+		t.Errorf("racks = %d", r.Racks)
+	}
+	// 316 racks × 12.6 kW = 3.98 MW of nameplate.
+	if math.Abs(r.Nameplate.MW()-3.98) > 0.01 {
+		t.Errorf("nameplate = %v", r.Nameplate)
+	}
+	if r.Peak < 2.0*units.Megawatt || r.Peak > 2.2*units.Megawatt {
+		t.Errorf("peak = %v", r.Peak)
+	}
+	if r.Min >= r.Mean || r.Mean >= r.Peak || r.P99 > r.Peak {
+		t.Errorf("distribution inconsistent: %+v", r)
+	}
+	// The diversity factor: the trace peaks at ~53% of nameplate, which is
+	// why oversubscription works.
+	if r.PeakToNameplate < 0.45 || r.PeakToNameplate > 0.60 {
+		t.Errorf("peak/nameplate = %v", r.PeakToNameplate)
+	}
+}
+
+func TestAnalyzeDefaults(t *testing.T) {
+	r := Analyze(gen(t), 0, 0)
+	if r.Peak <= 0 {
+		t.Error("default window/step produced no data")
+	}
+}
+
+// The paper's §II-B numbers: a 2.5 MW MSB holding 316 racks of 12.6 kW
+// nameplate is oversubscribed ~1.6×, in the range of the fleet's 1.47
+// average and 1.7 maximum.
+func TestRatioMatchesPaperRange(t *testing.T) {
+	r := Analyze(gen(t), 24*time.Hour, 10*time.Minute)
+	ratio := Ratio(r.Nameplate, 2.5*units.Megawatt)
+	if ratio < 1.4 || ratio > 1.7 {
+		t.Errorf("oversubscription ratio = %.2f, want ~1.6", ratio)
+	}
+	if Ratio(r.Nameplate, 0) != 0 {
+		t.Error("zero limit did not return 0")
+	}
+}
+
+func TestLimitForExceedance(t *testing.T) {
+	g := gen(t)
+	zero, err := LimitForExceedance(g, 0, 24*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Analyze(g, 24*time.Hour, 10*time.Minute)
+	if zero != r.Peak {
+		t.Errorf("zero-exceedance limit %v != peak %v", zero, r.Peak)
+	}
+	// A permissive target allows a lower limit; monotone in target.
+	five, err := LimitForExceedance(g, 0.05, 24*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twenty, err := LimitForExceedance(g, 0.20, 24*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(twenty < five && five < zero) {
+		t.Errorf("limits not monotone: %v %v %v", twenty, five, zero)
+	}
+	if _, err := LimitForExceedance(g, 1.0, 0, 0); err == nil {
+		t.Error("target 1.0 accepted")
+	}
+	if _, err := LimitForExceedance(g, -0.1, 0, 0); err == nil {
+		t.Error("negative target accepted")
+	}
+}
+
+func TestSupportableRacks(t *testing.T) {
+	g := gen(t)
+	// At the observed peak, the current population exactly fits.
+	n, err := SupportableRacks(g, Analyze(g, 24*time.Hour, 10*time.Minute).Peak, 0, 24*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 316 {
+		t.Errorf("supportable at peak = %d, want 316", n)
+	}
+	// A 2.5 MW limit supports more racks than the trace's 2.1 MW peak needs.
+	n, err = SupportableRacks(g, 2.5*units.Megawatt, 0, 24*time.Hour, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 340 || n > 420 {
+		t.Errorf("supportable at 2.5 MW = %d, want ~375", n)
+	}
+}

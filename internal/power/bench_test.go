@@ -1,0 +1,25 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"coordcharge/internal/units"
+)
+
+// Aggregating the full production tree: the hot path of every monitoring
+// tick.
+func BenchmarkTreePower316(b *testing.B) {
+	loads := make([]Load, 316)
+	for i := range loads {
+		loads[i] = &stubLoad{fmt.Sprintf("r%d", i), 6 * units.Kilowatt}
+	}
+	msb, err := Build(Spec{Name: "m"}, loads)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = msb.Power()
+	}
+}

@@ -1,0 +1,263 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+// stubLoad is a fixed-power Load for hierarchy tests.
+type stubLoad struct {
+	name string
+	p    units.Power
+}
+
+func (s *stubLoad) Name() string       { return s.name }
+func (s *stubLoad) Power() units.Power { return s.p }
+
+func TestLevelString(t *testing.T) {
+	cases := map[Level]string{LevelMSB: "MSB", LevelSB: "SB", LevelRPP: "RPP", Level(9): "Level(9)"}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("Level(%d).String() = %q, want %q", int(l), got, want)
+		}
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	msb := NewNode("msb", LevelMSB, DefaultMSBLimit)
+	sb := msb.AddChild(NewNode("sb", LevelSB, DefaultSBLimit))
+	rpp1 := sb.AddChild(NewNode("rpp1", LevelRPP, DefaultRPPLimit))
+	rpp2 := sb.AddChild(NewNode("rpp2", LevelRPP, DefaultRPPLimit))
+	rpp1.AttachLoad(&stubLoad{"a", 10 * units.Kilowatt})
+	rpp1.AttachLoad(&stubLoad{"b", 5 * units.Kilowatt})
+	rpp2.AttachLoad(&stubLoad{"c", 7 * units.Kilowatt})
+	if got := rpp1.Power(); got != 15*units.Kilowatt {
+		t.Errorf("rpp1 power = %v, want 15 kW", got)
+	}
+	if got := msb.Power(); got != 22*units.Kilowatt {
+		t.Errorf("msb power = %v, want 22 kW", got)
+	}
+	if got := msb.Headroom(); got != DefaultMSBLimit-22*units.Kilowatt {
+		t.Errorf("headroom = %v", got)
+	}
+}
+
+func TestParentEqualsSumOfChildrenEverywhere(t *testing.T) {
+	loads := make([]Load, 50)
+	for i := range loads {
+		loads[i] = &stubLoad{fmt.Sprintf("r%d", i), units.Power(i+1) * units.Kilowatt}
+	}
+	msb, err := Build(Spec{Name: "m"}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msb.Walk(func(n *Node) {
+		var sum units.Power
+		for _, c := range n.Children() {
+			sum += c.Power()
+		}
+		for _, l := range n.Loads() {
+			sum += l.Power()
+		}
+		if n.Power() != sum {
+			t.Errorf("node %s power %v != sum of parts %v", n.Name(), n.Power(), sum)
+		}
+	})
+}
+
+func TestOverloaded(t *testing.T) {
+	rpp := NewNode("rpp", LevelRPP, 100*units.Kilowatt)
+	l := &stubLoad{"x", 90 * units.Kilowatt}
+	rpp.AttachLoad(l)
+	if rpp.Overloaded() {
+		t.Error("below-limit node reported overloaded")
+	}
+	l.p = 110 * units.Kilowatt
+	if !rpp.Overloaded() {
+		t.Error("over-limit node not reported overloaded")
+	}
+	if rpp.Headroom() != -10*units.Kilowatt {
+		t.Errorf("negative headroom = %v", rpp.Headroom())
+	}
+}
+
+// Paper §I: a 30% overdraw sustained for more than 30 s trips the breaker.
+func TestTripRuleSustainedOverdraw(t *testing.T) {
+	rpp := NewNode("rpp", LevelRPP, 100*units.Kilowatt)
+	l := &stubLoad{"x", 135 * units.Kilowatt} // 35% overdraw
+	rpp.AttachLoad(l)
+	now := time.Duration(0)
+	for i := 0; i < 10; i++ { // 30 s of 3 s ticks
+		if rpp.Observe(now) {
+			t.Fatalf("tripped too early at %v", now)
+		}
+		now += 3 * time.Second
+	}
+	if !rpp.Observe(now) {
+		t.Error("breaker did not trip after sustained 35% overdraw")
+	}
+	if !rpp.Tripped() {
+		t.Error("Tripped() false after trip")
+	}
+	// Stays tripped; Observe no longer reports a new trip.
+	if rpp.Observe(now + time.Minute) {
+		t.Error("tripped breaker reported tripping again")
+	}
+	rpp.Reset(now + 2*time.Minute)
+	if rpp.Tripped() {
+		t.Error("Reset did not clear trip")
+	}
+}
+
+func TestTripRuleRecoversWhenOverdrawClears(t *testing.T) {
+	rpp := NewNode("rpp", LevelRPP, 100*units.Kilowatt)
+	l := &stubLoad{"x", 135 * units.Kilowatt}
+	rpp.AttachLoad(l)
+	rpp.Observe(0)
+	rpp.Observe(15 * time.Second)
+	l.p = 95 * units.Kilowatt // overdraw clears
+	rpp.Observe(20 * time.Second)
+	l.p = 135 * units.Kilowatt // overdraw returns: the sustain clock restarts
+	rpp.Observe(25 * time.Second)
+	if rpp.Observe(40 * time.Second) {
+		t.Error("breaker tripped without a full sustained window")
+	}
+	if !rpp.Observe(60 * time.Second) {
+		t.Error("breaker did not trip after the new sustained window")
+	}
+}
+
+func TestTripRuleIgnoresMildOverload(t *testing.T) {
+	// Overloaded but below the 30% trip fraction: Dynamo's problem, not the
+	// breaker's.
+	rpp := NewNode("rpp", LevelRPP, 100*units.Kilowatt)
+	rpp.AttachLoad(&stubLoad{"x", 120 * units.Kilowatt})
+	for now := time.Duration(0); now < 10*time.Minute; now += time.Second {
+		if rpp.Observe(now) {
+			t.Fatal("breaker tripped below the trip fraction")
+		}
+	}
+}
+
+func TestAddChildPanics(t *testing.T) {
+	a := NewNode("a", LevelMSB, 1*units.Megawatt)
+	b := NewNode("b", LevelSB, 1*units.Megawatt)
+	a.AddChild(b)
+	t.Run("double parent", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on double-parenting")
+			}
+		}()
+		NewNode("c", LevelMSB, 1*units.Megawatt).AddChild(b)
+	})
+	t.Run("cycle", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on cycle")
+			}
+		}()
+		b.AddChild(a)
+	})
+	t.Run("nil load", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on nil load")
+			}
+		}()
+		a.AttachLoad(nil)
+	})
+	t.Run("bad limit", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on non-positive limit")
+			}
+		}()
+		NewNode("zero", LevelRPP, 0)
+	})
+}
+
+func TestBuildTopologyShape(t *testing.T) {
+	loads := make([]Load, 316) // the paper's evaluation MSB: 316 racks
+	for i := range loads {
+		loads[i] = &stubLoad{fmt.Sprintf("r%d", i), 6 * units.Kilowatt}
+	}
+	msb, err := Build(Spec{Name: "msb0"}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msb.Level() != LevelMSB || msb.Limit() != DefaultMSBLimit {
+		t.Errorf("root = %v/%v", msb.Level(), msb.Limit())
+	}
+	nSB := len(msb.Children())
+	if nSB < 2 || nSB > 4 {
+		t.Errorf("SB count = %d, want 2..4", nSB)
+	}
+	var nRPP, nLoads int
+	msb.Walk(func(n *Node) {
+		if n.Level() == LevelRPP {
+			nRPP++
+			if len(n.Loads()) > 14 {
+				t.Errorf("RPP %s has %d racks, want ≤14", n.Name(), len(n.Loads()))
+			}
+		}
+		nLoads += len(n.Loads())
+	})
+	if nLoads != 316 {
+		t.Errorf("attached loads = %d, want 316", nLoads)
+	}
+	if want := (316 + 13) / 14; nRPP != want {
+		t.Errorf("RPP count = %d, want %d", nRPP, want)
+	}
+	if got := len(msb.RackLoads()); got != 316 {
+		t.Errorf("RackLoads = %d, want 316", got)
+	}
+}
+
+func TestBuildEmptyLoads(t *testing.T) {
+	if _, err := Build(Spec{}, nil); err == nil {
+		t.Error("Build accepted empty load list")
+	}
+}
+
+func TestBuildCustomSpec(t *testing.T) {
+	loads := make([]Load, 17)
+	for i := range loads {
+		loads[i] = &stubLoad{fmt.Sprintf("r%d", i), 5 * units.Kilowatt}
+	}
+	msb, err := Build(Spec{Name: "x", SBCount: 3, RacksPerRPP: 17, MSBLimit: 2 * units.Megawatt}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msb.Children()) != 3 {
+		t.Errorf("SB count = %d, want 3", len(msb.Children()))
+	}
+	if msb.Limit() != 2*units.Megawatt {
+		t.Errorf("limit = %v", msb.Limit())
+	}
+}
+
+func TestValidateDuplicateNames(t *testing.T) {
+	a := NewNode("dup", LevelMSB, 1*units.Megawatt)
+	a.AddChild(NewNode("dup", LevelSB, 1*units.Megawatt))
+	if err := a.Validate(); err == nil {
+		t.Error("Validate accepted duplicate names")
+	}
+}
+
+func TestSetLimit(t *testing.T) {
+	n := NewNode("m", LevelMSB, DefaultMSBLimit)
+	n.SetLimit(2.3 * units.Megawatt)
+	if n.Limit() != 2.3*units.Megawatt {
+		t.Errorf("limit = %v", n.Limit())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on zero limit")
+		}
+	}()
+	n.SetLimit(0)
+}

@@ -1,0 +1,90 @@
+package power
+
+import (
+	"fmt"
+
+	"coordcharge/internal/units"
+)
+
+// Spec describes an MSB-rooted topology to assemble from a flat list of rack
+// loads: the shape used by every MSB-level experiment in the paper's §V.
+type Spec struct {
+	// Name prefixes every breaker name ("msb0", "msb0/sb1", ...).
+	Name string
+	// MSBLimit, SBLimit, RPPLimit are breaker ratings; zero selects the
+	// Open Compute defaults (2.5 MW / 1.25 MW / 190 kW).
+	MSBLimit units.Power
+	SBLimit  units.Power
+	RPPLimit units.Power
+	// RacksPerRPP is the number of racks per row; zero selects 14 (the
+	// paper's production test row, and within the 190 kW RPP rating at
+	// 12.6 kW per rack).
+	RacksPerRPP int
+	// SBCount forces the number of switch boards; zero selects enough SBs
+	// so that aggregate RPP rating per SB stays within roughly 2× the SB
+	// rating (matching the paper's 2–4 SBs per MSB and its oversubscribed
+	// reality), bounded to [2, 4].
+	SBCount int
+}
+
+func (s *Spec) fillDefaults(nLoads int) {
+	if s.Name == "" {
+		s.Name = "msb"
+	}
+	if s.MSBLimit == 0 {
+		s.MSBLimit = DefaultMSBLimit
+	}
+	if s.SBLimit == 0 {
+		s.SBLimit = DefaultSBLimit
+	}
+	if s.RPPLimit == 0 {
+		s.RPPLimit = DefaultRPPLimit
+	}
+	if s.RacksPerRPP == 0 {
+		s.RacksPerRPP = 14
+	}
+	if s.SBCount == 0 {
+		nRPP := (nLoads + s.RacksPerRPP - 1) / s.RacksPerRPP
+		s.SBCount = nRPP / 8
+		if s.SBCount < 2 {
+			s.SBCount = 2
+		}
+		if s.SBCount > 4 {
+			s.SBCount = 4
+		}
+	}
+}
+
+// Build assembles an MSB → SB → RPP tree and attaches the loads to RPPs in
+// order, RacksPerRPP per RPP, RPPs spread round-robin across the SBs. It
+// returns the MSB root.
+func Build(spec Spec, loads []Load) (*Node, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("power: Build needs at least one load")
+	}
+	spec.fillDefaults(len(loads))
+	msb := NewNode(spec.Name, LevelMSB, spec.MSBLimit)
+	sbs := make([]*Node, spec.SBCount)
+	for i := range sbs {
+		sbs[i] = NewNode(fmt.Sprintf("%s/sb%d", spec.Name, i), LevelSB, spec.SBLimit)
+		msb.AddChild(sbs[i])
+	}
+	nRPP := (len(loads) + spec.RacksPerRPP - 1) / spec.RacksPerRPP
+	for ri := 0; ri < nRPP; ri++ {
+		sb := sbs[ri%len(sbs)]
+		rpp := NewNode(fmt.Sprintf("%s/rpp%d", spec.Name, ri), LevelRPP, spec.RPPLimit)
+		sb.AddChild(rpp)
+		lo := ri * spec.RacksPerRPP
+		hi := lo + spec.RacksPerRPP
+		if hi > len(loads) {
+			hi = len(loads)
+		}
+		for _, l := range loads[lo:hi] {
+			rpp.AttachLoad(l)
+		}
+	}
+	if err := msb.Validate(); err != nil {
+		return nil, err
+	}
+	return msb, nil
+}

@@ -1,0 +1,288 @@
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/units"
+)
+
+// The Open Rack V2 power architecture constants (paper §III-A).
+const (
+	// ZonesPerRack: a rack has two identical power zones.
+	ZonesPerRack = 2
+	// PSUsPerZone: each zone has three power supply units in a 2+1 redundant
+	// arrangement, each backed by one BBU.
+	PSUsPerZone = 3
+	// MaxZoneLoad is half the rack rating.
+	MaxZoneLoad = MaxITLoad / ZonesPerRack
+	// MaxPSULoad is one PSU's output capability: a zone must be carriable by
+	// two of its three PSUs.
+	MaxPSULoad = MaxZoneLoad / 2
+	// ConversionEfficiency is the AC→DC conversion plus charger losses; it
+	// calibrates six BBUs charging at 5 A (~1572 W battery-side) to the
+	// paper's 1.9 kW rack-input recharge figure.
+	ConversionEfficiency = 0.82
+)
+
+// PSU is one power supply unit and its paired battery backup unit. The PSU
+// converts rack input AC to DC for the IT gear and charges/discharges its
+// BBU (paper §II-A).
+type PSU struct {
+	name   string
+	bbu    *battery.BBU
+	failed bool
+}
+
+// Name returns the PSU identifier.
+func (p *PSU) Name() string { return p.name }
+
+// BBU exposes the paired battery.
+func (p *PSU) BBU() *battery.BBU { return p.bbu }
+
+// Failed reports whether the PSU is out of service.
+func (p *PSU) Failed() bool { return p.failed }
+
+// Zone is one of the rack's two power zones: three PSUs sharing the zone's
+// IT load, 2+1 redundant.
+type Zone struct {
+	psus [PSUsPerZone]*PSU
+	load units.Power
+}
+
+// PSUs returns the zone's power supply units.
+func (z *Zone) PSUs() []*PSU { return z.psus[:] }
+
+// healthy returns the in-service PSUs.
+func (z *Zone) healthy() []*PSU {
+	var out []*PSU
+	for _, p := range z.psus {
+		if !p.failed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Capacity returns the zone's deliverable power given its healthy PSUs.
+func (z *Zone) Capacity() units.Power {
+	return units.Power(len(z.healthy())) * MaxPSULoad
+}
+
+// Shortfall returns the zone load the healthy PSUs cannot carry.
+func (z *Zone) Shortfall() units.Power {
+	return z.load.Over(z.Capacity())
+}
+
+// DetailedRack models the rack's power internals explicitly — two zones of
+// three PSU+BBU pairs — where Rack abstracts them into one pack. It exists
+// for hardware-level studies (PSU failures, per-BBU charge profiles); the
+// fleet-scale simulations use Rack.
+type DetailedRack struct {
+	name    string
+	policy  charger.Policy
+	zones   [ZonesPerRack]*Zone
+	inputUp bool
+}
+
+// NewDetailed builds a detailed rack with all PSUs healthy, all BBUs full,
+// and input power up.
+func NewDetailed(name string, policy charger.Policy, params battery.Params) *DetailedRack {
+	if policy == nil {
+		panic(fmt.Errorf("rack %s: nil charger policy", name))
+	}
+	d := &DetailedRack{name: name, policy: policy, inputUp: true}
+	for zi := range d.zones {
+		z := &Zone{}
+		for pi := range z.psus {
+			z.psus[pi] = &PSU{
+				name: fmt.Sprintf("%s/z%d/psu%d", name, zi, pi),
+				bbu:  battery.New(params),
+			}
+		}
+		d.zones[zi] = z
+	}
+	return d
+}
+
+// Name returns the rack identifier.
+func (d *DetailedRack) Name() string { return d.name }
+
+// Zones returns the two power zones.
+func (d *DetailedRack) Zones() []*Zone { return d.zones[:] }
+
+// InputUp reports whether rack input power is present.
+func (d *DetailedRack) InputUp() bool { return d.inputUp }
+
+// SetDemand sets the rack's IT load, split evenly across the zones and
+// clamped to the rack rating.
+func (d *DetailedRack) SetDemand(p units.Power) {
+	if p < 0 {
+		p = 0
+	}
+	if p > MaxITLoad {
+		p = MaxITLoad
+	}
+	for _, z := range d.zones {
+		z.load = p / ZonesPerRack
+	}
+}
+
+// Demand returns the rack's IT load.
+func (d *DetailedRack) Demand() units.Power {
+	var total units.Power
+	for _, z := range d.zones {
+		total += z.load
+	}
+	return total
+}
+
+// Shortfall returns IT load that cannot be served because too many PSUs have
+// failed (beyond the 2+1 redundancy).
+func (d *DetailedRack) Shortfall() units.Power {
+	var total units.Power
+	for _, z := range d.zones {
+		total += z.Shortfall()
+	}
+	return total
+}
+
+// FailPSU takes a PSU out of service. Its BBU neither charges nor
+// discharges.
+func (d *DetailedRack) FailPSU(zone, psu int) {
+	d.zones[zone].psus[psu].failed = true
+}
+
+// RepairPSU returns a PSU to service.
+func (d *DetailedRack) RepairPSU(zone, psu int) {
+	d.zones[zone].psus[psu].failed = false
+}
+
+// LoseInput starts an input-power loss: the healthy PSUs begin discharging
+// their BBUs to carry the zone loads.
+func (d *DetailedRack) LoseInput(time.Duration) { d.inputUp = false }
+
+// RestoreInput ends the input-power loss: every discharged BBU begins its
+// CC-CV recharge at the current chosen by the local charger policy from its
+// own depth of discharge — the per-PSU decision the paper's §IV opens with.
+func (d *DetailedRack) RestoreInput(time.Duration) {
+	if d.inputUp {
+		return
+	}
+	d.inputUp = true
+	for _, z := range d.zones {
+		for _, p := range z.healthy() {
+			if dod := p.bbu.DOD(); dod > 0 {
+				p.bbu.StartCharge(d.policy.InitialCurrent(dod))
+			}
+		}
+	}
+}
+
+// OverrideCurrent applies a manual charging-current override to every
+// charging BBU (the Dynamo agent's command).
+func (d *DetailedRack) OverrideCurrent(i units.Current) {
+	for _, z := range d.zones {
+		for _, p := range z.psus {
+			p.bbu.SetChargeCurrent(charger.ClampOverride(i))
+		}
+	}
+}
+
+// Step advances the rack by dt: discharging BBUs carry the zone loads while
+// input is lost, charging BBUs progress while input is up.
+func (d *DetailedRack) Step(_ time.Duration, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	for _, z := range d.zones {
+		healthy := z.healthy()
+		if !d.inputUp {
+			if len(healthy) == 0 {
+				continue
+			}
+			share := z.load / units.Power(len(healthy))
+			for _, p := range healthy {
+				p.bbu.Discharge(share, dt)
+			}
+			continue
+		}
+		for _, p := range healthy {
+			p.bbu.StepCharge(dt)
+		}
+	}
+}
+
+// RechargePower returns the rack-input power drawn to recharge the BBUs
+// (battery-side power divided by the conversion efficiency).
+func (d *DetailedRack) RechargePower() units.Power {
+	if !d.inputUp {
+		return 0
+	}
+	var batterySide units.Power
+	for _, z := range d.zones {
+		for _, p := range z.psus {
+			batterySide += p.bbu.ChargePower()
+		}
+	}
+	return units.Power(float64(batterySide) / ConversionEfficiency)
+}
+
+// Power returns the rack's draw on the hierarchy: served IT load plus
+// recharge power, zero while input is lost. IT conversion losses are treated
+// as part of the load rating, matching the abstract Rack model.
+func (d *DetailedRack) Power() units.Power {
+	if !d.inputUp {
+		return 0
+	}
+	var served units.Power
+	for _, z := range d.zones {
+		served += z.load - z.Shortfall()
+	}
+	return served + d.RechargePower()
+}
+
+// Charging reports whether any BBU is recharging.
+func (d *DetailedRack) Charging() bool {
+	for _, z := range d.zones {
+		for _, p := range z.psus {
+			if p.bbu.State() == battery.Charging {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Runtime returns how long the batteries can carry the present load at the
+// present state of charge — the paper's 90-second design point when fully
+// charged at the rack rating. It returns the minimum across zones; an
+// unloaded rack reports the maximum representable duration.
+func (d *DetailedRack) Runtime() time.Duration {
+	min := time.Duration(1<<63 - 1)
+	for _, z := range d.zones {
+		if z.load <= 0 {
+			continue
+		}
+		healthy := z.healthy()
+		if len(healthy) == 0 {
+			return 0
+		}
+		var energy units.Energy
+		for _, p := range healthy {
+			energy += units.Energy(float64(p.bbu.SOC()) * float64(p.bbu.Params().FullEnergy))
+		}
+		// Deliverable power is bounded by per-BBU discharge capability.
+		cap := units.Power(len(healthy)) * healthy[0].bbu.Params().MaxDischarge
+		load := z.load
+		if load > cap {
+			return 0 // the zone browns out immediately
+		}
+		if rt := units.DurationFor(energy, load); rt < min {
+			min = rt
+		}
+	}
+	return min
+}

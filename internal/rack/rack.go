@@ -1,0 +1,253 @@
+// Package rack models an Open Rack V2 server rack as the coordinated
+// charging system sees it: an IT load, a priority class, a battery backup
+// (six BBUs abstracted as one rack-level pack), a local charger policy, and
+// the input-power lifecycle — lose input during an open transition, ride on
+// batteries, recharge when power returns (paper §II-A, §III).
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/units"
+)
+
+// Priority is the service-priority class of a rack (paper §IV): P1 racks run
+// stateful workloads needing the strongest power-availability guarantee; P3
+// racks run stateless compute.
+type Priority int
+
+// Rack priorities, highest first.
+const (
+	P1 Priority = 1
+	P2 Priority = 2
+	P3 Priority = 3
+)
+
+// String returns "P1", "P2", or "P3".
+func (p Priority) String() string {
+	switch p {
+	case P1, P2, P3:
+		return fmt.Sprintf("P%d", int(p))
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// Valid reports whether p is one of the three defined priorities.
+func (p Priority) Valid() bool { return p >= P1 && p <= P3 }
+
+// MaxITLoad is the Open Rack V2 rack rating.
+const MaxITLoad = 12600 * units.Watt
+
+// Rack is one server rack. Construct with New.
+type Rack struct {
+	name     string
+	priority Priority
+	policy   charger.Policy
+	pack     *battery.RackPack
+
+	demand  units.Power            // what the servers want to draw
+	caps    map[string]units.Power // Dynamo power caps by issuing controller
+	inputUp bool
+
+	// Outage bookkeeping: energy drawn from the battery since input loss,
+	// used to estimate the DOD when input returns (paper §IV-B).
+	outageEnergy units.Energy
+	outageStart  time.Duration
+
+	// Charge bookkeeping for SLA accounting.
+	chargeStart time.Duration
+	chargeEnd   time.Duration
+	lastDOD     units.Fraction
+}
+
+// New returns a rack with input power up, a fully charged battery pack, and
+// the given local charger policy. It panics on an invalid priority or nil
+// dependencies: topology construction errors are programming mistakes.
+func New(name string, p Priority, policy charger.Policy, surface *battery.Surface) *Rack {
+	if !p.Valid() {
+		panic(fmt.Errorf("rack %s: invalid priority %d", name, int(p)))
+	}
+	if policy == nil || surface == nil {
+		panic(fmt.Errorf("rack %s: nil charger policy or surface", name))
+	}
+	return &Rack{
+		name:     name,
+		priority: p,
+		policy:   policy,
+		pack:     battery.NewRackPack(surface),
+		caps:     make(map[string]units.Power),
+		inputUp:  true,
+	}
+}
+
+// Name returns the rack's identifier.
+func (r *Rack) Name() string { return r.name }
+
+// Priority returns the rack's service priority.
+func (r *Rack) Priority() Priority { return r.priority }
+
+// Pack exposes the rack's battery pack (read/override access for the control
+// plane).
+func (r *Rack) Pack() *battery.RackPack { return r.pack }
+
+// SetDemand sets the servers' power demand (driven by the trace replay).
+// Values clamp to [0, MaxITLoad].
+func (r *Rack) SetDemand(p units.Power) {
+	if p < 0 {
+		p = 0
+	}
+	if p > MaxITLoad {
+		p = MaxITLoad
+	}
+	r.demand = p
+}
+
+// Demand returns the uncapped server power demand.
+func (r *Rack) Demand() units.Power { return r.demand }
+
+// ITLoad returns the power the servers actually consume: the demand, reduced
+// to the tightest Dynamo cap from any controller.
+func (r *Rack) ITLoad() units.Power {
+	load := r.demand
+	for _, cap := range r.caps {
+		if cap < load {
+			load = cap
+		}
+	}
+	return load
+}
+
+// CappedPower returns how much server power is currently being capped away.
+func (r *Rack) CappedPower() units.Power {
+	return r.demand - r.ITLoad()
+}
+
+// Cap limits the rack's server power to at most p on behalf of the named
+// controller (Dynamo power capping, the control plane's last resort).
+// Controllers at different hierarchy levels cap independently; the tightest
+// cap wins. A negative p clamps to zero.
+func (r *Rack) Cap(source string, p units.Power) {
+	if p < 0 {
+		p = 0
+	}
+	r.caps[source] = p
+}
+
+// Uncap removes the named controller's power cap, if any.
+func (r *Rack) Uncap(source string) { delete(r.caps, source) }
+
+// InputUp reports whether the rack's input power is present.
+func (r *Rack) InputUp() bool { return r.inputUp }
+
+// Power returns the rack's instantaneous draw on the power hierarchy: zero
+// while input is lost (the batteries carry the load), otherwise the IT load
+// plus the battery recharge power.
+func (r *Rack) Power() units.Power {
+	if !r.inputUp {
+		return 0
+	}
+	return r.ITLoad() + r.pack.Power()
+}
+
+// RechargePower returns the battery recharge component of the rack's draw.
+func (r *Rack) RechargePower() units.Power {
+	if !r.inputUp {
+		return 0
+	}
+	return r.pack.Power()
+}
+
+// LoseInput starts an open transition (or outage) at virtual time now: the
+// rack stops drawing from the hierarchy and the batteries carry the IT load.
+// Losing input mid-charge abandons the charge in place; the energy already
+// delivered is kept and the subsequent outage deepens the deficit.
+func (r *Rack) LoseInput(now time.Duration) {
+	if !r.inputUp {
+		return
+	}
+	r.inputUp = false
+	r.outageStart = now
+	// Carry forward any unfinished charge as an equivalent starting deficit.
+	r.outageEnergy = r.residualDeficit()
+	r.pack.Abort()
+}
+
+// residualDeficit converts an interrupted charge into the outage-energy
+// bookkeeping unit so a restore mid-charge resumes with the undelivered
+// fraction of the previous depth of discharge.
+func (r *Rack) residualDeficit() units.Energy {
+	if !r.pack.Charging() {
+		return 0
+	}
+	return units.Energy(float64(r.lastDOD) * battery.RackFullEnergy * r.pack.FractionRemaining())
+}
+
+// Step advances the rack by dt: while input is lost it accumulates the
+// battery energy the IT load consumes; while input is up it advances the
+// recharge. now is the virtual time at the END of the step.
+func (r *Rack) Step(now time.Duration, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	if !r.inputUp {
+		r.outageEnergy += units.EnergyOver(r.ITLoad(), dt)
+		if r.outageEnergy > battery.RackFullEnergy {
+			r.outageEnergy = battery.RackFullEnergy
+		}
+		return
+	}
+	wasCharging := r.pack.Charging()
+	r.pack.Step(dt)
+	if wasCharging && !r.pack.Charging() {
+		r.chargeEnd = now
+	}
+}
+
+// RestoreInput ends the input-power loss at virtual time now: the estimated
+// depth of discharge is computed from the energy the batteries supplied, and
+// the local charger policy picks the initial charging current (the
+// coordinated controller may override it moments later).
+func (r *Rack) RestoreInput(now time.Duration) {
+	if r.inputUp {
+		return
+	}
+	r.inputUp = true
+	dod := units.Fraction(float64(r.outageEnergy) / battery.RackFullEnergy).Clamp01()
+	r.outageEnergy = 0
+	r.lastDOD = dod
+	if dod <= 0 {
+		return
+	}
+	r.pack.StartCharge(r.policy.InitialCurrent(dod), dod)
+	r.chargeStart = now
+	r.chargeEnd = 0
+}
+
+// LastDOD returns the depth of discharge estimated at the most recent input
+// restore.
+func (r *Rack) LastDOD() units.Fraction { return r.lastDOD }
+
+// Charging reports whether the rack's batteries are recharging.
+func (r *Rack) Charging() bool { return r.pack.Charging() }
+
+// OverrideCurrent applies a manual charging-current override from the
+// control plane, clamped to the hardware's [1 A, 5 A] range.
+func (r *Rack) OverrideCurrent(i units.Current) {
+	r.pack.SetCurrent(charger.ClampOverride(i))
+}
+
+// ChargeDuration returns how long the most recent completed charge took, or
+// (elapsed, false) if a charge is still in progress at now.
+func (r *Rack) ChargeDuration(now time.Duration) (time.Duration, bool) {
+	if r.pack.Charging() {
+		return now - r.chargeStart, false
+	}
+	if r.chargeEnd == 0 {
+		return 0, false
+	}
+	return r.chargeEnd - r.chargeStart, true
+}

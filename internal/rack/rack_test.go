@@ -1,0 +1,260 @@
+package rack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/units"
+)
+
+func newRack(t *testing.T, p Priority, pol charger.Policy) *Rack {
+	t.Helper()
+	return New("rack-1", p, pol, battery.Fig5Surface())
+}
+
+func TestPriorityString(t *testing.T) {
+	cases := map[Priority]string{P1: "P1", P2: "P2", P3: "P3", Priority(7): "Priority(7)"}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if !P1.Valid() || Priority(0).Valid() || Priority(4).Valid() {
+		t.Error("Valid() misclassifies priorities")
+	}
+}
+
+func TestNewPanicsOnInvalidInput(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad priority": func() { New("r", Priority(9), charger.Variable{}, battery.Fig5Surface()) },
+		"nil policy":   func() { New("r", P1, nil, battery.Fig5Surface()) },
+		"nil surface":  func() { New("r", P1, charger.Variable{}, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: New did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDemandClamping(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(-5)
+	if r.Demand() != 0 {
+		t.Errorf("negative demand not clamped: %v", r.Demand())
+	}
+	r.SetDemand(99999 * units.Watt)
+	if r.Demand() != MaxITLoad {
+		t.Errorf("over-max demand not clamped: %v", r.Demand())
+	}
+}
+
+func TestPowerIsLoadPlusRecharge(t *testing.T) {
+	r := newRack(t, P2, charger.Variable{})
+	r.SetDemand(8000 * units.Watt)
+	if got := r.Power(); got != 8000*units.Watt {
+		t.Errorf("steady-state power = %v, want 8 kW", got)
+	}
+	// Open transition: 45 s at 8 kW.
+	r.LoseInput(0)
+	if got := r.Power(); got != 0 {
+		t.Errorf("power during input loss = %v, want 0", got)
+	}
+	r.Step(45*time.Second, 45*time.Second)
+	r.RestoreInput(45 * time.Second)
+	wantDOD := 8000.0 * 45 / battery.RackFullEnergy
+	if math.Abs(float64(r.LastDOD())-wantDOD) > 1e-9 {
+		t.Errorf("DOD = %v, want %v", r.LastDOD(), wantDOD)
+	}
+	if !r.Charging() {
+		t.Error("rack not charging after restore")
+	}
+	// DOD ≈ 0.317 < 0.5 so the variable charger picks 2 A: 760 W recharge.
+	if got := r.RechargePower(); math.Abs(float64(got)-760) > 1 {
+		t.Errorf("recharge power = %v, want 760 W", got)
+	}
+	if got := r.Power(); math.Abs(float64(got)-(8000+760)) > 1 {
+		t.Errorf("total power = %v, want 8760 W", got)
+	}
+}
+
+func TestOriginalChargerSpikesAtMax(t *testing.T) {
+	r := newRack(t, P3, charger.Original{})
+	r.SetDemand(4000 * units.Watt)
+	r.LoseInput(0)
+	r.Step(10*time.Second, 10*time.Second)
+	r.RestoreInput(10 * time.Second)
+	// Original charger: 5 A regardless of tiny DOD → 1.9 kW.
+	if got := r.RechargePower(); math.Abs(float64(got)-1900) > 1 {
+		t.Errorf("original-charger recharge power = %v, want 1.9 kW", got)
+	}
+}
+
+func TestCapping(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(10000 * units.Watt)
+	r.Cap("msb", 6000*units.Watt)
+	if got := r.ITLoad(); got != 6000*units.Watt {
+		t.Errorf("capped IT load = %v, want 6 kW", got)
+	}
+	if got := r.CappedPower(); got != 4000*units.Watt {
+		t.Errorf("capped power = %v, want 4 kW", got)
+	}
+	r.Uncap("msb")
+	if got := r.ITLoad(); got != 10000*units.Watt {
+		t.Errorf("uncapped IT load = %v", got)
+	}
+	// A cap above demand has no effect.
+	r.Cap("msb", 12000*units.Watt)
+	if got := r.CappedPower(); got != 0 {
+		t.Errorf("cap above demand capped %v", got)
+	}
+}
+
+func TestMultiSourceCapsTightestWins(t *testing.T) {
+	r := newRack(t, P2, charger.Variable{})
+	r.SetDemand(10000 * units.Watt)
+	r.Cap("rpp", 8000*units.Watt)
+	r.Cap("msb", 5000*units.Watt)
+	if got := r.ITLoad(); got != 5000*units.Watt {
+		t.Errorf("IT load = %v, want tightest cap 5 kW", got)
+	}
+	r.Uncap("msb")
+	if got := r.ITLoad(); got != 8000*units.Watt {
+		t.Errorf("IT load = %v, want remaining cap 8 kW", got)
+	}
+	r.Uncap("rpp")
+	r.Uncap("rpp") // double-uncap is a no-op
+	if got := r.ITLoad(); got != 10000*units.Watt {
+		t.Errorf("IT load = %v, want uncapped demand", got)
+	}
+	// Negative caps clamp to zero.
+	r.Cap("msb", -1)
+	if got := r.ITLoad(); got != 0 {
+		t.Errorf("IT load = %v, want 0 under negative cap", got)
+	}
+}
+
+func TestChargeCompletion(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(12600 * units.Watt)
+	r.LoseInput(0)
+	r.Step(45*time.Second, 45*time.Second)
+	r.RestoreInput(45 * time.Second) // 50% DOD → 2 A → 40 min charge
+	now := 45 * time.Second
+	const step = 3 * time.Second
+	for r.Charging() && now < 3*time.Hour {
+		now += step
+		r.Step(now, step)
+	}
+	d, done := r.ChargeDuration(now)
+	if !done {
+		t.Fatal("charge never completed")
+	}
+	if d < 38*time.Minute || d > 42*time.Minute {
+		t.Errorf("charge duration = %v, want ~40 min", d)
+	}
+}
+
+func TestOverrideCurrentClamped(t *testing.T) {
+	r := newRack(t, P2, charger.Variable{})
+	r.SetDemand(12600 * units.Watt)
+	r.LoseInput(0)
+	r.Step(45*time.Second, 45*time.Second)
+	r.RestoreInput(45 * time.Second)
+	r.OverrideCurrent(0.2) // below hardware floor
+	if got := r.Pack().Setpoint(); got != 1 {
+		t.Errorf("override clamped to %v, want 1 A", got)
+	}
+	r.OverrideCurrent(9)
+	if got := r.Pack().Setpoint(); got != 5 {
+		t.Errorf("override clamped to %v, want 5 A", got)
+	}
+}
+
+func TestLoseInputDuringChargeCarriesDeficit(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(12600 * units.Watt)
+	r.LoseInput(0)
+	r.Step(90*time.Second, 90*time.Second) // full discharge
+	r.RestoreInput(90 * time.Second)
+	if r.LastDOD() != 1 {
+		t.Fatalf("DOD = %v, want 1", r.LastDOD())
+	}
+	// Charge half way, then lose input again with no load.
+	now := 90 * time.Second
+	for i := 0; i < 400; i++ { // 20 min at 3 s
+		now += 3 * time.Second
+		r.Step(now, 3*time.Second)
+	}
+	r.SetDemand(0)
+	r.LoseInput(now)
+	r.RestoreInput(now + 10*time.Second)
+	// The unfinished half charge must reappear as a significant DOD.
+	if r.LastDOD() < 0.2 || r.LastDOD() > 0.9 {
+		t.Errorf("carried-over DOD = %v, want mid-range", r.LastDOD())
+	}
+	if !r.Charging() {
+		t.Error("rack not recharging the carried-over deficit")
+	}
+}
+
+func TestZeroLengthOutageNoCharge(t *testing.T) {
+	r := newRack(t, P3, charger.Variable{})
+	r.SetDemand(5000 * units.Watt)
+	r.LoseInput(0)
+	r.RestoreInput(0)
+	if r.Charging() {
+		t.Error("zero-energy outage started a charge")
+	}
+	if r.LastDOD() != 0 {
+		t.Errorf("DOD = %v, want 0", r.LastDOD())
+	}
+}
+
+func TestDoubleLoseRestoreIdempotent(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(6000 * units.Watt)
+	r.LoseInput(0)
+	r.LoseInput(time.Second) // no-op
+	r.Step(30*time.Second, 30*time.Second)
+	r.RestoreInput(30 * time.Second)
+	dod := r.LastDOD()
+	r.RestoreInput(40 * time.Second) // no-op
+	if r.LastDOD() != dod {
+		t.Error("second RestoreInput changed DOD")
+	}
+}
+
+func TestOutageEnergySaturatesAtFullDischarge(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(12600 * units.Watt)
+	r.LoseInput(0)
+	r.Step(10*time.Minute, 10*time.Minute) // far beyond 90 s of battery
+	r.RestoreInput(10 * time.Minute)
+	if r.LastDOD() != 1 {
+		t.Errorf("DOD after extended outage = %v, want 1 (saturated)", r.LastDOD())
+	}
+}
+
+func TestChargeDurationInProgress(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(12600 * units.Watt)
+	r.LoseInput(0)
+	r.Step(45*time.Second, 45*time.Second)
+	r.RestoreInput(45 * time.Second)
+	d, done := r.ChargeDuration(10 * time.Minute)
+	if done {
+		t.Error("charge reported complete immediately")
+	}
+	if d != 10*time.Minute-45*time.Second {
+		t.Errorf("elapsed charge time = %v", d)
+	}
+}

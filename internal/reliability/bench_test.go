@@ -1,0 +1,28 @@
+package reliability
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkDisruptions1000y(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewSimulator(TableI(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = s.Disruptions(1000)
+	}
+}
+
+func BenchmarkAORUnion(b *testing.B) {
+	s, err := NewSimulator(TableI(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := s.Disruptions(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AOR(ds, time.Duration(15+i%106)*time.Minute, 10000)
+	}
+}

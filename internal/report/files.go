@@ -1,0 +1,48 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// SaveChart writes a chart to dir as an ASCII rendering (name.txt), a
+// long-form CSV (name.csv), and a standalone SVG (name.svg).
+func SaveChart(dir, name string, c *Chart) error {
+	var ascii strings.Builder
+	if err := c.RenderASCII(&ascii, 100, 24); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(ascii.String()), 0o644); err != nil {
+		return err
+	}
+	var csv strings.Builder
+	if err := c.RenderCSV(&csv); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644); err != nil {
+		return err
+	}
+	var svg strings.Builder
+	if err := c.RenderSVG(&svg, 720, 420); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".svg"), []byte(svg.String()), 0o644)
+}
+
+// SaveTable writes a table to dir as aligned text (name.txt) and CSV
+// (name.csv).
+func SaveTable(dir, name string, t *Table) error {
+	var txt strings.Builder
+	if err := t.Render(&txt); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(txt.String()), 0o644); err != nil {
+		return err
+	}
+	var csv strings.Builder
+	if err := t.RenderCSV(&csv); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644)
+}

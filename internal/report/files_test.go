@@ -1,0 +1,59 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveChart(t *testing.T) {
+	dir := t.TempDir()
+	c := NewChart("T", "x", "y")
+	s := c.AddSeries("s")
+	s.Append(0, 1)
+	s.Append(1, 2)
+	if err := SaveChart(dir, "fig", c); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := os.ReadFile(filepath.Join(dir, "fig.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(txt), "T") {
+		t.Error("ASCII file missing title")
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "fig.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csv), "s,0,1") {
+		t.Errorf("CSV content = %q", csv)
+	}
+}
+
+func TestSaveTable(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("T", "a", "b")
+	tb.Add("1", "2")
+	if err := SaveTable(dir, "tbl", tb); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"tbl.txt", "tbl.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("missing %s: %v", f, err)
+		}
+	}
+}
+
+func TestSaveChartBadDir(t *testing.T) {
+	c := NewChart("T", "x", "y")
+	c.AddSeries("s").Append(0, 1)
+	if err := SaveChart("/nonexistent-dir-xyz", "fig", c); err == nil {
+		t.Error("write to missing directory succeeded")
+	}
+	tb := NewTable("T", "a")
+	if err := SaveTable("/nonexistent-dir-xyz", "t", tb); err == nil {
+		t.Error("table write to missing directory succeeded")
+	}
+}

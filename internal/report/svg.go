@@ -1,0 +1,122 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// seriesColors is a color-blind-friendly palette for SVG series.
+var seriesColors = []string{
+	"#0072b2", "#d55e00", "#009e73", "#cc79a7",
+	"#e69f00", "#56b4e9", "#f0e442", "#000000",
+}
+
+// RenderSVG draws the chart as a standalone SVG document: axes with tick
+// labels, one polyline per series, and a legend. Width and height are the
+// outer pixel dimensions (minimums enforced).
+func (c *Chart) RenderSVG(w io.Writer, width, height int) error {
+	if width < 320 {
+		width = 320
+	}
+	if height < 200 {
+		height = 200
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 48
+		marginB = 44
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	var any bool
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			any = true
+			minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+			minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d"><text x="10" y="20">%s (no data)</text></svg>`,
+			width, height, xmlEscape(c.Title))
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) float64 { return marginL + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return marginT + plotH - (y-minY)/(maxY-minY)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-size="13" font-weight="bold">%s</text>`+"\n", marginL, xmlEscape(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#999"/>`+"\n",
+		marginL, marginT, plotW, plotH)
+	// Ticks: five per axis.
+	for i := 0; i <= 4; i++ {
+		fx := minX + (maxX-minX)*float64(i)/4
+		fy := minY + (maxY-minY)*float64(i)/4
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ccc"/>`+"\n",
+			px(fx), marginT+plotH, px(fx), marginT+plotH+4)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n",
+			px(fx), marginT+plotH+16, fmtTick(fx))
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%d" y2="%.1f" stroke="#ccc"/>`+"\n",
+			float64(marginL)-4, py(fy), marginL, py(fy))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-7, py(fy)+4, fmtTick(fy))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle" fill="#333">%s</text>`+"\n",
+		marginL+plotW/2, height-8, xmlEscape(c.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)" fill="#333">%s</text>`+"\n",
+		marginT+plotH/2, marginT+plotH/2, xmlEscape(c.YLabel))
+
+	// Series polylines and legend.
+	legendX := marginL
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		if len(s.Points) > 0 {
+			var pts strings.Builder
+			for _, p := range s.Points {
+				fmt.Fprintf(&pts, "%.1f,%.1f ", px(p.X), py(p.Y))
+			}
+			fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n",
+				strings.TrimSpace(pts.String()), color)
+		}
+		fmt.Fprintf(&b, `<rect x="%d" y="28" width="10" height="3" fill="%s"/>`+"\n", legendX, color)
+		fmt.Fprintf(&b, `<text x="%d" y="34" fill="#333">%s</text>`+"\n", legendX+14, xmlEscape(s.Name))
+		legendX += 14 + 7*len(s.Name) + 16
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// fmtTick formats an axis tick value compactly.
+func fmtTick(v float64) string {
+	switch {
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.1e", v)
+	case math.Abs(v) >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	}
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

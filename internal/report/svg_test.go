@@ -1,0 +1,104 @@
+package report
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func svgChart() *Chart {
+	c := NewChart(`Power & "limits" <test>`, "minutes", "kW")
+	a := c.AddSeries("original")
+	b := c.AddSeries("variable")
+	for i := 0; i < 20; i++ {
+		a.Append(float64(i), 100+float64(i*i))
+		b.Append(float64(i), 80+float64(i))
+	}
+	return c
+}
+
+func TestRenderSVGStructure(t *testing.T) {
+	var sb strings.Builder
+	if err := svgChart().RenderSVG(&sb, 720, 420); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`<svg xmlns="http://www.w3.org/2000/svg" width="720" height="420"`,
+		"</svg>",
+		"polyline",
+		"minutes", "kW",
+		"original", "variable",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// XML escaping of the title.
+	if !strings.Contains(out, "Power &amp; &quot;limits&quot; &lt;test&gt;") {
+		t.Error("title not XML-escaped")
+	}
+	if strings.Contains(out, `<test>`) {
+		t.Error("raw angle brackets leaked into SVG")
+	}
+}
+
+func TestRenderSVGEmptyChart(t *testing.T) {
+	c := NewChart("Empty", "x", "y")
+	var sb strings.Builder
+	if err := c.RenderSVG(&sb, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty SVG = %q", sb.String())
+	}
+}
+
+func TestRenderSVGDegenerateRanges(t *testing.T) {
+	c := NewChart("Flat", "x", "y")
+	s := c.AddSeries("s")
+	s.Append(5, 7)
+	s.Append(5, 7)
+	var sb strings.Builder
+	if err := c.RenderSVG(&sb, 10, 10); err != nil { // below minimums
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("degenerate ranges produced NaN/Inf coordinates")
+	}
+	if !strings.Contains(out, `width="320" height="200"`) {
+		t.Error("minimum dimensions not enforced")
+	}
+}
+
+func TestFmtTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		2.5:     "2.5",
+		1900:    "1900",
+		0.001:   "1.0e-03",
+		123456:  "1.23e+05",
+		99.9999: "100",
+	}
+	for in, want := range cases {
+		if got := fmtTick(in); got != want {
+			t.Errorf("fmtTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSaveChartIncludesSVG(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveChart(dir, "x", svgChart()); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".txt", ".csv", ".svg"} {
+		if _, err := os.Stat(dir + "/x" + ext); err != nil {
+			t.Errorf("missing x%s: %v", ext, err)
+		}
+	}
+}

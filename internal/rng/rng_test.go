@@ -1,0 +1,137 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Float64() == c2.Float64() {
+		t.Error("split children produced identical first draw")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform(2,5) = %v out of range", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(45)
+	}
+	mean := sum / n
+	if math.Abs(mean-45) > 0.5 {
+		t.Errorf("Exp mean = %v, want ~45", mean)
+	}
+}
+
+func TestExpDurationMean(t *testing.T) {
+	s := New(12)
+	const n = 100000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += s.ExpDuration(45 * time.Second)
+	}
+	mean := sum / n
+	if mean < 44*time.Second || mean > 46*time.Second {
+		t.Errorf("ExpDuration mean = %v, want ~45s", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Normal sd = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestNormalDurationNonNegative(t *testing.T) {
+	s := New(14)
+	for i := 0; i < 10000; i++ {
+		if d := s.NormalDuration(time.Hour, 10*time.Hour); d < 0 {
+			t.Fatalf("NormalDuration produced negative %v", d)
+		}
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	s := New(15)
+	for i := 0; i < 10000; i++ {
+		v := s.TruncNormal(0, 100, -1, 1)
+		if v < -1 || v > 1 {
+			t.Fatalf("TruncNormal out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPerm(t *testing.T) {
+	s := New(16)
+	p := s.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(17)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[s.Intn(3)]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("Intn(3) bucket %d count %d, want ~1000", i, c)
+		}
+	}
+}

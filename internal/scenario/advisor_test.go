@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/units"
+)
+
+func TestAdvisorSpecValidation(t *testing.T) {
+	bad := []AdvisorSpec{
+		{},
+		{NumP1: -1, NumP2: 2},
+		{NumP1: 2, AvgDOD: 1.5},
+		{NumP1: 2, Resolution: -1},
+	}
+	for i, s := range bad {
+		if _, err := Advise(s); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestAdvisorSizing(t *testing.T) {
+	adv, err := Advise(AdvisorSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10,
+		AvgDOD: 0.5, Mode: dynamo.ModePriorityAware, Seed: 1,
+		Resolution: 5 * units.Kilowatt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ordering invariants.
+	if adv.MinNoCapLimit < adv.PeakITLoad {
+		t.Errorf("no-cap limit %v below IT peak %v", adv.MinNoCapLimit, adv.PeakITLoad)
+	}
+	if adv.MinFullSLALimit < adv.MinNoCapLimit {
+		t.Errorf("full-SLA limit %v below no-cap limit %v", adv.MinFullSLALimit, adv.MinNoCapLimit)
+	}
+	if adv.StaticLimit <= adv.MinFullSLALimit {
+		t.Errorf("static limit %v not above advised %v: no saving found", adv.StaticLimit, adv.MinFullSLALimit)
+	}
+	// Static provisioning reserves 5 A × 380 W per rack.
+	wantStatic := adv.PeakITLoad + 30*1900*units.Watt
+	if adv.StaticLimit != wantStatic {
+		t.Errorf("static limit = %v, want %v", adv.StaticLimit, wantStatic)
+	}
+	// The saving is substantial: coordinated charging strands far less than
+	// the 57 kW worst-case reserve.
+	if adv.SavedPower < 20*units.Kilowatt {
+		t.Errorf("saved power = %v, want ≥20 kW of the 57 kW reserve", adv.SavedPower)
+	}
+	if adv.SavedCostLowUSD >= adv.SavedCostHighUSD {
+		t.Errorf("cost range inverted: %v vs %v", adv.SavedCostLowUSD, adv.SavedCostHighUSD)
+	}
+	// The advised limits actually satisfy their criteria.
+	res, err := advisorProbe(adv.Spec, adv.MinNoCapLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxCapping != 0 {
+		t.Errorf("advised no-cap limit still caps %v", res.Metrics.MaxCapping)
+	}
+	res, err = advisorProbe(adv.Spec, adv.MinFullSLALimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, want := range adv.FeasibleSLAs {
+		if res.SLAMet[p] < want {
+			t.Errorf("advised full-SLA limit meets %d %v SLAs, want %d", res.SLAMet[p], p, want)
+		}
+	}
+}
+
+// The advisor quantifies the coordination dividend: priority-aware charging
+// needs less capacity than the uncoordinated original charger for the same
+// protection.
+func TestAdvisorCoordinationDividend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple bisection probes")
+	}
+	prio, err := Advise(AdvisorSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10, AvgDOD: 0.5,
+		Mode: dynamo.ModePriorityAware, Seed: 1, Resolution: 5 * units.Kilowatt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Advise(AdvisorSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10, AvgDOD: 0.5,
+		Mode: dynamo.ModeNone, LocalPolicy: charger.Original{}, Seed: 1,
+		Resolution: 5 * units.Kilowatt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.MinNoCapLimit >= orig.MinNoCapLimit {
+		t.Errorf("priority-aware no-cap limit %v not below original charger's %v",
+			prio.MinNoCapLimit, orig.MinNoCapLimit)
+	}
+}
+
+func TestAdviceTableRendering(t *testing.T) {
+	adv, err := Advise(AdvisorSpec{
+		NumP1: 5, NumP2: 5, NumP3: 5, AvgDOD: 0.5,
+		Mode: dynamo.ModePriorityAware, Seed: 2, Resolution: 10 * units.Kilowatt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := AdviceTable(adv).Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"peak IT load", "static provisioning", "un-stranded", "$"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("advice table missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/core"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/report"
+	"coordcharge/internal/stats"
+)
+
+// ChargeDurationTable summarises the realized charge durations of a
+// coordinated run per priority against the Table II deadlines: the
+// operator's view of how much SLA margin a charging event left.
+func ChargeDurationTable(res *CoordResult) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Realized charge durations (%s mode, %v limit, avg DOD %v)",
+			res.Spec.Mode, res.Spec.MSBLimit, res.AvgDOD),
+		"Priority", "Racks", "Mean", "P50", "P90", "P99", "Max", "Deadline", "Met")
+	deadlines := core.DefaultDeadlines()
+	fmtMin := func(m float64) string { return fmt.Sprintf("%.1f min", m) }
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		ds := res.ChargeDurations[p]
+		if len(ds) == 0 {
+			continue
+		}
+		s := stats.Summarize(durationsOf(ds))
+		t.Add(p.String(),
+			fmt.Sprintf("%d", s.Count),
+			fmtMin(s.Mean), fmtMin(s.P50), fmtMin(s.P90), fmtMin(s.P99), fmtMin(s.Max),
+			fmt.Sprintf("%.0f min", deadlines[p].Minutes()),
+			fmt.Sprintf("%d/%d", res.SLAMet[p], res.Racks[p]))
+	}
+	return t
+}
+
+// ChargeDurationCDF renders the per-priority cumulative distribution of
+// realized charge durations — the continuous view behind the SLA counts.
+func ChargeDurationCDF(res *CoordResult) *report.Chart {
+	c := report.NewChart(
+		fmt.Sprintf("Charge-duration CDF (%s mode, %v limit)", res.Spec.Mode, res.Spec.MSBLimit),
+		"minutes", "fraction of racks charged")
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		ds := res.ChargeDurations[p]
+		if len(ds) == 0 {
+			continue
+		}
+		mins := durationsOf(ds)
+		sort.Float64s(mins)
+		s := c.AddSeries(p.String())
+		for i, m := range mins {
+			s.Append(m, float64(i+1)/float64(len(mins)))
+		}
+	}
+	return c
+}
+
+// DODHistogramTable buckets the realized depths of discharge of a run — a
+// sanity check that the injected transition produced the intended spread.
+func DODHistogramTable(res *CoordResult, bins int) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Depth-of-discharge distribution (target avg %v, realized %v)",
+			res.Spec.AvgDOD, res.AvgDOD),
+		"DOD range", "Racks")
+	for _, b := range stats.Histogram(res.DODs, bins) {
+		t.Add(fmt.Sprintf("%.0f%% - %.0f%%", b.Lo*100, b.Hi*100), fmt.Sprintf("%d", b.Count))
+	}
+	return t
+}
+
+// durationsOf converts a duration slice to minutes.
+func durationsOf(ds []time.Duration) []float64 {
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = d.Minutes()
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/rack"
+)
+
+func analyticsRun(t *testing.T) *CoordResult {
+	t.Helper()
+	res, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestChargeDurationsCollected(t *testing.T) {
+	res := analyticsRun(t)
+	total := 0
+	for _, ds := range res.ChargeDurations {
+		total += len(ds)
+	}
+	if total != 30 {
+		t.Errorf("collected %d charge durations, want 30", total)
+	}
+	// P1 racks (SLA currents) finish faster than P3 racks on average.
+	avg := func(p rack.Priority) float64 {
+		ds := res.ChargeDurations[p]
+		var sum float64
+		for _, d := range ds {
+			sum += d.Minutes()
+		}
+		return sum / float64(len(ds))
+	}
+	if avg(rack.P1) >= avg(rack.P3) {
+		t.Errorf("P1 mean duration %.1f not below P3 %.1f", avg(rack.P1), avg(rack.P3))
+	}
+}
+
+func TestChargeDurationTable(t *testing.T) {
+	res := analyticsRun(t)
+	tb := ChargeDurationTable(res)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"P1", "P2", "P3", "30 min", "90 min", "Deadline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("duration table missing %q", want)
+		}
+	}
+}
+
+func TestChargeDurationCDF(t *testing.T) {
+	res := analyticsRun(t)
+	c := ChargeDurationCDF(res)
+	if len(c.Series) != 3 {
+		t.Fatalf("CDF series = %d", len(c.Series))
+	}
+	for _, s := range c.Series {
+		pts := s.Points
+		if len(pts) == 0 {
+			t.Fatalf("series %s empty", s.Name)
+		}
+		// CDF properties: x nondecreasing, y strictly rising to 1.
+		for i := 1; i < len(pts); i++ {
+			if pts[i].X < pts[i-1].X || pts[i].Y <= pts[i-1].Y {
+				t.Errorf("series %s not a CDF at %d", s.Name, i)
+			}
+		}
+		if last := pts[len(pts)-1].Y; last != 1 {
+			t.Errorf("series %s CDF ends at %v", s.Name, last)
+		}
+	}
+}
+
+func TestDODHistogramTable(t *testing.T) {
+	res := analyticsRun(t)
+	tb := DODHistogramTable(res, 5)
+	if len(tb.Rows) == 0 {
+		t.Fatal("no histogram rows")
+	}
+	total := 0
+	for _, row := range tb.Rows {
+		n, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad count cell %q", row[1])
+		}
+		total += n
+	}
+	if total != 30 {
+		t.Errorf("histogram racks = %d, want 30", total)
+	}
+}

@@ -1,0 +1,392 @@
+// Package scenario builds and runs the paper's experiments: the MSB-level
+// coordinated-charging simulation (§V-B, Figs 12–15 and Table III), the
+// production case studies and prototype replays (Figs 2, 7, 10, 11), and the
+// charger- and reliability-level figure generators (Figs 3–6, 9, Tables I
+// and II). Each experiment returns report tables/charts so cmd/ binaries and
+// benchmarks share one implementation.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/bus"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// CoordSpec parameterises one MSB-level coordinated-charging run: the
+// paper's §V-B1 setup of a production rack-power trace replayed at 3-second
+// granularity with an open transition injected at the first trace peak.
+type CoordSpec struct {
+	// NumP1, NumP2, NumP3 give the rack priority distribution. The paper's
+	// evaluation MSB has 89 P1, 142 P2, and 85 P3 racks.
+	NumP1, NumP2, NumP3 int
+	// Seed drives trace synthesis (and nothing else: the control plane is
+	// deterministic).
+	Seed int64
+	// MSBLimit is the MSB breaker limit; the evaluation sweeps it (actual:
+	// 2.5 MW).
+	MSBLimit units.Power
+	// Mode is the coordination policy.
+	Mode dynamo.Mode
+	// LocalPolicy is the rack-local charger (defaults to the variable
+	// charger; the original-charger baseline uses charger.Original).
+	LocalPolicy charger.Policy
+	// AvgDOD is the target average depth of discharge; the open-transition
+	// length is derived from it (low 0.3, medium 0.5, high 0.7 in §V-B1).
+	AvgDOD units.Fraction
+	// Step is the simulation tick (default 3 s, the trace granularity).
+	Step time.Duration
+	// PreRoll is how long before the transition the run starts (default 2 min).
+	PreRoll time.Duration
+	// MaxChargeDuration caps the post-restore horizon (default 4 h).
+	MaxChargeDuration time.Duration
+	// SampleEvery is the output series sampling interval (default 30 s).
+	SampleEvery time.Duration
+	// CommandLatency delays override application (default 0; the prototype
+	// measured ~20 s, Fig 11).
+	CommandLatency time.Duration
+	// RelaxLowerLevels lifts SB/RPP limits out of the way, matching the
+	// paper's assumption that "all lower-level circuit breakers have enough
+	// available power to charge the batteries". Default true.
+	RelaxLowerLevels *bool
+	// Trace overrides the synthetic generator with an external per-rack
+	// power trace (e.g. a production trace imported through trace.ReadCSV).
+	// Its rack count must equal NumP1+NumP2+NumP3.
+	Trace trace.Source
+	// Distributed runs the experiment on the message-passing control plane
+	// (agents, leaf controllers, and an MSB controller exchanging messages
+	// over a simulated network with NetworkLatency one-way delay) instead of
+	// the synchronous controllers. CommandLatency becomes the agents'
+	// command-settling time.
+	Distributed bool
+	// NetworkLatency is the distributed plane's one-way message delay
+	// (default 10 ms).
+	NetworkLatency time.Duration
+}
+
+func (s *CoordSpec) fillDefaults() error {
+	if s.NumP1+s.NumP2+s.NumP3 <= 0 {
+		return fmt.Errorf("scenario: no racks in spec")
+	}
+	if s.NumP1 < 0 || s.NumP2 < 0 || s.NumP3 < 0 {
+		return fmt.Errorf("scenario: negative rack count")
+	}
+	if s.MSBLimit == 0 {
+		s.MSBLimit = power.DefaultMSBLimit
+	}
+	if s.MSBLimit < 0 {
+		return fmt.Errorf("scenario: negative MSB limit")
+	}
+	if s.LocalPolicy == nil {
+		s.LocalPolicy = charger.Variable{}
+	}
+	if s.AvgDOD <= 0 || s.AvgDOD > 1 {
+		return fmt.Errorf("scenario: AvgDOD %v out of (0, 1]", s.AvgDOD)
+	}
+	if s.Step == 0 {
+		s.Step = 3 * time.Second
+	}
+	if s.Step <= 0 {
+		return fmt.Errorf("scenario: non-positive step")
+	}
+	if s.PreRoll == 0 {
+		s.PreRoll = 2 * time.Minute
+	}
+	if s.MaxChargeDuration == 0 {
+		s.MaxChargeDuration = 4 * time.Hour
+	}
+	if s.SampleEvery == 0 {
+		s.SampleEvery = 30 * time.Second
+	}
+	if s.RelaxLowerLevels == nil {
+		t := true
+		s.RelaxLowerLevels = &t
+	}
+	return nil
+}
+
+// Sample is one point of the run's power time series.
+type Sample struct {
+	// T is the time relative to the open transition (negative = before).
+	T time.Duration
+	// Total is the MSB draw; IT and Recharge are its components.
+	Total, IT, Recharge units.Power
+	// Capped is the server power being capped away at this instant.
+	Capped units.Power
+}
+
+// CoordResult is the outcome of one coordinated run.
+type CoordResult struct {
+	Spec CoordSpec
+	// TransitionLength is the injected open-transition duration.
+	TransitionLength time.Duration
+	// Samples is the MSB power time series (the Fig 13 data).
+	Samples []Sample
+	// PeakPower is the maximum MSB draw after the transition.
+	PeakPower units.Power
+	// Metrics aggregates control-plane actions; MaxCapping is Table III.
+	Metrics dynamo.Metrics
+	// SLAMet counts racks whose measured charge completed within their
+	// priority's deadline; Racks counts the population (Figs 14/15).
+	SLAMet, Racks map[rack.Priority]int
+	// AvgDOD is the realised average depth of discharge.
+	AvgDOD units.Fraction
+	// ChargeDurations collects the realized charge duration of every rack
+	// that completed, grouped by priority (analytics input).
+	ChargeDurations map[rack.Priority][]time.Duration
+	// DODs collects every rack's realized depth of discharge (fractions).
+	DODs []float64
+	// LastChargeDone is when the final rack finished, relative to the
+	// transition; zero if charges were still running at the horizon.
+	LastChargeDone time.Duration
+	// Tripped lists breakers that tripped (empty in every paper scenario —
+	// Dynamo protects them).
+	Tripped []string
+}
+
+// RunCoordinated executes one MSB-level experiment.
+func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
+	if err := spec.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := spec.NumP1 + spec.NumP2 + spec.NumP3
+	var gen trace.Source
+	if spec.Trace != nil {
+		if spec.Trace.NumRacks() != n {
+			return nil, fmt.Errorf("scenario: trace has %d racks, spec needs %d", spec.Trace.NumRacks(), n)
+		}
+		gen = spec.Trace
+	} else {
+		// The Fig 12 envelope (1.9-2.1 MW) describes the 316-rack production
+		// MSB; smaller test populations scale it proportionally so per-rack
+		// loads stay realistic.
+		scale := float64(n) / 316
+		g, err := trace.NewGenerator(trace.Spec{
+			NumRacks:    n,
+			Seed:        spec.Seed,
+			TroughPower: units.Power(1.9e6 * scale),
+			PeakPower:   units.Power(2.1e6 * scale),
+		})
+		if err != nil {
+			return nil, err
+		}
+		gen = g
+	}
+	surface := battery.Fig5Surface()
+	racks := make([]*rack.Rack, n)
+	loads := make([]power.Load, n)
+	prio := func(i int) rack.Priority {
+		switch {
+		case i < spec.NumP1:
+			return rack.P1
+		case i < spec.NumP1+spec.NumP2:
+			return rack.P2
+		default:
+			return rack.P3
+		}
+	}
+	for i := range racks {
+		racks[i] = rack.New(fmt.Sprintf("rack%03d", i), prio(i), spec.LocalPolicy, surface)
+		loads[i] = racks[i]
+	}
+	msb, err := power.Build(power.Spec{Name: "msb", MSBLimit: spec.MSBLimit}, loads)
+	if err != nil {
+		return nil, err
+	}
+	if *spec.RelaxLowerLevels {
+		msb.Walk(func(nd *power.Node) {
+			if nd != msb {
+				nd.SetLimit(100 * units.Megawatt)
+			}
+		})
+	}
+	var engine *sim.Engine
+	if spec.CommandLatency > 0 || spec.Distributed {
+		engine = sim.NewEngine()
+	}
+	var hier *dynamo.Hierarchy
+	var asyncLeaves []*dynamo.AsyncLeaf
+	var asyncUpper *dynamo.AsyncUpper
+	if spec.Distributed {
+		netLatency := spec.NetworkLatency
+		if netLatency == 0 {
+			netLatency = 10 * time.Millisecond
+		}
+		fabric := bus.New(engine, bus.ConstantLatency(netLatency))
+		for _, r := range racks {
+			dynamo.NewAsyncAgent(fabric, engine, r, spec.CommandLatency)
+		}
+		msb.Walk(func(nd *power.Node) {
+			if nd.Level() != power.LevelRPP {
+				return
+			}
+			var leafRacks []*rack.Rack
+			for _, l := range nd.Loads() {
+				leafRacks = append(leafRacks, l.(*rack.Rack))
+			}
+			// Leaves monitor and execute; the MSB controller plans.
+			asyncLeaves = append(asyncLeaves,
+				dynamo.NewAsyncLeaf(fabric, engine, nd, leafRacks, spec.Mode, core.DefaultConfig(), false, spec.Step))
+		})
+		asyncUpper = dynamo.NewAsyncUpper(fabric, engine, msb, asyncLeaves, spec.Mode, core.DefaultConfig(), spec.Step)
+	} else {
+		hier, err = dynamo.BuildHierarchy(msb, spec.Mode, core.DefaultConfig(), engine, spec.CommandLatency)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// The transition hits at the first trace peak, where available power is
+	// most constrained (§V-B1). Its length is derived from the target DOD at
+	// the aggregate load of that moment.
+	peakT := trace.FirstPeak(gen, 24*time.Hour, time.Minute)
+	avgLoad := float64(trace.Aggregate(gen, peakT)) / float64(n)
+	transLen := time.Duration(float64(spec.AvgDOD) * battery.RackFullEnergy / avgLoad * float64(time.Second))
+	transLen = transLen.Round(spec.Step)
+	if transLen < spec.Step {
+		transLen = spec.Step
+	}
+
+	res := &CoordResult{
+		Spec:             spec,
+		TransitionLength: transLen,
+		SLAMet:           map[rack.Priority]int{},
+		Racks:            map[rack.Priority]int{},
+		ChargeDurations:  map[rack.Priority][]time.Duration{},
+	}
+	for _, r := range racks {
+		res.Racks[r.Priority()]++
+	}
+
+	start := peakT - spec.PreRoll
+	loseAt := peakT
+	restoreAt := peakT + transLen
+	horizon := restoreAt + spec.MaxChargeDuration
+	deadlines := core.DefaultDeadlines()
+	if engine != nil && start > 0 {
+		// Pre-advance the engine clock to the window start.
+		engine.ScheduleAt(start, "start", func(time.Duration) {})
+		engine.Run(start)
+	}
+
+	lastSample := time.Duration(-1 << 62)
+	tripped := map[string]bool{}
+	for now := start; now <= horizon; now += spec.Step {
+		for i, r := range racks {
+			r.SetDemand(gen.Rack(i, now))
+		}
+		if now == loseAt {
+			// An MSB-level open transition: the breaker leaves the critical
+			// power path and every rack beneath falls back to batteries.
+			msb.Deenergize(now)
+		}
+		if now == restoreAt {
+			msb.Reenergize(now)
+			var sum float64
+			res.DODs = res.DODs[:0]
+			for _, r := range racks {
+				sum += float64(r.LastDOD())
+				res.DODs = append(res.DODs, float64(r.LastDOD()))
+			}
+			res.AvgDOD = units.Fraction(sum / float64(n))
+		}
+		for _, r := range racks {
+			r.Step(now, spec.Step)
+		}
+		if engine != nil {
+			engine.Run(now)
+		}
+		if hier != nil {
+			hier.Tick(now)
+		}
+		msb.Walk(func(nd *power.Node) {
+			if nd.Tripped() && !tripped[nd.Name()] {
+				tripped[nd.Name()] = true
+				res.Tripped = append(res.Tripped, nd.Name())
+			}
+		})
+
+		if now-lastSample >= spec.SampleEvery {
+			lastSample = now
+			var it, rech, capped units.Power
+			for _, r := range racks {
+				if r.InputUp() {
+					it += r.ITLoad()
+					rech += r.RechargePower()
+				}
+				capped += r.CappedPower()
+			}
+			res.Samples = append(res.Samples, Sample{
+				T: now - loseAt, Total: it + rech, IT: it, Recharge: rech, Capped: capped,
+			})
+		}
+		if p := msb.Power(); now > restoreAt && p > res.PeakPower {
+			res.PeakPower = p
+		}
+
+		if now > restoreAt {
+			anyCharging := false
+			for _, r := range racks {
+				if r.Charging() {
+					anyCharging = true
+					break
+				}
+			}
+			if !anyCharging {
+				if res.LastChargeDone == 0 {
+					res.LastChargeDone = now - loseAt
+				}
+				if now >= restoreAt+5*time.Minute && now-loseAt >= res.LastChargeDone+2*time.Minute {
+					break
+				}
+			} else {
+				res.LastChargeDone = 0
+			}
+		}
+	}
+
+	if hier != nil {
+		res.Metrics = hier.TotalMetrics()
+	} else {
+		m := asyncUpper.Metrics()
+		for _, l := range asyncLeaves {
+			lm := l.Metrics()
+			if lm.MaxCapping > m.MaxCapping {
+				m.MaxCapping = lm.MaxCapping
+			}
+			m.OverridesIssued += lm.OverridesIssued
+			m.ThrottleEvents += lm.ThrottleEvents
+			m.PlansComputed += lm.PlansComputed
+		}
+		res.Metrics = m
+	}
+	endNow := horizon
+	for _, r := range racks {
+		d, done := r.ChargeDuration(endNow)
+		met := false
+		if r.LastDOD() <= 0 {
+			met = true // nothing to charge
+		} else if done && d <= deadlines[r.Priority()] {
+			met = true
+		}
+		if done {
+			res.ChargeDurations[r.Priority()] = append(res.ChargeDurations[r.Priority()], d)
+		}
+		if met {
+			res.SLAMet[r.Priority()]++
+		}
+	}
+	return res, nil
+}
+
+// ProductionDistribution returns the paper's evaluation MSB rack counts.
+func ProductionDistribution() (p1, p2, p3 int) { return 89, 142, 85 }

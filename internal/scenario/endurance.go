@@ -1,0 +1,344 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/reliability"
+	"coordcharge/internal/report"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// EnduranceSpec parameterises a multi-year endurance run: Table I failure
+// events replayed at their true hierarchy levels against a live MSB with the
+// real coordinated control plane, measuring each rack's *realized*
+// availability of redundancy. This quantifies the trade-off the paper states
+// qualitatively ("our solution would slow down the battery charging process
+// and compromise the redundancy"): coordination that throttles charging
+// under a tight power limit shows up here as AOR loss, concentrated on the
+// priorities the algorithm deprioritises.
+type EnduranceSpec struct {
+	// Years is the simulated horizon (default 50; capped at 250 to keep the
+	// virtual clock within time.Duration).
+	Years float64
+	// Seed drives both the failure stream and the trace.
+	Seed int64
+	// NumP1, NumP2, NumP3 give the rack distribution (default 10/10/10; the
+	// trace envelope scales with the population as in CoordSpec).
+	NumP1, NumP2, NumP3 int
+	// MSBLimit is the breaker limit (default: the population-scaled 2.5 MW
+	// equivalent).
+	MSBLimit units.Power
+	// Mode is the coordination policy.
+	Mode dynamo.Mode
+	// LocalPolicy is the rack-local charger (default variable).
+	LocalPolicy charger.Policy
+	// Step is the fine-simulation tick (default 3 s).
+	Step time.Duration
+}
+
+func (s *EnduranceSpec) fillDefaults() error {
+	if s.Years == 0 {
+		s.Years = 50
+	}
+	if s.Years < 0 || s.Years > 250 {
+		return fmt.Errorf("scenario: endurance years %v out of (0, 250]", s.Years)
+	}
+	if s.NumP1 == 0 && s.NumP2 == 0 && s.NumP3 == 0 {
+		s.NumP1, s.NumP2, s.NumP3 = 10, 10, 10
+	}
+	if s.NumP1 < 0 || s.NumP2 < 0 || s.NumP3 < 0 {
+		return fmt.Errorf("scenario: negative rack count")
+	}
+	n := s.NumP1 + s.NumP2 + s.NumP3
+	if s.MSBLimit == 0 {
+		s.MSBLimit = units.Power(2.5e6 * float64(n) / 316)
+	}
+	if s.MSBLimit < 0 {
+		return fmt.Errorf("scenario: negative MSB limit")
+	}
+	if s.LocalPolicy == nil {
+		s.LocalPolicy = charger.Variable{}
+	}
+	if s.Step == 0 {
+		s.Step = 3 * time.Second
+	}
+	if s.Step <= 0 {
+		return fmt.Errorf("scenario: non-positive step")
+	}
+	return nil
+}
+
+// EnduranceResult is the outcome of an endurance run.
+type EnduranceResult struct {
+	Spec EnduranceSpec
+	// Events and Outages count the replayed failure events.
+	Events, Outages int
+	// AOR is the realized availability of redundancy per priority: the
+	// fraction of rack-time spent with input power up and batteries full.
+	AOR map[rack.Priority]units.Fraction
+	// LossHoursPerYear is the per-priority mean loss of redundancy.
+	LossHoursPerYear map[rack.Priority]float64
+	// Metrics aggregates the control plane's protective actions over the
+	// whole horizon.
+	Metrics dynamo.Metrics
+}
+
+// enduranceState bundles the mutable simulation state.
+type enduranceState struct {
+	spec    EnduranceSpec
+	racks   []*rack.Rack
+	gen     trace.Source
+	hier    *dynamo.Hierarchy
+	msb     *power.Node
+	clock   time.Duration
+	unavail map[*rack.Rack]time.Duration
+	week    time.Duration
+}
+
+func (st *enduranceState) setDemands() {
+	t := st.clock % st.week
+	for i, r := range st.racks {
+		r.SetDemand(st.gen.Rack(i, t))
+	}
+}
+
+// tick advances one fine step: demands, rack dynamics, control plane, and
+// redundancy accounting.
+func (st *enduranceState) tick() {
+	st.clock += st.spec.Step
+	st.setDemands()
+	for _, r := range st.racks {
+		r.Step(st.clock, st.spec.Step)
+	}
+	st.hier.Tick(st.clock)
+	for _, r := range st.racks {
+		if !r.InputUp() || r.Charging() {
+			st.unavail[r] += st.spec.Step
+		}
+	}
+}
+
+// settle fine-simulates until every rack has input power and no battery is
+// charging, bounded by a safety horizon.
+func (st *enduranceState) settle(maxDur time.Duration) {
+	deadline := st.clock + maxDur
+	for st.clock < deadline {
+		st.tick()
+		quiet := true
+		for _, r := range st.racks {
+			if !r.InputUp() || r.Charging() {
+				quiet = false
+				break
+			}
+		}
+		if quiet {
+			return
+		}
+	}
+}
+
+// jumpTo advances the clock without dynamics (used between events when every
+// battery is full).
+func (st *enduranceState) jumpTo(t time.Duration) {
+	if t > st.clock {
+		st.clock = t
+	}
+}
+
+// RunEndurance executes the endurance simulation.
+func RunEndurance(spec EnduranceSpec) (*EnduranceResult, error) {
+	if err := spec.fillDefaults(); err != nil {
+		return nil, err
+	}
+	n := spec.NumP1 + spec.NumP2 + spec.NumP3
+	scale := float64(n) / 316
+	gen, err := trace.NewGenerator(trace.Spec{
+		NumRacks:    n,
+		Seed:        spec.Seed,
+		TroughPower: units.Power(1.9e6 * scale),
+		PeakPower:   units.Power(2.1e6 * scale),
+	})
+	if err != nil {
+		return nil, err
+	}
+	surface := battery.Fig5Surface()
+	prio := func(i int) rack.Priority {
+		switch {
+		case i < spec.NumP1:
+			return rack.P1
+		case i < spec.NumP1+spec.NumP2:
+			return rack.P2
+		default:
+			return rack.P3
+		}
+	}
+	racks := make([]*rack.Rack, n)
+	loads := make([]power.Load, n)
+	for i := range racks {
+		racks[i] = rack.New(fmt.Sprintf("rack%03d", i), prio(i), spec.LocalPolicy, surface)
+		loads[i] = racks[i]
+	}
+	msb, err := power.Build(power.Spec{Name: "msb", MSBLimit: spec.MSBLimit}, loads)
+	if err != nil {
+		return nil, err
+	}
+	msb.Walk(func(nd *power.Node) {
+		if nd != msb {
+			nd.SetLimit(100 * units.Megawatt)
+		}
+	})
+	hier, err := dynamo.BuildHierarchy(msb, spec.Mode, core.DefaultConfig(), nil, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Scope targets: SB- and RPP-level events rotate across the breakers of
+	// that level; everything at or above the MSB hits the whole tree.
+	var sbs, rpps []*power.Node
+	msb.Walk(func(nd *power.Node) {
+		switch nd.Level() {
+		case power.LevelSB:
+			sbs = append(sbs, nd)
+		case power.LevelRPP:
+			rpps = append(rpps, nd)
+		}
+	})
+	var sbIdx, rppIdx int
+	scopeFor := func(c reliability.Component) *power.Node {
+		switch c.Name {
+		case "SB":
+			sbIdx++
+			return sbs[sbIdx%len(sbs)]
+		case "RPP":
+			rppIdx++
+			return rpps[rppIdx%len(rpps)]
+		default: // Utility, Sub/MSG, MSB
+			return msb
+		}
+	}
+
+	relSim, err := reliability.NewSimulator(reliability.TableI(), spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	events := relSim.Events(spec.Years)
+
+	st := &enduranceState{
+		spec:    spec,
+		racks:   racks,
+		gen:     gen,
+		hier:    hier,
+		msb:     msb,
+		unavail: make(map[*rack.Rack]time.Duration, n),
+		week:    7 * 24 * time.Hour,
+	}
+	const settleLimit = 6 * time.Hour
+	res := &EnduranceResult{
+		Spec:             spec,
+		AOR:              map[rack.Priority]units.Fraction{},
+		LossHoursPerYear: map[rack.Priority]float64{},
+	}
+
+	hours := func(h float64) time.Duration {
+		return time.Duration(h * float64(time.Hour))
+	}
+	minTrans := func(h float64) time.Duration {
+		d := hours(h).Round(spec.Step)
+		if d < spec.Step {
+			d = spec.Step
+		}
+		return d
+	}
+	for _, ev := range events {
+		res.Events++
+		scope := scopeFor(ev.Component)
+		// Overlapping events start no earlier than the clock (rare; the
+		// previous event's recovery is still in progress).
+		st.jumpTo(hours(ev.StartHours))
+		if ev.IsOutage() {
+			res.Outages++
+			outage := hours(ev.RepairHours)
+			if outage < spec.Step {
+				outage = spec.Step
+			}
+			scope.Deenergize(st.clock)
+			// No dynamics while input is out: one bulk step accumulates the
+			// batteries' outage energy, and redundancy is lost for the whole
+			// outage on the affected racks.
+			st.clock += outage
+			st.setDemands()
+			for _, r := range st.racks {
+				r.Step(st.clock, outage)
+				if !r.InputUp() {
+					st.unavail[r] += outage
+				}
+			}
+			scope.Reenergize(st.clock)
+			st.settle(settleLimit)
+			continue
+		}
+		// Failure/maintenance: an open transition now, another at restore.
+		for leg := 0; leg < 2; leg++ {
+			ot := minTrans(ev.OT1Hours)
+			if leg == 1 {
+				st.jumpTo(hours(ev.StartHours + ev.RepairHours))
+				ot = minTrans(ev.OT2Hours)
+			}
+			scope.Deenergize(st.clock)
+			end := st.clock + ot
+			for st.clock < end {
+				st.tick()
+			}
+			scope.Reenergize(st.clock)
+			st.settle(settleLimit)
+		}
+	}
+
+	horizon := time.Duration(spec.Years * float64(time.Hour) * 8766)
+	counts := map[rack.Priority]int{}
+	sums := map[rack.Priority]time.Duration{}
+	for _, r := range racks {
+		counts[r.Priority()]++
+		sums[r.Priority()] += st.unavail[r]
+	}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if counts[p] == 0 {
+			continue
+		}
+		mean := float64(sums[p]) / float64(counts[p])
+		frac := mean / float64(horizon)
+		res.AOR[p] = units.Fraction(1 - frac)
+		res.LossHoursPerYear[p] = frac * 8766
+	}
+	res.Metrics = hier.TotalMetrics()
+	return res, nil
+}
+
+// EnduranceTable renders an endurance result against the paper's Table II
+// targets: realized AOR through the coordinated control plane versus the
+// idealised per-priority goals.
+func EnduranceTable(res *EnduranceResult) *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Realized AOR over %.0f simulated years (%s mode, %v limit, %d events)",
+			res.Spec.Years, res.Spec.Mode, res.Spec.MSBLimit, res.Events),
+		"Priority", "Realized AOR", "Loss (hr/year)", "Table II target")
+	targets := map[rack.Priority]string{rack.P1: "99.94%", rack.P2: "99.90%", rack.P3: "99.85%"}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if _, ok := res.AOR[p]; !ok {
+			continue
+		}
+		t.Add(p.String(),
+			fmt.Sprintf("%.3f%%", float64(res.AOR[p])*100),
+			fmt.Sprintf("%.2f", res.LossHoursPerYear[p]),
+			targets[p])
+	}
+	return t
+}

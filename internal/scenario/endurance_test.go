@@ -1,0 +1,121 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func TestEnduranceSpecValidation(t *testing.T) {
+	bad := []EnduranceSpec{
+		{Years: -1},
+		{Years: 400},
+		{NumP1: -1, NumP2: 1},
+		{MSBLimit: -1},
+		{Step: -time.Second},
+	}
+	for i, s := range bad {
+		if _, err := RunEndurance(s); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestEnduranceUnconstrainedMeetsTableIITargets(t *testing.T) {
+	res, err := RunEndurance(EnduranceSpec{Years: 20, Seed: 1, Mode: dynamo.ModePriorityAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < 50 {
+		t.Fatalf("only %d events in 20 years, want ~95", res.Events)
+	}
+	// With ample power, coordinated charging at SLA currents beats the
+	// idealised Table II targets (which assume the full SLA is used up).
+	targets := map[rack.Priority]float64{rack.P1: 0.9990, rack.P2: 0.9985, rack.P3: 0.9980}
+	for p, want := range targets {
+		if got := float64(res.AOR[p]); got < want {
+			t.Errorf("%v realized AOR = %.4f, want ≥ %.4f", p, got, want)
+		}
+		if res.AOR[p] > 1 {
+			t.Errorf("%v AOR above 1: %v", p, res.AOR[p])
+		}
+	}
+	// Priority ordering: stricter SLAs yield better realized AOR.
+	if res.AOR[rack.P1] < res.AOR[rack.P2] || res.AOR[rack.P2] < res.AOR[rack.P3] {
+		t.Errorf("AOR not ordered by priority: %v", res.AOR)
+	}
+	if res.Metrics.MaxCapping != 0 {
+		t.Errorf("capping %v with unconstrained power", res.Metrics.MaxCapping)
+	}
+}
+
+// The quantified trade-off: under a tight limit, priority-aware charging
+// preserves P1's redundancy premium; the global baseline spends it.
+func TestEnduranceCoordinationPreservesP1Redundancy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-year endurance runs")
+	}
+	pa, err := RunEndurance(EnduranceSpec{
+		Years: 20, Seed: 1, MSBLimit: 205 * units.Kilowatt, Mode: dynamo.ModePriorityAware,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := RunEndurance(EnduranceSpec{
+		Years: 20, Seed: 1, MSBLimit: 205 * units.Kilowatt, Mode: dynamo.ModeGlobal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.AOR[rack.P1] <= gl.AOR[rack.P1] {
+		t.Errorf("P1 realized AOR: priority-aware %v not above global %v",
+			pa.AOR[rack.P1], gl.AOR[rack.P1])
+	}
+	// Constraint costs some redundancy relative to unconstrained operation.
+	free, err := RunEndurance(EnduranceSpec{Years: 20, Seed: 1, Mode: dynamo.ModePriorityAware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.AOR[rack.P3] > free.AOR[rack.P3] {
+		t.Errorf("tight-limit P3 AOR %v above unconstrained %v", pa.AOR[rack.P3], free.AOR[rack.P3])
+	}
+}
+
+func TestEnduranceTableRendering(t *testing.T) {
+	res, err := RunEndurance(EnduranceSpec{Years: 5, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := EnduranceTable(res)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"P1", "99.94%", "Realized AOR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEnduranceDeterministic(t *testing.T) {
+	a, err := RunEndurance(EnduranceSpec{Years: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunEndurance(EnduranceSpec{Years: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.AOR[rack.P1] != b.AOR[rack.P1] || a.AOR[rack.P3] != b.AOR[rack.P3] {
+		t.Errorf("endurance not deterministic: %+v vs %+v", a.AOR, b.AOR)
+	}
+}

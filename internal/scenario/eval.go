@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/report"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// Fig12Chart reproduces Fig 12: the aggregate power of the evaluation MSB
+// over one week (the synthetic production trace).
+func Fig12Chart(seed int64) (*report.Chart, error) {
+	gen, err := trace.NewGenerator(trace.Spec{NumRacks: 316, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	c := report.NewChart("Fig 12: aggregate power of MSB used for evaluation (one week)", "hours", "MW")
+	s := c.AddSeries("aggregate")
+	for t := time.Duration(0); t <= 7*24*time.Hour; t += 20 * time.Minute {
+		s.Append(t.Hours(), trace.Aggregate(gen, t).MW())
+	}
+	return c, nil
+}
+
+// Fig13Algorithms are the three charging strategies Fig 13 compares.
+func Fig13Algorithms() []struct {
+	Name   string
+	Mode   dynamo.Mode
+	Policy charger.Policy
+} {
+	return []struct {
+		Name   string
+		Mode   dynamo.Mode
+		Policy charger.Policy
+	}{
+		{"original charger", dynamo.ModeNone, charger.Original{}},
+		{"variable charger", dynamo.ModeNone, charger.Variable{}},
+		{"priority-aware", dynamo.ModePriorityAware, charger.Variable{}},
+	}
+}
+
+// Fig13Case identifies one of the six Fig 13 / Table III cases.
+type Fig13Case struct {
+	Label  string
+	Limit  units.Power
+	AvgDOD units.Fraction
+}
+
+// Fig13Cases returns the six (a)–(f) cases: {low, medium, high} battery
+// discharge crossed with the 2.5 MW actual and 2.3 MW low power limits.
+func Fig13Cases() []Fig13Case {
+	return []Fig13Case{
+		{"(a) low discharge, 2.5 MW", 2.5 * units.Megawatt, 0.3},
+		{"(b) low discharge, 2.3 MW", 2.3 * units.Megawatt, 0.3},
+		{"(c) medium discharge, 2.5 MW", 2.5 * units.Megawatt, 0.5},
+		{"(d) medium discharge, 2.3 MW", 2.3 * units.Megawatt, 0.5},
+		{"(e) high discharge, 2.5 MW", 2.5 * units.Megawatt, 0.7},
+		{"(f) high discharge, 2.3 MW", 2.3 * units.Megawatt, 0.7},
+	}
+}
+
+// Fig13Result bundles the Fig 13 charts with the Table III capping data
+// derived from the same runs.
+type Fig13Result struct {
+	Charts   []*report.Chart
+	TableIII *report.Table
+}
+
+// RunFig13 executes the six cases under the three algorithms (18 runs of the
+// 316-rack MSB) and renders Fig 13 plus Table III.
+func RunFig13(seed int64) (*Fig13Result, error) {
+	p1, p2, p3 := ProductionDistribution()
+	res := &Fig13Result{
+		TableIII: report.NewTable("Table III: maximum server power capping required",
+			"Case", "Original charger", "Variable charger", "Priority-aware"),
+	}
+	for _, cs := range Fig13Cases() {
+		chart := report.NewChart("Fig 13 "+cs.Label+": MSB power use", "minutes from transition", "MW")
+		limit := chart.AddSeries("power limit")
+		row := []string{cs.Label}
+		for _, alg := range Fig13Algorithms() {
+			run, err := RunCoordinated(CoordSpec{
+				NumP1: p1, NumP2: p2, NumP3: p3, Seed: seed,
+				MSBLimit: cs.Limit, Mode: alg.Mode, LocalPolicy: alg.Policy, AvgDOD: cs.AvgDOD,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s := chart.AddSeries(alg.Name)
+			for _, sm := range run.Samples {
+				// Fig 13 plots the uncapped would-be draw for the breaker:
+				// capped server power is added back so the overload the
+				// algorithm avoided is visible, as in the paper's plots.
+				s.Append(sm.T.Minutes(), (sm.Total + sm.Capped).MW())
+			}
+			m := run.Metrics
+			row = append(row, fmt.Sprintf("%.0f kW (%.0f%%)", m.MaxCapping.KW(), float64(m.MaxCappingFraction)*100))
+		}
+		if len(chart.Series) > 1 {
+			pts := chart.Series[1].Points
+			if len(pts) > 0 {
+				limit.Append(pts[0].X, cs.Limit.MW())
+				limit.Append(pts[len(pts)-1].X, cs.Limit.MW())
+			}
+		}
+		res.Charts = append(res.Charts, chart)
+		res.TableIII.Add(row...)
+	}
+	return res, nil
+}
+
+// SweepSpec parameterises the Fig 14/15 power-limit sweeps.
+type SweepSpec struct {
+	// Label names the sweep in chart titles.
+	Label string
+	// NumP1, NumP2, NumP3 give the rack priority distribution.
+	NumP1, NumP2, NumP3 int
+	// AvgDOD is the discharge level.
+	AvgDOD units.Fraction
+	// Mode is the coordination policy to evaluate.
+	Mode dynamo.Mode
+	// Limits are the MSB power limits to sweep (default 2.6 down to 2.2 MW).
+	Limits []units.Power
+	// Seed drives trace synthesis.
+	Seed int64
+}
+
+func defaultSweepLimits() []units.Power {
+	var out []units.Power
+	for mw := 2.6; mw >= 2.1999; mw -= 0.05 {
+		out = append(out, units.Power(mw)*units.Megawatt)
+	}
+	return out
+}
+
+// RunSweep evaluates racks-meeting-SLA (disaggregated by priority) across a
+// power-limit sweep: one subplot of Fig 14 or Fig 15. The limits are
+// independent experiments, so they run concurrently (bounded by GOMAXPROCS);
+// output ordering stays deterministic.
+func RunSweep(spec SweepSpec) (*report.Chart, error) {
+	if len(spec.Limits) == 0 {
+		spec.Limits = defaultSweepLimits()
+	}
+	chart := report.NewChart(
+		fmt.Sprintf("%s (%s): racks meeting charging-time SLA vs power limit", spec.Label, spec.Mode),
+		"power limit (MW)", "racks meeting SLA")
+	series := map[rack.Priority]*report.Series{
+		rack.P1: chart.AddSeries("P1"),
+		rack.P2: chart.AddSeries("P2"),
+		rack.P3: chart.AddSeries("P3"),
+	}
+	total := chart.AddSeries("total")
+
+	runs := make([]*CoordResult, len(spec.Limits))
+	errs := make([]error, len(spec.Limits))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for k, limit := range spec.Limits {
+		wg.Add(1)
+		go func(k int, limit units.Power) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runs[k], errs[k] = RunCoordinated(CoordSpec{
+				NumP1: spec.NumP1, NumP2: spec.NumP2, NumP3: spec.NumP3, Seed: spec.Seed,
+				MSBLimit: limit, Mode: spec.Mode, AvgDOD: spec.AvgDOD,
+			})
+		}(k, limit)
+	}
+	wg.Wait()
+	for k, limit := range spec.Limits {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+		run := runs[k]
+		sum := 0
+		for p, s := range series {
+			s.Append(limit.MW(), float64(run.SLAMet[p]))
+			sum += run.SLAMet[p]
+		}
+		total.Append(limit.MW(), float64(sum))
+	}
+	return chart, nil
+}
+
+// RunFig14 reproduces Fig 14: priority-aware versus global charging across
+// the power-limit sweep, at medium and high battery discharge, with the
+// production priority distribution.
+func RunFig14(seed int64) ([]*report.Chart, error) {
+	p1, p2, p3 := ProductionDistribution()
+	subplots := []SweepSpec{
+		{Label: "Fig 14(a) medium discharge", AvgDOD: 0.5, Mode: dynamo.ModePriorityAware},
+		{Label: "Fig 14(b) medium discharge", AvgDOD: 0.5, Mode: dynamo.ModeGlobal},
+		{Label: "Fig 14(c) high discharge", AvgDOD: 0.7, Mode: dynamo.ModePriorityAware},
+		{Label: "Fig 14(d) high discharge", AvgDOD: 0.7, Mode: dynamo.ModeGlobal},
+	}
+	var out []*report.Chart
+	for _, sp := range subplots {
+		sp.NumP1, sp.NumP2, sp.NumP3 = p1, p2, p3
+		sp.Seed = seed
+		c, err := RunSweep(sp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// RunFig15 reproduces Fig 15: the same sweep at medium discharge for two
+// alternative priority distributions — evenly distributed thirds and all
+// racks P1.
+func RunFig15(seed int64) ([]*report.Chart, error) {
+	subplots := []SweepSpec{
+		{Label: "Fig 15(a) even distribution", NumP1: 105, NumP2: 106, NumP3: 105, Mode: dynamo.ModePriorityAware},
+		{Label: "Fig 15(b) even distribution", NumP1: 105, NumP2: 106, NumP3: 105, Mode: dynamo.ModeGlobal},
+		{Label: "Fig 15(c) all P1", NumP1: 316, Mode: dynamo.ModePriorityAware},
+		{Label: "Fig 15(d) all P1", NumP1: 316, Mode: dynamo.ModeGlobal},
+	}
+	var out []*report.Chart
+	for _, sp := range subplots {
+		sp.AvgDOD = 0.5
+		sp.Seed = seed
+		c, err := RunSweep(sp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

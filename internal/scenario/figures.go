@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/reliability"
+	"coordcharge/internal/report"
+	"coordcharge/internal/units"
+)
+
+// Fig3Charts reproduces Fig 3: the CC-CV charging sequence of one BBU after
+// a full 90-second discharge with the original 5 A charger. Three charts
+// share the time axis: charge power, charging current, battery voltage.
+func Fig3Charts() []*report.Chart {
+	p := battery.DefaultParams()
+	pts := battery.Profile(p, 5, 1, 10*time.Second)
+	powerC := report.NewChart("Fig 3: BBU charge power after full discharge (5 A)", "minutes", "W")
+	currentC := report.NewChart("Fig 3: BBU charging current", "minutes", "A")
+	voltageC := report.NewChart("Fig 3: BBU voltage", "minutes", "V")
+	ps := powerC.AddSeries("power")
+	cs := currentC.AddSeries("current")
+	vs := voltageC.AddSeries("voltage")
+	for _, pt := range pts {
+		min := pt.T.Minutes()
+		ps.Append(min, float64(pt.Power))
+		cs.Append(min, float64(pt.Current))
+		vs.Append(min, float64(pt.Voltage))
+	}
+	return []*report.Chart{powerC, currentC, voltageC}
+}
+
+// Fig4Chart reproduces Fig 4: recharge power versus time for different
+// depths of discharge of the BBU (original 5 A charger).
+func Fig4Chart() *report.Chart {
+	p := battery.DefaultParams()
+	c := report.NewChart("Fig 4: BBU recharge power vs time by depth of discharge (5 A)", "minutes", "W")
+	for _, dod := range []float64{0.25, 0.50, 0.75, 1.00} {
+		s := c.AddSeries(fmt.Sprintf("%.0f%% DOD", dod*100))
+		for _, pt := range battery.Profile(p, 5, units.Fraction(dod), 15*time.Second) {
+			s.Append(pt.T.Minutes(), float64(pt.Power))
+		}
+	}
+	return c
+}
+
+// Fig5Chart reproduces Fig 5: BBU charging time versus depth of discharge
+// for charging currents from 1 A to 5 A (the empirical surface).
+func Fig5Chart() *report.Chart {
+	s := battery.Fig5Surface()
+	c := report.NewChart("Fig 5: BBU charging time vs depth of discharge by charging current", "DOD %", "minutes")
+	for i := 1; i <= 5; i++ {
+		se := c.AddSeries(fmt.Sprintf("%d A", i))
+		for dod := 0.0; dod <= 1.0001; dod += 0.05 {
+			se.Append(dod*100, s.ChargeTime(units.Current(i), units.Fraction(dod)).Minutes())
+		}
+	}
+	return c
+}
+
+// Fig6bChart reproduces Fig 6(b): the variable charger's CC current
+// selection versus depth of discharge (Eq 1).
+func Fig6bChart() *report.Chart {
+	c := report.NewChart("Fig 6(b): variable charger CC current vs depth of discharge (Eq 1)", "DOD %", "A")
+	s := c.AddSeries("Ic")
+	for dod := 0.0; dod <= 1.0001; dod += 0.02 {
+		s.Append(dod*100, float64(charger.Eq1(units.Fraction(dod))))
+	}
+	return c
+}
+
+// Fig9aChart reproduces Fig 9(a): availability of redundancy of rack power
+// versus battery charging time, via the Table I Monte Carlo.
+func Fig9aChart(horizonYears float64, seed int64) (*report.Chart, error) {
+	s, err := reliability.NewSimulator(reliability.TableI(), seed)
+	if err != nil {
+		return nil, err
+	}
+	var cts []time.Duration
+	for m := 10; m <= 120; m += 10 {
+		cts = append(cts, time.Duration(m)*time.Minute)
+	}
+	c := report.NewChart(fmt.Sprintf("Fig 9(a): AOR vs battery charging time (%.0f simulated years)", horizonYears), "charge time (min)", "AOR %")
+	se := c.AddSeries("AOR")
+	for _, p := range s.Sweep(horizonYears, cts) {
+		se.Append(p.ChargeTime.Minutes(), float64(p.AOR)*100)
+	}
+	return c, nil
+}
+
+// Fig9bChart reproduces Fig 9(b): the charging current required to satisfy
+// each priority's charging-time SLA, by depth of discharge.
+func Fig9bChart() *report.Chart {
+	cfg := core.DefaultConfig()
+	c := report.NewChart("Fig 9(b): SLA charging current vs depth of discharge by rack priority", "DOD %", "A")
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		se := c.AddSeries(p.String())
+		for dod := 0.0; dod <= 1.0001; dod += 0.02 {
+			i, _ := cfg.SLACurrent(p, units.Fraction(dod))
+			se.Append(dod*100, float64(i))
+		}
+	}
+	return c
+}
+
+// TableITable renders the paper's Table I input data.
+func TableITable() *report.Table {
+	t := report.NewTable("Table I: component failure and repair times",
+		"Failure type", "Component", "MTBF (hours)", "MTTR (hours)")
+	for _, c := range reliability.TableI() {
+		t.Add(c.Type.String(), c.Name, fmt.Sprintf("%.3g", c.MTBFHours), fmt.Sprintf("%.1f", c.MTTRHours))
+	}
+	return t
+}
+
+// BreakdownTable attributes loss of redundancy to each Table I component
+// class at a given charging-time SLA — an analysis extension of Table II.
+func BreakdownTable(horizonYears float64, seed int64, chargeTime time.Duration) (*report.Table, error) {
+	s, err := reliability.NewSimulator(reliability.TableI(), seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Loss-of-redundancy breakdown at a %.0f-minute charge time", chargeTime.Minutes()),
+		"Failure type", "Component", "Events/year", "Loss (hr/year)")
+	var total float64
+	for _, row := range s.Breakdown(horizonYears, chargeTime) {
+		total += row.LossHoursPerYear
+		t.Add(row.Component.Type.String(), row.Component.Name,
+			fmt.Sprintf("%.3f", row.EventsPerYear),
+			fmt.Sprintf("%.3f", row.LossHoursPerYear))
+	}
+	t.Add("TOTAL", "", "", fmt.Sprintf("%.2f", total))
+	return t, nil
+}
+
+// TableIITable reproduces Table II: the AOR and loss-of-redundancy achieved
+// by each priority's charging-time SLA under the Table I failure model.
+func TableIITable(horizonYears float64, seed int64) (*report.Table, error) {
+	s, err := reliability.NewSimulator(reliability.TableI(), seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table II: charging time SLA for different rack priority",
+		"Rack priority", "AOR", "Loss of redundancy (hr/year)", "Charging time SLA")
+	for _, row := range s.TableII(horizonYears) {
+		t.Add(row.Priority,
+			fmt.Sprintf("%.2f%%", float64(row.AOR)*100),
+			fmt.Sprintf("%.2f", row.LossHoursPerYear),
+			fmt.Sprintf("%.0f minutes", row.ChargeTimeSLA.Minutes()))
+	}
+	return t, nil
+}

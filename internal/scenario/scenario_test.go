@@ -1,0 +1,433 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/report"
+	"coordcharge/internal/units"
+)
+
+// smallSpec is a reduced-population coordinated run for fast tests: 30 racks
+// at a proportional power limit.
+func smallSpec(mode dynamo.Mode, pol charger.Policy, limitKW float64, dod units.Fraction) CoordSpec {
+	return CoordSpec{
+		NumP1: 9, NumP2: 14, NumP3: 7, Seed: 1,
+		MSBLimit:    units.Power(limitKW) * units.Kilowatt,
+		Mode:        mode,
+		LocalPolicy: pol,
+		AvgDOD:      dod,
+	}
+}
+
+func TestCoordSpecValidation(t *testing.T) {
+	bad := []CoordSpec{
+		{},
+		{NumP1: -1, NumP2: 5, AvgDOD: 0.5},
+		{NumP1: 5, AvgDOD: 0},
+		{NumP1: 5, AvgDOD: 1.5},
+		{NumP1: 5, AvgDOD: 0.5, Step: -time.Second},
+	}
+	for i, s := range bad {
+		if _, err := RunCoordinated(s); err == nil {
+			t.Errorf("spec %d accepted", i)
+		}
+	}
+}
+
+func TestRunCoordinatedRealisesTargetDOD(t *testing.T) {
+	for _, dod := range []units.Fraction{0.3, 0.5, 0.7} {
+		res, err := RunCoordinated(smallSpec(dynamo.ModeNone, charger.Variable{}, 100000, dod))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(res.AvgDOD-dod)) > 0.08 {
+			t.Errorf("target DOD %v realised %v", dod, res.AvgDOD)
+		}
+	}
+}
+
+// The trace generator scales: a 30-rack population draws ~30/316 of the MSB
+// envelope, so an unconstrained run never caps.
+func TestRunCoordinatedUnconstrainedNoCapping(t *testing.T) {
+	res, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxCapping != 0 {
+		t.Errorf("capping %v with unconstrained limit", res.Metrics.MaxCapping)
+	}
+	if len(res.Tripped) != 0 {
+		t.Errorf("breakers tripped: %v", res.Tripped)
+	}
+	total := 0
+	for _, n := range res.SLAMet {
+		total += n
+	}
+	if total < 20 {
+		t.Errorf("only %d/30 racks met SLA with unconstrained power", total)
+	}
+	if res.LastChargeDone == 0 {
+		t.Error("charges never completed")
+	}
+}
+
+// The headline contrast (Table III): at a constrained limit the original
+// charger needs heavy capping, the variable charger needs less, and the
+// priority-aware algorithm none.
+func TestTableIIIOrdering(t *testing.T) {
+	// 30 racks on the default envelope draw ~190-200 kW at peak.
+	const limit = 215 // kW: tight
+	orig, err := RunCoordinated(smallSpec(dynamo.ModeNone, charger.Original{}, limit, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vari, err := RunCoordinated(smallSpec(dynamo.ModeNone, charger.Variable{}, limit, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, limit, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orig.Metrics.MaxCapping <= vari.Metrics.MaxCapping {
+		t.Errorf("original capping (%v) not worse than variable (%v)", orig.Metrics.MaxCapping, vari.Metrics.MaxCapping)
+	}
+	if prio.Metrics.MaxCapping != 0 {
+		t.Errorf("priority-aware capping = %v, want 0", prio.Metrics.MaxCapping)
+	}
+	// The original charger's spike is the largest.
+	if orig.PeakPower <= prio.PeakPower {
+		t.Errorf("original peak (%v) not above priority-aware (%v)", orig.PeakPower, prio.PeakPower)
+	}
+}
+
+// Priority-aware protects P1 SLAs under constraint better than global.
+func TestFig14Contrast(t *testing.T) {
+	const limit = 215
+	pa, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, limit, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gl, err := RunCoordinated(smallSpec(dynamo.ModeGlobal, charger.Variable{}, limit, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.SLAMet[rack.P1] <= gl.SLAMet[rack.P1] {
+		t.Errorf("P1 SLAs: priority-aware %d not above global %d", pa.SLAMet[rack.P1], gl.SLAMet[rack.P1])
+	}
+}
+
+func TestRunCoordinatedDeterministic(t *testing.T) {
+	a, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 220, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCoordinated(smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 220, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("samples diverge at %d", i)
+		}
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+func TestRunCoordinatedSeriesShape(t *testing.T) {
+	res, err := RunCoordinated(smallSpec(dynamo.ModeNone, charger.Original{}, 100000, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 10 {
+		t.Fatalf("too few samples: %d", len(res.Samples))
+	}
+	// Pre-transition: no recharge. Post-restore: a recharge spike appears,
+	// then decays to zero.
+	first := res.Samples[0]
+	if first.T >= 0 || first.Recharge != 0 {
+		t.Errorf("first sample %+v, want pre-transition with no recharge", first)
+	}
+	var maxRecharge units.Power
+	for _, s := range res.Samples {
+		if s.Recharge > maxRecharge {
+			maxRecharge = s.Recharge
+		}
+	}
+	// 30 racks at the original charger's 1.9 kW each.
+	if maxRecharge < 50*units.Kilowatt {
+		t.Errorf("recharge spike = %v, want ~57 kW", maxRecharge)
+	}
+	last := res.Samples[len(res.Samples)-1]
+	if last.Recharge != 0 {
+		t.Errorf("recharge did not decay to zero: %v", last.Recharge)
+	}
+}
+
+func TestFigureChartsNonEmpty(t *testing.T) {
+	charts := Fig3Charts()
+	if len(charts) != 3 {
+		t.Fatalf("Fig3Charts = %d charts", len(charts))
+	}
+	for _, c := range append(charts, Fig4Chart(), Fig5Chart(), Fig6bChart(), Fig9bChart()) {
+		if len(c.Series) == 0 {
+			t.Errorf("chart %q has no series", c.Title)
+		}
+		for _, s := range c.Series {
+			if len(s.Points) == 0 {
+				t.Errorf("chart %q series %q empty", c.Title, s.Name)
+			}
+		}
+	}
+}
+
+func TestFig4ChartSpikeIndependentOfDOD(t *testing.T) {
+	c := Fig4Chart()
+	if len(c.Series) != 4 {
+		t.Fatalf("Fig 4 series = %d, want 4", len(c.Series))
+	}
+	// The initial power is ~the same for every DOD (the original charger
+	// always starts in CC at 5 A) while durations differ.
+	var first []float64
+	var last []float64
+	for _, s := range c.Series {
+		first = append(first, s.Points[0].Y)
+		last = append(last, s.Points[len(s.Points)-1].X)
+	}
+	for i := 1; i < len(first); i++ {
+		if math.Abs(first[i]-first[0]) > 25 {
+			t.Errorf("initial power differs across DOD: %v", first)
+		}
+		if last[i] <= last[i-1] {
+			t.Errorf("charge duration not increasing with DOD: %v", last)
+		}
+	}
+}
+
+func TestFig9aChart(t *testing.T) {
+	c, err := Fig9aChart(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Series[0].Points
+	if len(pts) != 12 {
+		t.Fatalf("Fig 9a points = %d, want 12", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y >= pts[i-1].Y {
+			t.Errorf("AOR not decreasing with charge time at %v", pts[i].X)
+		}
+	}
+}
+
+func TestFig9bChartStaircase(t *testing.T) {
+	c := Fig9bChart()
+	if len(c.Series) != 3 {
+		t.Fatalf("Fig 9b series = %d", len(c.Series))
+	}
+	// P1 starts at 2 A, P2/P3 at 1 A; all currents are nondecreasing in DOD.
+	starts := map[string]float64{"P1": 2, "P2": 1, "P3": 1}
+	for _, s := range c.Series {
+		if s.Points[0].Y != starts[s.Name] {
+			t.Errorf("%s starts at %v A, want %v", s.Name, s.Points[0].Y, starts[s.Name])
+		}
+		for i := 1; i < len(s.Points); i++ {
+			if s.Points[i].Y < s.Points[i-1].Y {
+				t.Errorf("%s SLA current decreases at DOD %v", s.Name, s.Points[i].X)
+			}
+		}
+	}
+}
+
+func TestTableITableShape(t *testing.T) {
+	tb := TableITable()
+	if len(tb.Rows) != 11 {
+		t.Errorf("Table I rows = %d, want 11", len(tb.Rows))
+	}
+}
+
+func TestTableIITableShape(t *testing.T) {
+	tb, err := TableIITable(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("Table II rows = %d", len(tb.Rows))
+	}
+	if !strings.Contains(tb.Rows[0][3], "30 minutes") {
+		t.Errorf("P1 SLA cell = %q", tb.Rows[0][3])
+	}
+}
+
+func TestFig12Chart(t *testing.T) {
+	c, err := Fig12Chart(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Series[0].Points
+	if len(pts) < 100 {
+		t.Fatalf("Fig 12 points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Y < 1.8 || p.Y > 2.2 {
+			t.Errorf("aggregate %v MW at %v h outside the diurnal envelope", p.Y, p.X)
+		}
+	}
+}
+
+// Fig 2 case study: a ~15% regional spike from the sub-second sag.
+func TestFig2Shape(t *testing.T) {
+	c := Fig2Chart(50) // ~98 racks scaled up
+	pts := c.Series[0].Points
+	if len(pts) < 20 {
+		t.Fatalf("Fig 2 points = %d", len(pts))
+	}
+	base := pts[0].Y
+	if math.Abs(base-61.6) > 1 {
+		t.Errorf("pre-outage region power = %v MW, want ~61.6", base)
+	}
+	var peak float64
+	for _, p := range pts {
+		if p.Y > peak {
+			peak = p.Y
+		}
+	}
+	spike := peak - base
+	if spike < 7 || spike > 11 {
+		t.Errorf("recharge spike = %.1f MW, want ~9.3", spike)
+	}
+	end := pts[len(pts)-1].Y
+	if math.Abs(end-base) > 1 {
+		t.Errorf("power did not return to base: %v MW", end)
+	}
+}
+
+// Fig 7: variable charger spikes ~10 kW where the original would spike >26 kW.
+func TestFig7Shape(t *testing.T) {
+	c := Fig7Chart()
+	if len(c.Series) != 2 {
+		t.Fatalf("Fig 7 series = %d", len(c.Series))
+	}
+	spike := func(s *report.Series) float64 {
+		base := s.Points[0].Y
+		var peak float64
+		for _, p := range s.Points {
+			if p.Y > peak {
+				peak = p.Y
+			}
+		}
+		return peak - base
+	}
+	vSpike := spike(c.Series[0])
+	oSpike := spike(c.Series[1])
+	if vSpike < 9 || vSpike > 12 {
+		t.Errorf("variable charger spike = %.1f kW, want ~10.6", vSpike)
+	}
+	if oSpike < 24 || oSpike > 28 {
+		t.Errorf("original charger spike = %.1f kW, want ~26.6", oSpike)
+	}
+	// The headline: a ~60% reduction in recharge power.
+	if red := 1 - vSpike/oSpike; red < 0.5 || red > 0.7 {
+		t.Errorf("recharge power reduction = %.0f%%, want ~60%%", red*100)
+	}
+}
+
+// Fig 10: P1 racks at ~760 W finish in ~30 min; P2/P3 at ~380 W within the
+// hour.
+func TestFig10Shape(t *testing.T) {
+	c := Fig10Chart()
+	bySeries := map[string]*report.Series{}
+	for _, s := range c.Series {
+		bySeries[s.Name] = s
+	}
+	peakOf := func(s *report.Series) float64 {
+		var m float64
+		for _, p := range s.Points {
+			if p.Y > m {
+				m = p.Y
+			}
+		}
+		return m
+	}
+	doneAt := func(s *report.Series) float64 {
+		last := 0.0
+		for _, p := range s.Points {
+			if p.Y > 1 {
+				last = p.X
+			}
+		}
+		return last
+	}
+	p1 := bySeries["P1 racks (per rack)"]
+	p2 := bySeries["P2 racks (per rack)"]
+	if got := peakOf(p1); math.Abs(got-760) > 20 {
+		t.Errorf("P1 recharge power = %.0f W, want ~760 (paper: about 700)", got)
+	}
+	if got := peakOf(p2); math.Abs(got-380) > 20 {
+		t.Errorf("P2 recharge power = %.0f W, want ~380 (paper: about 350)", got)
+	}
+	if got := doneAt(p1); got < 20 || got > 35 {
+		t.Errorf("P1 charge completes at %.0f min, want ~30", got)
+	}
+	if got := doneAt(p2); got < 40 || got > 65 {
+		t.Errorf("P2 charge completes at %.0f min, want within the hour", got)
+	}
+}
+
+// Fig 11: the override lands ~20 s after the charge begins; power steps from
+// the 2 A default down to the 1 A override.
+func TestFig11Shape(t *testing.T) {
+	c := Fig11Chart()
+	pts := c.Series[0].Points
+	sawDefault := false
+	sawOverride := false
+	var overrideAt float64
+	for _, p := range pts {
+		if math.Abs(p.Y-760) < 5 {
+			sawDefault = true
+		}
+		if sawDefault && !sawOverride && math.Abs(p.Y-380) < 5 {
+			sawOverride = true
+			overrideAt = p.X
+		}
+	}
+	if !sawDefault {
+		t.Error("never saw the 2 A default recharge power")
+	}
+	if !sawOverride {
+		t.Fatal("never saw the 1 A override take effect")
+	}
+	if overrideAt < 15 || overrideAt > 40 {
+		t.Errorf("override landed at %.0f s after transition, want ~20-30", overrideAt)
+	}
+}
+
+func TestRunSweepChartShape(t *testing.T) {
+	c, err := RunSweep(SweepSpec{
+		Label: "test", NumP1: 6, NumP2: 6, NumP3: 6, AvgDOD: 0.5,
+		Mode: dynamo.ModePriorityAware, Seed: 1,
+		Limits: []units.Power{150 * units.Kilowatt, 130 * units.Kilowatt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != 4 { // P1, P2, P3, total
+		t.Fatalf("sweep series = %d", len(c.Series))
+	}
+	for _, s := range c.Series {
+		if len(s.Points) != 2 {
+			t.Errorf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+	}
+}

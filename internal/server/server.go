@@ -1,0 +1,164 @@
+// Package server models the servers inside a rack at the granularity Dynamo
+// actually caps them: individually, ordered by the priority of the services
+// they run (paper §II-B: "Dynamo automatically caps the power consumption of
+// servers (according to priority of services running on those servers)").
+// The fleet-scale simulations treat a rack's IT load as a scalar; this
+// package provides the per-server ledger behind that scalar for analyses
+// that count capped servers — the paper's Case II reports "more than ten
+// thousand servers" capped during one building-wide event.
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+// Server is one machine: a demand and the priority of its service.
+type Server struct {
+	Name     string
+	Priority rack.Priority
+	// Demand is the server's uncapped draw.
+	Demand units.Power
+	// Cap is the Dynamo limit, meaningful only when HasCap is set (a cap of
+	// exactly zero watts — a fully shed server — is representable).
+	Cap units.Power
+	// HasCap marks the cap as active.
+	HasCap bool
+}
+
+// Draw returns the server's actual consumption under its cap.
+func (s Server) Draw() units.Power {
+	if s.HasCap && s.Demand > s.Cap {
+		return s.Cap
+	}
+	return s.Demand
+}
+
+// Capped reports whether the cap is binding.
+func (s Server) Capped() bool { return s.HasCap && s.Demand > s.Cap }
+
+// Pool is the set of servers in one rack (or any capping domain).
+type Pool struct {
+	servers []Server
+}
+
+// NewPool builds a pool; server names must be unique and demands
+// non-negative.
+func NewPool(servers []Server) (*Pool, error) {
+	seen := make(map[string]bool, len(servers))
+	for _, s := range servers {
+		if s.Name == "" {
+			return nil, fmt.Errorf("server: empty name")
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("server: duplicate name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Demand < 0 {
+			return nil, fmt.Errorf("server: %s has negative demand", s.Name)
+		}
+		if !s.Priority.Valid() {
+			return nil, fmt.Errorf("server: %s has invalid priority %d", s.Name, int(s.Priority))
+		}
+	}
+	return &Pool{servers: append([]Server(nil), servers...)}, nil
+}
+
+// Uniform builds a pool of n identical servers (the web-tier shape: the
+// paper's racks hold tens of ~200 W machines).
+func Uniform(prefix string, n int, p rack.Priority, demand units.Power) *Pool {
+	servers := make([]Server, n)
+	for i := range servers {
+		servers[i] = Server{Name: fmt.Sprintf("%s-%02d", prefix, i), Priority: p, Demand: demand}
+	}
+	pool, err := NewPool(servers)
+	if err != nil {
+		panic(err) // generated names are unique; unreachable
+	}
+	return pool
+}
+
+// Servers returns a copy of the pool's servers.
+func (p *Pool) Servers() []Server { return append([]Server(nil), p.servers...) }
+
+// Len returns the number of servers.
+func (p *Pool) Len() int { return len(p.servers) }
+
+// Demand returns the pool's aggregate uncapped demand.
+func (p *Pool) Demand() units.Power {
+	var total units.Power
+	for _, s := range p.servers {
+		total += s.Demand
+	}
+	return total
+}
+
+// Draw returns the pool's aggregate consumption under current caps.
+func (p *Pool) Draw() units.Power {
+	var total units.Power
+	for _, s := range p.servers {
+		total += s.Draw()
+	}
+	return total
+}
+
+// CappedCount returns how many servers have a binding cap.
+func (p *Pool) CappedCount() int {
+	n := 0
+	for _, s := range p.servers {
+		if s.Capped() {
+			n++
+		}
+	}
+	return n
+}
+
+// Shed caps servers until the pool's draw falls by at least amount,
+// lowest-priority servers first (stable within a priority), each server cut
+// to no less than floor (Dynamo never powers servers fully off; a typical
+// floor is ~half the demand). It returns the power actually shed — less
+// than requested only when every server is already at its floor.
+func (p *Pool) Shed(amount units.Power, floor units.Fraction) units.Power {
+	if amount <= 0 {
+		return 0
+	}
+	f := float64(floor.Clamp01())
+	order := make([]int, len(p.servers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.servers[order[a]].Priority > p.servers[order[b]].Priority
+	})
+	var shed units.Power
+	for _, idx := range order {
+		if shed >= amount {
+			break
+		}
+		s := &p.servers[idx]
+		minDraw := units.Power(float64(s.Demand) * f)
+		reducible := s.Draw() - minDraw
+		if reducible <= 0 {
+			continue
+		}
+		cut := reducible
+		if remaining := amount - shed; cut > remaining {
+			cut = remaining
+		}
+		s.Cap = s.Draw() - cut
+		s.HasCap = true
+		shed += cut
+	}
+	return shed
+}
+
+// Release removes every cap.
+func (p *Pool) Release() {
+	for i := range p.servers {
+		p.servers[i].Cap = 0
+		p.servers[i].HasCap = false
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func mixedPool(t *testing.T) *Pool {
+	t.Helper()
+	p, err := NewPool([]Server{
+		{Name: "db-0", Priority: rack.P1, Demand: 400},
+		{Name: "db-1", Priority: rack.P1, Demand: 400},
+		{Name: "cache-0", Priority: rack.P2, Demand: 250},
+		{Name: "web-0", Priority: rack.P3, Demand: 200},
+		{Name: "web-1", Priority: rack.P3, Demand: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPoolValidation(t *testing.T) {
+	cases := map[string][]Server{
+		"empty name": {{Name: "", Priority: rack.P1, Demand: 100}},
+		"duplicate":  {{Name: "a", Priority: rack.P1, Demand: 1}, {Name: "a", Priority: rack.P2, Demand: 1}},
+		"negative":   {{Name: "a", Priority: rack.P1, Demand: -5}},
+		"bad prio":   {{Name: "a", Priority: rack.Priority(9), Demand: 5}},
+	}
+	for name, servers := range cases {
+		if _, err := NewPool(servers); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestPoolAggregates(t *testing.T) {
+	p := mixedPool(t)
+	if got := p.Demand(); got != 1450 {
+		t.Errorf("demand = %v", got)
+	}
+	if got := p.Draw(); got != 1450 {
+		t.Errorf("uncapped draw = %v", got)
+	}
+	if p.CappedCount() != 0 || p.Len() != 5 {
+		t.Errorf("capped=%d len=%d", p.CappedCount(), p.Len())
+	}
+}
+
+func TestShedLowestPriorityFirst(t *testing.T) {
+	p := mixedPool(t)
+	// 150 W shed with a 50% floor: both web servers can give 100 W each.
+	shed := p.Shed(150, 0.5)
+	if shed != 150 {
+		t.Fatalf("shed = %v, want 150", shed)
+	}
+	for _, s := range p.Servers() {
+		switch s.Priority {
+		case rack.P1, rack.P2:
+			if s.Capped() {
+				t.Errorf("%s capped before the web tier was exhausted", s.Name)
+			}
+		}
+	}
+	if got := p.Draw(); got != 1300 {
+		t.Errorf("draw after shed = %v", got)
+	}
+	if p.CappedCount() != 2 {
+		t.Errorf("capped servers = %d, want 2 (web-0 fully cut, web-1 partially)", p.CappedCount())
+	}
+}
+
+func TestShedEscalatesThroughPriorities(t *testing.T) {
+	p := mixedPool(t)
+	// Floor 50%: total reducible = 725 W. Request 500: web (200) then cache
+	// (125) then db (175 of 400).
+	shed := p.Shed(500, 0.5)
+	if shed != 500 {
+		t.Fatalf("shed = %v", shed)
+	}
+	var dbCapped int
+	for _, s := range p.Servers() {
+		if s.Priority == rack.P1 && s.Capped() {
+			dbCapped++
+		}
+	}
+	if dbCapped == 0 {
+		t.Error("P1 servers untouched despite exhausted lower tiers")
+	}
+}
+
+func TestShedFloorBindsTotal(t *testing.T) {
+	p := mixedPool(t)
+	shed := p.Shed(10000, 0.5)
+	if math.Abs(float64(shed)-725) > 1e-9 {
+		t.Errorf("max shed = %v, want 725 (the 50%% floor)", shed)
+	}
+	if got := p.Draw(); math.Abs(float64(got)-725) > 1e-9 {
+		t.Errorf("draw at floor = %v", got)
+	}
+	if p.CappedCount() != 5 {
+		t.Errorf("capped = %d, want all 5", p.CappedCount())
+	}
+	p.Release()
+	if p.CappedCount() != 0 || p.Draw() != 1450 {
+		t.Errorf("release failed: %d capped, draw %v", p.CappedCount(), p.Draw())
+	}
+}
+
+func TestShedZeroAndRepeat(t *testing.T) {
+	p := mixedPool(t)
+	if got := p.Shed(0, 0.5); got != 0 {
+		t.Errorf("zero shed = %v", got)
+	}
+	// Repeated sheds accumulate.
+	p.Shed(100, 0.5)
+	p.Shed(100, 0.5)
+	if got := p.Draw(); got != 1250 {
+		t.Errorf("draw after two sheds = %v", got)
+	}
+}
+
+func TestUniformPool(t *testing.T) {
+	p := Uniform("web", 30, rack.P3, 200)
+	if p.Len() != 30 || p.Demand() != 6000 {
+		t.Errorf("uniform pool: len=%d demand=%v", p.Len(), p.Demand())
+	}
+	// Shedding 1 kW at a 50% floor caps ten 200 W servers fully to their
+	// 100 W floors.
+	shed := p.Shed(1000, 0.5)
+	if shed != 1000 {
+		t.Errorf("shed = %v", shed)
+	}
+	if got := p.CappedCount(); got != 10 {
+		t.Errorf("capped = %d, want 10", got)
+	}
+}
+
+func TestShedConservationProperty(t *testing.T) {
+	prop := func(amountRaw uint16, floorRaw uint8) bool {
+		p := Uniform("s", 20, rack.P2, 250)
+		amount := units.Power(amountRaw)
+		floor := units.Fraction(floorRaw%101) / 100
+		before := p.Draw()
+		shed := p.Shed(amount, floor)
+		after := p.Draw()
+		// Accounting is exact, shed never exceeds the request, and no
+		// server dips below its floor.
+		if math.Abs(float64(before-after-shed)) > 1e-6 {
+			return false
+		}
+		if shed > amount {
+			return false
+		}
+		for _, s := range p.Servers() {
+			if s.Draw() < units.Power(float64(s.Demand)*float64(floor))-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,26 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleAfter(time.Duration(1+i%1000)*time.Millisecond, "b", func(time.Duration) {})
+		if e.Pending() >= 1024 {
+			e.Run(e.Now() + time.Second)
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkTickerHour(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		tk := e.Every(3*time.Second, "t", func(time.Duration) {})
+		e.Run(time.Hour)
+		tk.Stop()
+	}
+}

@@ -1,0 +1,212 @@
+// Package sim provides a small discrete-event simulation kernel: a virtual
+// clock, a time-ordered event queue, periodic processes, and run-loop
+// control.
+//
+// The kernel is single-threaded by design. Data-center power events span
+// seconds (open transitions) to years (Monte Carlo reliability runs), so a
+// sequential event loop with a virtual clock is both simpler and faster than
+// wall-clock concurrency, and it keeps every experiment deterministic.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Handler is the unit of simulated work. It runs at its scheduled virtual
+// time and may schedule further events.
+type Handler func(now time.Duration)
+
+// Event is a scheduled callback, returned by the scheduling methods so the
+// caller can cancel it.
+type Event struct {
+	at      time.Duration
+	seq     uint64 // tie-break: FIFO among events at the same instant
+	fn      Handler
+	index   int // heap index, -1 once popped or cancelled
+	cancled bool
+	label   string
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Label returns the optional debug label attached to the event.
+func (e *Event) Label() string { return e.label }
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the simulation driver: a virtual clock plus a pending-event
+// queue. The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    time.Duration
+	queue  eventQueue
+	seq    uint64
+	count  uint64 // events executed
+	halted bool
+}
+
+// NewEngine returns an engine with its clock at zero and no pending events.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Executed returns the number of events executed so far.
+func (e *Engine) Executed() uint64 { return e.count }
+
+// Pending returns the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrPast is returned when an event is scheduled before the current virtual
+// time.
+var ErrPast = errors.New("sim: event scheduled in the past")
+
+// ScheduleAt queues fn to run at absolute virtual time at. Scheduling at the
+// current instant is allowed (the event runs after all handlers already
+// queued for this instant). It panics if at precedes the clock: that is
+// always a modelling bug, never a recoverable condition.
+func (e *Engine) ScheduleAt(at time.Duration, label string, fn Handler) *Event {
+	if at < e.now {
+		panic(fmt.Errorf("%w: at=%v now=%v label=%q", ErrPast, at, e.now, label))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run d after the current virtual time.
+func (e *Engine) ScheduleAfter(d time.Duration, label string, fn Handler) *Event {
+	return e.ScheduleAt(e.now+d, label, fn)
+}
+
+// Cancel removes ev from the queue if it has not yet run. It is safe to call
+// multiple times and on already-run events.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancled || ev.index < 0 {
+		if ev != nil {
+			ev.cancled = true
+		}
+		return
+	}
+	ev.cancled = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Ticker runs a handler at a fixed period. Cancel it with Stop.
+type Ticker struct {
+	engine *Engine
+	period time.Duration
+	fn     Handler
+	next   *Event
+	done   bool
+}
+
+// Every schedules fn to run every period, with the first invocation one
+// period from now. Period must be positive.
+func (e *Engine) Every(period time.Duration, label string, fn Handler) *Ticker {
+	if period <= 0 {
+		panic(fmt.Errorf("sim: non-positive ticker period %v (%s)", period, label))
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	var tick Handler
+	tick = func(now time.Duration) {
+		if t.done {
+			return
+		}
+		t.fn(now)
+		if !t.done {
+			t.next = e.ScheduleAfter(t.period, label, tick)
+		}
+	}
+	t.next = e.ScheduleAfter(period, label, tick)
+	return t
+}
+
+// Stop cancels future ticks. The current tick, if executing, completes.
+func (t *Ticker) Stop() {
+	t.done = true
+	t.engine.Cancel(t.next)
+}
+
+// Step executes the next pending event, advancing the clock to its time.
+// It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancled {
+			continue
+		}
+		e.now = ev.at
+		e.count++
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Halt stops a Run in progress after the current event completes.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the clock would pass until or until Halt is
+// called, then advances the clock to until. Events scheduled exactly at
+// until are executed. Advancing the clock past an empty queue matters:
+// callers driving a time-stepped co-simulation rely on ScheduleAfter being
+// relative to the stepped clock, not to the last event.
+func (e *Engine) Run(until time.Duration) time.Duration {
+	e.halted = false
+	for !e.halted {
+		if len(e.queue) == 0 || e.queue[0].at > until {
+			if until > e.now {
+				e.now = until
+			}
+			return e.now
+		}
+		e.Step()
+	}
+	return e.now
+}
+
+// RunAll executes events until the queue is empty or Halt is called. Use
+// only when the event population is known to be finite.
+func (e *Engine) RunAll() time.Duration {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}

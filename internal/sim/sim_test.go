@@ -1,0 +1,211 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.ScheduleAt(3*time.Second, "c", func(time.Duration) { order = append(order, 3) })
+	e.ScheduleAt(1*time.Second, "a", func(time.Duration) { order = append(order, 1) })
+	e.ScheduleAt(2*time.Second, "b", func(time.Duration) { order = append(order, 2) })
+	e.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("final time = %v, want 3s", e.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.ScheduleAt(time.Second, "tie", func(time.Duration) { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events ran out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(time.Minute, "x", func(time.Duration) {})
+	e.Step()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(time.Second, "past", func(time.Duration) {})
+}
+
+func TestScheduleAfter(t *testing.T) {
+	e := NewEngine()
+	var ran time.Duration
+	e.ScheduleAt(10*time.Second, "outer", func(now time.Duration) {
+		e.ScheduleAfter(5*time.Second, "inner", func(now time.Duration) { ran = now })
+	})
+	e.RunAll()
+	if ran != 15*time.Second {
+		t.Errorf("nested ScheduleAfter ran at %v, want 15s", ran)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.ScheduleAt(time.Second, "x", func(time.Duration) { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double cancel is a no-op
+	e.RunAll()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if e.Executed() != 0 {
+		t.Errorf("executed = %d, want 0", e.Executed())
+	}
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var got []string
+	a := e.ScheduleAt(1*time.Second, "a", func(time.Duration) { got = append(got, "a") })
+	e.ScheduleAt(2*time.Second, "b", func(time.Duration) { got = append(got, "b") })
+	e.ScheduleAt(3*time.Second, "c", func(time.Duration) { got = append(got, "c") })
+	e.Cancel(a)
+	e.RunAll()
+	if len(got) != 2 || got[0] != "b" || got[1] != "c" {
+		t.Errorf("got %v, want [b c]", got)
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := NewEngine()
+	var ran []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		e.ScheduleAt(d, "x", func(now time.Duration) { ran = append(ran, now) })
+	}
+	end := e.Run(2 * time.Second)
+	if len(ran) != 2 {
+		t.Errorf("ran %d events before horizon, want 2", len(ran))
+	}
+	if end != 2*time.Second {
+		t.Errorf("Run returned %v, want 2s", end)
+	}
+	if e.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", e.Pending())
+	}
+	// Resume: the queue drains and the clock advances to the horizon.
+	end = e.Run(10 * time.Second)
+	if len(ran) != 4 {
+		t.Errorf("ran %d events total, want 4", len(ran))
+	}
+	if end != 10*time.Second {
+		t.Errorf("second Run returned %v, want 10s (clock advances to horizon)", end)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, "tick", func(time.Duration) {
+		n++
+		if n == 5 {
+			e.Halt()
+			tk.Stop()
+		}
+	})
+	e.Run(time.Hour)
+	if n != 5 {
+		t.Errorf("ticks = %d, want 5 (halted)", n)
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk := e.Every(3*time.Second, "t", func(now time.Duration) { ticks = append(ticks, now) })
+	e.Run(10 * time.Second)
+	tk.Stop()
+	want := []time.Duration{3 * time.Second, 6 * time.Second, 9 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopInsideHandler(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(time.Second, "t", func(time.Duration) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run(time.Minute)
+	if n != 2 {
+		t.Errorf("ticks after in-handler Stop = %d, want 2", n)
+	}
+}
+
+func TestZeroPeriodTickerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, "bad", func(time.Duration) {})
+}
+
+func TestExecutedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 7; i++ {
+		e.ScheduleAfter(time.Duration(i+1)*time.Second, "x", func(time.Duration) {})
+	}
+	e.RunAll()
+	if e.Executed() != 7 {
+		t.Errorf("Executed = %d, want 7", e.Executed())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Whatever permutation of delays we schedule, execution times are
+	// monotone nondecreasing.
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []time.Duration
+		for _, d := range delays {
+			e.ScheduleAt(time.Duration(d)*time.Millisecond, "p", func(now time.Duration) {
+				times = append(times, now)
+			})
+		}
+		e.RunAll()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return len(times) == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

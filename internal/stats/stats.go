@@ -1,0 +1,121 @@
+// Package stats provides the small set of summary statistics the experiment
+// analytics need: means, percentiles, and fixed-width histograms over
+// float64 samples. It exists so scenario-level analyses (charge-duration
+// distributions, depth-of-discharge spreads) share one tested implementation
+// rather than ad-hoc arithmetic.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	Count          int
+	Min, Max, Mean float64
+	// StdDev is the population standard deviation.
+	StdDev float64
+	// P50, P90, P99 are percentiles by linear interpolation.
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumsq float64
+	for _, x := range sorted {
+		sum += x
+		sumsq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		Count:  len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		P50:    Percentile(sorted, 0.50),
+		P90:    Percentile(sorted, 0.90),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// Percentile returns the p-quantile (p in [0,1]) of an ascending-sorted
+// sample by linear interpolation between closest ranks. It panics on an
+// empty sample or p outside [0,1]: both are caller bugs.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("stats: percentile %v outside [0,1]", p))
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Bin is one histogram bucket: [Lo, Hi) except the last, which is closed.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets xs into n fixed-width bins spanning [min, max]. An empty
+// sample or non-positive n yields nil.
+func Histogram(xs []float64, n int) []Bin {
+	if len(xs) == 0 || n <= 0 {
+		return nil
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if max == min {
+		return []Bin{{Lo: min, Hi: max, Count: len(xs)}}
+	}
+	width := (max - min) / float64(n)
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Lo = min + float64(i)*width
+		bins[i].Hi = min + float64(i+1)*width
+	}
+	for _, x := range xs {
+		i := int((x - min) / width)
+		// Clamp: the max lands in the final (closed) bin, and pathological
+		// float ranges (width overflowing to +Inf makes the quotient NaN)
+		// degrade to the first bin instead of panicking.
+		if i >= n {
+			i = n - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		bins[i].Count++
+	}
+	return bins
+}

@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("count/min/max = %d/%v/%v", s.Count, s.Min, s.Max)
+	}
+	if !almost(s.Mean, 3, 1e-12) {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if !almost(s.StdDev, math.Sqrt(2), 1e-12) {
+		t.Errorf("stddev = %v", s.StdDev)
+	}
+	if !almost(s.P50, 3, 1e-12) {
+		t.Errorf("p50 = %v", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 || s.Mean != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3, 20}, {0.25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almost(got, c.want, 1e-9) {
+			t.Errorf("P%.2f = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingleton(t *testing.T) {
+	if got := Percentile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("singleton percentile = %v", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty": func() { Percentile(nil, 0.5) },
+		"below": func() { Percentile([]float64{1}, -0.1) },
+		"above": func() { Percentile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPercentileOrderedProperty(t *testing.T) {
+	prop := func(raw []float64) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, r)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		p50 := Percentile(xs, 0.5)
+		p90 := Percentile(xs, 0.9)
+		p99 := Percentile(xs, 0.99)
+		return p50 <= p90 && p90 <= p99 && p50 >= xs[0] && p99 <= xs[len(xs)-1]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	bins := Histogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 10}, 5)
+	if len(bins) != 5 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	// The max value lands in the last bin.
+	if bins[4].Count == 0 {
+		t.Error("max value not binned")
+	}
+	if bins[0].Lo != 0 || !almost(bins[4].Hi, 10, 1e-12) {
+		t.Errorf("bin range [%v, %v]", bins[0].Lo, bins[4].Hi)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if h := Histogram(nil, 4); h != nil {
+		t.Error("empty histogram not nil")
+	}
+	if h := Histogram([]float64{1}, 0); h != nil {
+		t.Error("zero bins not nil")
+	}
+	h := Histogram([]float64{5, 5, 5}, 4)
+	if len(h) != 1 || h[0].Count != 3 {
+		t.Errorf("constant-sample histogram = %+v", h)
+	}
+}
+
+func TestHistogramConservesCountProperty(t *testing.T) {
+	prop := func(raw []float64, nRaw uint8) bool {
+		var xs []float64
+		for _, r := range raw {
+			if !math.IsNaN(r) && !math.IsInf(r, 0) {
+				xs = append(xs, r)
+			}
+		}
+		n := 1 + int(nRaw)%20
+		bins := Histogram(xs, n)
+		total := 0
+		for _, b := range bins {
+			total += b.Count
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkGeneratorRack(b *testing.B) {
+	g, err := NewGenerator(Spec{NumRacks: 316, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Rack(i%316, time.Duration(i)*3*time.Second)
+	}
+}
+
+// One simulation tick's worth of trace reads: the whole MSB population.
+func BenchmarkAggregate316(b *testing.B) {
+	g, err := NewGenerator(Spec{NumRacks: 316, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Aggregate(g, time.Duration(i)*3*time.Second)
+	}
+}
+
+func BenchmarkMaterializedRack(b *testing.B) {
+	g, _ := NewGenerator(Spec{NumRacks: 32, Seed: 1})
+	m, err := Materialize(g, 0, time.Hour, 3*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Rack(i%32, time.Duration(i%1200)*3*time.Second)
+	}
+}

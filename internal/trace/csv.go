@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+// Materialized is a sampled trace: a Source backed by explicit per-rack
+// sample arrays, used for CSV interchange and for dropping in real
+// production traces.
+type Materialized struct {
+	step    time.Duration
+	start   time.Duration
+	samples [][]float64 // samples[rack][tick], watts
+}
+
+// Materialize samples a source every step over [from, to] into a
+// Materialized trace.
+func Materialize(s Source, from, to, step time.Duration) (*Materialized, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: non-positive step %v", step)
+	}
+	if to < from {
+		return nil, fmt.Errorf("trace: empty window [%v, %v]", from, to)
+	}
+	n := int((to-from)/step) + 1
+	samples := make([][]float64, s.NumRacks())
+	for r := range samples {
+		row := make([]float64, n)
+		for k := 0; k < n; k++ {
+			row[k] = float64(s.Rack(r, from+time.Duration(k)*step))
+		}
+		samples[r] = row
+	}
+	return &Materialized{step: step, start: from, samples: samples}, nil
+}
+
+// NumRacks implements Source.
+func (m *Materialized) NumRacks() int { return len(m.samples) }
+
+// Step returns the sampling interval.
+func (m *Materialized) Step() time.Duration { return m.step }
+
+// Start returns the virtual time of the first sample.
+func (m *Materialized) Start() time.Duration { return m.start }
+
+// Samples returns the number of ticks per rack.
+func (m *Materialized) Samples() int {
+	if len(m.samples) == 0 {
+		return 0
+	}
+	return len(m.samples[0])
+}
+
+// Rack implements Source with floor sampling; times outside the window clamp
+// to the nearest sample.
+func (m *Materialized) Rack(i int, t time.Duration) units.Power {
+	row := m.samples[i]
+	k := int((t - m.start) / m.step)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(row) {
+		k = len(row) - 1
+	}
+	return units.Power(row[k])
+}
+
+// WriteCSV writes the trace in the interchange format: a header row
+// "seconds,rack0,rack1,..." followed by one row per tick with whole-second
+// timestamps and per-rack watts.
+func (m *Materialized) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, m.NumRacks()+1)
+	header[0] = "seconds"
+	for i := 1; i < len(header); i++ {
+		header[i] = fmt.Sprintf("rack%d", i-1)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("trace: writing CSV header: %w", err)
+	}
+	row := make([]string, len(header))
+	for k := 0; k < m.Samples(); k++ {
+		t := m.start + time.Duration(k)*m.step
+		row[0] = strconv.FormatFloat(t.Seconds(), 'f', 0, 64)
+		for r := 0; r < m.NumRacks(); r++ {
+			row[r+1] = strconv.FormatFloat(m.samples[r][k], 'f', 1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing CSV row %d: %w", k, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or an equivalent export of a
+// real production trace). The sampling step is inferred from the first two
+// timestamps and must be uniform.
+func ReadCSV(r io.Reader) (*Materialized, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading CSV: %w", err)
+	}
+	if len(records) < 3 {
+		return nil, fmt.Errorf("trace: CSV needs a header and ≥2 rows, got %d records", len(records))
+	}
+	nRacks := len(records[0]) - 1
+	if nRacks < 1 {
+		return nil, fmt.Errorf("trace: CSV has no rack columns")
+	}
+	parseT := func(row int) (time.Duration, error) {
+		sec, err := strconv.ParseFloat(records[row][0], 64)
+		if err != nil {
+			return 0, fmt.Errorf("trace: bad timestamp on row %d: %w", row, err)
+		}
+		return time.Duration(sec * float64(time.Second)), nil
+	}
+	t0, err := parseT(1)
+	if err != nil {
+		return nil, err
+	}
+	t1, err := parseT(2)
+	if err != nil {
+		return nil, err
+	}
+	step := t1 - t0
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: non-increasing timestamps (step %v)", step)
+	}
+	nTicks := len(records) - 1
+	samples := make([][]float64, nRacks)
+	for r := range samples {
+		samples[r] = make([]float64, nTicks)
+	}
+	for k := 0; k < nTicks; k++ {
+		row := records[k+1]
+		if len(row) != nRacks+1 {
+			return nil, fmt.Errorf("trace: row %d has %d columns, want %d", k+1, len(row), nRacks+1)
+		}
+		tk, err := parseT(k + 1)
+		if err != nil {
+			return nil, err
+		}
+		if want := t0 + time.Duration(k)*step; tk-want > step/100 || want-tk > step/100 {
+			return nil, fmt.Errorf("trace: non-uniform step at row %d: %v, want %v", k+1, tk, want)
+		}
+		for r := 0; r < nRacks; r++ {
+			w, err := strconv.ParseFloat(row[r+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: bad value at row %d rack %d: %w", k+1, r, err)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("trace: negative power at row %d rack %d", k+1, r)
+			}
+			samples[r][k] = w
+		}
+	}
+	return &Materialized{step: step, start: t0, samples: samples}, nil
+}

@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzReadCSV hardens the trace importer against arbitrary input: it must
+// either return an error or a well-formed trace, never panic, and any
+// accepted trace must round-trip through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	// Valid seed: a real exported trace.
+	g, err := NewGenerator(Spec{NumRacks: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	m, err := Materialize(g, 0, 9*time.Second, 3*time.Second)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	// Malformed seeds.
+	f.Add("")
+	f.Add("seconds,rack0\n0,1\n3,2\n")
+	f.Add("seconds,rack0\n0,-1\n3,2\n")
+	f.Add("seconds,rack0\nx,1\n3,2\n")
+	f.Add("seconds\n0\n3\n")
+	f.Add("a,b\n1,2\n1,2\n")
+	f.Add(strings.Repeat(",", 100) + "\n1\n2\n")
+
+	f.Fuzz(func(t *testing.T, data string) {
+		m, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if m.NumRacks() < 1 || m.Samples() < 2 || m.Step() <= 0 {
+			t.Fatalf("accepted malformed trace: racks=%d samples=%d step=%v", m.NumRacks(), m.Samples(), m.Step())
+		}
+		// Accepted traces are readable everywhere and non-negative.
+		for i := 0; i < m.NumRacks(); i++ {
+			for k := 0; k < m.Samples(); k++ {
+				if p := m.Rack(i, m.Start()+time.Duration(k)*m.Step()); p < 0 {
+					t.Fatalf("negative power %v at rack %d tick %d", p, i, k)
+				}
+			}
+		}
+		// Round trip.
+		var out bytes.Buffer
+		if err := m.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted trace failed to serialize: %v", err)
+		}
+		if _, err := ReadCSV(&out); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+	})
+}

@@ -1,0 +1,57 @@
+package units
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePower parses a human-friendly power string: a number followed by an
+// optional unit suffix (W, kW, MW; case-insensitive, optional space). A bare
+// number is watts.
+//
+//	"2.3MW" → 2.3e6 W     "190 kw" → 1.9e5 W     "380" → 380 W
+func ParsePower(s string) (Power, error) {
+	raw := strings.TrimSpace(s)
+	lower := strings.ToLower(raw)
+	scale := 1.0
+	switch {
+	case strings.HasSuffix(lower, "mw"):
+		scale, lower = 1e6, lower[:len(lower)-2]
+	case strings.HasSuffix(lower, "kw"):
+		scale, lower = 1e3, lower[:len(lower)-2]
+	case strings.HasSuffix(lower, "w"):
+		lower = lower[:len(lower)-1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse power %q (want e.g. \"2.3MW\", \"190kW\", \"380W\")", s)
+	}
+	return Power(v * scale), nil
+}
+
+// ParseCurrent parses a current string: a number with an optional "A" suffix.
+func ParseCurrent(s string) (Current, error) {
+	lower := strings.ToLower(strings.TrimSpace(s))
+	lower = strings.TrimSuffix(lower, "a")
+	v, err := strconv.ParseFloat(strings.TrimSpace(lower), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse current %q (want e.g. \"2.5A\")", s)
+	}
+	return Current(v), nil
+}
+
+// ParseFraction parses a ratio given either as a percentage ("70%") or a
+// plain fraction ("0.7").
+func ParseFraction(s string) (Fraction, error) {
+	raw := strings.TrimSpace(s)
+	percent := strings.HasSuffix(raw, "%")
+	v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimSuffix(raw, "%")), 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse fraction %q (want e.g. \"0.7\" or \"70%%\")", s)
+	}
+	if percent {
+		v /= 100
+	}
+	return Fraction(v), nil
+}

@@ -1,0 +1,73 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParsePower(t *testing.T) {
+	cases := map[string]float64{
+		"2.3MW":   2.3e6,
+		"2.3 mw":  2.3e6,
+		"190kW":   1.9e5,
+		"190 Kw":  1.9e5,
+		"380W":    380,
+		"380":     380,
+		" 12.6kw": 12600,
+		"0":       0,
+	}
+	for in, want := range cases {
+		got, err := ParsePower(in)
+		if err != nil {
+			t.Errorf("ParsePower(%q): %v", in, err)
+			continue
+		}
+		if math.Abs(float64(got)-want) > 1e-9 {
+			t.Errorf("ParsePower(%q) = %v, want %v", in, float64(got), want)
+		}
+	}
+	for _, bad := range []string{"", "MW", "two MW", "2.3GW2"} {
+		if _, err := ParsePower(bad); err == nil {
+			t.Errorf("ParsePower(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParsePowerRoundTripsString(t *testing.T) {
+	for _, p := range []Power{380 * Watt, 190 * Kilowatt, 2.5 * Megawatt} {
+		got, err := ParsePower(p.String())
+		if err != nil {
+			t.Errorf("round trip %v: %v", p, err)
+			continue
+		}
+		if math.Abs(float64(got-p)) > float64(p)*0.01 {
+			t.Errorf("round trip %v = %v", p, got)
+		}
+	}
+}
+
+func TestParseCurrent(t *testing.T) {
+	cases := map[string]float64{"2.5A": 2.5, "5 a": 5, "1": 1}
+	for in, want := range cases {
+		got, err := ParseCurrent(in)
+		if err != nil || math.Abs(float64(got)-want) > 1e-12 {
+			t.Errorf("ParseCurrent(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseCurrent("amps"); err == nil {
+		t.Error("ParseCurrent accepted garbage")
+	}
+}
+
+func TestParseFraction(t *testing.T) {
+	cases := map[string]float64{"0.7": 0.7, "70%": 0.7, " 100 %": 1, "0": 0}
+	for in, want := range cases {
+		got, err := ParseFraction(in)
+		if err != nil || math.Abs(float64(got)-want) > 1e-12 {
+			t.Errorf("ParseFraction(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFraction("%"); err == nil {
+		t.Error("ParseFraction accepted bare %")
+	}
+}

@@ -1,0 +1,181 @@
+// Package units provides typed physical quantities used throughout the
+// simulator: power, energy, electric current, voltage, and helpers for
+// converting between them.
+//
+// All quantities are represented as float64 in SI base units (watts, joules,
+// amperes, volts). Distinct named types prevent the most common class of
+// modelling bug — adding a power to an energy, or passing a rack-level watt
+// figure where a per-battery ampere figure is expected — while remaining
+// zero-cost at runtime.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Power is an electric power in watts.
+type Power float64
+
+// Common power scales.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1e3
+	Megawatt Power = 1e6
+)
+
+// KW returns the power in kilowatts.
+func (p Power) KW() float64 { return float64(p) / 1e3 }
+
+// MW returns the power in megawatts.
+func (p Power) MW() float64 { return float64(p) / 1e6 }
+
+// String formats the power with an auto-selected scale.
+func (p Power) String() string {
+	abs := math.Abs(float64(p))
+	switch {
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2f MW", p.MW())
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2f kW", p.KW())
+	default:
+		return fmt.Sprintf("%.1f W", float64(p))
+	}
+}
+
+// Over returns the amount by which p exceeds limit, or zero.
+func (p Power) Over(limit Power) Power {
+	if p > limit {
+		return p - limit
+	}
+	return 0
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Joule        Energy = 1
+	Kilojoule    Energy = 1e3
+	WattHour     Energy = 3600
+	KilowattHour Energy = 3.6e6
+)
+
+// KJ returns the energy in kilojoules.
+func (e Energy) KJ() float64 { return float64(e) / 1e3 }
+
+// Wh returns the energy in watt-hours.
+func (e Energy) Wh() float64 { return float64(e) / 3600 }
+
+// KWh returns the energy in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) / 3.6e6 }
+
+// String formats the energy with an auto-selected scale.
+func (e Energy) String() string {
+	abs := math.Abs(float64(e))
+	switch {
+	case abs >= 3.6e6:
+		return fmt.Sprintf("%.2f kWh", e.KWh())
+	case abs >= 3600:
+		return fmt.Sprintf("%.2f Wh", e.Wh())
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2f kJ", e.KJ())
+	default:
+		return fmt.Sprintf("%.1f J", float64(e))
+	}
+}
+
+// Current is an electric current in amperes.
+type Current float64
+
+// Ampere is the base current unit.
+const Ampere Current = 1
+
+// String formats the current in amperes.
+func (c Current) String() string { return fmt.Sprintf("%.2f A", float64(c)) }
+
+// Clamp limits the current to [lo, hi].
+func (c Current) Clamp(lo, hi Current) Current {
+	if c < lo {
+		return lo
+	}
+	if c > hi {
+		return hi
+	}
+	return c
+}
+
+// Voltage is an electric potential in volts.
+type Voltage float64
+
+// Volt is the base voltage unit.
+const Volt Voltage = 1
+
+// String formats the voltage in volts.
+func (v Voltage) String() string { return fmt.Sprintf("%.2f V", float64(v)) }
+
+// Charge is an electric charge in coulombs (ampere-seconds).
+type Charge float64
+
+// Common charge scales.
+const (
+	Coulomb    Charge = 1
+	AmpereHour Charge = 3600
+)
+
+// Ah returns the charge in ampere-hours.
+func (q Charge) Ah() float64 { return float64(q) / 3600 }
+
+// String formats the charge in ampere-hours.
+func (q Charge) String() string { return fmt.Sprintf("%.3f Ah", q.Ah()) }
+
+// PowerOf returns the electric power V*I.
+func PowerOf(v Voltage, i Current) Power {
+	return Power(float64(v) * float64(i))
+}
+
+// EnergyOver returns the energy accumulated by a constant power over d.
+func EnergyOver(p Power, d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// ChargeOver returns the charge accumulated by a constant current over d.
+func ChargeOver(i Current, d time.Duration) Charge {
+	return Charge(float64(i) * d.Seconds())
+}
+
+// DurationFor returns how long energy e lasts when drained at power p.
+// It returns a very large duration when p is not positive.
+func DurationFor(e Energy, p Power) time.Duration {
+	if p <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	sec := float64(e) / float64(p)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Fraction is a dimensionless ratio, typically in [0, 1] (e.g. depth of
+// discharge, state of charge, efficiency).
+type Fraction float64
+
+// Percent returns the fraction scaled to percent.
+func (f Fraction) Percent() float64 { return float64(f) * 100 }
+
+// String formats the fraction as a percentage.
+func (f Fraction) String() string { return fmt.Sprintf("%.1f%%", f.Percent()) }
+
+// Clamp01 limits f to [0, 1].
+func (f Fraction) Clamp01() Fraction {
+	if f < 0 {
+		return 0
+	}
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// In reports whether f lies in [lo, hi].
+func (f Fraction) In(lo, hi Fraction) bool { return f >= lo && f <= hi }

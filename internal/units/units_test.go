@@ -1,0 +1,180 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPowerScales(t *testing.T) {
+	p := 2.5 * Megawatt
+	if got := p.MW(); !almost(got, 2.5, 1e-12) {
+		t.Errorf("MW() = %v, want 2.5", got)
+	}
+	if got := p.KW(); !almost(got, 2500, 1e-9) {
+		t.Errorf("KW() = %v, want 2500", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{260 * Watt, "260.0 W"},
+		{12.6 * Kilowatt, "12.60 kW"},
+		{2.5 * Megawatt, "2.50 MW"},
+		{-1.9 * Kilowatt, "-1.90 kW"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%v).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestPowerOver(t *testing.T) {
+	if got := (2.6 * Megawatt).Over(2.5 * Megawatt); !almost(got.KW(), 100, 1e-9) {
+		t.Errorf("Over = %v, want 100 kW", got)
+	}
+	if got := (2.4 * Megawatt).Over(2.5 * Megawatt); got != 0 {
+		t.Errorf("Over below limit = %v, want 0", got)
+	}
+}
+
+func TestEnergyScales(t *testing.T) {
+	e := EnergyOver(3300*Watt, 90*time.Second)
+	if got := e.KJ(); !almost(got, 297, 1e-9) {
+		t.Errorf("full BBU discharge energy = %v kJ, want 297", got)
+	}
+	if got := e.Wh(); !almost(got, 82.5, 1e-9) {
+		t.Errorf("full BBU discharge energy = %v Wh, want 82.5", got)
+	}
+	if got := (1 * KilowattHour).KWh(); !almost(got, 1, 1e-12) {
+		t.Errorf("KWh round trip = %v", got)
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{500 * Joule, "500.0 J"},
+		{297 * Kilojoule, "82.50 Wh"},
+		{2 * KilowattHour, "2.00 kWh"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestCurrentClamp(t *testing.T) {
+	cases := []struct {
+		in, lo, hi, want Current
+	}{
+		{0.5, 1, 5, 1},
+		{7, 1, 5, 5},
+		{3.3, 1, 5, 3.3},
+		{1, 1, 5, 1},
+		{5, 1, 5, 5},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(c.lo, c.hi); got != c.want {
+			t.Errorf("%v.Clamp(%v,%v) = %v, want %v", c.in, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestPowerOf(t *testing.T) {
+	// A BBU charging at 5 A around 52 V draws ~260 W.
+	p := PowerOf(52*Volt, 5*Ampere)
+	if !almost(float64(p), 260, 1e-9) {
+		t.Errorf("PowerOf(52V, 5A) = %v, want 260 W", p)
+	}
+}
+
+func TestChargeOver(t *testing.T) {
+	q := ChargeOver(5*Ampere, 20*time.Minute)
+	if !almost(q.Ah(), 5.0/3, 1e-9) {
+		t.Errorf("ChargeOver(5A, 20min) = %v Ah, want 1.667", q.Ah())
+	}
+}
+
+func TestDurationFor(t *testing.T) {
+	d := DurationFor(297*Kilojoule, 3300*Watt)
+	if d != 90*time.Second {
+		t.Errorf("DurationFor = %v, want 90s", d)
+	}
+	if d := DurationFor(1*Joule, 0); d < time.Duration(math.MaxInt64) {
+		t.Errorf("DurationFor with zero power should be maximal, got %v", d)
+	}
+}
+
+func TestFraction(t *testing.T) {
+	f := Fraction(0.225)
+	if got := f.Percent(); !almost(got, 22.5, 1e-12) {
+		t.Errorf("Percent = %v", got)
+	}
+	if got := f.String(); got != "22.5%" {
+		t.Errorf("String = %q", got)
+	}
+	if !f.In(0, 1) || f.In(0.3, 1) {
+		t.Errorf("In misbehaves for %v", f)
+	}
+}
+
+func TestFractionClamp01(t *testing.T) {
+	if got := Fraction(-0.2).Clamp01(); got != 0 {
+		t.Errorf("Clamp01(-0.2) = %v", got)
+	}
+	if got := Fraction(1.7).Clamp01(); got != 1 {
+		t.Errorf("Clamp01(1.7) = %v", got)
+	}
+	if got := Fraction(0.4).Clamp01(); got != 0.4 {
+		t.Errorf("Clamp01(0.4) = %v", got)
+	}
+}
+
+func TestClamp01Property(t *testing.T) {
+	prop := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		c := Fraction(x).Clamp01()
+		return c >= 0 && c <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClampProperty(t *testing.T) {
+	prop := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		c := Current(x).Clamp(1, 5)
+		return c >= 1 && c <= 5
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyConservationProperty(t *testing.T) {
+	// EnergyOver is linear in duration: E(p, 2d) == 2*E(p, d).
+	prop := func(pw uint16, secs uint8) bool {
+		p := Power(pw)
+		d := time.Duration(secs) * time.Second
+		return almost(float64(EnergyOver(p, 2*d)), 2*float64(EnergyOver(p, d)), 1e-6)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
