@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short bench cover fuzz reproduce examples clean
+.PHONY: build test test-short test-race bench cover fuzz reproduce examples clean
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -8,6 +8,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/config"
 	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/scenario"
 	"coordcharge/internal/trace"
@@ -22,6 +23,8 @@ type customSpec struct {
 	seed         int64
 	tracePath    string
 	analytics    bool
+	faultsSpec   string
+	watchdog     time.Duration
 }
 
 func parseMode(s string) (dynamo.Mode, error) { return config.ParseMode(s) }
@@ -82,6 +85,23 @@ func printCoordSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
 	if len(res.Tripped) > 0 {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
+	printFaultSummary(spec, res)
+}
+
+// printFaultSummary reports what the injector did to the control plane and how
+// the degraded modes responded. Silent when fault injection is off and no
+// watchdog is armed.
+func printFaultSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
+	if !spec.Faults.Enabled() && spec.WatchdogTTL == 0 {
+		return
+	}
+	c := res.FaultCounters
+	fmt.Printf("  faults injected:          reads dropped %d / stale %d; commands dropped %d, duplicated %d, delayed %d; outages %d agent, %d controller\n",
+		c.ReadsDropped, c.ReadsStaled, c.CommandsDropped, c.CommandsDuplicated,
+		c.CommandsDelayed, c.AgentOutages, c.ControllerOutages)
+	fmt.Printf("  degraded-mode response:   retries %d, abandoned %d, stale evals %d, controller restarts %d/%d, fail-safe activations %d\n",
+		res.Metrics.Retries, res.Metrics.AbandonedOverrides, res.Metrics.StaleTelemetry,
+		res.Metrics.Restarts, res.Metrics.Crashes, res.FailSafeActivations)
 }
 
 // printAnalytics renders the run's distribution analytics.
@@ -135,6 +155,18 @@ func runCustom(cs customSpec) {
 		LocalPolicy: pol,
 		AvgDOD:      units.Fraction(cs.dod),
 	}
+	if cs.faultsSpec != "" {
+		fcfg, err := faults.ParseSpec(cs.faultsSpec)
+		check(err)
+		spec.Faults = fcfg
+	}
+	spec.WatchdogTTL = cs.watchdog
+	if spec.Faults.Enabled() || spec.WatchdogTTL > 0 {
+		// A lossy control plane needs the degraded-mode machinery armed:
+		// staleness detection and override retransmission.
+		spec.StaleAfter = 10 * time.Second
+		spec.Retry = dynamo.DefaultRetryPolicy()
+	}
 	if cs.tracePath != "" {
 		f, err := os.Open(cs.tracePath)
 		check(err)
@@ -165,6 +197,7 @@ func runCustom(cs customSpec) {
 	if len(res.Tripped) > 0 {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
+	printFaultSummary(spec, res)
 	if cs.analytics {
 		printAnalytics(res)
 	}

@@ -14,6 +14,8 @@
 //
 //	coordsim -run -mode postpone -limit 2.15 -dod 0.7 [-analytics]
 //	coordsim -run -trace t.csv -p1 4 -p2 4 -p3 4   # replay an imported trace
+//	coordsim -run -faults default -watchdog 30s    # degraded control plane
+//	coordsim -run -faults cmdloss=0.2,ctlmtbf=10m,ctlmttr=8s
 //	coordsim -endurance -years 50                  # realized AOR vs Table II
 //	coordsim -config exp.json                      # experiments from a file
 package main
@@ -48,6 +50,8 @@ func main() {
 	p3 := flag.Int("p3", 85, "custom run: P3 rack count")
 	tracePath := flag.String("trace", "", "custom run: CSV trace file (tracegen format) replacing the synthetic trace")
 	analytics := flag.Bool("analytics", false, "custom run: also print duration/DOD distribution analytics")
+	faultsSpec := flag.String("faults", "", "custom run: control-plane fault injection — off, default, or a k=v list overriding the defaults (seed, telloss, telstale, cmdloss, cmddup, cmddelay, cmddelaymax, agentmtbf, agentmttr, ctlmtbf, ctlmttr)")
+	watchdog := flag.Duration("watchdog", 0, "custom run: rack fail-safe watchdog TTL (0 disables)")
 	flag.Parse()
 
 	if *configPath != "" {
@@ -58,7 +62,7 @@ func main() {
 		runCustom(customSpec{
 			mode: *mode, policy: *policy, limitMW: *limitMW, dod: *dod,
 			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
-			analytics: *analytics,
+			analytics: *analytics, faultsSpec: *faultsSpec, watchdog: *watchdog,
 		})
 		return
 	}

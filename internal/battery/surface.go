@@ -295,6 +295,12 @@ func (rp *RackPack) SetCurrent(i units.Current) {
 		return
 	}
 	i = i.Clamp(rp.surface.MinCurrent(), rp.surface.MaxCurrent())
+	if i == rp.setpoint {
+		// Re-applying the active setpoint is a no-op, making overrides
+		// exactly idempotent: a duplicated command (an at-least-once
+		// transport retransmitting) cannot restart or perturb the charge.
+		return
+	}
 	if frac := rp.FractionRemaining(); frac > 0.9 {
 		rp.StartCharge(i, units.Fraction(float64(rp.dod0)*frac))
 		return

@@ -46,6 +46,12 @@ type Bus struct {
 	dropped   uint64
 	// DropFilter, when set, discards matching messages (fault injection).
 	DropFilter func(msg *Message) bool
+	// Perturb, when set, lets a fault injector act on every message —
+	// requests, one-way sends, and replies (replies are presented with
+	// Kind "reply:<kind>" and swapped From/To). Returning drop discards
+	// the message, extra adds delivery delay beyond the latency model,
+	// and dup delivers that many additional copies.
+	Perturb func(now time.Duration, msg *Message) (drop bool, extra time.Duration, dup int)
 }
 
 // New builds a bus over the engine. A nil latency model means instant
@@ -93,11 +99,10 @@ func (b *Bus) Request(from, to, kind string, payload any, onReply func(now time.
 	b.send(&Message{
 		From: from, To: to, Kind: kind, Payload: payload,
 		reply: func(_ time.Duration, result any) {
-			// The response travels back with its own delay.
-			d := b.latency(to, from)
-			b.engine.ScheduleAfter(d, "bus:reply:"+kind, func(now time.Duration) {
-				onReply(now, result)
-			})
+			// The response travels back with its own delay and is subject
+			// to the same fault perturbation as a forward message.
+			b.dispatch(&Message{From: to, To: from, Kind: "reply:" + kind, Payload: result},
+				func(now time.Duration) { onReply(now, result) })
 		},
 	})
 }
@@ -112,12 +117,7 @@ func (b *Bus) Reply(now time.Duration, msg *Message, payload any) {
 }
 
 func (b *Bus) send(msg *Message) {
-	if b.DropFilter != nil && b.DropFilter(msg) {
-		b.dropped++
-		return
-	}
-	d := b.latency(msg.From, msg.To)
-	b.engine.ScheduleAfter(d, "bus:"+msg.Kind+":"+msg.To, func(now time.Duration) {
+	b.dispatch(msg, func(now time.Duration) {
 		h, ok := b.endpoints[msg.To]
 		if !ok {
 			b.dropped++
@@ -126,4 +126,28 @@ func (b *Bus) send(msg *Message) {
 		b.delivered++
 		h(now, msg)
 	})
+}
+
+// dispatch applies the drop filter and fault perturbation to msg, then
+// schedules deliver after the latency model's delay (plus any injected
+// extra), once per injected duplicate.
+func (b *Bus) dispatch(msg *Message, deliver func(now time.Duration)) {
+	if b.DropFilter != nil && b.DropFilter(msg) {
+		b.dropped++
+		return
+	}
+	var extra time.Duration
+	var dup int
+	if b.Perturb != nil {
+		var drop bool
+		drop, extra, dup = b.Perturb(b.engine.Now(), msg)
+		if drop {
+			b.dropped++
+			return
+		}
+	}
+	d := b.latency(msg.From, msg.To) + extra
+	for i := 0; i <= dup; i++ {
+		b.engine.ScheduleAfter(d, "bus:"+msg.Kind+":"+msg.To, deliver)
+	}
 }

@@ -146,3 +146,73 @@ func TestFIFOBetweenSameEndpoints(t *testing.T) {
 		}
 	}
 }
+
+func TestPerturbDropDelayDuplicate(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, ConstantLatency(10*time.Millisecond))
+	var arrivals []time.Duration
+	b.Register("dst", func(now time.Duration, msg *Message) {
+		arrivals = append(arrivals, now)
+	})
+	b.Perturb = func(_ time.Duration, msg *Message) (bool, time.Duration, int) {
+		switch msg.Kind {
+		case "lost":
+			return true, 0, 0
+		case "slow":
+			return false, 90 * time.Millisecond, 0
+		case "dup":
+			return false, 0, 1
+		}
+		return false, 0, 0
+	}
+	b.Send("src", "dst", "lost", nil)
+	b.Send("src", "dst", "slow", nil)
+	b.Send("src", "dst", "dup", nil)
+	e.Run(time.Second)
+	if b.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", b.Dropped())
+	}
+	// slow arrives at 100 ms; dup arrives twice at 10 ms.
+	want := []time.Duration{10 * time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	if len(arrivals) != len(want) {
+		t.Fatalf("arrivals = %v, want %v", arrivals, want)
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Errorf("arrival %d at %v, want %v", i, arrivals[i], want[i])
+		}
+	}
+}
+
+func TestPerturbAppliesToReplies(t *testing.T) {
+	e := sim.NewEngine()
+	b := New(e, ConstantLatency(time.Millisecond))
+	b.Register("svc", func(now time.Duration, msg *Message) {
+		b.Reply(now, msg, "pong")
+	})
+	dropReplies := true
+	var kinds []string
+	b.Perturb = func(_ time.Duration, msg *Message) (bool, time.Duration, int) {
+		kinds = append(kinds, msg.Kind)
+		return dropReplies && msg.Kind == "reply:ping", 0, 0
+	}
+	replies := 0
+	b.Request("cli", "svc", "ping", nil, func(time.Duration, any) { replies++ })
+	e.Run(time.Second)
+	if replies != 0 {
+		t.Fatal("dropped reply was delivered")
+	}
+	if b.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", b.Dropped())
+	}
+	// The reply path presents the swapped route to the perturbation hook.
+	if len(kinds) != 2 || kinds[0] != "ping" || kinds[1] != "reply:ping" {
+		t.Errorf("perturbed kinds = %v", kinds)
+	}
+	dropReplies = false
+	b.Request("cli", "svc", "ping", nil, func(time.Duration, any) { replies++ })
+	e.Run(2 * time.Second)
+	if replies != 1 {
+		t.Error("healed reply not delivered")
+	}
+}

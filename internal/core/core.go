@@ -55,6 +55,11 @@ type Config struct {
 	// SLA current does not fit are assigned zero current (charge postponed)
 	// instead of the 1 A floor, freeing their floor power for others.
 	AllowPostpone bool
+	// FailSafeCurrent is the degraded-mode charging current a rack's local
+	// fail-safe watchdog reverts to when controller contact is lost (the
+	// paper's safe low-current policy). Zero falls back to the surface's
+	// hardware minimum.
+	FailSafeCurrent units.Current
 	// Order is the grant order (ablation knob; the default is Algorithm 1's
 	// highest-priority-lowest-discharge-first).
 	Order OrderPolicy
@@ -67,7 +72,20 @@ func DefaultConfig() Config {
 		Deadlines:   DefaultDeadlines(),
 		Resolution:  1,
 		WattsPerAmp: battery.RackWattsPerAmp,
+		// Degraded mode charges at the 1 A hardware minimum: ~380 W of
+		// recharge per rack, small enough that a whole partitioned row
+		// stays inside its breaker's trip curve.
+		FailSafeCurrent: 1,
 	}
+}
+
+// SafeCurrent returns the effective degraded-mode charging current: the
+// configured FailSafeCurrent, or the surface's hardware minimum when unset.
+func (c Config) SafeCurrent() units.Current {
+	if c.FailSafeCurrent > 0 {
+		return c.FailSafeCurrent
+	}
+	return c.Surface.MinCurrent()
 }
 
 // Validate reports whether the configuration is usable.
@@ -85,6 +103,13 @@ func (c Config) Validate() error {
 		if d, ok := c.Deadlines[p]; !ok || d <= 0 {
 			return fmt.Errorf("core: missing or non-positive deadline for %v", p)
 		}
+	}
+	if c.FailSafeCurrent < 0 {
+		return fmt.Errorf("core: negative FailSafeCurrent %v", c.FailSafeCurrent)
+	}
+	if c.FailSafeCurrent > 0 && (c.FailSafeCurrent < c.Surface.MinCurrent() || c.FailSafeCurrent > c.Surface.MaxCurrent()) {
+		return fmt.Errorf("core: FailSafeCurrent %v outside the charger range [%v, %v]",
+			c.FailSafeCurrent, c.Surface.MinCurrent(), c.Surface.MaxCurrent())
 	}
 	return nil
 }

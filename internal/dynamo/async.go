@@ -7,6 +7,7 @@ import (
 
 	"coordcharge/internal/bus"
 	"coordcharge/internal/core"
+	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -27,21 +28,37 @@ import (
 //	controller → agent   "read"        → reply Snapshot
 //	controller → agent   "override"    (units.Current; one-way)
 //	controller → agent   "cap"/"uncap" (CapRequest; one-way)
+//	controller → agent   "heartbeat"   (one-way watchdog keepalive)
 //	upper → leaf         "aggregate"   → reply AggregateReply
 //	upper → leaf         "setcurrents" (map[string]units.Current; one-way)
 //	upper → leaf         "caps"        (map[string]units.Power; one-way)
+//
+// Degraded modes: a poll generation no longer waits forever for lost
+// replies — it evaluates at a deadline from whatever telemetry arrived, with
+// entries past the staleness bound handled conservatively; leaf controllers
+// own override confirmation and retransmission (including overrides
+// forwarded from upper controllers); and controllers crash and restart on
+// the fault injector's schedule, resynchronising their charge-tracking state
+// from the first completed poll.
 
 // Snapshot is an agent's rack-state report.
 type Snapshot struct {
+	// Taken is the virtual time the snapshot was read from the rack;
+	// controllers compare it against their staleness bound to detect lost
+	// or delayed telemetry.
+	Taken    time.Duration
 	Name     string
 	Priority rack.Priority
 	Demand   units.Power
 	ITLoad   units.Power
 	Recharge units.Power
 	DOD      units.Fraction
-	Charging bool
-	InputUp  bool
-	Setpoint units.Current
+	// PendingDOD is the deficit of a postponed charge, kept rack-local so a
+	// restarted controller can reconstruct its postponed set.
+	PendingDOD units.Fraction
+	Charging   bool
+	InputUp    bool
+	Setpoint   units.Current
 }
 
 // CapRequest asks an agent to cap its rack's servers on behalf of a
@@ -58,6 +75,50 @@ type AggregateReply struct {
 	Racks []Snapshot
 }
 
+// AsyncOptions carries the degraded-mode knobs of the message-driven
+// controllers.
+type AsyncOptions struct {
+	// Injector, when non-nil, drives the controller's crash schedule
+	// (components "leaf/<node>" and "ctl/<node>").
+	Injector *faults.Injector
+	// StaleAfter is the telemetry freshness bound: snapshots older than
+	// this are handled conservatively. Zero means telemetry never goes
+	// stale (the pre-fault behaviour).
+	StaleAfter time.Duration
+	// Retry is the leaf's override retransmission policy (zero disables
+	// retries). Its Timeout should exceed the agents' command settling plus
+	// a poll round trip, so confirming telemetry has time to arrive.
+	Retry RetryPolicy
+	// Heartbeat emits a per-generation keepalive to every agent, feeding
+	// the racks' fail-safe watchdogs.
+	Heartbeat bool
+	// EvalFraction is the fraction of the poll period after which an
+	// incomplete poll generation evaluates anyway from the telemetry that
+	// did arrive (default 0.8). Lost replies then degrade decisions instead
+	// of stalling the controller forever.
+	EvalFraction float64
+}
+
+func (o AsyncOptions) evalAfter(poll time.Duration) time.Duration {
+	f := o.EvalFraction
+	if f <= 0 || f > 1 {
+		f = 0.8
+	}
+	return time.Duration(f * float64(poll))
+}
+
+// conservativeView rewrites a stale snapshot the way the synchronous
+// controller does: assume the rack is energized and charging at the
+// worst-case current, so the controller over-protects the breaker rather
+// than under-protecting it.
+func conservativeView(s Snapshot, cfg core.Config) Snapshot {
+	s.InputUp = true
+	s.Charging = true
+	s.Setpoint = cfg.Surface.MaxCurrent()
+	s.Recharge = units.Power(float64(s.Setpoint) * cfg.WattsPerAmp)
+	return s
+}
+
 // AsyncAgent is the message-driven per-rack request handler.
 type AsyncAgent struct {
 	name   string
@@ -65,6 +126,7 @@ type AsyncAgent struct {
 	b      *bus.Bus
 	engine *sim.Engine
 	settle time.Duration
+	inj    *faults.Injector
 }
 
 // AgentEndpoint returns the bus endpoint name for a rack.
@@ -79,29 +141,31 @@ func NewAsyncAgent(b *bus.Bus, engine *sim.Engine, r *rack.Rack, settle time.Dur
 	return a
 }
 
+// SetFaults attaches a fault injector; while the injector schedules the
+// agent's component down, delivered messages are silently discarded
+// (requests time out, commands vanish).
+func (a *AsyncAgent) SetFaults(inj *faults.Injector) { a.inj = inj }
+
 func (a *AsyncAgent) handle(now time.Duration, msg *bus.Message) {
+	if a.inj != nil && !a.inj.Up(a.name, now) {
+		return
+	}
 	switch msg.Kind {
 	case "read":
-		a.b.Reply(now, msg, Snapshot{
-			Name:     a.r.Name(),
-			Priority: a.r.Priority(),
-			Demand:   a.r.Demand(),
-			ITLoad:   a.r.ITLoad(),
-			Recharge: a.r.RechargePower(),
-			DOD:      a.r.LastDOD(),
-			Charging: a.r.Charging(),
-			InputUp:  a.r.InputUp(),
-			Setpoint: a.r.Pack().Setpoint(),
-		})
+		a.b.Reply(now, msg, snapshotRack(a.r, now))
 	case "override":
 		i := msg.Payload.(units.Current)
 		if a.settle <= 0 {
+			a.r.ControllerContact(now)
 			a.r.OverrideCurrent(i)
 			return
 		}
-		a.engine.ScheduleAfter(a.settle, "settle:"+a.name, func(time.Duration) {
+		a.engine.ScheduleAfter(a.settle, "settle:"+a.name, func(at time.Duration) {
+			a.r.ControllerContact(at)
 			a.r.OverrideCurrent(i)
 		})
+	case "heartbeat":
+		a.r.ControllerContact(now)
 	case "cap":
 		req := msg.Payload.(CapRequest)
 		a.r.Cap(req.Source, req.Level)
@@ -114,7 +178,10 @@ func (a *AsyncAgent) handle(now time.Duration, msg *bus.Message) {
 
 // AsyncLeaf is the message-driven leaf controller: it protects one RPP by
 // polling its agents, optionally plans charging sequences, and executes
-// current/cap directives from upper-level controllers.
+// current/cap directives from upper-level controllers. The leaf owns
+// override delivery: commands it sends (its own and those forwarded by upper
+// controllers) are confirmed against subsequent telemetry and retransmitted
+// per its RetryPolicy.
 type AsyncLeaf struct {
 	name       string
 	node       *power.Node
@@ -128,6 +195,16 @@ type AsyncLeaf struct {
 	cache      map[string]Snapshot
 	was        map[string]bool
 	metrics    Metrics
+
+	inj        *faults.Injector
+	staleAfter time.Duration
+	retry      RetryPolicy
+	heartbeat  bool
+	evalAfter  time.Duration
+	gen        uint64
+	down       bool
+	resync     bool
+	pending    map[string]*pendingOverride
 }
 
 // LeafEndpoint returns the bus endpoint name for a leaf controller.
@@ -138,6 +215,11 @@ func LeafEndpoint(nodeName string) string { return "leaf/" + nodeName }
 // charging plans (true for a standalone row; false when an upper controller
 // owns planning).
 func NewAsyncLeaf(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRacks []*rack.Rack, mode Mode, cfg core.Config, plans bool, poll time.Duration) *AsyncLeaf {
+	return NewAsyncLeafOpts(b, engine, node, agentRacks, mode, cfg, plans, poll, AsyncOptions{})
+}
+
+// NewAsyncLeafOpts is NewAsyncLeaf with degraded-mode options.
+func NewAsyncLeafOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRacks []*rack.Rack, mode Mode, cfg core.Config, plans bool, poll time.Duration, opts AsyncOptions) *AsyncLeaf {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -152,6 +234,12 @@ func NewAsyncLeaf(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRacks [
 		pollPeriod: poll,
 		cache:      make(map[string]Snapshot),
 		was:        make(map[string]bool),
+		inj:        opts.Injector,
+		staleAfter: opts.StaleAfter,
+		retry:      opts.Retry,
+		heartbeat:  opts.Heartbeat,
+		evalAfter:  opts.evalAfter(poll),
+		pending:    make(map[string]*pendingOverride),
 	}
 	for _, r := range agentRacks {
 		l.agents = append(l.agents, AgentEndpoint(r.Name()))
@@ -164,23 +252,75 @@ func NewAsyncLeaf(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRacks [
 // Metrics returns the controller's protective-action counters.
 func (l *AsyncLeaf) Metrics() Metrics { return l.metrics }
 
-// poll requests fresh snapshots from every agent; the last reply of a round
-// triggers evaluation, so decisions always see a coherent poll generation.
-func (l *AsyncLeaf) poll(time.Duration) {
+// Down reports whether the controller is currently crashed.
+func (l *AsyncLeaf) Down() bool { return l.down }
+
+func (l *AsyncLeaf) crash() {
+	l.down = true
+	l.metrics.Crashes++
+	l.cache = make(map[string]Snapshot)
+	l.was = make(map[string]bool)
+	for _, p := range l.pending {
+		l.engine.Cancel(p.ev)
+	}
+	l.pending = make(map[string]*pendingOverride)
+}
+
+// poll requests fresh snapshots from every agent. The generation evaluates
+// when the last reply arrives, or — should replies be lost — at the
+// evaluation deadline, from whatever telemetry did arrive.
+func (l *AsyncLeaf) poll(now time.Duration) {
+	up := !l.down
+	if l.inj != nil {
+		up = l.inj.Up(l.name, now)
+	}
+	if !up {
+		if !l.down {
+			l.crash()
+		}
+		return
+	}
+	if l.down {
+		// Restart with empty state; the first completed generation rebuilds
+		// the charge-tracking state from telemetry before planning resumes.
+		l.down = false
+		l.resync = true
+		l.metrics.Restarts++
+	}
+	l.gen++
+	gen := l.gen
 	pending := len(l.agents)
+	evaluated := false
+	evalOnce := func(at time.Duration) {
+		if evaluated || l.gen != gen || l.down {
+			return
+		}
+		evaluated = true
+		l.evaluate(at)
+	}
 	for _, ep := range l.agents {
 		l.b.Request(l.name, ep, "read", nil, func(now time.Duration, payload any) {
 			snap := payload.(Snapshot)
-			l.cache[snap.Name] = snap
+			// A delayed duplicate must not overwrite newer telemetry.
+			if old, ok := l.cache[snap.Name]; !ok || snap.Taken >= old.Taken {
+				l.cache[snap.Name] = snap
+			}
 			pending--
 			if pending == 0 {
-				l.evaluate(now)
+				evalOnce(now)
 			}
 		})
 	}
+	l.engine.ScheduleAfter(l.evalAfter, "deadline:"+l.name, evalOnce)
 }
 
-// sortedSnapshots returns the cache in deterministic (name) order.
+// freshSnap reports whether a snapshot is within the staleness bound.
+func (l *AsyncLeaf) freshSnap(s Snapshot, now time.Duration) bool {
+	return l.staleAfter <= 0 || now-s.Taken <= l.staleAfter
+}
+
+// sortedSnapshots returns the raw cache in deterministic (name) order,
+// timestamps intact (upper controllers apply their own staleness policy).
 func (l *AsyncLeaf) sortedSnapshots() []Snapshot {
 	out := make([]Snapshot, 0, len(l.cache))
 	for _, s := range l.cache {
@@ -190,31 +330,101 @@ func (l *AsyncLeaf) sortedSnapshots() []Snapshot {
 	return out
 }
 
-// evaluate runs the leaf's control logic over the freshly completed poll.
-// A generation that just planned skips protection: the plan's overrides are
-// still in flight and the cached setpoints are stale; the next poll sees
-// their effect (plan, then monitor — the paper's sequencing).
+// evaluate runs the leaf's control logic over the poll generation, stale
+// entries rewritten conservatively. A generation that just planned skips
+// protection: the plan's overrides are still in flight and the cached
+// setpoints are stale; the next poll sees their effect (plan, then monitor —
+// the paper's sequencing).
 func (l *AsyncLeaf) evaluate(now time.Duration) {
 	snaps := l.sortedSnapshots()
-	if l.plans && l.coordinates() && l.planFresh(snaps) {
-		return
+	for i, s := range snaps {
+		if !l.freshSnap(s, now) {
+			l.metrics.StaleTelemetry++
+			snaps[i] = conservativeView(s, l.cfg)
+		}
 	}
-	l.protect(now, snaps)
+	planned := false
+	if l.resync {
+		// First generation after a restart: rebuild charge tracking from
+		// observed telemetry without re-planning charges already in flight.
+		for _, s := range snaps {
+			l.was[s.Name] = s.Charging
+		}
+		l.resync = false
+	} else if l.plans && l.coordinates() {
+		planned = l.planFresh(now, snaps)
+	}
+	if !planned {
+		l.protect(now, snaps)
+	}
+	if l.heartbeat {
+		for _, ep := range l.agents {
+			l.b.Send(l.name, ep, "heartbeat", nil)
+		}
+	}
 }
 
 func (l *AsyncLeaf) coordinates() bool {
 	return l.mode == ModeGlobal || l.mode == ModePriorityAware || l.mode == ModePostpone
 }
 
-// planFresh detects racks whose charge began since the previous poll and
-// plans their currents from this breaker's available power. It reports
-// whether a plan was issued.
-func (l *AsyncLeaf) planFresh(snaps []Snapshot) bool {
+// sendOverride issues an override to a rack's agent and, with retries
+// enabled, tracks it until the cache confirms the setpoint (or the rack
+// stopped charging, resolving it as moot). A newer override for the same
+// rack supersedes the pending one.
+func (l *AsyncLeaf) sendOverride(now time.Duration, rackName string, want units.Current) {
+	l.b.Send(l.name, AgentEndpoint(rackName), "override", want)
+	l.metrics.OverridesIssued++
+	if !l.retry.enabled() {
+		return
+	}
+	if old := l.pending[rackName]; old != nil {
+		l.engine.Cancel(old.ev)
+	}
+	p := &pendingOverride{want: want, attempts: 1, issuedAt: now}
+	l.pending[rackName] = p
+	l.armPending(rackName, p)
+}
+
+func (l *AsyncLeaf) armPending(rackName string, p *pendingOverride) {
+	p.ev = l.engine.ScheduleAfter(l.retry.attemptTimeout(p.attempts), "retry:"+l.name+"/"+rackName, func(at time.Duration) {
+		l.checkPendingOne(at, rackName, p)
+	})
+}
+
+func (l *AsyncLeaf) checkPendingOne(now time.Duration, rackName string, p *pendingOverride) {
+	if l.down || l.pending[rackName] != p {
+		return
+	}
+	if s, ok := l.cache[rackName]; ok && s.Taken > p.issuedAt && (!s.Charging || s.Setpoint == p.want) {
+		delete(l.pending, rackName)
+		return
+	}
+	if p.attempts >= l.retry.maxAttempts() {
+		delete(l.pending, rackName)
+		l.metrics.AbandonedOverrides++
+		return
+	}
+	p.attempts++
+	l.metrics.Retries++
+	l.b.Send(l.name, AgentEndpoint(rackName), "override", p.want)
+	p.issuedAt = now
+	l.armPending(rackName, p)
+}
+
+// planFresh detects racks whose charge began since the previous poll —
+// judged from fresh telemetry only, so a conservatively-assumed stale rack
+// is never mistaken for a new charging sequence — and plans their currents
+// from this breaker's available power. It reports whether a plan was issued.
+func (l *AsyncLeaf) planFresh(now time.Duration, snaps []Snapshot) bool {
 	var fresh []core.RackInfo
 	var it units.Power
 	for i, s := range snaps {
 		if s.InputUp {
 			it += s.ITLoad
+		}
+		if !l.freshSnap(s, now) {
+			continue
 		}
 		if s.Charging && !l.was[s.Name] {
 			fresh = append(fresh, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
@@ -239,8 +449,7 @@ func (l *AsyncLeaf) planFresh(snaps []Snapshot) bool {
 		if asg.DOD <= 0 || asg.Postponed {
 			continue
 		}
-		l.b.Send(l.name, AgentEndpoint(asg.Name), "override", asg.Current)
-		l.metrics.OverridesIssued++
+		l.sendOverride(now, asg.Name, asg.Current)
 	}
 	return true
 }
@@ -278,9 +487,13 @@ func (l *AsyncLeaf) protect(now time.Duration, snaps []Snapshot) {
 		min := l.cfg.Surface.MinCurrent()
 		for _, id := range ids {
 			s := snaps[id]
-			l.b.Send(l.name, AgentEndpoint(s.Name), "override", min)
-			l.metrics.OverridesIssued++
-			excess -= units.Power(float64(s.Setpoint-min) * l.cfg.WattsPerAmp)
+			l.sendOverride(now, s.Name, min)
+			// Projected recovery only counts for racks whose setpoint is
+			// actually known; a stale rack's assumed worst-case setpoint
+			// must not offset the excess.
+			if l.freshSnap(s, now) {
+				excess -= units.Power(float64(s.Setpoint-min) * l.cfg.WattsPerAmp)
+			}
 		}
 	}
 	if excess <= 0 {
@@ -327,8 +540,19 @@ func (l *AsyncLeaf) applyCaps(_ time.Duration, snaps []Snapshot, needed units.Po
 	l.metrics.CappedEnergy += units.EnergyOver(applied, l.pollPeriod)
 }
 
-// handle serves upper-controller requests.
+// handle serves upper-controller requests. A crashed leaf serves nothing:
+// requests go unanswered (the upper's evaluation deadline copes) and
+// directives vanish, as they would with a dead process.
 func (l *AsyncLeaf) handle(now time.Duration, msg *bus.Message) {
+	if l.inj != nil && !l.inj.Up(l.name, now) {
+		if !l.down {
+			l.crash()
+		}
+		return
+	}
+	if l.down {
+		return
+	}
 	switch msg.Kind {
 	case "aggregate":
 		snaps := l.sortedSnapshots()
@@ -340,13 +564,14 @@ func (l *AsyncLeaf) handle(now time.Duration, msg *bus.Message) {
 		}
 		l.b.Reply(now, msg, AggregateReply{Power: total, Racks: snaps})
 	case "setcurrents":
-		for name, i := range msg.Payload.(map[string]units.Current) {
-			l.b.Send(l.name, AgentEndpoint(name), "override", i)
-			l.metrics.OverridesIssued++
+		currents := msg.Payload.(map[string]units.Current)
+		for _, name := range sortedKeys(currents) {
+			l.sendOverride(now, name, currents[name])
 		}
 	case "caps":
-		for name, level := range msg.Payload.(map[string]units.Power) {
-			l.b.Send(l.name, AgentEndpoint(name), "cap", CapRequest{Source: l.name + "/upper", Level: level})
+		caps := msg.Payload.(map[string]units.Power)
+		for _, name := range sortedKeys(caps) {
+			l.b.Send(l.name, AgentEndpoint(name), "cap", CapRequest{Source: l.name + "/upper", Level: caps[name]})
 		}
 	case "uncaps":
 		for _, name := range msg.Payload.([]string) {
@@ -357,19 +582,41 @@ func (l *AsyncLeaf) handle(now time.Duration, msg *bus.Message) {
 	}
 }
 
+// sortedKeys returns a map's keys in sorted order: message emission must be
+// deterministic or fault-injection draws (and event ordering) would vary
+// run-to-run with Go's map iteration.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // AsyncUpper is the message-driven upper-level controller (SB or MSB): it
 // aggregates exclusively through leaf controllers, plans charging sequences
 // at the hierarchy root, and directs leaves to throttle or cap on overload.
+// Override delivery (confirmation and retries) is owned by the leaves it
+// forwards through.
 type AsyncUpper struct {
 	name    string
 	node    *power.Node
 	b       *bus.Bus
+	engine  *sim.Engine
 	cfg     core.Config
 	mode    Mode
 	leaves  []string
 	agg     map[string]AggregateReply
 	was     map[string]bool
 	metrics Metrics
+
+	inj        *faults.Injector
+	staleAfter time.Duration
+	evalAfter  time.Duration
+	gen        uint64
+	down       bool
+	resync     bool
 }
 
 // UpperEndpoint returns the bus endpoint name for an upper controller.
@@ -378,17 +625,27 @@ func UpperEndpoint(nodeName string) string { return "ctl/" + nodeName }
 // NewAsyncUpper registers an upper controller polling the given leaf
 // controllers every poll period.
 func NewAsyncUpper(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves []*AsyncLeaf, mode Mode, cfg core.Config, poll time.Duration) *AsyncUpper {
+	return NewAsyncUpperOpts(b, engine, node, leaves, mode, cfg, poll, AsyncOptions{})
+}
+
+// NewAsyncUpperOpts is NewAsyncUpper with degraded-mode options (Retry and
+// Heartbeat are leaf concerns and ignored here).
+func NewAsyncUpperOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves []*AsyncLeaf, mode Mode, cfg core.Config, poll time.Duration, opts AsyncOptions) *AsyncUpper {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
 	u := &AsyncUpper{
-		name: UpperEndpoint(node.Name()),
-		node: node,
-		b:    b,
-		cfg:  cfg,
-		mode: mode,
-		agg:  make(map[string]AggregateReply),
-		was:  make(map[string]bool),
+		name:       UpperEndpoint(node.Name()),
+		node:       node,
+		b:          b,
+		engine:     engine,
+		cfg:        cfg,
+		mode:       mode,
+		agg:        make(map[string]AggregateReply),
+		was:        make(map[string]bool),
+		inj:        opts.Injector,
+		staleAfter: opts.StaleAfter,
+		evalAfter:  opts.evalAfter(poll),
 	}
 	for _, l := range leaves {
 		u.leaves = append(u.leaves, l.name)
@@ -403,25 +660,65 @@ func NewAsyncUpper(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves []*A
 // Metrics returns the controller's protective-action counters.
 func (u *AsyncUpper) Metrics() Metrics { return u.metrics }
 
-func (u *AsyncUpper) poll(time.Duration) {
+// Down reports whether the controller is currently crashed.
+func (u *AsyncUpper) Down() bool { return u.down }
+
+func (u *AsyncUpper) coordinates() bool {
+	return u.mode == ModeGlobal || u.mode == ModePriorityAware || u.mode == ModePostpone
+}
+
+func (u *AsyncUpper) crash() {
+	u.down = true
+	u.metrics.Crashes++
+	u.agg = make(map[string]AggregateReply)
+	u.was = make(map[string]bool)
+}
+
+func (u *AsyncUpper) poll(now time.Duration) {
+	up := !u.down
+	if u.inj != nil {
+		up = u.inj.Up(u.name, now)
+	}
+	if !up {
+		if !u.down {
+			u.crash()
+		}
+		return
+	}
+	if u.down {
+		u.down = false
+		u.resync = true
+		u.metrics.Restarts++
+	}
+	u.gen++
+	gen := u.gen
 	pending := len(u.leaves)
+	evaluated := false
+	evalOnce := func(at time.Duration) {
+		if evaluated || u.gen != gen || u.down {
+			return
+		}
+		evaluated = true
+		u.evaluate(at)
+	}
 	for _, ep := range u.leaves {
 		ep := ep
 		u.b.Request(u.name, ep, "aggregate", nil, func(now time.Duration, payload any) {
 			u.agg[ep] = payload.(AggregateReply)
 			pending--
 			if pending == 0 {
-				u.evaluate(now)
+				evalOnce(now)
 			}
 		})
 	}
+	u.engine.ScheduleAfter(u.evalAfter, "deadline:"+u.name, evalOnce)
 }
 
 // leafOf returns the leaf endpoint owning a rack name in the current
 // aggregate generation.
 func (u *AsyncUpper) leafOf(rackName string) string {
-	for ep, rep := range u.agg {
-		for _, s := range rep.Racks {
+	for _, ep := range u.leaves {
+		for _, s := range u.agg[ep].Racks {
 			if s.Name == rackName {
 				return ep
 			}
@@ -430,30 +727,51 @@ func (u *AsyncUpper) leafOf(rackName string) string {
 	return ""
 }
 
+// fresh reports whether a snapshot is within the upper's staleness bound.
+func (u *AsyncUpper) fresh(s Snapshot, now time.Duration) bool {
+	return u.staleAfter <= 0 || now-s.Taken <= u.staleAfter
+}
+
 func (u *AsyncUpper) evaluate(now time.Duration) {
-	// Deterministic flattened view.
+	// Deterministic flattened view, stale entries rewritten conservatively
+	// (a crashed or unreachable leaf leaves its racks' snapshots aging in
+	// the aggregate cache; they are assumed to draw worst case).
 	var snaps []Snapshot
 	for _, ep := range u.leaves {
 		snaps = append(snaps, u.agg[ep].Racks...)
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	for i, s := range snaps {
+		if !u.fresh(s, now) {
+			u.metrics.StaleTelemetry++
+			snaps[i] = conservativeView(s, u.cfg)
+		}
+	}
 
-	if u.mode == ModeGlobal || u.mode == ModePriorityAware || u.mode == ModePostpone {
+	if u.resync {
+		for _, s := range snaps {
+			u.was[s.Name] = s.Charging
+		}
+		u.resync = false
+	} else if u.coordinates() {
 		// A generation that planned defers protection to the next poll: the
 		// overrides are in flight and cached setpoints are stale.
-		if u.planFresh(snaps) {
+		if u.planFresh(now, snaps) {
 			return
 		}
 	}
 	u.protect(now, snaps)
 }
 
-func (u *AsyncUpper) planFresh(snaps []Snapshot) bool {
+func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 	var fresh []core.RackInfo
 	var it units.Power
 	for i, s := range snaps {
 		if s.InputUp {
 			it += s.ITLoad
+		}
+		if !u.fresh(s, now) {
+			continue
 		}
 		if s.Charging && !u.was[s.Name] {
 			fresh = append(fresh, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
@@ -489,13 +807,13 @@ func (u *AsyncUpper) planFresh(snaps []Snapshot) bool {
 		byLeaf[leaf][asg.Name] = asg.Current
 		u.metrics.OverridesIssued++
 	}
-	for leaf, currents := range byLeaf {
-		u.b.Send(u.name, leaf, "setcurrents", currents)
+	for _, leaf := range sortedKeys(byLeaf) {
+		u.b.Send(u.name, leaf, "setcurrents", byLeaf[leaf])
 	}
 	return true
 }
 
-func (u *AsyncUpper) protect(_ time.Duration, snaps []Snapshot) {
+func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 	var wouldBe units.Power
 	for _, s := range snaps {
 		if s.InputUp {
@@ -540,10 +858,12 @@ func (u *AsyncUpper) protect(_ time.Duration, snaps []Snapshot) {
 		}
 		byLeaf[leaf][s.Name] = min
 		u.metrics.OverridesIssued++
-		excess -= units.Power(float64(s.Setpoint-min) * u.cfg.WattsPerAmp)
+		if u.fresh(s, now) {
+			excess -= units.Power(float64(s.Setpoint-min) * u.cfg.WattsPerAmp)
+		}
 	}
-	for leaf, currents := range byLeaf {
-		u.b.Send(u.name, leaf, "setcurrents", currents)
+	for _, leaf := range sortedKeys(byLeaf) {
+		u.b.Send(u.name, leaf, "setcurrents", byLeaf[leaf])
 	}
 	if excess <= 0 {
 		return
@@ -580,13 +900,39 @@ func (u *AsyncUpper) protect(_ time.Duration, snaps []Snapshot) {
 		excess -= cut
 		applied += cut
 	}
-	for leaf, m := range caps {
-		u.b.Send(u.name, leaf, "caps", m)
+	for _, leaf := range sortedKeys(caps) {
+		u.b.Send(u.name, leaf, "caps", caps[leaf])
 	}
 	if applied > u.metrics.MaxCapping {
 		u.metrics.MaxCapping = applied
 		if it > 0 {
 			u.metrics.MaxCappingFraction = units.Fraction(float64(applied) / float64(it))
 		}
+	}
+}
+
+// WireBusFaults attaches injector-driven perturbation to the bus carrying
+// the async control plane: telemetry messages ("read"/"aggregate" requests
+// and all replies) are subject to read loss; command messages (overrides,
+// caps, heartbeats, leaf directives) are subject to command loss, delay, and
+// duplication.
+func WireBusFaults(b *bus.Bus, inj *faults.Injector) {
+	b.Perturb = func(now time.Duration, msg *bus.Message) (bool, time.Duration, int) {
+		telemetry := msg.Kind == "read" || msg.Kind == "aggregate" ||
+			len(msg.Kind) > 6 && msg.Kind[:6] == "reply:"
+		if telemetry {
+			if inj.DropRead() {
+				return true, 0, 0
+			}
+			return false, 0, 0
+		}
+		if inj.DropCommand() {
+			return true, 0, 0
+		}
+		dup := 0
+		if inj.DupCommand() {
+			dup = 1
+		}
+		return false, inj.CommandDelay(), dup
 	}
 }

@@ -13,6 +13,16 @@
 //     to priority-aware server power capping.
 //   - A Hierarchy assembles one controller per breaker, mirroring the power
 //     tree, and ticks them bottom-up.
+//
+// The control plane is hardened against a degraded network and crashing
+// components (see internal/faults): telemetry reads are timestamped and
+// stale or missing data is handled conservatively (the affected rack is
+// assumed to draw worst-case recharge power), charging-current overrides are
+// confirmed against subsequent telemetry and retransmitted with exponential
+// backoff, controllers crash and restart reconstructing their state from
+// agent reads, and racks run a local fail-safe watchdog that reverts to the
+// safe low-current charging policy when controller contact is lost (see
+// rack.SetWatchdog).
 package dynamo
 
 import (
@@ -21,6 +31,7 @@ import (
 	"time"
 
 	"coordcharge/internal/core"
+	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -65,11 +76,18 @@ func (m Mode) String() string {
 
 // Agent is the per-rack request handler on the TOR switch. It performs no
 // actions on its own (paper §IV-B): controllers issue reads and overrides
-// through it.
+// through it. With a fault injector attached, the agent models the failure
+// modes of the real read/override path: lost and stale reads, dropped,
+// delayed, and duplicated commands, and whole-agent crashes.
 type Agent struct {
 	rack    *rack.Rack
 	engine  *sim.Engine
 	latency time.Duration
+
+	inj      *faults.Injector
+	comp     string
+	last     Snapshot
+	haveLast bool
 }
 
 // NewAgent wraps a rack. engine may be nil when latency is zero; a non-zero
@@ -78,8 +96,11 @@ func NewAgent(r *rack.Rack, engine *sim.Engine, latency time.Duration) *Agent {
 	if latency > 0 && engine == nil {
 		panic(fmt.Errorf("dynamo: agent for %s has latency %v but no engine", r.Name(), latency))
 	}
-	return &Agent{rack: r, engine: engine, latency: latency}
+	return &Agent{rack: r, engine: engine, latency: latency, comp: "agent/" + r.Name()}
 }
+
+// SetFaults attaches a fault injector to the agent's read/override path.
+func (a *Agent) SetFaults(inj *faults.Injector) { a.inj = inj }
 
 // Rack returns the underlying rack.
 func (a *Agent) Rack() *rack.Rack { return a.rack }
@@ -93,16 +114,135 @@ func (a *Agent) ReadRecharge() units.Power { return a.rack.RechargePower() }
 // Latency returns the agent's command-settling delay.
 func (a *Agent) Latency() time.Duration { return a.latency }
 
-// Override issues a charging-current override; the new setpoint takes effect
-// after the command-settling latency (Fig 11 measures ~20 s in production).
-func (a *Agent) Override(i units.Current) {
-	if a.latency <= 0 {
-		a.rack.OverrideCurrent(i)
-		return
+// snapshotRack builds a timestamped telemetry snapshot of a rack.
+func snapshotRack(r *rack.Rack, now time.Duration) Snapshot {
+	return Snapshot{
+		Taken:      now,
+		Name:       r.Name(),
+		Priority:   r.Priority(),
+		Demand:     r.Demand(),
+		ITLoad:     r.ITLoad(),
+		Recharge:   r.RechargePower(),
+		DOD:        r.LastDOD(),
+		PendingDOD: r.PendingDOD(),
+		Charging:   r.Charging(),
+		InputUp:    r.InputUp(),
+		Setpoint:   r.Pack().Setpoint(),
 	}
-	a.engine.ScheduleAfter(a.latency, "override:"+a.rack.Name(), func(time.Duration) {
+}
+
+// Sample reads the rack's telemetry at virtual time now. It reports false
+// when the read fails (lost reply or crashed agent); an injected stale read
+// returns the previous snapshot with its original timestamp, which the
+// controller detects by comparing Taken against its staleness bound.
+func (a *Agent) Sample(now time.Duration) (Snapshot, bool) {
+	if a.inj != nil {
+		if !a.inj.Up(a.comp, now) || a.inj.DropRead() {
+			return Snapshot{}, false
+		}
+		if a.haveLast && a.inj.StaleRead() {
+			return a.last, true
+		}
+	}
+	s := snapshotRack(a.rack, now)
+	a.last, a.haveLast = s, true
+	return s, true
+}
+
+// Override issues a charging-current override at virtual time now; the new
+// setpoint takes effect after the command-settling latency (Fig 11 measures
+// ~20 s in production). It reports whether the command entered the delivery
+// path — false means it was dropped immediately (crashed agent or injected
+// command loss); true is NOT a delivery guarantee once latency or injected
+// delay is involved, which is why controllers confirm overrides against
+// telemetry and retransmit. A delivered override counts as controller
+// contact for the rack's fail-safe watchdog.
+func (a *Agent) Override(now time.Duration, i units.Current) bool {
+	var extra time.Duration
+	dup := false
+	if a.inj != nil {
+		if !a.inj.Up(a.comp, now) || a.inj.DropCommand() {
+			return false
+		}
+		if a.engine != nil {
+			extra = a.inj.CommandDelay()
+		}
+		dup = a.inj.DupCommand()
+	}
+	apply := func(at time.Duration) {
+		a.rack.ControllerContact(at)
 		a.rack.OverrideCurrent(i)
-	})
+	}
+	delay := a.latency + extra
+	if delay <= 0 || a.engine == nil {
+		apply(now)
+		if dup {
+			apply(now)
+		}
+		return true
+	}
+	a.engine.ScheduleAfter(delay, "override:"+a.rack.Name(), apply)
+	if dup {
+		a.engine.ScheduleAfter(delay, "override:"+a.rack.Name(), apply)
+	}
+	return true
+}
+
+// Heartbeat delivers a controller-contact keepalive to the rack, feeding its
+// fail-safe watchdog. It rides the same lossy command path as overrides and
+// reports whether it was delivered.
+func (a *Agent) Heartbeat(now time.Duration) bool {
+	if a.inj != nil && (!a.inj.Up(a.comp, now) || a.inj.DropCommand()) {
+		return false
+	}
+	a.rack.ControllerContact(now)
+	return true
+}
+
+// RetryPolicy bounds the controller's override retransmission: an override
+// unconfirmed by telemetry after Timeout is retransmitted with the timeout
+// growing by Backoff per attempt, up to MaxAttempts total sends.
+type RetryPolicy struct {
+	// Timeout is the initial confirmation timeout. Zero disables retries.
+	// It must exceed the agents' command-settling latency, or unsettled
+	// commands will be retransmitted spuriously (harmless — overrides are
+	// idempotent — but wasteful).
+	Timeout time.Duration
+	// Backoff multiplies the timeout after each attempt (values below 1
+	// are treated as the default 2).
+	Backoff float64
+	// MaxAttempts caps total sends including the first (values below 1 are
+	// treated as the default 4).
+	MaxAttempts int
+}
+
+// DefaultRetryPolicy is sized for the prototype's ~20 s command settling: a
+// 30 s initial timeout doubling across 4 total attempts.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{Timeout: 30 * time.Second, Backoff: 2, MaxAttempts: 4}
+}
+
+func (p RetryPolicy) enabled() bool { return p.Timeout > 0 }
+
+func (p RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts < 1 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+// attemptTimeout returns the confirmation timeout for the given attempt
+// number (1-based): Timeout · Backoff^(attempt−1).
+func (p RetryPolicy) attemptTimeout(attempt int) time.Duration {
+	b := p.Backoff
+	if b < 1 {
+		b = 2
+	}
+	d := float64(p.Timeout)
+	for i := 1; i < attempt; i++ {
+		d *= b
+	}
+	return time.Duration(d)
 }
 
 // Metrics accumulates a controller's protective actions.
@@ -114,16 +254,57 @@ type Metrics struct {
 	MaxCappingFraction units.Fraction
 	// CappedEnergy integrates capped power over time.
 	CappedEnergy units.Energy
-	// OverridesIssued counts charging-current override commands.
+	// OverridesIssued counts charging-current override commands (first
+	// sends; retransmissions count under Retries).
 	OverridesIssued int
 	// ThrottleEvents counts ticks on which battery throttling was applied.
 	ThrottleEvents int
 	// PlansComputed counts charging sequences planned.
 	PlansComputed int
+	// Retries counts override retransmissions after confirmation timeouts.
+	Retries int
+	// AbandonedOverrides counts overrides given up after MaxAttempts.
+	AbandonedOverrides int
+	// StaleTelemetry counts rack evaluations that fell back to the
+	// conservative worst-case-recharge assumption because telemetry was
+	// missing or stale.
+	StaleTelemetry int
+	// Crashes and Restarts count controller fault transitions.
+	Crashes, Restarts int
+}
+
+// ControllerOptions carries the degraded-mode knobs of a controller.
+type ControllerOptions struct {
+	// Engine schedules retry timeouts and (through the agents) command
+	// settling on virtual time. With a nil engine, retries are checked on
+	// the controller's own tick cadence instead.
+	Engine *sim.Engine
+	// Injector, when set, drives the controller's crash schedule (component
+	// "controller/<node>"); agents carry their own injector reference.
+	Injector *faults.Injector
+	// StaleAfter is the telemetry freshness bound: a snapshot older than
+	// this is treated conservatively. Zero means telemetry never goes
+	// stale (the pre-fault behaviour).
+	StaleAfter time.Duration
+	// Retry is the override retransmission policy; the zero value disables
+	// retries.
+	Retry RetryPolicy
+	// Heartbeat emits a per-tick controller-contact keepalive to every
+	// agent, feeding the racks' fail-safe watchdogs.
+	Heartbeat bool
+}
+
+// pendingOverride tracks an override awaiting telemetry confirmation.
+type pendingOverride struct {
+	want     units.Current
+	attempts int
+	issuedAt time.Duration
+	due      time.Duration // tick-driven deadline (engine == nil)
+	ev       *sim.Event    // engine-driven deadline
 }
 
 // Controller protects one circuit breaker (paper §IV-B). Construct with
-// NewController.
+// NewController or NewControllerOpts.
 type Controller struct {
 	node    *power.Node
 	agents  []*Agent
@@ -135,6 +316,21 @@ type Controller struct {
 	wasCharging map[*rack.Rack]bool
 	postponed   map[*rack.Rack]core.RackInfo
 	lastTick    time.Duration
+
+	engine     *sim.Engine
+	inj        *faults.Injector
+	comp       string
+	staleAfter time.Duration
+	retry      RetryPolicy
+	heartbeat  bool
+	down       bool
+
+	// tel holds the last known telemetry per agent (index-aligned); telOK
+	// marks entries that have been read at least once since (re)start.
+	tel     []Snapshot
+	telOK   []bool
+	viewBuf []Snapshot
+	pending map[int]*pendingOverride
 }
 
 // NewController builds a controller protecting node, managing the racks
@@ -144,6 +340,11 @@ type Controller struct {
 // paper's MSB-level simulation plans at the MSB, where the power constraint
 // lives, so the hierarchy marks its root as the planner.
 func NewController(node *power.Node, agents []*Agent, mode Mode, cfg core.Config, plans bool) *Controller {
+	return NewControllerOpts(node, agents, mode, cfg, plans, ControllerOptions{})
+}
+
+// NewControllerOpts is NewController with degraded-mode options.
+func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Config, plans bool, opts ControllerOptions) *Controller {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
@@ -155,6 +356,16 @@ func NewController(node *power.Node, agents []*Agent, mode Mode, cfg core.Config
 		plans:       plans,
 		wasCharging: make(map[*rack.Rack]bool),
 		postponed:   make(map[*rack.Rack]core.RackInfo),
+		engine:      opts.Engine,
+		inj:         opts.Injector,
+		comp:        "controller/" + node.Name(),
+		staleAfter:  opts.StaleAfter,
+		retry:       opts.Retry,
+		heartbeat:   opts.Heartbeat,
+		tel:         make([]Snapshot, len(agents)),
+		telOK:       make([]bool, len(agents)),
+		viewBuf:     make([]Snapshot, len(agents)),
+		pending:     make(map[int]*pendingOverride),
 	}
 }
 
@@ -164,10 +375,64 @@ func (c *Controller) Node() *power.Node { return c.node }
 // Metrics returns the accumulated protective-action metrics.
 func (c *Controller) Metrics() Metrics { return c.metrics }
 
-// rackInfo builds the planner's view of agent i's rack.
-func (c *Controller) rackInfo(i int) core.RackInfo {
-	r := c.agents[i].Rack()
-	return core.RackInfo{ID: i, Name: r.Name(), Priority: r.Priority(), DOD: r.LastDOD()}
+// Down reports whether the controller is currently crashed.
+func (c *Controller) Down() bool { return c.down }
+
+// Crash takes the controller down, losing all in-memory state — exactly what
+// a process crash does. While down, ticks only advance the breaker's trip
+// physics. With a fault injector attached, crashes also happen on the
+// injector's schedule.
+func (c *Controller) Crash() {
+	if !c.down {
+		c.crash()
+	}
+}
+
+// Restart brings a crashed controller back at virtual time now,
+// reconstructing its working state from agent reads.
+func (c *Controller) Restart(now time.Duration) {
+	if c.down {
+		c.restart(now)
+	}
+}
+
+func (c *Controller) crash() {
+	c.down = true
+	c.metrics.Crashes++
+	c.wasCharging = make(map[*rack.Rack]bool)
+	c.postponed = make(map[*rack.Rack]core.RackInfo)
+	for i := range c.telOK {
+		c.telOK[i] = false
+	}
+	if c.engine != nil {
+		for idx := range c.agents {
+			if p := c.pending[idx]; p != nil && p.ev != nil {
+				c.engine.Cancel(p.ev)
+			}
+		}
+	}
+	c.pending = make(map[int]*pendingOverride)
+}
+
+// restart reconstructs the controller's state from agent reads: racks
+// observed charging are marked as known sequences (so an in-flight charge is
+// not spuriously re-planned), and postponed charges are recovered from the
+// racks' own pending-DOD bookkeeping. Racks whose reads fail stay unknown
+// and resynchronise on a later tick.
+func (c *Controller) restart(now time.Duration) {
+	c.down = false
+	c.metrics.Restarts++
+	c.sample(now)
+	for i, a := range c.agents {
+		if !c.telOK[i] {
+			continue
+		}
+		r := a.Rack()
+		c.wasCharging[r] = c.tel[i].Charging
+		if c.mode == ModePostpone && c.tel[i].PendingDOD > 0 {
+			c.postponed[r] = core.RackInfo{ID: i, Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD}
+		}
+	}
 }
 
 // Tick runs one monitoring cycle at virtual time now. Call it once per
@@ -175,11 +440,40 @@ func (c *Controller) rackInfo(i int) core.RackInfo {
 func (c *Controller) Tick(now time.Duration) {
 	dt := now - c.lastTick
 	c.lastTick = now
+	up := !c.down
+	if c.inj != nil {
+		up = c.inj.Up(c.comp, now)
+	}
+	if !up {
+		if !c.down {
+			c.crash()
+		}
+		// The breaker's trip physics continue regardless of the
+		// controller's health.
+		c.node.Observe(now)
+		return
+	}
+	if c.down {
+		c.restart(now)
+	}
+	c.sample(now)
 	if c.plans && c.coordinates() {
-		c.detectChargingStart()
+		c.detectChargingStart(now)
 	}
 	c.restartPostponed()
+	if c.engine == nil {
+		c.checkPending(now)
+	}
+	// Re-sample so protection sees the effect of instantly-settling
+	// overrides issued above, exactly as the pre-fault controller's live
+	// reads did.
+	c.sample(now)
 	c.protect(now, dt)
+	if c.heartbeat {
+		for _, a := range c.agents {
+			a.Heartbeat(now)
+		}
+	}
 	c.node.Observe(now)
 }
 
@@ -187,35 +481,147 @@ func (c *Controller) coordinates() bool {
 	return c.mode == ModeGlobal || c.mode == ModePriorityAware || c.mode == ModePostpone
 }
 
-// detectChargingStart finds racks whose batteries began recharging since the
-// last tick and, in a coordinating mode, plans and applies their charging
-// currents using the breaker's available power.
-func (c *Controller) detectChargingStart() {
-	var fresh []core.RackInfo
+// sample refreshes the telemetry cache from every readable agent.
+func (c *Controller) sample(now time.Duration) {
 	for i, a := range c.agents {
-		r := a.Rack()
-		charging := r.Charging()
-		if charging && !c.wasCharging[r] {
-			fresh = append(fresh, c.rackInfo(i))
+		if s, ok := a.Sample(now); ok {
+			c.tel[i] = s
+			c.telOK[i] = true
 		}
-		c.wasCharging[r] = charging
 	}
-	if len(fresh) == 0 || !c.coordinates() {
+}
+
+// fresh reports whether agent i's cached telemetry is usable as-is.
+func (c *Controller) fresh(i int, now time.Duration) bool {
+	if !c.telOK[i] {
+		return false
+	}
+	return c.staleAfter <= 0 || now-c.tel[i].Taken <= c.staleAfter
+}
+
+// views returns the controller's working snapshot of every rack. Fresh
+// telemetry is used as-is; stale or missing telemetry is handled
+// conservatively: the rack is assumed energized and drawing worst-case
+// recharge power on top of its last known server load, so the controller
+// over-protects rather than under-protects the breaker.
+func (c *Controller) views(now time.Duration) []Snapshot {
+	for i := range c.agents {
+		s := c.tel[i]
+		if c.fresh(i, now) {
+			c.viewBuf[i] = s
+			continue
+		}
+		c.metrics.StaleTelemetry++
+		if !c.telOK[i] {
+			r := c.agents[i].Rack()
+			s.Name = r.Name()
+			s.Priority = r.Priority()
+		}
+		s.InputUp = true
+		s.Charging = true
+		s.Setpoint = c.cfg.Surface.MaxCurrent()
+		s.Recharge = units.Power(float64(s.Setpoint) * c.cfg.WattsPerAmp)
+		c.viewBuf[i] = s
+	}
+	return c.viewBuf
+}
+
+// sendOverride issues a charging-current override to agent idx and, with
+// retries enabled, tracks it until telemetry confirms the setpoint. A newer
+// override for the same agent supersedes the pending one.
+func (c *Controller) sendOverride(now time.Duration, idx int, want units.Current) bool {
+	delivered := c.agents[idx].Override(now, want)
+	c.metrics.OverridesIssued++
+	if c.retry.enabled() {
+		if old := c.pending[idx]; old != nil && old.ev != nil && c.engine != nil {
+			c.engine.Cancel(old.ev)
+		}
+		p := &pendingOverride{want: want, attempts: 1, issuedAt: now}
+		c.pending[idx] = p
+		c.armPending(now, idx, p)
+	}
+	return delivered
+}
+
+func (c *Controller) armPending(now time.Duration, idx int, p *pendingOverride) {
+	wait := c.retry.attemptTimeout(p.attempts)
+	if c.engine != nil {
+		p.ev = c.engine.ScheduleAfter(wait, "retry:"+c.agents[idx].Rack().Name(), func(at time.Duration) {
+			c.checkPendingOne(at, idx, p)
+		})
+		return
+	}
+	p.due = now + wait
+}
+
+// checkPending scans tick-driven pending overrides (no engine attached).
+func (c *Controller) checkPending(now time.Duration) {
+	for idx := range c.agents { // index order: deterministic injector draws
+		if p := c.pending[idx]; p != nil && now >= p.due {
+			c.checkPendingOne(now, idx, p)
+		}
+	}
+}
+
+// checkPendingOne confirms or retransmits one pending override. The
+// confirmation source is telemetry taken after the command had time to
+// settle; a rack that stopped charging resolves the override as moot.
+func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverride) {
+	if c.down || c.pending[idx] != p {
+		return // controller crashed or the override was superseded
+	}
+	if c.telOK[idx] {
+		s := c.tel[idx]
+		if s.Taken > p.issuedAt+c.agents[idx].Latency() && (!s.Charging || s.Setpoint == p.want) {
+			delete(c.pending, idx)
+			return
+		}
+	}
+	if p.attempts >= c.retry.maxAttempts() {
+		delete(c.pending, idx)
+		c.metrics.AbandonedOverrides++
+		return
+	}
+	p.attempts++
+	c.metrics.Retries++
+	c.agents[idx].Override(now, p.want)
+	p.issuedAt = now
+	c.armPending(now, idx, p)
+}
+
+// detectChargingStart finds racks whose batteries began recharging since the
+// last tick — judged from fresh telemetry only — and, in a coordinating
+// mode, plans and applies their charging currents using the breaker's
+// available power.
+func (c *Controller) detectChargingStart(now time.Duration) {
+	var freshStarts []core.RackInfo
+	for i, a := range c.agents {
+		if !c.fresh(i, now) {
+			continue
+		}
+		s := c.tel[i]
+		r := a.Rack()
+		if s.Charging && !c.wasCharging[r] {
+			freshStarts = append(freshStarts, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
+		}
+		c.wasCharging[r] = s.Charging
+	}
+	if len(freshStarts) == 0 || !c.coordinates() {
 		return
 	}
 	// Available power for recharge: the breaker's headroom over the IT load
 	// (recharge power excluded — the plan decides it).
-	available := c.node.Limit() - c.itLoad()
+	available := c.node.Limit() - c.itLoad(c.views(now))
 	cfg := c.cfg
 	var plan []core.Assignment
 	switch c.mode {
 	case ModeGlobal:
-		plan = core.PlanGlobal(available, fresh, cfg)
+		plan = core.PlanGlobal(available, freshStarts, cfg)
 	case ModePostpone:
 		cfg.AllowPostpone = true
-		plan = core.PlanPriorityAware(available, fresh, cfg)
+		plan = core.PlanPriorityAware(available, freshStarts, cfg)
 	default:
-		plan = core.PlanPriorityAware(available, fresh, cfg)
+		plan = core.PlanPriorityAware(available, freshStarts, cfg)
 	}
 	c.metrics.PlansComputed++
 	for _, asg := range plan {
@@ -224,14 +630,14 @@ func (c *Controller) detectChargingStart() {
 		}
 		r := c.agents[asg.ID].Rack()
 		if asg.Postponed {
-			// Stop the charge entirely; remember the rack for restart.
-			r.Pack().Abort()
+			// Stop the charge entirely; the rack records the deficit so a
+			// restarted controller can rediscover it.
+			r.Postpone()
 			c.postponed[r] = asg.RackInfo
 			c.wasCharging[r] = false
 			continue
 		}
-		c.agents[asg.ID].Override(asg.Current)
-		c.metrics.OverridesIssued++
+		c.sendOverride(now, asg.ID, asg.Current)
 	}
 }
 
@@ -271,7 +677,7 @@ func (c *Controller) restartPostponed() {
 		if wantPower <= headroom {
 			grant = want
 		}
-		r.Pack().StartCharge(grant, ri.DOD)
+		r.ResumeCharge(grant)
 		headroom -= units.Power(float64(grant) * c.cfg.WattsPerAmp)
 		c.wasCharging[r] = true
 		c.metrics.OverridesIssued++
@@ -280,11 +686,11 @@ func (c *Controller) restartPostponed() {
 }
 
 // itLoad sums the (capped) server power of the racks under this controller.
-func (c *Controller) itLoad() units.Power {
+func (c *Controller) itLoad(views []Snapshot) units.Power {
 	var total units.Power
-	for _, a := range c.agents {
-		if a.Rack().InputUp() {
-			total += a.Rack().ITLoad()
+	for _, s := range views {
+		if s.InputUp {
+			total += s.ITLoad
 		}
 	}
 	return total
@@ -294,33 +700,33 @@ func (c *Controller) itLoad() units.Power {
 // line of defense (coordinating modes), then priority-aware server capping
 // as the last resort. When the breaker is not overloaded, caps are released.
 func (c *Controller) protect(now time.Duration, dt time.Duration) {
-	excess := -c.headroomUncapped()
+	views := c.views(now)
+	excess := -c.headroomUncapped(views)
 	if excess <= 0 {
 		c.releaseCaps()
 		return
 	}
 	switch c.mode {
 	case ModePriorityAware, ModePostpone:
-		excess -= c.throttleBatteries(excess)
+		excess -= c.throttleBatteries(now, views, excess)
 	case ModeGlobal:
-		excess -= c.lowerGlobalRate()
+		excess -= c.lowerGlobalRate(now, views)
 	}
 	if excess < 0 {
 		excess = 0
 	}
-	c.applyCaps(excess, dt)
+	c.applyCaps(views, excess, dt)
 }
 
 // headroomUncapped is limit minus the draw the breaker would see with all
 // caps released: capping decisions are recomputed from scratch each tick.
-func (c *Controller) headroomUncapped() units.Power {
+func (c *Controller) headroomUncapped(views []Snapshot) units.Power {
 	var uncapped units.Power
-	for _, a := range c.agents {
-		r := a.Rack()
-		if !r.InputUp() {
+	for _, s := range views {
+		if !s.InputUp {
 			continue
 		}
-		uncapped += r.Demand() + r.RechargePower()
+		uncapped += s.Demand + s.Recharge
 	}
 	// Include draw from loads not managed by this controller (none in the
 	// standard topologies, but a child breaker may have foreign loads).
@@ -330,14 +736,13 @@ func (c *Controller) headroomUncapped() units.Power {
 // throttleBatteries sets charging currents to the minimum in reverse order
 // until the projected recovery covers excess; it returns the projected
 // recovered power.
-func (c *Controller) throttleBatteries(excess units.Power) units.Power {
+func (c *Controller) throttleBatteries(now time.Duration, views []Snapshot, excess units.Power) units.Power {
 	var active []core.ActiveCharge
-	for i, a := range c.agents {
-		r := a.Rack()
-		if r.InputUp() && r.Charging() {
+	for i, s := range views {
+		if s.InputUp && s.Charging {
 			active = append(active, core.ActiveCharge{
-				RackInfo: c.rackInfo(i),
-				Current:  r.Pack().Setpoint(),
+				RackInfo: core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD},
+				Current:  s.Setpoint,
 			})
 		}
 	}
@@ -353,13 +758,14 @@ func (c *Controller) throttleBatteries(excess units.Power) units.Power {
 		current[ac.ID] = ac.Current
 	}
 	for _, id := range ids {
-		c.agents[id].Override(min)
-		c.metrics.OverridesIssued++
-		// Only instantly-settling overrides count against this tick's
-		// excess: a command still in its settling window has not recovered
-		// anything yet, and Dynamo caps on the overload it measures now
-		// (releasing the caps once the throttle lands).
-		if c.agents[id].Latency() <= 0 {
+		delivered := c.sendOverride(now, id, min)
+		// Only instantly-settling, actually-delivered overrides against
+		// fresh telemetry count against this tick's excess: a command still
+		// in its settling window (or lost, or aimed at a rack whose
+		// setpoint is only assumed) has not recovered anything yet, and
+		// Dynamo caps on the overload it measures now (releasing the caps
+		// once the throttle lands).
+		if delivered && c.agents[id].Latency() <= 0 && c.fresh(id, now) {
 			recovered += units.Power(float64(current[id]-min) * c.cfg.WattsPerAmp)
 		}
 	}
@@ -369,25 +775,23 @@ func (c *Controller) throttleBatteries(excess units.Power) units.Power {
 // lowerGlobalRate recomputes the uniform rate from present available power
 // and applies it to every charging rack (the global baseline's only
 // overload response short of capping). It returns the projected recovery.
-func (c *Controller) lowerGlobalRate() units.Power {
+func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.Power {
 	var charging []core.RackInfo
 	var before units.Power
-	for i, a := range c.agents {
-		r := a.Rack()
-		if r.InputUp() && r.Charging() {
-			charging = append(charging, c.rackInfo(i))
-			before += r.RechargePower()
+	for i, s := range views {
+		if s.InputUp && s.Charging {
+			charging = append(charging, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
+			before += s.Recharge
 		}
 	}
 	if len(charging) == 0 {
 		return 0
 	}
-	available := c.node.Limit() - c.itLoad()
+	available := c.node.Limit() - c.itLoad(views)
 	plan := core.PlanGlobal(available, charging, c.cfg)
 	var after units.Power
 	for _, asg := range plan {
-		c.agents[asg.ID].Override(asg.Current)
-		c.metrics.OverridesIssued++
+		c.sendOverride(now, asg.ID, asg.Current)
 		after += asg.RechargePower(c.cfg.WattsPerAmp)
 	}
 	c.metrics.ThrottleEvents++
@@ -399,36 +803,40 @@ func (c *Controller) lowerGlobalRate() units.Power {
 
 // applyCaps distributes a required server power reduction across racks,
 // lowest priority first (Dynamo caps "according to priority of services
-// running on those servers"), and records the Table III metrics.
-func (c *Controller) applyCaps(needed units.Power, dt time.Duration) {
-	order := make([]*rack.Rack, 0, len(c.agents))
-	for _, a := range c.agents {
-		if a.Rack().InputUp() {
-			order = append(order, a.Rack())
+// running on those servers"), and records the Table III metrics. Capping
+// rides Dynamo's server-management path, not the TOR agent's charger
+// command path, so caps apply directly even when the agent link is faulty.
+func (c *Controller) applyCaps(views []Snapshot, needed units.Power, dt time.Duration) {
+	order := make([]int, 0, len(views))
+	for i, s := range views {
+		if s.InputUp {
+			order = append(order, i)
 		}
 	}
 	sort.SliceStable(order, func(i, j int) bool {
-		return order[i].Priority() > order[j].Priority()
+		return views[order[i]].Priority > views[order[j]].Priority
 	})
 	source := c.node.Name()
 	var applied units.Power
 	remaining := needed
-	for _, r := range order {
+	for _, i := range order {
+		r := c.agents[i].Rack()
 		if remaining <= 0 {
 			r.Uncap(source)
 			continue
 		}
-		cut := r.Demand()
+		demand := views[i].Demand
+		cut := demand
 		if cut > remaining {
 			cut = remaining
 		}
-		r.Cap(source, r.Demand()-cut)
+		r.Cap(source, demand-cut)
 		applied += cut
 		remaining -= cut
 	}
 	if applied > c.metrics.MaxCapping {
 		c.metrics.MaxCapping = applied
-		if it := c.itLoad() + applied; it > 0 {
+		if it := c.itLoad(views) + applied; it > 0 {
 			c.metrics.MaxCappingFraction = units.Fraction(float64(applied) / float64(it))
 		}
 	}

@@ -65,7 +65,7 @@ func TestAgentReadAndImmediateOverride(t *testing.T) {
 	if got, want := a.ReadPower(), racks[0].Power(); got != want {
 		t.Errorf("power read = %v, want %v", got, want)
 	}
-	a.Override(1)
+	a.Override(45*time.Second, 1)
 	if got := racks[0].Pack().Setpoint(); got != 1 {
 		t.Errorf("setpoint after immediate override = %v, want 1 A", got)
 	}
@@ -77,7 +77,7 @@ func TestAgentLatentOverride(t *testing.T) {
 	_, racks := row(t, []rack.Priority{rack.P1}, charger.Variable{})
 	a := NewAgent(racks[0], eng, 20*time.Second)
 	transition(racks, 12600*units.Watt, 45*time.Second)
-	a.Override(1)
+	a.Override(0, 1)
 	if got := racks[0].Pack().Setpoint(); got != 2 {
 		t.Errorf("setpoint changed before latency elapsed: %v", got)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coordcharge/internal/core"
+	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -22,10 +23,39 @@ type Hierarchy struct {
 	agents      map[*rack.Rack]*Agent
 }
 
+// HierarchyOptions carries the control plane's wiring and degraded-mode
+// knobs for BuildHierarchyOpts.
+type HierarchyOptions struct {
+	// Engine schedules command settling and retry timeouts. May be nil when
+	// Latency is zero (and retries then run on the tick cadence).
+	Engine *sim.Engine
+	// Latency is the agents' command-settling delay (Fig 11).
+	Latency time.Duration
+	// Injector, when non-nil, attaches fault injection to every agent and
+	// controller in the hierarchy.
+	Injector *faults.Injector
+	// StaleAfter is the controllers' telemetry freshness bound; zero means
+	// telemetry never goes stale.
+	StaleAfter time.Duration
+	// Retry is the controllers' override retransmission policy; the zero
+	// value disables retries.
+	Retry RetryPolicy
+	// WatchdogTTL, when positive, arms every rack's local fail-safe
+	// watchdog with this TTL (safe current from cfg.SafeCurrent()) and has
+	// controllers emit per-tick heartbeats to feed it.
+	WatchdogTTL time.Duration
+}
+
 // BuildHierarchy walks the power tree rooted at root and creates a
 // controller for every breaker. Every load in the tree must be a *rack.Rack.
 // engine may be nil when latency is zero.
 func BuildHierarchy(root *power.Node, mode Mode, cfg core.Config, engine *sim.Engine, latency time.Duration) (*Hierarchy, error) {
+	return BuildHierarchyOpts(root, mode, cfg, HierarchyOptions{Engine: engine, Latency: latency})
+}
+
+// BuildHierarchyOpts is BuildHierarchy with fault-injection and
+// degraded-mode options.
+func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts HierarchyOptions) (*Hierarchy, error) {
 	h := &Hierarchy{
 		byNode: make(map[*power.Node]*Controller),
 		agents: make(map[*rack.Rack]*Agent),
@@ -43,7 +73,13 @@ func BuildHierarchy(root *power.Node, mode Mode, cfg core.Config, engine *sim.En
 			}
 			a := h.agents[r]
 			if a == nil {
-				a = NewAgent(r, engine, latency)
+				a = NewAgent(r, opts.Engine, opts.Latency)
+				if opts.Injector != nil {
+					a.SetFaults(opts.Injector)
+				}
+				if opts.WatchdogTTL > 0 {
+					r.SetWatchdog(opts.WatchdogTTL, cfg.SafeCurrent())
+				}
 				h.agents[r] = a
 			}
 			agents = append(agents, a)
@@ -51,7 +87,13 @@ func BuildHierarchy(root *power.Node, mode Mode, cfg core.Config, engine *sim.En
 		// The root controller computes initial plans: it protects the
 		// breaker where the binding power constraint lives in the paper's
 		// experiments; lower levels monitor and protect.
-		ctl := NewController(n, agents, mode, cfg, n == root)
+		ctl := NewControllerOpts(n, agents, mode, cfg, n == root, ControllerOptions{
+			Engine:     opts.Engine,
+			Injector:   opts.Injector,
+			StaleAfter: opts.StaleAfter,
+			Retry:      opts.Retry,
+			Heartbeat:  opts.WatchdogTTL > 0,
+		})
 		h.controllers = append(h.controllers, ctl)
 		h.byNode[n] = ctl
 	}
@@ -88,6 +130,11 @@ func (h *Hierarchy) TotalMetrics() Metrics {
 		m.OverridesIssued += cm.OverridesIssued
 		m.ThrottleEvents += cm.ThrottleEvents
 		m.PlansComputed += cm.PlansComputed
+		m.Retries += cm.Retries
+		m.AbandonedOverrides += cm.AbandonedOverrides
+		m.StaleTelemetry += cm.StaleTelemetry
+		m.Crashes += cm.Crashes
+		m.Restarts += cm.Restarts
 	}
 	return m
 }

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Errorf("zero config invalid: %v", err)
+	}
+	if err := Default().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{TelemetryLoss: -0.1},
+		{CommandLoss: 1.5},
+		{CommandDelayProb: 0.5},                // no delay max
+		{AgentMTBF: time.Hour},                 // no MTTR
+		{ControllerMTTR: time.Second},          // no MTBF
+		{CommandDelayMax: -time.Second},        // negative
+		{AgentMTBF: -time.Hour, AgentMTTR: -1}, // negative
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config enabled")
+	}
+	if !Default().Enabled() {
+		t.Error("default config disabled")
+	}
+	if !(Config{CommandLoss: 1}).Enabled() {
+		t.Error("command-loss config disabled")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	for _, s := range []string{"", "off", "none"} {
+		cfg, err := ParseSpec(s)
+		if err != nil || cfg.Enabled() {
+			t.Errorf("ParseSpec(%q) = %+v, %v; want disabled", s, cfg, err)
+		}
+	}
+	for _, s := range []string{"on", "default", "Default"} {
+		cfg, err := ParseSpec(s)
+		if err != nil || cfg != Default() {
+			t.Errorf("ParseSpec(%q) = %+v, %v; want Default()", s, cfg, err)
+		}
+	}
+	cfg, err := ParseSpec("cmdloss=1, telloss=0.25, seed=7, ctlmttr=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.CommandLoss != 1 || cfg.TelemetryLoss != 0.25 || cfg.Seed != 7 || cfg.ControllerMTTR != 30*time.Second {
+		t.Errorf("parsed = %+v", cfg)
+	}
+	// Unmentioned keys keep their defaults.
+	if cfg.CommandDup != Default().CommandDup {
+		t.Errorf("CommandDup = %v, want default %v", cfg.CommandDup, Default().CommandDup)
+	}
+	for _, s := range []string{"bogus", "k=v", "cmdloss=abc", "cmdloss=2"} {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", s)
+		}
+	}
+}
+
+func TestBernoulliRatesAndDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, TelemetryLoss: 0.3, CommandLoss: 0.1, CommandDup: 0.05,
+		CommandDelayProb: 0.2, CommandDelayMax: 10 * time.Second}
+	run := func() Counters {
+		in := New(cfg)
+		for i := 0; i < 10000; i++ {
+			in.DropRead()
+			in.DropCommand()
+			in.DupCommand()
+			in.CommandDelay()
+		}
+		return in.Counters()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different faults: %+v vs %+v", a, b)
+	}
+	approx := func(got uint64, want float64) bool {
+		return float64(got) > want*0.8 && float64(got) < want*1.2
+	}
+	if !approx(a.ReadsDropped, 3000) || !approx(a.CommandsDropped, 1000) ||
+		!approx(a.CommandsDuplicated, 500) || !approx(a.CommandsDelayed, 2000) {
+		t.Errorf("counters off their rates: %+v", a)
+	}
+	// A different seed gives a different realisation.
+	cfg.Seed = 43
+	if c := run(); c == a {
+		t.Error("different seed, identical faults")
+	}
+}
+
+func TestZeroRatesDrawNothing(t *testing.T) {
+	in := New(Config{})
+	for i := 0; i < 100; i++ {
+		if in.DropRead() || in.StaleRead() || in.DropCommand() || in.DupCommand() {
+			t.Fatal("zero config injected a fault")
+		}
+		if in.CommandDelay() != 0 {
+			t.Fatal("zero config delayed a command")
+		}
+		if !in.Up("agent/x", time.Duration(i)*time.Hour) {
+			t.Fatal("zero config crashed a component")
+		}
+	}
+	if in.Counters() != (Counters{}) {
+		t.Errorf("counters moved: %+v", in.Counters())
+	}
+}
+
+func TestCrashSchedules(t *testing.T) {
+	cfg := Config{Seed: 1,
+		AgentMTBF: 10 * time.Minute, AgentMTTR: 30 * time.Second,
+		ControllerMTBF: 5 * time.Minute, ControllerMTTR: 10 * time.Second}
+	in := New(cfg)
+
+	// Schedules are deterministic per (seed, name) and independent of query
+	// interleaving or other components.
+	in2 := New(cfg)
+	in2.Up("agent/other", time.Hour) // extra component must not perturb agent/a
+	var downA, downCtl int
+	const steps = 24 * 3600 // one simulated day at 1 s
+	for i := 0; i <= steps; i++ {
+		now := time.Duration(i) * time.Second
+		upA := in.Up("agent/a", now)
+		if upA != in2.Up("agent/a", now) {
+			t.Fatalf("schedule for agent/a diverged at %v", now)
+		}
+		if !upA {
+			downA++
+		}
+		if !in.Up("controller/msb", now) {
+			downCtl++
+		}
+	}
+	if downA == 0 || downCtl == 0 {
+		t.Fatalf("no crashes over a day: agent down %d s, controller down %d s", downA, downCtl)
+	}
+	// Expected downtime fraction is roughly MTTR/(MTBF+MTTR); allow 3x slack
+	// for a single-day realisation.
+	fracA := float64(downA) / steps
+	if fracA > 3*(30.0/630) {
+		t.Errorf("agent down fraction %v implausibly high", fracA)
+	}
+	c := in.Counters()
+	if c.AgentOutages == 0 || c.ControllerOutages == 0 {
+		t.Errorf("outage counters: %+v", c)
+	}
+	// Components are up at t=0 (schedules start with an up interval).
+	if !New(cfg).Up("agent/z", 0) {
+		t.Error("component down at t=0")
+	}
+}
+
+func TestUnknownComponentNeverCrashes(t *testing.T) {
+	in := New(Default())
+	for i := 0; i < 1000; i++ {
+		if !in.Up("misc/thing", time.Duration(i)*time.Minute) {
+			t.Fatal("unknown component crashed")
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted invalid config")
+		}
+	}()
+	New(Config{CommandLoss: 2})
+}

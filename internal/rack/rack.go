@@ -62,6 +62,23 @@ type Rack struct {
 	chargeStart time.Duration
 	chargeEnd   time.Duration
 	lastDOD     units.Fraction
+
+	// Postponed-charge bookkeeping: the undelivered depth of discharge of a
+	// charge the control plane postponed (kept rack-local so a controller
+	// that crashes and restarts can reconstruct its postponed set from
+	// agent reads).
+	pendingDOD units.Fraction
+
+	// Fail-safe watchdog (degraded mode): if no controller contact arrives
+	// within watchdogTTL while a charge is running, the rack reverts to the
+	// safe low-current charging policy so a partitioned rack can never trip
+	// its breaker. Zero TTL disables the watchdog.
+	watchdogTTL   time.Duration
+	safeCurrent   units.Current
+	lastContact   time.Duration
+	haveContact   bool
+	failSafe      bool
+	failSafeCount int
 }
 
 // New returns a rack with input power up, a fully charged battery pack, and
@@ -171,8 +188,13 @@ func (r *Rack) LoseInput(now time.Duration) {
 	}
 	r.inputUp = false
 	r.outageStart = now
-	// Carry forward any unfinished charge as an equivalent starting deficit.
-	r.outageEnergy = r.residualDeficit()
+	// Carry forward any unfinished or postponed charge as an equivalent
+	// starting deficit.
+	r.outageEnergy = r.residualDeficit() + units.Energy(float64(r.pendingDOD)*battery.RackFullEnergy)
+	if r.outageEnergy > battery.RackFullEnergy {
+		r.outageEnergy = battery.RackFullEnergy
+	}
+	r.pendingDOD = 0
 	r.pack.Abort()
 }
 
@@ -204,6 +226,29 @@ func (r *Rack) Step(now time.Duration, dt time.Duration) {
 	r.pack.Step(dt)
 	if wasCharging && !r.pack.Charging() {
 		r.chargeEnd = now
+	}
+	r.checkWatchdog(now)
+}
+
+// checkWatchdog degrades a charging rack to the safe current once the
+// controller-contact TTL lapses. The TTL is measured from the later of the
+// charge start and the last contact, so a rack is given one full TTL for the
+// control plane to reach it before it concludes it is partitioned.
+func (r *Rack) checkWatchdog(now time.Duration) {
+	if r.watchdogTTL <= 0 || r.failSafe || !r.pack.Charging() {
+		return
+	}
+	base := r.chargeStart
+	if r.haveContact && r.lastContact > base {
+		base = r.lastContact
+	}
+	if now-base <= r.watchdogTTL {
+		return
+	}
+	r.failSafe = true
+	r.failSafeCount++
+	if r.pack.Setpoint() > r.safeCurrent {
+		r.pack.SetCurrent(r.safeCurrent)
 	}
 }
 
@@ -238,6 +283,58 @@ func (r *Rack) Charging() bool { return r.pack.Charging() }
 // control plane, clamped to the hardware's [1 A, 5 A] range.
 func (r *Rack) OverrideCurrent(i units.Current) {
 	r.pack.SetCurrent(charger.ClampOverride(i))
+}
+
+// SetWatchdog arms the rack's local fail-safe watchdog: whenever a charge
+// runs for longer than ttl without any controller contact, the charging
+// current reverts to safe (the paper's low-current charging policy), so a
+// rack cut off from the control plane can never drive its breaker into a
+// sustained overload. A zero ttl disables the watchdog.
+func (r *Rack) SetWatchdog(ttl time.Duration, safe units.Current) {
+	r.watchdogTTL = ttl
+	r.safeCurrent = charger.ClampOverride(safe)
+}
+
+// ControllerContact records that the control plane reached this rack (a
+// delivered override, cap, or heartbeat) at virtual time now, re-arming the
+// watchdog and leaving fail-safe mode.
+func (r *Rack) ControllerContact(now time.Duration) {
+	r.lastContact = now
+	r.haveContact = true
+	r.failSafe = false
+}
+
+// FailSafeActive reports whether the watchdog has degraded the rack to the
+// safe charging current and no controller contact has arrived since.
+func (r *Rack) FailSafeActive() bool { return r.failSafe }
+
+// FailSafeActivations counts how many times the watchdog has fired.
+func (r *Rack) FailSafeActivations() int { return r.failSafeCount }
+
+// Postpone abandons the in-progress charge on control-plane orders,
+// recording the undelivered depth of discharge locally so the charge can be
+// resumed later — including by a controller that crashed and reconstructed
+// its state from agent reads. It is a no-op when not charging.
+func (r *Rack) Postpone() {
+	if !r.pack.Charging() {
+		return
+	}
+	r.pendingDOD = units.Fraction(float64(r.lastDOD) * r.pack.FractionRemaining()).Clamp01()
+	r.pack.Abort()
+}
+
+// PendingDOD returns the depth of discharge still owed to a postponed
+// charge, zero if none.
+func (r *Rack) PendingDOD() units.Fraction { return r.pendingDOD }
+
+// ResumeCharge restarts a postponed charge at current i. It is a no-op when
+// no charge is pending.
+func (r *Rack) ResumeCharge(i units.Current) {
+	if r.pendingDOD <= 0 {
+		return
+	}
+	r.pack.StartCharge(i, r.pendingDOD)
+	r.pendingDOD = 0
 }
 
 // ChargeDuration returns how long the most recent completed charge took, or

@@ -15,6 +15,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -71,6 +72,21 @@ type CoordSpec struct {
 	// NetworkLatency is the distributed plane's one-way message delay
 	// (default 10 ms).
 	NetworkLatency time.Duration
+	// Faults configures control-plane fault injection (lossy telemetry and
+	// commands, crashing agents and controllers); the zero value disables it.
+	// On the distributed plane the injector additionally perturbs the message
+	// bus itself.
+	Faults faults.Config
+	// StaleAfter is the controllers' telemetry freshness bound; snapshots
+	// older than this are handled conservatively (worst-case recharge). Zero
+	// means telemetry never goes stale.
+	StaleAfter time.Duration
+	// Retry is the controllers' override retransmission policy; the zero
+	// value disables retries.
+	Retry dynamo.RetryPolicy
+	// WatchdogTTL, when positive, arms every rack's local fail-safe watchdog
+	// and has controllers emit heartbeats to feed it.
+	WatchdogTTL time.Duration
 }
 
 func (s *CoordSpec) fillDefaults() error {
@@ -110,6 +126,12 @@ func (s *CoordSpec) fillDefaults() error {
 	if s.RelaxLowerLevels == nil {
 		t := true
 		s.RelaxLowerLevels = &t
+	}
+	if err := s.Faults.Validate(); err != nil {
+		return err
+	}
+	if s.StaleAfter < 0 || s.WatchdogTTL < 0 {
+		return fmt.Errorf("scenario: negative StaleAfter or WatchdogTTL")
 	}
 	return nil
 }
@@ -151,6 +173,11 @@ type CoordResult struct {
 	// Tripped lists breakers that tripped (empty in every paper scenario —
 	// Dynamo protects them).
 	Tripped []string
+	// FaultCounters reports what the fault injector did (zero when fault
+	// injection is disabled).
+	FaultCounters faults.Counters
+	// FailSafeActivations counts rack watchdog firings across the run.
+	FailSafeActivations int
 }
 
 // RunCoordinated executes one MSB-level experiment.
@@ -213,6 +240,11 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	if spec.CommandLatency > 0 || spec.Distributed {
 		engine = sim.NewEngine()
 	}
+	var inj *faults.Injector
+	if spec.Faults.Enabled() {
+		inj = faults.New(spec.Faults)
+	}
+	cfg := core.DefaultConfig()
 	var hier *dynamo.Hierarchy
 	var asyncLeaves []*dynamo.AsyncLeaf
 	var asyncUpper *dynamo.AsyncUpper
@@ -222,8 +254,23 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			netLatency = 10 * time.Millisecond
 		}
 		fabric := bus.New(engine, bus.ConstantLatency(netLatency))
+		if inj != nil {
+			dynamo.WireBusFaults(fabric, inj)
+		}
 		for _, r := range racks {
-			dynamo.NewAsyncAgent(fabric, engine, r, spec.CommandLatency)
+			a := dynamo.NewAsyncAgent(fabric, engine, r, spec.CommandLatency)
+			if inj != nil {
+				a.SetFaults(inj)
+			}
+			if spec.WatchdogTTL > 0 {
+				r.SetWatchdog(spec.WatchdogTTL, cfg.SafeCurrent())
+			}
+		}
+		opts := dynamo.AsyncOptions{
+			Injector:   inj,
+			StaleAfter: spec.StaleAfter,
+			Retry:      spec.Retry,
+			Heartbeat:  spec.WatchdogTTL > 0,
 		}
 		msb.Walk(func(nd *power.Node) {
 			if nd.Level() != power.LevelRPP {
@@ -235,11 +282,18 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			}
 			// Leaves monitor and execute; the MSB controller plans.
 			asyncLeaves = append(asyncLeaves,
-				dynamo.NewAsyncLeaf(fabric, engine, nd, leafRacks, spec.Mode, core.DefaultConfig(), false, spec.Step))
+				dynamo.NewAsyncLeafOpts(fabric, engine, nd, leafRacks, spec.Mode, cfg, false, spec.Step, opts))
 		})
-		asyncUpper = dynamo.NewAsyncUpper(fabric, engine, msb, asyncLeaves, spec.Mode, core.DefaultConfig(), spec.Step)
+		asyncUpper = dynamo.NewAsyncUpperOpts(fabric, engine, msb, asyncLeaves, spec.Mode, cfg, spec.Step, opts)
 	} else {
-		hier, err = dynamo.BuildHierarchy(msb, spec.Mode, core.DefaultConfig(), engine, spec.CommandLatency)
+		hier, err = dynamo.BuildHierarchyOpts(msb, spec.Mode, cfg, dynamo.HierarchyOptions{
+			Engine:      engine,
+			Latency:     spec.CommandLatency,
+			Injector:    inj,
+			StaleAfter:  spec.StaleAfter,
+			Retry:       spec.Retry,
+			WatchdogTTL: spec.WatchdogTTL,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -366,8 +420,19 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			m.OverridesIssued += lm.OverridesIssued
 			m.ThrottleEvents += lm.ThrottleEvents
 			m.PlansComputed += lm.PlansComputed
+			m.Retries += lm.Retries
+			m.AbandonedOverrides += lm.AbandonedOverrides
+			m.StaleTelemetry += lm.StaleTelemetry
+			m.Crashes += lm.Crashes
+			m.Restarts += lm.Restarts
 		}
 		res.Metrics = m
+	}
+	if inj != nil {
+		res.FaultCounters = inj.Counters()
+	}
+	for _, r := range racks {
+		res.FailSafeActivations += r.FailSafeActivations()
 	}
 	endNow := horizon
 	for _, r := range racks {

@@ -1,0 +1,92 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
+)
+
+// faultySpec arms the degraded-mode machinery on top of smallSpec: default
+// injector rates, staleness detection, retransmission, and rack watchdogs.
+func faultySpec(distributed bool) CoordSpec {
+	s := smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5)
+	s.Distributed = distributed
+	s.Faults = faults.Default()
+	s.Faults.Seed = 7
+	s.StaleAfter = 10 * time.Second
+	s.Retry = dynamo.DefaultRetryPolicy()
+	s.WatchdogTTL = 30 * time.Second
+	return s
+}
+
+// With the injector at its default rates, both control planes must still
+// complete every charge without tripping a breaker, and the result must
+// report what was injected.
+func TestRunCoordinatedWithFaults(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		distributed bool
+	}{
+		{"sync", false},
+		{"distributed", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := RunCoordinated(faultySpec(tc.distributed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tripped) != 0 {
+				t.Errorf("breakers tripped: %v", res.Tripped)
+			}
+			if res.LastChargeDone == 0 {
+				t.Error("charges never completed")
+			}
+			c := res.FaultCounters
+			if c.ReadsDropped == 0 || c.CommandsDropped == 0 {
+				t.Errorf("injector idle: counters %+v", c)
+			}
+			if res.Metrics.PlansComputed == 0 {
+				t.Error("no plan computed")
+			}
+		})
+	}
+}
+
+// Fault injection is deterministic: the same spec twice gives byte-identical
+// injection counts and outcomes.
+func TestRunCoordinatedFaultsDeterministic(t *testing.T) {
+	a, err := RunCoordinated(faultySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCoordinated(faultySpec(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FaultCounters != b.FaultCounters {
+		t.Errorf("fault counters diverged:\n  %+v\n  %+v", a.FaultCounters, b.FaultCounters)
+	}
+	if a.Metrics.OverridesIssued != b.Metrics.OverridesIssued ||
+		a.Metrics.Retries != b.Metrics.Retries ||
+		a.FailSafeActivations != b.FailSafeActivations ||
+		a.LastChargeDone != b.LastChargeDone {
+		t.Errorf("outcomes diverged: %+v vs %+v", a.Metrics, b.Metrics)
+	}
+}
+
+// A spec with an invalid fault config is rejected up front.
+func TestCoordSpecRejectsInvalidFaults(t *testing.T) {
+	s := smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5)
+	s.Faults.TelemetryLoss = 1.5
+	if _, err := RunCoordinated(s); err == nil {
+		t.Error("invalid fault config accepted")
+	}
+	s = smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5)
+	s.WatchdogTTL = -time.Second
+	if _, err := RunCoordinated(s); err == nil {
+		t.Error("negative watchdog TTL accepted")
+	}
+}
