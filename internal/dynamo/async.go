@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"coordcharge/internal/bus"
+	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
@@ -371,8 +372,11 @@ func (l *AsyncLeaf) coordinates() bool {
 // sendOverride issues an override to a rack's agent and, with retries
 // enabled, tracks it until the cache confirms the setpoint (or the rack
 // stopped charging, resolving it as moot). A newer override for the same
-// rack supersedes the pending one.
+// rack supersedes the pending one. The planned current is clamped to the
+// hardware's settable range up front so confirmation compares telemetry
+// against the value the charger can actually report.
 func (l *AsyncLeaf) sendOverride(now time.Duration, rackName string, want units.Current) {
+	want = charger.ClampOverride(want)
 	l.b.Send(l.name, AgentEndpoint(rackName), "override", want)
 	l.metrics.OverridesIssued++
 	if !l.retry.enabled() {

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
 	"coordcharge/internal/power"
@@ -189,13 +190,25 @@ func (a *Agent) Override(now time.Duration, i units.Current) bool {
 }
 
 // Heartbeat delivers a controller-contact keepalive to the rack, feeding its
-// fail-safe watchdog. It rides the same lossy command path as overrides and
-// reports whether it was delivered.
+// fail-safe watchdog. It rides the same lossy command path as overrides —
+// subject to the command-settling latency and injected delay — and reports
+// whether it entered the delivery path.
 func (a *Agent) Heartbeat(now time.Duration) bool {
-	if a.inj != nil && (!a.inj.Up(a.comp, now) || a.inj.DropCommand()) {
-		return false
+	var extra time.Duration
+	if a.inj != nil {
+		if !a.inj.Up(a.comp, now) || a.inj.DropCommand() {
+			return false
+		}
+		if a.engine != nil {
+			extra = a.inj.CommandDelay()
+		}
 	}
-	a.rack.ControllerContact(now)
+	delay := a.latency + extra
+	if delay <= 0 || a.engine == nil {
+		a.rack.ControllerContact(now)
+		return true
+	}
+	a.engine.ScheduleAfter(delay, "heartbeat:"+a.rack.Name(), a.rack.ControllerContact)
 	return true
 }
 
@@ -502,8 +515,9 @@ func (c *Controller) fresh(i int, now time.Duration) bool {
 // views returns the controller's working snapshot of every rack. Fresh
 // telemetry is used as-is; stale or missing telemetry is handled
 // conservatively: the rack is assumed energized and drawing worst-case
-// recharge power on top of its last known server load, so the controller
-// over-protects rather than under-protects the breaker.
+// recharge power on top of its last known server load — or the full rack
+// rating when no read has ever completed — so the controller over-protects
+// rather than under-protects the breaker.
 func (c *Controller) views(now time.Duration) []Snapshot {
 	for i := range c.agents {
 		s := c.tel[i]
@@ -516,6 +530,8 @@ func (c *Controller) views(now time.Duration) []Snapshot {
 			r := c.agents[i].Rack()
 			s.Name = r.Name()
 			s.Priority = r.Priority()
+			s.Demand = rack.MaxITLoad
+			s.ITLoad = rack.MaxITLoad
 		}
 		s.InputUp = true
 		s.Charging = true
@@ -528,8 +544,11 @@ func (c *Controller) views(now time.Duration) []Snapshot {
 
 // sendOverride issues a charging-current override to agent idx and, with
 // retries enabled, tracks it until telemetry confirms the setpoint. A newer
-// override for the same agent supersedes the pending one.
+// override for the same agent supersedes the pending one. The planned current
+// is clamped to the hardware's settable range up front so confirmation
+// compares telemetry against the value the charger can actually report.
 func (c *Controller) sendOverride(now time.Duration, idx int, want units.Current) bool {
+	want = charger.ClampOverride(want)
 	delivered := c.agents[idx].Override(now, want)
 	c.metrics.OverridesIssued++
 	if c.retry.enabled() {

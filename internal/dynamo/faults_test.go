@@ -445,3 +445,77 @@ func TestWireBusFaultsDefaultRatesSmoke(t *testing.T) {
 		t.Error("no plan ever computed")
 	}
 }
+
+// The fail-safe must cover every charge while the partition lasts, not just
+// the first: after the watchdog fires once under total command loss, a second
+// open transition starts a new charge, which must begin at the safe current
+// immediately instead of getting another run at the policy current.
+func TestWatchdogFailSafeCoversSubsequentCharges(t *testing.T) {
+	cfg := core.DefaultConfig()
+	rpp, racks := row(t, []rack.Priority{rack.P2}, charger.Original{})
+	h, err := BuildHierarchyOpts(rpp, ModePriorityAware, cfg, HierarchyOptions{
+		Injector:    faults.New(faults.Config{Seed: 3, CommandLoss: 1}),
+		WatchdogTTL: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tick := func(from, until time.Duration) {
+		for now := from; now <= until; now += 3 * time.Second {
+			for _, r := range racks {
+				r.Step(now, 3*time.Second)
+			}
+			h.Tick(now)
+		}
+	}
+	transition(racks, 9000*units.Watt, 45*time.Second)
+	tick(46*time.Second, 90*time.Second)
+	if !racks[0].FailSafeActive() || racks[0].Pack().Setpoint() != cfg.SafeCurrent() {
+		t.Fatalf("charge 1 not demoted: setpoint = %v", racks[0].Pack().Setpoint())
+	}
+
+	racks[0].LoseInput(100 * time.Second)
+	racks[0].Step(145*time.Second, 45*time.Second)
+	racks[0].RestoreInput(145 * time.Second)
+	if got := racks[0].Pack().Setpoint(); got != cfg.SafeCurrent() {
+		t.Errorf("charge 2 setpoint = %v, want safe %v from the start", got, cfg.SafeCurrent())
+	}
+	tick(148*time.Second, 200*time.Second)
+	if got := racks[0].Pack().Setpoint(); got != cfg.SafeCurrent() {
+		t.Errorf("charge 2 setpoint after ticks = %v, want safe %v", got, cfg.SafeCurrent())
+	}
+	if !racks[0].FailSafeActive() {
+		t.Error("fail-safe did not persist across charges")
+	}
+	if got := racks[0].FailSafeActivations(); got != 2 {
+		t.Errorf("activations = %d, want 2 (one per demoted charge)", got)
+	}
+}
+
+// Heartbeats now ride the same command-settling latency as overrides; they
+// must still hold off the watchdog as long as the TTL exceeds the latency
+// plus the tick period.
+func TestWatchdogHeldOffByDelayedHeartbeats(t *testing.T) {
+	engine := sim.NewEngine()
+	rpp, racks := row(t, []rack.Priority{rack.P1}, charger.Variable{})
+	h, err := BuildHierarchyOpts(rpp, ModePriorityAware, core.DefaultConfig(), HierarchyOptions{
+		Engine:      engine,
+		Latency:     20 * time.Second,
+		WatchdogTTL: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	transition(racks, 9000*units.Watt, 45*time.Second)
+	for now := 46 * time.Second; now <= 200*time.Second; now += 3 * time.Second {
+		racks[0].Step(now, 3*time.Second)
+		h.Tick(now)
+		engine.Run(now)
+	}
+	if racks[0].FailSafeActive() || racks[0].FailSafeActivations() != 0 {
+		t.Error("watchdog fired despite delayed heartbeats")
+	}
+	if got := racks[0].Pack().Setpoint(); got != 3 {
+		t.Errorf("setpoint = %v, want the planned 3 A intact", got)
+	}
+}

@@ -233,9 +233,19 @@ func (r *Rack) Step(now time.Duration, dt time.Duration) {
 // checkWatchdog degrades a charging rack to the safe current once the
 // controller-contact TTL lapses. The TTL is measured from the later of the
 // charge start and the last contact, so a rack is given one full TTL for the
-// control plane to reach it before it concludes it is partitioned.
+// control plane to reach it before it concludes it is partitioned. Fail-safe
+// mode persists until controller contact: while latched, any charge found
+// above the safe current (however it got there) is demoted immediately, not
+// after another TTL.
 func (r *Rack) checkWatchdog(now time.Duration) {
-	if r.watchdogTTL <= 0 || r.failSafe || !r.pack.Charging() {
+	if r.watchdogTTL <= 0 || !r.pack.Charging() {
+		return
+	}
+	if r.failSafe {
+		if r.pack.Setpoint() > r.safeCurrent {
+			r.failSafeCount++
+			r.pack.SetCurrent(r.safeCurrent)
+		}
 		return
 	}
 	base := r.chargeStart
@@ -267,7 +277,15 @@ func (r *Rack) RestoreInput(now time.Duration) {
 	if dod <= 0 {
 		return
 	}
-	r.pack.StartCharge(r.policy.InitialCurrent(dod), dod)
+	i := r.policy.InitialCurrent(dod)
+	if r.failSafe && i > r.safeCurrent {
+		// Still no controller contact since the watchdog fired: the new
+		// charge starts at the safe current instead of getting another TTL
+		// at the policy rate.
+		i = r.safeCurrent
+		r.failSafeCount++
+	}
+	r.pack.StartCharge(i, dod)
 	r.chargeStart = now
 	r.chargeEnd = 0
 }
@@ -308,7 +326,8 @@ func (r *Rack) ControllerContact(now time.Duration) {
 // safe charging current and no controller contact has arrived since.
 func (r *Rack) FailSafeActive() bool { return r.failSafe }
 
-// FailSafeActivations counts how many times the watchdog has fired.
+// FailSafeActivations counts the charges the watchdog has demoted to the
+// safe current (including charges started while fail-safe was latched).
 func (r *Rack) FailSafeActivations() int { return r.failSafeCount }
 
 // Postpone abandons the in-progress charge on control-plane orders,
@@ -328,10 +347,15 @@ func (r *Rack) Postpone() {
 func (r *Rack) PendingDOD() units.Fraction { return r.pendingDOD }
 
 // ResumeCharge restarts a postponed charge at current i. It is a no-op when
-// no charge is pending.
+// no charge is pending. A rack still in fail-safe mode resumes at the safe
+// current regardless of i.
 func (r *Rack) ResumeCharge(i units.Current) {
 	if r.pendingDOD <= 0 {
 		return
+	}
+	if r.failSafe && i > r.safeCurrent {
+		i = r.safeCurrent
+		r.failSafeCount++
 	}
 	r.pack.StartCharge(i, r.pendingDOD)
 	r.pendingDOD = 0

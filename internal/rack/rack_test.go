@@ -258,3 +258,63 @@ func TestChargeDurationInProgress(t *testing.T) {
 		t.Errorf("elapsed charge time = %v", d)
 	}
 }
+
+// Once the watchdog has fired and no controller contact ever arrives, the
+// fail-safe must persist across charges: a subsequent charge — whether from a
+// fresh input restore or a postponed-charge resume — starts at the safe
+// current instead of getting another full-rate run, and only controller
+// contact restores normal operation.
+func TestWatchdogFailSafePersistsAcrossCharges(t *testing.T) {
+	r := newRack(t, P1, charger.Original{})
+	r.SetWatchdog(20*time.Second, 1)
+	r.SetDemand(9000 * units.Watt)
+
+	// Charge 1: the watchdog fires one TTL after the charge starts.
+	r.LoseInput(0)
+	r.Step(45*time.Second, 45*time.Second)
+	r.RestoreInput(45 * time.Second)
+	if got := r.Pack().Setpoint(); got != 5 {
+		t.Fatalf("initial setpoint = %v, want the original charger's 5 A", got)
+	}
+	for now := 48 * time.Second; now <= 90*time.Second; now += 3 * time.Second {
+		r.Step(now, 3*time.Second)
+	}
+	if !r.FailSafeActive() || r.Pack().Setpoint() != 1 {
+		t.Fatalf("watchdog did not demote charge 1: active=%v setpoint=%v",
+			r.FailSafeActive(), r.Pack().Setpoint())
+	}
+
+	// Charge 2: still no contact — it must start at the safe current.
+	r.LoseInput(100 * time.Second)
+	r.Step(145*time.Second, 45*time.Second)
+	r.RestoreInput(145 * time.Second)
+	if got := r.Pack().Setpoint(); got != 1 {
+		t.Errorf("charge 2 setpoint = %v, want the safe 1 A from the start", got)
+	}
+	if !r.FailSafeActive() {
+		t.Error("fail-safe not latched across charges")
+	}
+	if got := r.FailSafeActivations(); got != 2 {
+		t.Errorf("activations = %d, want 2 (one per demoted charge)", got)
+	}
+
+	// A postponed charge resumed while still partitioned is clamped too.
+	r.Postpone()
+	r.ResumeCharge(5)
+	if got := r.Pack().Setpoint(); got != 1 {
+		t.Errorf("resumed setpoint = %v, want the safe 1 A", got)
+	}
+
+	// Controller contact clears the latch; the next charge gets the policy
+	// current and a fresh TTL.
+	r.ControllerContact(150 * time.Second)
+	if r.FailSafeActive() {
+		t.Error("fail-safe not cleared by controller contact")
+	}
+	r.LoseInput(200 * time.Second)
+	r.Step(245*time.Second, 45*time.Second)
+	r.RestoreInput(245 * time.Second)
+	if got := r.Pack().Setpoint(); got != 5 {
+		t.Errorf("post-contact charge setpoint = %v, want the policy's 5 A", got)
+	}
+}
