@@ -26,6 +26,7 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/config/
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/faults/
 
 reproduce:
 	$(GO) run ./cmd/reproduce -out artifacts

@@ -13,9 +13,11 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/dynamo"
+	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/reliability"
 	"coordcharge/internal/scenario"
+	"coordcharge/internal/storm"
 	"coordcharge/internal/trace"
 	"coordcharge/internal/units"
 )
@@ -450,6 +452,39 @@ func BenchmarkAblationPollCadence(b *testing.B) {
 		}
 	}
 	b.ReportMetric(p1At30s, "P1-SLAs@30s")
+}
+
+// BenchmarkStormRecovery replays the recharge-storm survival scenario
+// (DESIGN.md §7): a site-wide 90 s outage at peak load drains 30 BBUs, and
+// the admission-controlled, guard-protected recharge must clear the backlog
+// under a breaker tightened to a 5%-over-for-30s trip rule. Reports the
+// wall-clock of one full recovery and the time the last rack finished.
+func BenchmarkStormRecovery(b *testing.B) {
+	var recoveryMin float64
+	for i := 0; i < b.N; i++ {
+		sc := storm.Default()
+		sc.Reserve = 0.01
+		g := storm.DefaultGuardConfig()
+		res, err := scenario.RunCoordinated(scenario.CoordSpec{
+			NumP1: 10, NumP2: 10, NumP3: 10, Seed: 1,
+			MSBLimit: 205 * units.Kilowatt, Mode: dynamo.ModePriorityAware,
+			OutageLen:         90 * time.Second,
+			TripRule:          &power.TripRule{Fraction: 0.05, Sustain: 30 * time.Second},
+			MaxChargeDuration: 6 * time.Hour,
+			Storm:             &sc, Guard: &g,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tripped) > 0 {
+			b.Fatalf("breaker tripped during storm recovery: %v", res.Tripped)
+		}
+		if res.LastChargeDone == 0 {
+			b.Fatal("recharges still outstanding at the horizon")
+		}
+		recoveryMin = res.LastChargeDone.Minutes()
+	}
+	b.ReportMetric(recoveryMin, "recovery-min")
 }
 
 // BenchmarkAblationPostpone contrasts the postponed-charging extension with

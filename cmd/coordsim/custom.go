@@ -11,6 +11,7 @@ import (
 	"coordcharge/internal/faults"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/scenario"
+	"coordcharge/internal/storm"
 	"coordcharge/internal/trace"
 	"coordcharge/internal/units"
 )
@@ -25,6 +26,9 @@ type customSpec struct {
 	analytics    bool
 	faultsSpec   string
 	watchdog     time.Duration
+	storm        time.Duration
+	admission    bool
+	guard        bool
 }
 
 func parseMode(s string) (dynamo.Mode, error) { return config.ParseMode(s) }
@@ -85,7 +89,28 @@ func printCoordSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
 	if len(res.Tripped) > 0 {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
+	printStormSummary(spec, res)
 	printFaultSummary(spec, res)
+}
+
+// printStormSummary reports the grid event's battery-side cost and what the
+// storm machinery did. Silent when neither admission nor the guard is armed
+// and the batteries carried the whole outage.
+func printStormSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
+	if res.UnservedEnergy > 0 || res.LoadDropEvents > 0 {
+		fmt.Printf("  UNSERVED IT LOAD:         %v across %d rack load drops\n",
+			res.UnservedEnergy, res.LoadDropEvents)
+	}
+	if spec.Storm != nil {
+		fmt.Printf("  storm admission:          storms %d, paused %d, admitted %d in %d waves (max queue %d, promotions %d)\n",
+			res.Storm.Storms, res.Storm.Enqueued, res.Storm.Admitted,
+			res.Storm.Waves, res.Storm.MaxQueue, res.Storm.Promotions)
+	}
+	if spec.Guard != nil {
+		fmt.Printf("  breaker guard:            fires %d, demoted %d, paused %d, IT capped %d (max cut %v), resumed %d\n",
+			res.Guard.Fires, res.Guard.Demoted, res.Guard.Paused,
+			res.Guard.ITCapped, res.Guard.MaxITCut, res.Guard.Resumed)
+	}
 }
 
 // printFaultSummary reports what the injector did to the control plane and how
@@ -161,6 +186,15 @@ func runCustom(cs customSpec) {
 		spec.Faults = fcfg
 	}
 	spec.WatchdogTTL = cs.watchdog
+	spec.OutageLen = cs.storm
+	if cs.admission {
+		c := storm.Default()
+		spec.Storm = &c
+	}
+	if cs.guard {
+		g := storm.DefaultGuardConfig()
+		spec.Guard = &g
+	}
 	if spec.Faults.Enabled() || spec.WatchdogTTL > 0 {
 		// A lossy control plane needs the degraded-mode machinery armed:
 		// staleness detection and override retransmission.
@@ -197,6 +231,7 @@ func runCustom(cs customSpec) {
 	if len(res.Tripped) > 0 {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
+	printStormSummary(spec, res)
 	printFaultSummary(spec, res)
 	if cs.analytics {
 		printAnalytics(res)

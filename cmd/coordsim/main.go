@@ -16,6 +16,7 @@
 //	coordsim -run -trace t.csv -p1 4 -p2 4 -p3 4   # replay an imported trace
 //	coordsim -run -faults default -watchdog 30s    # degraded control plane
 //	coordsim -run -faults cmdloss=0.2,ctlmtbf=10m,ctlmttr=8s
+//	coordsim -run -storm 90s -admission -guard     # grid event + storm survival
 //	coordsim -endurance -years 50                  # realized AOR vs Table II
 //	coordsim -config exp.json                      # experiments from a file
 package main
@@ -52,6 +53,9 @@ func main() {
 	analytics := flag.Bool("analytics", false, "custom run: also print duration/DOD distribution analytics")
 	faultsSpec := flag.String("faults", "", "custom run: control-plane fault injection — off, default, or a k=v list overriding the defaults (seed, telloss, telstale, cmdloss, cmddup, cmddelay, cmddelaymax, agentmtbf, agentmttr, ctlmtbf, ctlmttr)")
 	watchdog := flag.Duration("watchdog", 0, "custom run: rack fail-safe watchdog TTL (0 disables)")
+	stormDur := flag.Duration("storm", 0, "custom run: site-wide outage duration (grid-event storm; replaces the -dod-derived transition length)")
+	admission := flag.Bool("admission", false, "custom run: arm recharge-storm admission control (priority-aware waves under measured headroom)")
+	guard := flag.Bool("guard", false, "custom run: arm the last-line breaker guard (sheds charging current before the trip window closes)")
 	flag.Parse()
 
 	if *configPath != "" {
@@ -63,6 +67,7 @@ func main() {
 			mode: *mode, policy: *policy, limitMW: *limitMW, dod: *dod,
 			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
 			analytics: *analytics, faultsSpec: *faultsSpec, watchdog: *watchdog,
+			storm: *stormDur, admission: *admission, guard: *guard,
 		})
 		return
 	}

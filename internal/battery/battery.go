@@ -244,12 +244,21 @@ func (b *BBU) usableEnergy() units.Energy {
 // carry the load: a power outage for the IT equipment). Requests above
 // MaxDischarge are truncated to MaxDischarge. Discharged energy accrues
 // cycle aging when FadePerCycle is set.
+//
+// A Discharge arriving while Charging deterministically suspends the charge:
+// the CC setpoint is cleared (no stuck-CV state survives the interrupt) and
+// the state leaves Charging even for a zero-power or zero-duration call, so
+// an input-power loss always lands the BBU in Discharging or FullyDischarged
+// regardless of where in the CC/CV sequence it struck. SOC never goes
+// negative: delivery is truncated at empty.
 func (b *BBU) Discharge(p units.Power, dt time.Duration) units.Energy {
+	if b.state == Charging {
+		// Interrupt the charge before draining: a charger with no input
+		// power holds no setpoint.
+		b.setpoint = 0
+		b.state = Discharging
+	}
 	if p <= 0 || dt <= 0 {
-		if b.state == Charging {
-			// A zero-load power loss still interrupts charging.
-			b.state = Discharging
-		}
 		return 0
 	}
 	if p > b.p.MaxDischarge {
@@ -275,13 +284,14 @@ func (b *BBU) Discharge(p units.Power, dt time.Duration) units.Energy {
 
 // StartCharge begins (or restarts) a CC-CV charge sequence with the given CC
 // setpoint, clamped to the hardware range. A fully charged battery stays
-// FullyCharged.
+// FullyCharged and holds no setpoint.
 func (b *BBU) StartCharge(i units.Current) {
-	b.setpoint = i.Clamp(b.p.MinChargeI, b.p.MaxChargeI)
 	if b.soc >= 1 {
 		b.state = FullyCharged
+		b.setpoint = 0
 		return
 	}
+	b.setpoint = i.Clamp(b.p.MinChargeI, b.p.MaxChargeI)
 	b.state = Charging
 }
 

@@ -173,6 +173,13 @@ func (s *Surface) RequiredCurrent(dod units.Fraction, deadline time.Duration, re
 // makes the initial Remaining() agree exactly with the surface's charge time
 // and makes mid-charge setpoint overrides conserve charge, which is the
 // physically faithful semantics for the manual-override feature.
+//
+// The pack additionally carries its energy deficit across the charge ↔
+// discharge lifecycle: Discharge drains it while the rack rides through an
+// input-power loss (suspending any charge in progress), and the deficit left
+// by interrupted or postponed charges stays inside the pack, so the depth of
+// discharge the control plane reads after re-energization is the battery's
+// true state rather than an open-loop estimate.
 type RackPack struct {
 	surface *Surface
 	// wattsPerAmp is the rack-level CC recharge power per ampere of BBU
@@ -186,6 +193,11 @@ type RackPack struct {
 	qInitial float64        // ampere-minutes at the start of this charge
 	dod0     units.Fraction // depth of discharge this charge started from
 	charging bool
+	// deficit is the energy (joules) still owed to the battery while the pack
+	// is idle: what discharges drained minus what charges delivered, in
+	// [0, RackFullEnergy]. While charging it is derived from the undelivered
+	// fraction of the charge instead.
+	deficit float64
 }
 
 // Rack-level recharge constants from the paper (§III-A, §V-B1).
@@ -242,8 +254,10 @@ func (rp *RackPack) tailTime(q float64) float64 {
 
 // StartCharge begins a charge for a battery at depth of discharge dod with
 // CC setpoint i. The initial remaining charge is constructed so that
-// Remaining() equals the surface's ChargeTime(i, dod) exactly. A zero DOD
-// leaves the pack idle.
+// Remaining() equals the surface's ChargeTime(i, dod) exactly. The caller's
+// dod is authoritative: the pack's own deficit is reset to match, so control
+// planes that plan from estimated DODs stay self-consistent. A zero DOD
+// leaves the pack idle and fully charged.
 func (rp *RackPack) StartCharge(i units.Current, dod units.Fraction) {
 	dod = dod.Clamp01()
 	if dod <= 0 {
@@ -265,12 +279,82 @@ func (rp *RackPack) StartCharge(i units.Current, dod units.Fraction) {
 	rp.qInitial = rp.qRemain
 	rp.dod0 = dod
 	rp.charging = rp.qRemain > 0
+	rp.deficit = float64(dod) * RackFullEnergy
+}
+
+// Suspend interrupts an in-progress charge, capturing the undelivered
+// fraction as the pack's standing deficit: the interrupt half of the
+// charge ↔ discharge transition semantics. A later StartCharge at DOD()
+// resumes from exactly where the charge stopped. Suspending an idle pack is
+// a no-op.
+func (rp *RackPack) Suspend() {
+	if !rp.charging {
+		return
+	}
+	d := rp.deficitNow()
+	rp.finish()
+	rp.deficit = d
 }
 
 // Abort abandons an in-progress charge (e.g. the rack lost input power
-// again); the pack goes idle and the caller is responsible for carrying the
-// undelivered deficit forward.
-func (rp *RackPack) Abort() { rp.finish() }
+// again); the pack goes idle with the undelivered deficit retained, exactly
+// like Suspend.
+func (rp *RackPack) Abort() { rp.Suspend() }
+
+// deficitNow returns the live energy deficit in joules: derived from the
+// undelivered charge fraction while charging, the stored value otherwise.
+func (rp *RackPack) deficitNow() float64 {
+	if rp.charging {
+		return float64(rp.dod0) * rp.FractionRemaining() * RackFullEnergy
+	}
+	return rp.deficit
+}
+
+// SOC returns the pack's state of charge in [0, 1].
+func (rp *RackPack) SOC() units.Fraction {
+	return 1 - rp.DOD()
+}
+
+// DOD returns the pack's live depth of discharge: the fraction of
+// RackFullEnergy still owed to the battery. This is the true value the rack
+// reports to the control plane on re-energization, replacing the open-loop
+// outage-length estimate.
+func (rp *RackPack) DOD() units.Fraction {
+	return units.Fraction(rp.deficitNow() / RackFullEnergy).Clamp01()
+}
+
+// Depleted reports whether the pack is fully discharged (no energy left to
+// carry the rack's IT load).
+func (rp *RackPack) Depleted() bool {
+	return !rp.charging && rp.deficit >= RackFullEnergy
+}
+
+// Discharge drains the pack at power p for dt, supplying the rack's IT load
+// during an input-power loss. Any charge in progress is suspended first
+// (with its deficit retained), so a discharge arriving mid-CC or mid-CV is a
+// deterministic interrupt. It returns the energy actually delivered, which
+// falls short of p·dt only when the pack empties — the rack then drops its
+// load.
+func (rp *RackPack) Discharge(p units.Power, dt time.Duration) units.Energy {
+	rp.Suspend()
+	if p <= 0 || dt <= 0 {
+		return 0
+	}
+	want := float64(units.EnergyOver(p, dt))
+	have := RackFullEnergy - rp.deficit
+	if have < 0 {
+		have = 0
+	}
+	got := want
+	if got > have {
+		got = have
+	}
+	rp.deficit += got
+	if rp.deficit > RackFullEnergy {
+		rp.deficit = RackFullEnergy
+	}
+	return units.Energy(got)
+}
 
 // FractionRemaining returns the fraction of this charge's total charge still
 // to deliver, in [0, 1]; zero when idle.
@@ -308,11 +392,15 @@ func (rp *RackPack) SetCurrent(i units.Current) {
 	rp.setpoint = i
 }
 
+// finish completes a charge: the pack goes idle and fully charged. Suspend
+// restores the deficit afterwards for interrupted (rather than completed)
+// charges.
 func (rp *RackPack) finish() {
 	rp.charging = false
 	rp.qRemain = 0
 	rp.qInitial = 0
 	rp.setpoint = 0
+	rp.deficit = 0
 }
 
 // Charging reports whether a charge is in progress.

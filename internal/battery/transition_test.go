@@ -1,0 +1,226 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+// A discharge must interrupt a BBU cleanly from every lifecycle state: the
+// grid event does not wait for the CC/CV sequence to finish, and the state
+// machine may not leave a stale setpoint (or a negative SOC) behind.
+
+func TestBBUDischargeInterruptsEveryState(t *testing.T) {
+	p := DefaultParams()
+	drain := func(b *BBU) units.Energy { return b.Discharge(100*units.Watt, time.Minute) }
+
+	t.Run("FullyCharged", func(t *testing.T) {
+		b := New(p)
+		if got := drain(b); got != units.EnergyOver(100*units.Watt, time.Minute) {
+			t.Fatalf("full battery delivered %v", got)
+		}
+		if b.State() != Discharging {
+			t.Fatalf("state = %v, want Discharging", b.State())
+		}
+		if b.Setpoint() != 0 {
+			t.Fatalf("setpoint = %v after discharge, want 0", b.Setpoint())
+		}
+	})
+
+	t.Run("ChargingCC", func(t *testing.T) {
+		b := New(p)
+		b.Discharge(p.MaxDischarge, 45*time.Second) // drain to half
+		b.StartCharge(p.MaxChargeI)                 // restart in CC
+		if b.State() != Charging {
+			t.Fatalf("setup: state = %v, want Charging", b.State())
+		}
+		soc := float64(b.SOC())
+		got := drain(b)
+		if b.State() != Discharging {
+			t.Fatalf("state = %v, want Discharging", b.State())
+		}
+		if b.Setpoint() != 0 {
+			t.Fatalf("setpoint survived the interrupt: %v", b.Setpoint())
+		}
+		wantSOC := soc - float64(got)/float64(p.FullEnergy)
+		if math.Abs(float64(b.SOC())-wantSOC) > 1e-9 {
+			t.Fatalf("SOC = %v, want %v", b.SOC(), wantSOC)
+		}
+	})
+
+	t.Run("ChargingCV", func(t *testing.T) {
+		b := New(p)
+		b.Discharge(100*units.Watt, time.Minute)
+		b.StartCharge(p.MaxChargeI)
+		// A shallow discharge at a high setpoint starts voltage-limited
+		// (Current < Setpoint); interrupting here must still clear the
+		// setpoint — the "stuck-CV" hazard.
+		if b.Current() >= b.Setpoint() {
+			t.Fatalf("setup: want CV phase, current %v setpoint %v", b.Current(), b.Setpoint())
+		}
+		drain(b)
+		if b.State() != Discharging || b.Setpoint() != 0 {
+			t.Fatalf("state %v setpoint %v after CV interrupt", b.State(), b.Setpoint())
+		}
+	})
+
+	t.Run("ZeroDurationWhileCharging", func(t *testing.T) {
+		b := New(p)
+		b.Discharge(100*units.Watt, time.Minute)
+		b.StartCharge(1 * units.Ampere)
+		// Even a zero-power/zero-duration discharge (input lost at an idle
+		// instant) must leave Charging.
+		if got := b.Discharge(0, 0); got != 0 {
+			t.Fatalf("zero discharge delivered %v", got)
+		}
+		if b.State() != Discharging || b.Setpoint() != 0 {
+			t.Fatalf("state %v setpoint %v after zero-duration interrupt", b.State(), b.Setpoint())
+		}
+	})
+
+	t.Run("Discharging", func(t *testing.T) {
+		b := New(p)
+		drain(b)
+		drain(b)
+		if b.State() != Discharging {
+			t.Fatalf("state = %v, want Discharging", b.State())
+		}
+	})
+
+	t.Run("FullyDischarged", func(t *testing.T) {
+		b := New(p)
+		for b.State() != FullyDischarged {
+			b.Discharge(p.MaxDischarge, time.Hour)
+		}
+		if got := drain(b); got != 0 {
+			t.Fatalf("empty battery delivered %v", got)
+		}
+		if b.State() != FullyDischarged {
+			t.Fatalf("state = %v, want FullyDischarged", b.State())
+		}
+		if b.SOC() != 0 {
+			t.Fatalf("SOC = %v, want 0", b.SOC())
+		}
+	})
+}
+
+func TestBBUStartChargeWhenFullHoldsNoSetpoint(t *testing.T) {
+	b := New(DefaultParams())
+	b.StartCharge(5 * units.Ampere)
+	if b.State() != FullyCharged || b.Setpoint() != 0 {
+		t.Fatalf("full battery: state %v setpoint %v, want FullyCharged/0", b.State(), b.Setpoint())
+	}
+	// SetChargeCurrent outside Charging must not plant a setpoint either.
+	b.SetChargeCurrent(3 * units.Ampere)
+	if b.Setpoint() != 0 {
+		t.Fatalf("SetChargeCurrent while FullyCharged set %v", b.Setpoint())
+	}
+}
+
+func TestBBUChargeAfterInterruptResumesFromTrueSOC(t *testing.T) {
+	p := DefaultParams()
+	b := New(p)
+	b.Discharge(p.MaxDischarge, 30*time.Minute)
+	b.StartCharge(2 * units.Ampere)
+	for i := 0; i < 10; i++ {
+		b.StepCharge(time.Minute)
+	}
+	mid := b.SOC()
+	b.Discharge(200*units.Watt, 5*time.Minute) // second outage mid-charge
+	if b.SOC() >= mid {
+		t.Fatalf("SOC did not fall across the second outage")
+	}
+	b.StartCharge(2 * units.Ampere)
+	if b.State() != Charging {
+		t.Fatalf("state = %v, want Charging", b.State())
+	}
+	for b.State() == Charging {
+		b.StepCharge(time.Minute)
+	}
+	if b.State() != FullyCharged || b.SOC() != 1 || b.Setpoint() != 0 {
+		t.Fatalf("after recharge: state %v soc %v setpoint %v", b.State(), b.SOC(), b.Setpoint())
+	}
+}
+
+// RackPack interrupt semantics: Suspend must freeze the charge-owed deficit
+// exactly, Discharge must add to it, and a resumed charge must pick up from
+// the true depth of discharge rather than restarting open-loop.
+
+func TestRackPackSuspendPreservesDeficit(t *testing.T) {
+	rp := NewRackPack(Fig5Surface())
+	rp.StartCharge(2*units.Ampere, 0.6)
+	for i := 0; i < 20; i++ {
+		rp.Step(time.Minute)
+	}
+	dod := rp.DOD()
+	if dod <= 0 || dod >= 0.6 {
+		t.Fatalf("mid-charge DOD = %v, want in (0, 0.6)", dod)
+	}
+	rp.Suspend()
+	if rp.Charging() {
+		t.Fatal("still charging after Suspend")
+	}
+	if got := rp.DOD(); got != dod {
+		t.Fatalf("DOD changed across Suspend: %v != %v", got, dod)
+	}
+	// Suspend while idle is a no-op.
+	rp.Suspend()
+	if got := rp.DOD(); got != dod {
+		t.Fatalf("DOD changed across idle Suspend: %v != %v", got, dod)
+	}
+	rp.StartCharge(2*units.Ampere, rp.DOD())
+	if !rp.Charging() || rp.DOD() != dod {
+		t.Fatalf("resume: charging %v DOD %v, want true/%v", rp.Charging(), rp.DOD(), dod)
+	}
+}
+
+func TestRackPackDischargeWhileChargingInterrupts(t *testing.T) {
+	rp := NewRackPack(Fig5Surface())
+	rp.StartCharge(3*units.Ampere, 0.5)
+	got := rp.Discharge(6300*units.Watt, time.Minute)
+	if rp.Charging() {
+		t.Fatal("still charging after Discharge")
+	}
+	want := units.EnergyOver(6300*units.Watt, time.Minute)
+	if got != want {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	wantDOD := 0.5 + float64(want)/RackFullEnergy
+	if math.Abs(float64(rp.DOD())-wantDOD) > 1e-9 {
+		t.Fatalf("DOD = %v, want %v", rp.DOD(), wantDOD)
+	}
+}
+
+func TestRackPackDepletion(t *testing.T) {
+	rp := NewRackPack(Fig5Surface())
+	// Drain past the full capacity; delivery truncates at empty.
+	total := units.Energy(0)
+	for i := 0; i < 200 && !rp.Depleted(); i++ {
+		total += rp.Discharge(6300*units.Watt, 2*time.Minute)
+	}
+	if !rp.Depleted() {
+		t.Fatal("pack never depleted")
+	}
+	if math.Abs(float64(total)-RackFullEnergy) > 1e-6 {
+		t.Fatalf("delivered %v over the full drain, want %v", total, RackFullEnergy)
+	}
+	if rp.DOD() != 1 {
+		t.Fatalf("DOD = %v at depletion, want 1", rp.DOD())
+	}
+	if got := rp.Discharge(6300*units.Watt, time.Minute); got != 0 {
+		t.Fatalf("depleted pack delivered %v", got)
+	}
+	// A depleted pack recharges from DOD 1 and completion clears the deficit.
+	rp.StartCharge(5*units.Ampere, rp.DOD())
+	if rp.Depleted() {
+		t.Fatal("Depleted while charging")
+	}
+	for rp.Charging() {
+		rp.Step(time.Minute)
+	}
+	if rp.DOD() != 0 || rp.SOC() != 1 {
+		t.Fatalf("after full recharge: DOD %v SOC %v", rp.DOD(), rp.SOC())
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
+	"coordcharge/internal/storm"
 	"coordcharge/internal/units"
 )
 
@@ -30,9 +31,13 @@ import (
 //	controller → agent   "override"    (units.Current; one-way)
 //	controller → agent   "cap"/"uncap" (CapRequest; one-way)
 //	controller → agent   "heartbeat"   (one-way watchdog keepalive)
+//	controller → agent   "postpone"    (pause a charge; one-way)
+//	controller → agent   "resume"      (units.Current admission grant; one-way)
 //	upper → leaf         "aggregate"   → reply AggregateReply
 //	upper → leaf         "setcurrents" (map[string]units.Current; one-way)
 //	upper → leaf         "caps"        (map[string]units.Power; one-way)
+//	upper → leaf         "pausecharges"  ([]string; one-way)
+//	upper → leaf         "resumecharges" (map[string]units.Current; one-way)
 //
 // Degraded modes: a poll generation no longer waits forever for lost
 // replies — it evaluates at a deadline from whatever telemetry arrived, with
@@ -98,6 +103,10 @@ type AsyncOptions struct {
 	// did arrive (default 0.8). Lost replies then degrade decisions instead
 	// of stalling the controller forever.
 	EvalFraction float64
+	// Storm arms recharge-storm admission control. Only the planning upper
+	// controller acts on it (leaves forward its pause/resume directives);
+	// the option is ignored elsewhere.
+	Storm *storm.Config
 }
 
 func (o AsyncOptions) evalAfter(poll time.Duration) time.Duration {
@@ -172,6 +181,20 @@ func (a *AsyncAgent) handle(now time.Duration, msg *bus.Message) {
 		a.r.Cap(req.Source, req.Level)
 	case "uncap":
 		a.r.Uncap(msg.Payload.(string))
+	case "postpone":
+		// Storm pause. Like capping this rides the server-management plane:
+		// it takes effect on delivery, not after the charger's command
+		// settling — a pause that settled lazily would defeat its purpose.
+		// Duplicates are harmless (Postpone is a no-op while not charging).
+		a.r.ControllerContact(now)
+		a.r.Postpone()
+	case "resume":
+		// Storm admission grant; immediate for the same reason, and contact
+		// is recorded first so a watchdogged rack does not fail-safe the
+		// instant a long-queued charge restarts. Duplicates are harmless
+		// (ResumeCharge is a no-op with nothing pending).
+		a.r.ControllerContact(now)
+		a.r.ResumeCharge(msg.Payload.(units.Current))
 	default:
 		panic(fmt.Errorf("dynamo: agent %s received unknown message kind %q", a.name, msg.Kind))
 	}
@@ -581,6 +604,22 @@ func (l *AsyncLeaf) handle(now time.Duration, msg *bus.Message) {
 		for _, name := range msg.Payload.([]string) {
 			l.b.Send(l.name, AgentEndpoint(name), "uncap", l.name+"/upper")
 		}
+	case "pausecharges":
+		for _, name := range msg.Payload.([]string) {
+			l.b.Send(l.name, AgentEndpoint(name), "postpone", nil)
+			// A pending override for a rack being paused is moot; cancel it
+			// rather than let retries race the pause.
+			if p := l.pending[name]; p != nil {
+				l.engine.Cancel(p.ev)
+				delete(l.pending, name)
+			}
+			l.was[name] = false
+		}
+	case "resumecharges":
+		currents := msg.Payload.(map[string]units.Current)
+		for _, name := range sortedKeys(currents) {
+			l.b.Send(l.name, AgentEndpoint(name), "resume", currents[name])
+		}
 	default:
 		panic(fmt.Errorf("dynamo: leaf %s received unknown message kind %q", l.name, msg.Kind))
 	}
@@ -604,16 +643,17 @@ func sortedKeys[V any](m map[string]V) []string {
 // Override delivery (confirmation and retries) is owned by the leaves it
 // forwards through.
 type AsyncUpper struct {
-	name    string
-	node    *power.Node
-	b       *bus.Bus
-	engine  *sim.Engine
-	cfg     core.Config
-	mode    Mode
-	leaves  []string
-	agg     map[string]AggregateReply
-	was     map[string]bool
-	metrics Metrics
+	name       string
+	node       *power.Node
+	b          *bus.Bus
+	engine     *sim.Engine
+	cfg        core.Config
+	mode       Mode
+	leaves     []string
+	pollPeriod time.Duration
+	agg        map[string]AggregateReply
+	was        map[string]bool
+	metrics    Metrics
 
 	inj        *faults.Injector
 	staleAfter time.Duration
@@ -621,6 +661,13 @@ type AsyncUpper struct {
 	gen        uint64
 	down       bool
 	resync     bool
+
+	// Storm admission state: the queue of paused recharges, and the grants
+	// in flight — racks told to resume that telemetry has not yet confirmed
+	// charging. A grant unconfirmed past the resume timeout is re-enqueued,
+	// so a lost resume message degrades a rack's charge start, never loses it.
+	stormQ  *storm.Queue
+	resumed map[string]time.Duration
 }
 
 // UpperEndpoint returns the bus endpoint name for an upper controller.
@@ -645,11 +692,16 @@ func NewAsyncUpperOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves 
 		engine:     engine,
 		cfg:        cfg,
 		mode:       mode,
+		pollPeriod: poll,
 		agg:        make(map[string]AggregateReply),
 		was:        make(map[string]bool),
 		inj:        opts.Injector,
 		staleAfter: opts.StaleAfter,
 		evalAfter:  opts.evalAfter(poll),
+	}
+	if opts.Storm != nil {
+		u.stormQ = storm.NewQueue(*opts.Storm)
+		u.resumed = make(map[string]time.Duration)
 	}
 	for _, l := range leaves {
 		u.leaves = append(u.leaves, l.name)
@@ -671,11 +723,22 @@ func (u *AsyncUpper) coordinates() bool {
 	return u.mode == ModeGlobal || u.mode == ModePriorityAware || u.mode == ModePostpone
 }
 
+// StormQueue returns the controller's admission queue, nil unless storm
+// admission is armed. Breaker guards attach to it so charges they pause
+// re-enter through admission rather than the guards' own quiet-time resume.
+func (u *AsyncUpper) StormQueue() *storm.Queue { return u.stormQ }
+
 func (u *AsyncUpper) crash() {
 	u.down = true
 	u.metrics.Crashes++
 	u.agg = make(map[string]AggregateReply)
 	u.was = make(map[string]bool)
+	if u.stormQ != nil {
+		// The in-memory queue dies with the process; racks keep their
+		// pending DOD locally and the restart sweep rebuilds it.
+		u.stormQ.Reset()
+		u.resumed = make(map[string]time.Duration)
+	}
 }
 
 func (u *AsyncUpper) poll(now time.Duration) {
@@ -755,16 +818,23 @@ func (u *AsyncUpper) evaluate(now time.Duration) {
 	if u.resync {
 		for _, s := range snaps {
 			u.was[s.Name] = s.Charging
+			// Rebuild the admission queue a crash wiped: any paused charge
+			// still owed re-enters admission from its rack-local pending DOD.
+			if u.stormQ != nil && u.fresh(s, now) && !s.Charging && s.PendingDOD > 0 {
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+			}
 		}
 		u.resync = false
 	} else if u.coordinates() {
-		// A generation that planned defers protection to the next poll: the
-		// overrides are in flight and cached setpoints are stale.
+		// A generation that planned (or paused a storm) defers protection and
+		// admission to the next poll: the directives are in flight and cached
+		// setpoints are stale.
 		if u.planFresh(now, snaps) {
 			return
 		}
 	}
 	u.protect(now, snaps)
+	u.admitStorm(now, snaps)
 }
 
 func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
@@ -777,6 +847,30 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		if !u.fresh(s, now) {
 			continue
 		}
+		if u.stormQ != nil {
+			if _, granted := u.resumed[s.Name]; granted {
+				// Admission grant in flight; observed charging confirms it.
+				// Either way this is not a fresh start to re-plan.
+				if s.Charging {
+					delete(u.resumed, s.Name)
+					u.was[s.Name] = true
+				}
+				continue
+			}
+			if s.Charging && u.stormQ.Contains(s.Name) {
+				// Charging while queued and not granted: a new outage cycle
+				// restarted the charge locally (or our pause was lost). The
+				// queued request is stale — supersede it and let fresh-start
+				// detection below route the charge back through admission.
+				u.stormQ.Remove(s.Name)
+				u.was[s.Name] = false
+			}
+			if !s.Charging && s.PendingDOD > 0 && !u.stormQ.Contains(s.Name) {
+				// Paused charge nobody is tracking (a guard paused it while
+				// detached, or an enqueue was lost to a crash): adopt it.
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+			}
+		}
 		if s.Charging && !u.was[s.Name] {
 			fresh = append(fresh, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
 		}
@@ -784,6 +878,28 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 	}
 	if len(fresh) == 0 {
 		return false
+	}
+	if u.stormQ != nil && (len(fresh) >= u.stormQ.Config().MinRacks || u.stormQ.Len() > 0) {
+		// Correlated start (or a storm already in progress): pause the fresh
+		// starts into the admission queue instead of planning them. The racks
+		// keep charging until the pause lands; leaving was=false means a rack
+		// whose pause message is lost shows up fresh again next generation
+		// and is re-paused.
+		if len(fresh) >= u.stormQ.Config().MinRacks {
+			u.stormQ.NoteStorm()
+		}
+		byLeaf := map[string][]string{}
+		for _, ri := range fresh {
+			u.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: snaps[ri.ID].DOD})
+			u.was[ri.Name] = false
+			if leaf := u.leafOf(ri.Name); leaf != "" {
+				byLeaf[leaf] = append(byLeaf[leaf], ri.Name)
+			}
+		}
+		for _, leaf := range sortedKeys(byLeaf) {
+			u.b.Send(u.name, leaf, "pausecharges", byLeaf[leaf])
+		}
+		return true
 	}
 	available := u.node.Limit() - it
 	var plan []core.Assignment
@@ -815,6 +931,73 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		u.b.Send(u.name, leaf, "setcurrents", byLeaf[leaf])
 	}
 	return true
+}
+
+// resumeTimeout is how long a resume grant may sit unconfirmed by telemetry
+// before it is assumed lost and the request re-enqueued. Several poll round
+// trips: long enough for the grant to land and its effect to be read back,
+// short enough that a lost grant costs queue time, not the charge.
+func (u *AsyncUpper) resumeTimeout() time.Duration { return 4 * u.pollPeriod }
+
+// admitStorm reconciles in-flight resume grants against telemetry, then
+// admits the next wave of paused recharges under the breaker's measured
+// headroom net of the configured reserve.
+func (u *AsyncUpper) admitStorm(now time.Duration, snaps []Snapshot) {
+	if u.stormQ == nil {
+		return
+	}
+	for _, s := range snaps {
+		t, granted := u.resumed[s.Name]
+		if !granted || !u.fresh(s, now) {
+			continue
+		}
+		switch {
+		case s.Charging:
+			delete(u.resumed, s.Name)
+			u.was[s.Name] = true
+		case now-t > u.resumeTimeout():
+			// Lost resume: back through admission with the rack's own
+			// pending DOD (zero means the pause itself never landed, in
+			// which case fresh-start detection owns the rack again).
+			delete(u.resumed, s.Name)
+			if s.PendingDOD > 0 {
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+			}
+		}
+	}
+	if u.stormQ.Len() == 0 {
+		return
+	}
+	// Headroom from the same conservative view protection uses: stale racks
+	// are assumed charging at worst case, so staleness under-admits rather
+	// than over-admits.
+	var wouldBe units.Power
+	for _, s := range snaps {
+		if s.InputUp {
+			wouldBe += s.ITLoad + s.Recharge
+		}
+	}
+	budget := u.node.Limit() - wouldBe - u.stormQ.Config().Margin(u.node.Limit())
+	grants := u.stormQ.Admit(now, budget, u.cfg)
+	byLeaf := map[string]map[string]units.Current{}
+	for _, g := range grants {
+		leaf := u.leafOf(g.Name)
+		if leaf == "" {
+			// Unroutable (the owning leaf's reply never arrived this
+			// generation): requeue rather than lose the charge.
+			u.stormQ.Enqueue(now, g.Request)
+			continue
+		}
+		if byLeaf[leaf] == nil {
+			byLeaf[leaf] = map[string]units.Current{}
+		}
+		byLeaf[leaf][g.Name] = g.Current
+		u.resumed[g.Name] = now
+		u.metrics.OverridesIssued++
+	}
+	for _, leaf := range sortedKeys(byLeaf) {
+		u.b.Send(u.name, leaf, "resumecharges", byLeaf[leaf])
+	}
 }
 
 func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {

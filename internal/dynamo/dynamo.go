@@ -36,6 +36,7 @@ import (
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
+	"coordcharge/internal/storm"
 	"coordcharge/internal/units"
 )
 
@@ -305,6 +306,12 @@ type ControllerOptions struct {
 	// Heartbeat emits a per-tick controller-contact keepalive to every
 	// agent, feeding the racks' fail-safe watchdogs.
 	Heartbeat bool
+	// Storm arms recharge-storm admission control on a planning controller:
+	// a correlated batch of charging starts is paused into a queue and
+	// re-admitted in priority-aware waves under measured headroom instead of
+	// being planned (and floored) all at once. Ignored on non-planning
+	// controllers.
+	Storm *storm.Config
 }
 
 // pendingOverride tracks an override awaiting telemetry confirmation.
@@ -329,6 +336,9 @@ type Controller struct {
 	wasCharging map[*rack.Rack]bool
 	postponed   map[*rack.Rack]core.RackInfo
 	lastTick    time.Duration
+
+	stormQ *storm.Queue   // nil unless storm admission is armed
+	byName map[string]int // rack name → agent index
 
 	engine     *sim.Engine
 	inj        *faults.Injector
@@ -361,7 +371,7 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Controller{
+	c := &Controller{
 		node:        node,
 		agents:      agents,
 		mode:        mode,
@@ -369,6 +379,7 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 		plans:       plans,
 		wasCharging: make(map[*rack.Rack]bool),
 		postponed:   make(map[*rack.Rack]core.RackInfo),
+		byName:      make(map[string]int, len(agents)),
 		engine:      opts.Engine,
 		inj:         opts.Injector,
 		comp:        "controller/" + node.Name(),
@@ -380,6 +391,13 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 		viewBuf:     make([]Snapshot, len(agents)),
 		pending:     make(map[int]*pendingOverride),
 	}
+	for i, a := range agents {
+		c.byName[a.Rack().Name()] = i
+	}
+	if opts.Storm != nil && plans {
+		c.stormQ = storm.NewQueue(*opts.Storm)
+	}
+	return c
 }
 
 // Node returns the protected breaker.
@@ -414,6 +432,11 @@ func (c *Controller) crash() {
 	c.metrics.Crashes++
 	c.wasCharging = make(map[*rack.Rack]bool)
 	c.postponed = make(map[*rack.Rack]core.RackInfo)
+	if c.stormQ != nil {
+		// The in-memory admission queue dies with the process; the racks'
+		// own pending-DOD bookkeeping survives and restart re-enqueues it.
+		c.stormQ.Reset()
+	}
 	for i := range c.telOK {
 		c.telOK[i] = false
 	}
@@ -442,7 +465,10 @@ func (c *Controller) restart(now time.Duration) {
 		}
 		r := a.Rack()
 		c.wasCharging[r] = c.tel[i].Charging
-		if c.mode == ModePostpone && c.tel[i].PendingDOD > 0 {
+		switch {
+		case c.stormQ != nil && c.tel[i].PendingDOD > 0:
+			c.stormQ.Enqueue(now, storm.Request{Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD})
+		case c.mode == ModePostpone && c.tel[i].PendingDOD > 0:
 			c.postponed[r] = core.RackInfo{ID: i, Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD}
 		}
 	}
@@ -473,6 +499,7 @@ func (c *Controller) Tick(now time.Duration) {
 	if c.plans && c.coordinates() {
 		c.detectChargingStart(now)
 	}
+	c.admitStorm(now)
 	c.restartPostponed()
 	if c.engine == nil {
 		c.checkPending(now)
@@ -628,6 +655,25 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 	if len(freshStarts) == 0 || !c.coordinates() {
 		return
 	}
+	if c.stormQ != nil && (len(freshStarts) >= c.stormQ.Config().MinRacks || c.stormQ.Len() > 0) {
+		// Recharge storm (or a queue already draining): pause the fresh
+		// starts into the admission queue instead of planning — and flooring
+		// — them all at once. Pause rides the direct server-management path,
+		// like capping, so the correlated spike ends within this tick.
+		if len(freshStarts) >= c.stormQ.Config().MinRacks {
+			c.stormQ.NoteStorm()
+		}
+		for _, ri := range freshStarts {
+			r := c.agents[ri.ID].Rack()
+			r.Postpone()
+			c.wasCharging[r] = false
+			// A re-outage of an already-queued rack supersedes its stale
+			// entry with the fresh DOD.
+			c.stormQ.Remove(ri.Name)
+			c.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: r.PendingDOD()})
+		}
+		return
+	}
 	// Available power for recharge: the breaker's headroom over the IT load
 	// (recharge power excluded — the plan decides it).
 	available := c.node.Limit() - c.itLoad(c.views(now))
@@ -701,6 +747,33 @@ func (c *Controller) restartPostponed() {
 		c.wasCharging[r] = true
 		c.metrics.OverridesIssued++
 		delete(c.postponed, r)
+	}
+}
+
+// StormQueue returns the controller's storm admission queue, nil when storm
+// admission is not armed (guards attach to it; tests and scenarios read its
+// metrics).
+func (c *Controller) StormQueue() *storm.Queue { return c.stormQ }
+
+// admitStorm grants the next admission wave from the storm queue under the
+// breaker's live headroom (net of the configured reserve). Admission grants
+// ride the direct server-management path, like capping and postponed-charge
+// restarts, and count as controller contact for the racks' watchdogs.
+func (c *Controller) admitStorm(now time.Duration) {
+	if c.stormQ == nil || c.stormQ.Len() == 0 {
+		return
+	}
+	budget := c.node.Headroom() - c.stormQ.Config().Margin(c.node.Limit())
+	for _, g := range c.stormQ.Admit(now, budget, c.cfg) {
+		idx, ok := c.byName[g.Name]
+		if !ok {
+			continue
+		}
+		r := c.agents[idx].Rack()
+		r.ControllerContact(now)
+		r.ResumeCharge(g.Current)
+		c.wasCharging[r] = true
+		c.metrics.OverridesIssued++
 	}
 }
 

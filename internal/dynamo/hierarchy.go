@@ -10,6 +10,7 @@ import (
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
+	"coordcharge/internal/storm"
 )
 
 // Hierarchy mirrors the power tree with one controller per breaker, as the
@@ -21,6 +22,7 @@ type Hierarchy struct {
 	controllers []*Controller
 	byNode      map[*power.Node]*Controller
 	agents      map[*rack.Rack]*Agent
+	guards      []*storm.Guard
 }
 
 // HierarchyOptions carries the control plane's wiring and degraded-mode
@@ -44,6 +46,17 @@ type HierarchyOptions struct {
 	// watchdog with this TTL (safe current from cfg.SafeCurrent()) and has
 	// controllers emit per-tick heartbeats to feed it.
 	WatchdogTTL time.Duration
+	// Storm arms recharge-storm admission control at the planning (root)
+	// controller: correlated charging starts are paused and re-admitted in
+	// priority-aware waves under measured headroom.
+	Storm *storm.Config
+	// Guard arms a last-line breaker guard on every node of the hierarchy,
+	// shedding charging current (demote → pause, reverse priority) against
+	// sustained overdraw before the breaker's TripRule window closes, and
+	// capping servers only as a final resort. Guards run even while their
+	// controller is crashed. Paused charges are handed to the storm
+	// admission queue when Storm is also armed.
+	Guard *storm.GuardConfig
 }
 
 // BuildHierarchy walks the power tree rooted at root and creates a
@@ -93,17 +106,38 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 			StaleAfter: opts.StaleAfter,
 			Retry:      opts.Retry,
 			Heartbeat:  opts.WatchdogTTL > 0,
+			Storm:      opts.Storm,
 		})
 		h.controllers = append(h.controllers, ctl)
 		h.byNode[n] = ctl
 	}
+	if opts.Guard != nil {
+		queue := h.byNode[root].StormQueue()
+		for _, n := range nodes {
+			var racks []*rack.Rack
+			for _, l := range n.RackLoads() {
+				racks = append(racks, l.(*rack.Rack))
+			}
+			g := storm.NewGuard(n, racks, cfg, *opts.Guard)
+			if queue != nil {
+				g.AttachQueue(queue)
+			}
+			h.guards = append(h.guards, g)
+		}
+	}
 	return h, nil
 }
 
-// Tick runs one monitoring cycle on every controller, bottom-up.
+// Tick runs one monitoring cycle on every controller, bottom-up, then the
+// breaker guards. Guards tick last so they measure the draw the controllers'
+// actions left behind, and they run even when their controller is crashed —
+// that independence is what makes them a last line.
 func (h *Hierarchy) Tick(now time.Duration) {
 	for _, c := range h.controllers {
 		c.Tick(now)
+	}
+	for _, g := range h.guards {
+		g.Tick(now)
 	}
 }
 
@@ -115,6 +149,26 @@ func (h *Hierarchy) Controllers() []*Controller { return h.controllers }
 
 // Agent returns the agent for a rack, or nil.
 func (h *Hierarchy) Agent(r *rack.Rack) *Agent { return h.agents[r] }
+
+// Guards returns the hierarchy's breaker guards (empty unless armed).
+func (h *Hierarchy) Guards() []*storm.Guard { return h.guards }
+
+// StormQueue returns the planning controller's admission queue, nil unless
+// storm admission is armed.
+func (h *Hierarchy) StormQueue() *storm.Queue {
+	for _, c := range h.controllers {
+		if q := c.StormQueue(); q != nil {
+			return q
+		}
+	}
+	return nil
+}
+
+// TotalGuardMetrics aggregates guard counters across the hierarchy; maxima
+// take the hierarchy-wide maximum.
+func (h *Hierarchy) TotalGuardMetrics() storm.GuardMetrics {
+	return storm.TotalGuardMetrics(h.guards)
+}
 
 // TotalMetrics aggregates metrics across controllers: counters sum, capping
 // maxima take the hierarchy-wide maximum.

@@ -1,0 +1,199 @@
+package dynamo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/bus"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/sim"
+	"coordcharge/internal/storm"
+	"coordcharge/internal/units"
+)
+
+// The recharge-storm path: every rack under the breaker drains to full depth
+// of discharge, input returns at once, and the admission queue must drain the
+// correlated recharge in priority-aware waves under a tight limit — with the
+// breaker never tripping and completions ordered P1 < P2 < P3.
+
+var stormPrios = []rack.Priority{
+	rack.P1, rack.P1, rack.P2, rack.P2, rack.P2, rack.P3, rack.P3, rack.P3,
+}
+
+// stormRack builds one rack named so the admission queue's name tie-break
+// cannot invert priority classes, with a seed-varied IT demand.
+func stormRack(i int, p rack.Priority, rng *rand.Rand) *rack.Rack {
+	r := rack.New(fmt.Sprintf("p%d-%02d", p, i), p, charger.Variable{}, battery.Fig5Surface())
+	r.SetDemand(units.Power(4000 + rng.Intn(2001)))
+	return r
+}
+
+// drainAll runs an outage until every pack is fully discharged, returning the
+// virtual time at which the last one ran dry.
+func drainAll(t *testing.T, racks []*rack.Rack, step time.Duration) time.Duration {
+	t.Helper()
+	for _, r := range racks {
+		r.LoseInput(0)
+	}
+	now := time.Duration(0)
+	for {
+		now += step
+		done := true
+		for _, r := range racks {
+			r.Step(now, step)
+			if !r.Depleted() {
+				done = false
+			}
+		}
+		if done {
+			return now
+		}
+		if now > time.Hour {
+			t.Fatal("packs never depleted")
+		}
+	}
+}
+
+// checkPriorityOrder asserts strictly increasing mean completion time across
+// priority classes.
+func checkPriorityOrder(t *testing.T, racks []*rack.Rack, finished map[string]time.Duration) {
+	t.Helper()
+	sum := map[rack.Priority]time.Duration{}
+	n := map[rack.Priority]int{}
+	for _, r := range racks {
+		sum[r.Priority()] += finished[r.Name()]
+		n[r.Priority()]++
+	}
+	mean := func(p rack.Priority) time.Duration { return sum[p] / time.Duration(n[p]) }
+	if !(mean(rack.P1) < mean(rack.P2) && mean(rack.P2) < mean(rack.P3)) {
+		t.Fatalf("completion means not priority-ordered: P1 %v, P2 %v, P3 %v",
+			mean(rack.P1), mean(rack.P2), mean(rack.P3))
+	}
+}
+
+func TestSyncStormRechargeCompletesInPriorityOrder(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			rpp := power.NewNode("rpp", power.LevelRPP, power.DefaultRPPLimit)
+			racks := make([]*rack.Rack, len(stormPrios))
+			var it units.Power
+			for i, p := range stormPrios {
+				racks[i] = stormRack(i, p, rng)
+				it += racks[i].Demand()
+				rpp.AttachLoad(racks[i])
+			}
+			const step = 5 * time.Second
+			restoreAt := drainAll(t, racks, step)
+			for _, r := range racks {
+				r.RestoreInput(restoreAt)
+			}
+
+			// Tight limit: 4 kW of recharge headroom over the IT load, with
+			// a hair-trigger 5 % / 30 s protection curve. An uncoordinated
+			// 8-rack recharge would blow straight through it.
+			rpp.SetLimit(it + 4*units.Kilowatt)
+			rpp.SetTripRule(power.TripRule{Fraction: 0.05, Sustain: 30 * time.Second})
+			sc := storm.Default()
+			ctl := NewControllerOpts(rpp, agentsFor(racks), ModePriorityAware,
+				core.DefaultConfig(), true, ControllerOptions{Storm: &sc})
+
+			finished := map[string]time.Duration{}
+			for now := restoreAt; now <= restoreAt+8*time.Hour && len(finished) < len(racks); now += step {
+				for _, r := range racks {
+					r.Step(now, step)
+				}
+				ctl.Tick(now)
+				if rpp.Tripped() {
+					t.Fatalf("breaker tripped at %v", now)
+				}
+				for _, r := range racks {
+					if _, ok := finished[r.Name()]; !ok && !r.Charging() && r.PendingDOD() == 0 && r.BatteryDOD() == 0 {
+						finished[r.Name()] = now - restoreAt
+					}
+				}
+			}
+			if len(finished) != len(racks) {
+				t.Fatalf("only %d/%d racks recharged", len(finished), len(racks))
+			}
+			m := ctl.StormQueue().Metrics()
+			if m.Storms == 0 || m.Enqueued != len(racks) || m.Admitted != len(racks) {
+				t.Fatalf("storm metrics = %+v, want a detected storm with all %d racks queued and admitted", m, len(racks))
+			}
+			if m.Waves < 2 {
+				t.Fatalf("admitted in %d waves; a tight limit must force waves", m.Waves)
+			}
+			checkPriorityOrder(t, racks, finished)
+		})
+	}
+}
+
+func TestAsyncStormRechargeCompletesInPriorityOrder(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			engine := sim.NewEngine()
+			b := bus.New(engine, bus.ConstantLatency(20*time.Millisecond))
+			msb := power.NewNode("msb", power.LevelMSB, power.DefaultMSBLimit)
+			var racks []*rack.Rack
+			var leaves []*AsyncLeaf
+			var it units.Power
+			for li := 0; li < 2; li++ {
+				rpp := msb.AddChild(power.NewNode(fmt.Sprintf("rpp%d", li), power.LevelRPP, power.DefaultRPPLimit))
+				var leafRacks []*rack.Rack
+				for i := 0; i < 4; i++ {
+					idx := li*4 + i
+					r := stormRack(idx, stormPrios[idx], rng)
+					it += r.Demand()
+					rpp.AttachLoad(r)
+					NewAsyncAgent(b, engine, r, 0)
+					leafRacks = append(leafRacks, r)
+					racks = append(racks, r)
+				}
+				leaves = append(leaves, NewAsyncLeaf(b, engine, rpp, leafRacks,
+					ModePriorityAware, core.DefaultConfig(), false, 3*time.Second))
+			}
+			sc := storm.Default()
+			upper := NewAsyncUpperOpts(b, engine, msb, leaves, ModePriorityAware,
+				core.DefaultConfig(), 6*time.Second, AsyncOptions{Storm: &sc})
+
+			const step = 5 * time.Second
+			restoreAt := drainAll(t, racks, step)
+			for _, r := range racks {
+				r.RestoreInput(restoreAt)
+			}
+			msb.SetLimit(it + 4*units.Kilowatt)
+			msb.SetTripRule(power.TripRule{Fraction: 0.3, Sustain: 30 * time.Second})
+
+			finished := map[string]time.Duration{}
+			for now := restoreAt; now <= restoreAt+8*time.Hour && len(finished) < len(racks); now += step {
+				for _, r := range racks {
+					r.Step(now, step)
+				}
+				engine.Run(now)
+				if msb.Observe(now) || msb.Tripped() {
+					t.Fatalf("breaker tripped at %v", now)
+				}
+				for _, r := range racks {
+					if _, ok := finished[r.Name()]; !ok && !r.Charging() && r.PendingDOD() == 0 && r.BatteryDOD() == 0 {
+						finished[r.Name()] = now - restoreAt
+					}
+				}
+			}
+			if len(finished) != len(racks) {
+				t.Fatalf("only %d/%d racks recharged", len(finished), len(racks))
+			}
+			m := upper.StormQueue().Metrics()
+			if m.Storms == 0 || m.Admitted != len(racks) {
+				t.Fatalf("storm metrics = %+v, want a detected storm with all %d racks admitted", m, len(racks))
+			}
+			checkPriorityOrder(t, racks, finished)
+		})
+	}
+}

@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec hardens the -faults flag parser against arbitrary input: it
+// must never panic, an error must leave nothing half-parsed (the zero,
+// disabled config), and any accepted spec must produce a config that passes
+// its own validation.
+func FuzzParseSpec(f *testing.F) {
+	// Valid seeds.
+	f.Add("")
+	f.Add("off")
+	f.Add("none")
+	f.Add("on")
+	f.Add("default")
+	f.Add("cmdloss=0.2,ctlmtbf=10m,ctlmttr=8s")
+	f.Add("seed=7,telloss=0.1,telstale=0.05,cmddup=0.01")
+	f.Add("cmddelay=0.3,cmddelaymax=5s,agentmtbf=1h,agentmttr=30s")
+	// Malformed seeds.
+	f.Add("cmdloss")
+	f.Add("cmdloss=")
+	f.Add("cmdloss=2")
+	f.Add("cmdloss=-1")
+	f.Add("bogus=1")
+	f.Add("ctlmtbf=10m")
+	f.Add("cmddelaymax=-3s")
+	f.Add("=,=,=")
+	f.Add("seed=9223372036854775808")
+	f.Add("telloss=NaN")
+
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			if cfg != (Config{}) {
+				t.Fatalf("ParseSpec(%q) errored but returned non-zero config %+v", spec, cfg)
+			}
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted an invalid config %+v: %v", spec, cfg, verr)
+		}
+	})
+}

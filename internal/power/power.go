@@ -108,6 +108,10 @@ func (n *Node) SetLimit(limit units.Power) {
 // SetTripRule replaces the breaker's protection curve.
 func (n *Node) SetTripRule(r TripRule) { n.rule = r }
 
+// Rule returns the breaker's protection curve (read access for watchdogs
+// that must act before the trip window closes).
+func (n *Node) Rule() TripRule { return n.rule }
+
 // Parent returns the breaker feeding this one, or nil at the root.
 func (n *Node) Parent() *Node { return n.parent }
 

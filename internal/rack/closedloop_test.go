@@ -1,0 +1,111 @@
+package rack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/units"
+)
+
+// Closed-loop discharge: while input is down the rack carries its IT load
+// from the battery, so a second outage striking mid-recharge must surface as
+// the pack's true depth of discharge at the next restore — not as a fresh
+// open-loop estimate of the latest outage alone.
+
+func TestSecondOutageReportsTrueDOD(t *testing.T) {
+	r := newRack(t, P2, charger.Variable{})
+	r.SetDemand(6300 * units.Watt)
+
+	r.LoseInput(0)
+	r.Step(60*time.Second, 60*time.Second)
+	r.RestoreInput(60 * time.Second)
+	dod1 := float64(r.LastDOD())
+	if want := 6300.0 * 60 / battery.RackFullEnergy; math.Abs(dod1-want) > 1e-9 {
+		t.Fatalf("first-outage DOD = %v, want %v", dod1, want)
+	}
+
+	// Recharge for 30 s, then lose input again mid-charge.
+	r.Step(90*time.Second, 30*time.Second)
+	mid := float64(r.BatteryDOD())
+	if mid >= dod1 {
+		t.Fatalf("charge made no progress: DOD %v after charging from %v", mid, dod1)
+	}
+	r.LoseInput(90 * time.Second)
+	if r.Charging() {
+		t.Fatal("still charging with input down")
+	}
+	if r.PendingDOD() != 0 {
+		t.Fatalf("outage left a pending charge: %v", r.PendingDOD())
+	}
+	r.Step(120*time.Second, 30*time.Second)
+	r.RestoreInput(120 * time.Second)
+
+	want := mid + 6300.0*30/battery.RackFullEnergy
+	if got := float64(r.LastDOD()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("restore DOD = %v, want %v (undelivered charge + new drain)", got, want)
+	}
+	if !r.Charging() {
+		t.Fatal("rack not charging after second restore")
+	}
+}
+
+func TestDepletionDropsLoadAndCountsUnserved(t *testing.T) {
+	r := newRack(t, P1, charger.Variable{})
+	r.SetDemand(9100 * units.Watt) // depletes mid-tick at ~124.6 s
+	r.LoseInput(0)
+	for now := 3 * time.Second; now <= 150*time.Second; now += 3 * time.Second {
+		r.Step(now, 3*time.Second)
+	}
+	if !r.Depleted() {
+		t.Fatal("rack never depleted")
+	}
+	if got := r.LoadDropEvents(); got != 1 {
+		t.Fatalf("LoadDropEvents = %d, want 1", got)
+	}
+	wantUnserved := 9100.0*150 - battery.RackFullEnergy
+	if got := float64(r.UnservedEnergy()); math.Abs(got-wantUnserved) > 1e-6 {
+		t.Fatalf("UnservedEnergy = %v, want %v", got, wantUnserved)
+	}
+	if r.Power() != 0 {
+		t.Fatalf("depleted rack draws %v", r.Power())
+	}
+	r.RestoreInput(151 * time.Second)
+	if r.LastDOD() != 1 {
+		t.Fatalf("restore DOD = %v, want 1", r.LastDOD())
+	}
+	if !r.Charging() {
+		t.Fatal("depleted rack not recharging after restore")
+	}
+	if r.Depleted() {
+		t.Fatal("Depleted still true with input restored")
+	}
+}
+
+func TestOutageFoldsPostponedChargeIntoTrueDOD(t *testing.T) {
+	r := newRack(t, P3, charger.Variable{})
+	r.SetDemand(5000 * units.Watt)
+	r.LoseInput(0)
+	r.Step(60*time.Second, 60*time.Second)
+	r.RestoreInput(60 * time.Second)
+	r.Postpone()
+	pending := float64(r.PendingDOD())
+	if pending <= 0 {
+		t.Fatal("postpone left nothing pending")
+	}
+
+	// The next outage absorbs the pending charge into the pack's deficit:
+	// the rack owes one combined recharge, not a stale postponed one.
+	r.LoseInput(70 * time.Second)
+	if r.PendingDOD() != 0 {
+		t.Fatalf("pending DOD survived the outage: %v", r.PendingDOD())
+	}
+	r.Step(100*time.Second, 30*time.Second)
+	r.RestoreInput(100 * time.Second)
+	want := pending + 5000.0*30/battery.RackFullEnergy
+	if got := float64(r.LastDOD()); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("restore DOD = %v, want %v (postponed + new drain)", got, want)
+	}
+}

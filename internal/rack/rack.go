@@ -53,10 +53,11 @@ type Rack struct {
 	caps    map[string]units.Power // Dynamo power caps by issuing controller
 	inputUp bool
 
-	// Outage bookkeeping: energy drawn from the battery since input loss,
-	// used to estimate the DOD when input returns (paper §IV-B).
-	outageEnergy units.Energy
-	outageStart  time.Duration
+	// Outage accounting for the closed discharge loop: IT energy the
+	// batteries could not supply (the pack emptied mid-outage), and how many
+	// outages drained the pack dry and dropped the rack's load.
+	unservedEnergy units.Energy
+	loadDrops      int
 
 	// Charge bookkeeping for SLA accounting.
 	chargeStart time.Duration
@@ -180,45 +181,38 @@ func (r *Rack) RechargePower() units.Power {
 
 // LoseInput starts an open transition (or outage) at virtual time now: the
 // rack stops drawing from the hierarchy and the batteries carry the IT load.
-// Losing input mid-charge abandons the charge in place; the energy already
-// delivered is kept and the subsequent outage deepens the deficit.
+// Losing input mid-charge suspends the charge in place — the energy already
+// delivered stays in the pack and the subsequent discharge deepens the
+// deficit, which the pack itself carries.
 func (r *Rack) LoseInput(now time.Duration) {
 	if !r.inputUp {
 		return
 	}
 	r.inputUp = false
-	r.outageStart = now
-	// Carry forward any unfinished or postponed charge as an equivalent
-	// starting deficit.
-	r.outageEnergy = r.residualDeficit() + units.Energy(float64(r.pendingDOD)*battery.RackFullEnergy)
-	if r.outageEnergy > battery.RackFullEnergy {
-		r.outageEnergy = battery.RackFullEnergy
-	}
+	// Any postponed deficit already lives in the pack; the charge (if one is
+	// running) is suspended the same way, so the pack's DOD is the single
+	// source of truth for the whole outage.
 	r.pendingDOD = 0
-	r.pack.Abort()
+	r.pack.Suspend()
 }
 
-// residualDeficit converts an interrupted charge into the outage-energy
-// bookkeeping unit so a restore mid-charge resumes with the undelivered
-// fraction of the previous depth of discharge.
-func (r *Rack) residualDeficit() units.Energy {
-	if !r.pack.Charging() {
-		return 0
-	}
-	return units.Energy(float64(r.lastDOD) * battery.RackFullEnergy * r.pack.FractionRemaining())
-}
-
-// Step advances the rack by dt: while input is lost it accumulates the
-// battery energy the IT load consumes; while input is up it advances the
-// recharge. now is the virtual time at the END of the step.
+// Step advances the rack by dt: while input is lost the batteries supply the
+// IT load (the closed discharge loop), and a pack that empties drops the
+// rack's load; while input is up it advances the recharge. now is the
+// virtual time at the END of the step.
 func (r *Rack) Step(now time.Duration, dt time.Duration) {
 	if dt <= 0 {
 		return
 	}
 	if !r.inputUp {
-		r.outageEnergy += units.EnergyOver(r.ITLoad(), dt)
-		if r.outageEnergy > battery.RackFullEnergy {
-			r.outageEnergy = battery.RackFullEnergy
+		wasDepleted := r.pack.Depleted()
+		want := units.EnergyOver(r.ITLoad(), dt)
+		got := r.pack.Discharge(r.ITLoad(), dt)
+		if got < want {
+			r.unservedEnergy += want - got
+			if !wasDepleted && r.pack.Depleted() {
+				r.loadDrops++
+			}
 		}
 		return
 	}
@@ -262,17 +256,17 @@ func (r *Rack) checkWatchdog(now time.Duration) {
 	}
 }
 
-// RestoreInput ends the input-power loss at virtual time now: the estimated
-// depth of discharge is computed from the energy the batteries supplied, and
-// the local charger policy picks the initial charging current (the
-// coordinated controller may override it moments later).
+// RestoreInput ends the input-power loss at virtual time now: the rack
+// reports the battery pack's true depth of discharge (not an open-loop
+// outage-length estimate) and the local charger policy picks the initial
+// charging current (the coordinated controller may override it moments
+// later).
 func (r *Rack) RestoreInput(now time.Duration) {
 	if r.inputUp {
 		return
 	}
 	r.inputUp = true
-	dod := units.Fraction(float64(r.outageEnergy) / battery.RackFullEnergy).Clamp01()
-	r.outageEnergy = 0
+	dod := r.pack.DOD()
 	r.lastDOD = dod
 	if dod <= 0 {
 		return
@@ -290,9 +284,23 @@ func (r *Rack) RestoreInput(now time.Duration) {
 	r.chargeEnd = 0
 }
 
-// LastDOD returns the depth of discharge estimated at the most recent input
+// LastDOD returns the depth of discharge reported at the most recent input
 // restore.
 func (r *Rack) LastDOD() units.Fraction { return r.lastDOD }
+
+// BatteryDOD returns the battery pack's live depth of discharge.
+func (r *Rack) BatteryDOD() units.Fraction { return r.pack.DOD() }
+
+// Depleted reports whether the rack is riding out an input-power loss on an
+// empty battery: its IT load is dropped until input returns.
+func (r *Rack) Depleted() bool { return !r.inputUp && r.pack.Depleted() }
+
+// UnservedEnergy returns the cumulative IT energy the batteries could not
+// supply during input-power losses (load lost to depleted packs).
+func (r *Rack) UnservedEnergy() units.Energy { return r.unservedEnergy }
+
+// LoadDropEvents counts the input-power losses that drained the pack dry.
+func (r *Rack) LoadDropEvents() int { return r.loadDrops }
 
 // Charging reports whether the rack's batteries are recharging.
 func (r *Rack) Charging() bool { return r.pack.Charging() }
@@ -338,8 +346,8 @@ func (r *Rack) Postpone() {
 	if !r.pack.Charging() {
 		return
 	}
-	r.pendingDOD = units.Fraction(float64(r.lastDOD) * r.pack.FractionRemaining()).Clamp01()
-	r.pack.Abort()
+	r.pack.Suspend()
+	r.pendingDOD = r.pack.DOD()
 }
 
 // PendingDOD returns the depth of discharge still owed to a postponed

@@ -19,6 +19,7 @@ import (
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
+	"coordcharge/internal/storm"
 	"coordcharge/internal/trace"
 	"coordcharge/internal/units"
 )
@@ -87,6 +88,25 @@ type CoordSpec struct {
 	// WatchdogTTL, when positive, arms every rack's local fail-safe watchdog
 	// and has controllers emit heartbeats to feed it.
 	WatchdogTTL time.Duration
+	// OutageLen fixes the grid event's duration directly (a site-wide outage
+	// of this length) instead of deriving the open-transition length from
+	// AvgDOD. Racks ride through it on their batteries either way; OutageLen
+	// is how storm experiments say "90 seconds of utility loss at peak".
+	OutageLen time.Duration
+	// Storm arms recharge-storm admission control at the planning controller:
+	// a correlated burst of charging starts is paused into a queue and
+	// re-admitted in priority-aware waves under measured breaker headroom.
+	Storm *storm.Config
+	// Guard arms a last-line breaker guard on every node: sustained overdraw
+	// approaching the TripRule window sheds charging current (demote → pause,
+	// reverse priority), capping servers only as a final resort. Guards act
+	// through the server-management plane and keep running while controllers
+	// are crashed.
+	Guard *storm.GuardConfig
+	// TripRule overrides every breaker's protection curve (default: the
+	// power package's 30%-over-for-30s rule). Storm experiments tighten it
+	// to make the trip hazard reachable at realistic rack loads.
+	TripRule *power.TripRule
 }
 
 func (s *CoordSpec) fillDefaults() error {
@@ -105,8 +125,14 @@ func (s *CoordSpec) fillDefaults() error {
 	if s.LocalPolicy == nil {
 		s.LocalPolicy = charger.Variable{}
 	}
-	if s.AvgDOD <= 0 || s.AvgDOD > 1 {
+	if s.OutageLen < 0 {
+		return fmt.Errorf("scenario: negative OutageLen")
+	}
+	if s.OutageLen == 0 && (s.AvgDOD <= 0 || s.AvgDOD > 1) {
 		return fmt.Errorf("scenario: AvgDOD %v out of (0, 1]", s.AvgDOD)
+	}
+	if s.AvgDOD < 0 || s.AvgDOD > 1 {
+		return fmt.Errorf("scenario: AvgDOD %v out of [0, 1]", s.AvgDOD)
 	}
 	if s.Step == 0 {
 		s.Step = 3 * time.Second
@@ -178,6 +204,15 @@ type CoordResult struct {
 	FaultCounters faults.Counters
 	// FailSafeActivations counts rack watchdog firings across the run.
 	FailSafeActivations int
+	// UnservedEnergy is IT energy the batteries could not carry during the
+	// grid event (nonzero only when a pack ran to full depth of discharge).
+	UnservedEnergy units.Energy
+	// LoadDropEvents counts racks that dropped their IT load mid-outage.
+	LoadDropEvents int
+	// Storm reports admission-control activity (zero unless Spec.Storm).
+	Storm storm.Metrics
+	// Guard reports breaker-guard activity (zero unless Spec.Guard).
+	Guard storm.GuardMetrics
 }
 
 // RunCoordinated executes one MSB-level experiment.
@@ -236,6 +271,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			}
 		})
 	}
+	if spec.TripRule != nil {
+		msb.Walk(func(nd *power.Node) { nd.SetTripRule(*spec.TripRule) })
+	}
 	var engine *sim.Engine
 	if spec.CommandLatency > 0 || spec.Distributed {
 		engine = sim.NewEngine()
@@ -248,6 +286,7 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	var hier *dynamo.Hierarchy
 	var asyncLeaves []*dynamo.AsyncLeaf
 	var asyncUpper *dynamo.AsyncUpper
+	var guards []*storm.Guard // async plane only; the Hierarchy owns its own
 	if spec.Distributed {
 		netLatency := spec.NetworkLatency
 		if netLatency == 0 {
@@ -271,6 +310,7 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			StaleAfter: spec.StaleAfter,
 			Retry:      spec.Retry,
 			Heartbeat:  spec.WatchdogTTL > 0,
+			Storm:      spec.Storm,
 		}
 		msb.Walk(func(nd *power.Node) {
 			if nd.Level() != power.LevelRPP {
@@ -285,6 +325,23 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 				dynamo.NewAsyncLeafOpts(fabric, engine, nd, leafRacks, spec.Mode, cfg, false, spec.Step, opts))
 		})
 		asyncUpper = dynamo.NewAsyncUpperOpts(fabric, engine, msb, asyncLeaves, spec.Mode, cfg, spec.Step, opts)
+		if spec.Guard != nil {
+			// The async plane has no Hierarchy to own guards; build them
+			// directly. They act over rack handles (the server-management
+			// plane), so they need no bus endpoints.
+			queue := asyncUpper.StormQueue()
+			msb.Walk(func(nd *power.Node) {
+				var rs []*rack.Rack
+				for _, l := range nd.RackLoads() {
+					rs = append(rs, l.(*rack.Rack))
+				}
+				g := storm.NewGuard(nd, rs, cfg, *spec.Guard)
+				if queue != nil {
+					g.AttachQueue(queue)
+				}
+				guards = append(guards, g)
+			})
+		}
 	} else {
 		hier, err = dynamo.BuildHierarchyOpts(msb, spec.Mode, cfg, dynamo.HierarchyOptions{
 			Engine:      engine,
@@ -293,18 +350,23 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			StaleAfter:  spec.StaleAfter,
 			Retry:       spec.Retry,
 			WatchdogTTL: spec.WatchdogTTL,
+			Storm:       spec.Storm,
+			Guard:       spec.Guard,
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	// The transition hits at the first trace peak, where available power is
-	// most constrained (§V-B1). Its length is derived from the target DOD at
-	// the aggregate load of that moment.
+	// The grid event hits at the first trace peak, where available power is
+	// most constrained (§V-B1). Its length is the specified outage duration,
+	// or is derived from the target DOD at the aggregate load of that moment.
 	peakT := trace.FirstPeak(gen, 24*time.Hour, time.Minute)
-	avgLoad := float64(trace.Aggregate(gen, peakT)) / float64(n)
-	transLen := time.Duration(float64(spec.AvgDOD) * battery.RackFullEnergy / avgLoad * float64(time.Second))
+	transLen := spec.OutageLen
+	if transLen == 0 {
+		avgLoad := float64(trace.Aggregate(gen, peakT)) / float64(n)
+		transLen = time.Duration(float64(spec.AvgDOD) * battery.RackFullEnergy / avgLoad * float64(time.Second))
+	}
 	transLen = transLen.Round(spec.Step)
 	if transLen < spec.Step {
 		transLen = spec.Step
@@ -362,6 +424,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 		if hier != nil {
 			hier.Tick(now)
 		}
+		for _, g := range guards {
+			g.Tick(now)
+		}
 		msb.Walk(func(nd *power.Node) {
 			if nd.Tripped() && !tripped[nd.Name()] {
 				tripped[nd.Name()] = true
@@ -390,7 +455,10 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 		if now > restoreAt {
 			anyCharging := false
 			for _, r := range racks {
-				if r.Charging() {
+				// A postponed or storm-queued charge (pending DOD) is still
+				// outstanding work: the run must not end while the admission
+				// queue drains.
+				if r.Charging() || r.PendingDOD() > 0 {
 					anyCharging = true
 					break
 				}
@@ -410,6 +478,10 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 
 	if hier != nil {
 		res.Metrics = hier.TotalMetrics()
+		if q := hier.StormQueue(); q != nil {
+			res.Storm = q.Metrics()
+		}
+		res.Guard = hier.TotalGuardMetrics()
 	} else {
 		m := asyncUpper.Metrics()
 		for _, l := range asyncLeaves {
@@ -427,12 +499,18 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			m.Restarts += lm.Restarts
 		}
 		res.Metrics = m
+		if q := asyncUpper.StormQueue(); q != nil {
+			res.Storm = q.Metrics()
+		}
+		res.Guard = storm.TotalGuardMetrics(guards)
 	}
 	if inj != nil {
 		res.FaultCounters = inj.Counters()
 	}
 	for _, r := range racks {
 		res.FailSafeActivations += r.FailSafeActivations()
+		res.UnservedEnergy += r.UnservedEnergy()
+		res.LoadDropEvents += r.LoadDropEvents()
 	}
 	endNow := horizon
 	for _, r := range racks {

@@ -89,6 +89,11 @@ type EnduranceResult struct {
 	// Metrics aggregates the control plane's protective actions over the
 	// whole horizon.
 	Metrics dynamo.Metrics
+	// UnservedEnergy is IT energy the batteries could not carry across all
+	// replayed outages (packs that ran to full depth of discharge).
+	UnservedEnergy units.Energy
+	// LoadDropEvents counts rack load drops from battery exhaustion.
+	LoadDropEvents int
 }
 
 // enduranceState bundles the mutable simulation state.
@@ -270,9 +275,10 @@ func RunEndurance(spec EnduranceSpec) (*EnduranceResult, error) {
 				outage = spec.Step
 			}
 			scope.Deenergize(st.clock)
-			// No dynamics while input is out: one bulk step accumulates the
-			// batteries' outage energy, and redundancy is lost for the whole
-			// outage on the affected racks.
+			// No control-plane dynamics while input is out: one bulk step
+			// drains the batteries against the IT load (packs that run dry
+			// record unserved energy and a load drop), and redundancy is lost
+			// for the whole outage on the affected racks.
 			st.clock += outage
 			st.setDemands()
 			for _, r := range st.racks {
@@ -319,6 +325,10 @@ func RunEndurance(spec EnduranceSpec) (*EnduranceResult, error) {
 		res.LossHoursPerYear[p] = frac * 8766
 	}
 	res.Metrics = hier.TotalMetrics()
+	for _, r := range racks {
+		res.UnservedEnergy += r.UnservedEnergy()
+		res.LoadDropEvents += r.LoadDropEvents()
+	}
 	return res, nil
 }
 

@@ -1,0 +1,311 @@
+package storm
+
+import (
+	"sort"
+	"time"
+
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+// GuardConfig parameterises the last-line breaker guard.
+type GuardConfig struct {
+	// FireFraction is the fraction of the breaker TripRule's sustain window
+	// after which sustained overdraw makes the guard act. Zero selects the
+	// default (0.5): the guard fires halfway into the window the breaker
+	// would need to trip, leaving the other half as margin for its shedding
+	// to take effect.
+	FireFraction float64
+	// ResumeAfter is how long draw must stay below the limit before the
+	// guard releases its actions (restores IT caps, resumes paused charges).
+	// Zero selects the breaker's own sustain window.
+	ResumeAfter time.Duration
+	// MaxResumePerTick bounds the paused charges the guard itself resumes
+	// per quiet tick, so a release cannot recreate the storm it shed. Zero
+	// selects 1. Ignored for charges handed to an admission queue.
+	MaxResumePerTick int
+}
+
+// DefaultGuardConfig returns the default guard parameters.
+func DefaultGuardConfig() GuardConfig {
+	return GuardConfig{FireFraction: 0.5, MaxResumePerTick: 1}
+}
+
+// GuardMetrics counts guard activity. ITCapped and MaxITCut are the
+// acceptance signals: a healthy storm run keeps both at zero (charge
+// shedding alone contains the overdraw).
+type GuardMetrics struct {
+	// Fires counts overdraw episodes in which the guard shed anything.
+	Fires int
+	// Demoted counts charging racks demoted to the safe current.
+	Demoted int
+	// Paused counts charges the guard paused outright.
+	Paused int
+	// ITCapped counts racks whose servers the guard capped (final resort).
+	ITCapped int
+	// MaxITCut is the largest total server power the guard capped away at
+	// any instant.
+	MaxITCut units.Power
+	// Resumed counts paused charges the guard itself resumed after quiet.
+	Resumed int
+}
+
+// Guard is the per-breaker last line of defence against recharge storms the
+// planner failed to contain (a planner bug, a stale-telemetry storm, or a
+// crashed controller). It watches the breaker's draw directly and sheds
+// charging current first — demote to the safe current, then pause, walking
+// reverse priority and deepest discharge first — escalating to server power
+// capping only when charge shedding alone cannot clear the trip threshold.
+//
+// Like Dynamo's capping path, the guard acts over the server-management
+// plane: it holds direct rack handles and its actions are not subject to the
+// charger-override command channel's latency or faults. That is what makes
+// it a credible last line when the coordination plane is degraded.
+type Guard struct {
+	node  *power.Node
+	racks []*rack.Rack
+	ccfg  core.Config
+	cfg   GuardConfig
+	queue *Queue // optional: paused charges handed to storm admission
+
+	over       bool
+	overSince  time.Duration
+	fired      bool
+	quietSince time.Duration
+	quiet      bool
+
+	paused []*rack.Rack // self-managed paused charges (no queue attached)
+	capped map[*rack.Rack]bool
+
+	metrics GuardMetrics
+}
+
+// NewGuard builds a guard for node, shedding among the given racks (the
+// racks fed by node). ccfg supplies the safe current and override grid.
+func NewGuard(node *power.Node, racks []*rack.Rack, ccfg core.Config, cfg GuardConfig) *Guard {
+	if cfg.FireFraction <= 0 {
+		cfg.FireFraction = 0.5
+	}
+	if cfg.MaxResumePerTick <= 0 {
+		cfg.MaxResumePerTick = 1
+	}
+	rs := make([]*rack.Rack, len(racks))
+	copy(rs, racks)
+	return &Guard{
+		node:   node,
+		racks:  rs,
+		ccfg:   ccfg,
+		cfg:    cfg,
+		capped: make(map[*rack.Rack]bool),
+	}
+}
+
+// AttachQueue hands the guard's paused charges to a storm admission queue
+// instead of the guard's own quiet-time resume.
+func (g *Guard) AttachQueue(q *Queue) { g.queue = q }
+
+// Node returns the breaker this guard watches.
+func (g *Guard) Node() *power.Node { return g.node }
+
+// Metrics returns the accumulated guard counters.
+func (g *Guard) Metrics() GuardMetrics { return g.metrics }
+
+// fireAfter is the sustained-overdraw duration that makes the guard shed.
+func (g *Guard) fireAfter() time.Duration {
+	sustain := g.node.Rule().Sustain
+	if sustain <= 0 {
+		sustain = 30 * time.Second
+	}
+	return time.Duration(g.cfg.FireFraction * float64(sustain))
+}
+
+// resumeAfter is the quiet time before the guard releases its actions.
+func (g *Guard) resumeAfter() time.Duration {
+	if g.cfg.ResumeAfter > 0 {
+		return g.cfg.ResumeAfter
+	}
+	if s := g.node.Rule().Sustain; s > 0 {
+		return s
+	}
+	return 30 * time.Second
+}
+
+// Tick advances the guard at virtual time now. Call once per simulation
+// tick, after loads and controllers have updated; the guard re-measures the
+// breaker directly and acts within the tick.
+func (g *Guard) Tick(now time.Duration) {
+	if !g.node.Energized() {
+		// No draw while de-energized; clear the episode.
+		g.over, g.fired, g.quiet = false, false, false
+		return
+	}
+	p := g.node.Power()
+	limit := g.node.Limit()
+	if p > limit {
+		g.quiet = false
+		if !g.over {
+			g.over, g.overSince = true, now
+		}
+		if now-g.overSince >= g.fireAfter() {
+			g.shed(now)
+		}
+		return
+	}
+	// Below the limit: the episode (if any) is contained.
+	g.over, g.fired = false, false
+	if !g.hasActions() {
+		g.quiet = false
+		return
+	}
+	if !g.quiet {
+		g.quiet, g.quietSince = true, now
+	}
+	if now-g.quietSince >= g.resumeAfter() {
+		g.release(now)
+	}
+}
+
+// hasActions reports whether the guard holds any shed state to release.
+func (g *Guard) hasActions() bool {
+	return len(g.paused) > 0 || len(g.capped) > 0
+}
+
+// shedOrder returns the candidate racks in shedding order: reverse priority
+// (P3 first), deepest discharge first, then name — the same reverse order
+// the planner's emergency throttle uses.
+func (g *Guard) shedOrder() []*rack.Rack {
+	order := make([]*rack.Rack, len(g.racks))
+	copy(order, g.racks)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.Priority() != b.Priority() {
+			return a.Priority() > b.Priority()
+		}
+		if a.BatteryDOD() != b.BatteryDOD() {
+			return a.BatteryDOD() > b.BatteryDOD()
+		}
+		return a.Name() < b.Name()
+	})
+	return order
+}
+
+// shed walks the escalation ladder within one tick, re-measuring the breaker
+// after every action: (1) demote charging racks to the safe current until
+// draw fits the limit; (2) pause remaining charges; (3) only if draw still
+// exceeds the trip threshold — a storm charge shedding alone cannot contain
+// — cap server power down to the limit, reverse priority.
+func (g *Guard) shed(now time.Duration) {
+	if !g.fired {
+		g.fired = true
+		g.metrics.Fires++
+	}
+	limit := g.node.Limit()
+	safe := g.ccfg.SafeCurrent()
+	order := g.shedOrder()
+
+	// Rung 1: demote charging setpoints to the safe current.
+	for _, r := range order {
+		if g.node.Power() <= limit {
+			return
+		}
+		if !r.InputUp() || !r.Charging() || r.Pack().Setpoint() <= safe {
+			continue
+		}
+		r.OverrideCurrent(safe)
+		g.metrics.Demoted++
+	}
+	// Rung 2: pause charges outright.
+	for _, r := range order {
+		if g.node.Power() <= limit {
+			return
+		}
+		if !r.InputUp() || !r.Charging() {
+			continue
+		}
+		r.Postpone()
+		g.metrics.Paused++
+		if g.queue != nil {
+			g.queue.Enqueue(now, Request{Name: r.Name(), Priority: r.Priority(), DOD: r.PendingDOD()})
+		} else {
+			g.paused = append(g.paused, r)
+		}
+	}
+	// Rung 3 (final resort): charge shedding was not enough. Cap servers
+	// only when the draw still sits beyond the trip threshold.
+	rule := g.node.Rule()
+	threshold := units.Power(float64(limit) * (1 + float64(rule.Fraction)))
+	if g.node.Power() <= threshold {
+		return
+	}
+	var cut units.Power
+	for _, r := range order {
+		over := g.node.Power() - limit
+		if over <= 0 {
+			break
+		}
+		if !r.InputUp() || r.ITLoad() <= 0 {
+			continue
+		}
+		c := r.ITLoad()
+		if c > over {
+			c = over
+		}
+		r.Cap(g.capSource(), r.ITLoad()-c)
+		if !g.capped[r] {
+			g.metrics.ITCapped++
+		}
+		g.capped[r] = true
+		cut += c
+	}
+	if cut > g.metrics.MaxITCut {
+		g.metrics.MaxITCut = cut
+	}
+}
+
+// release unwinds the guard's actions after sustained quiet: server caps
+// lift first (availability before charge time), then — when no admission
+// queue owns them — paused charges resume at the safe current, at most
+// MaxResumePerTick per tick so the release cannot recreate the storm.
+func (g *Guard) release(now time.Duration) {
+	for r := range g.capped {
+		r.Uncap(g.capSource())
+		delete(g.capped, r)
+	}
+	resumed := 0
+	for len(g.paused) > 0 && resumed < g.cfg.MaxResumePerTick {
+		r := g.paused[0]
+		g.paused = g.paused[1:]
+		if r.PendingDOD() <= 0 {
+			continue
+		}
+		r.ResumeCharge(g.ccfg.SafeCurrent())
+		g.metrics.Resumed++
+		resumed++
+	}
+	if !g.hasActions() {
+		g.quiet = false
+	}
+}
+
+// capSource is the cap-registry key this guard caps racks under.
+func (g *Guard) capSource() string { return "guard/" + g.node.Name() }
+
+// TotalGuardMetrics aggregates counters across guards; MaxITCut takes the
+// guard-wide maximum.
+func TotalGuardMetrics(gs []*Guard) GuardMetrics {
+	var m GuardMetrics
+	for _, g := range gs {
+		gm := g.Metrics()
+		m.Fires += gm.Fires
+		m.Demoted += gm.Demoted
+		m.Paused += gm.Paused
+		m.ITCapped += gm.ITCapped
+		m.Resumed += gm.Resumed
+		if gm.MaxITCut > m.MaxITCut {
+			m.MaxITCut = gm.MaxITCut
+		}
+	}
+	return m
+}

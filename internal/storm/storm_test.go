@@ -1,0 +1,391 @@
+package storm
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/charger"
+	"coordcharge/internal/core"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+// --- Admission queue ---
+
+func TestAdmitPriorityOrder(t *testing.T) {
+	q := NewQueue(Config{})
+	q.Enqueue(0, Request{Name: "c", Priority: rack.P3, DOD: 0.5})
+	q.Enqueue(0, Request{Name: "b", Priority: rack.P2, DOD: 0.5})
+	q.Enqueue(0, Request{Name: "a", Priority: rack.P1, DOD: 0.5})
+
+	grants := q.Admit(0, 1*units.Megawatt, core.DefaultConfig())
+	if len(grants) != 3 {
+		t.Fatalf("granted %d of 3", len(grants))
+	}
+	wantOrder := []string{"a", "b", "c"}
+	for i, g := range grants {
+		if g.Name != wantOrder[i] {
+			t.Fatalf("grant %d = %s, want %s", i, g.Name, wantOrder[i])
+		}
+		min, max := core.DefaultConfig().Surface.MinCurrent(), core.DefaultConfig().Surface.MaxCurrent()
+		if g.Current < min || g.Current > max {
+			t.Fatalf("grant %s current %v outside [%v, %v]", g.Name, g.Current, min, max)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue still holds %d after full admission", q.Len())
+	}
+}
+
+func TestAdmitTieBreaksOnDODThenName(t *testing.T) {
+	q := NewQueue(Config{})
+	q.Enqueue(0, Request{Name: "deep", Priority: rack.P2, DOD: 0.8})
+	q.Enqueue(0, Request{Name: "zeta", Priority: rack.P2, DOD: 0.3})
+	q.Enqueue(0, Request{Name: "acme", Priority: rack.P2, DOD: 0.3})
+
+	grants := q.Admit(0, 1*units.Megawatt, core.DefaultConfig())
+	wantOrder := []string{"acme", "zeta", "deep"} // shallow DOD first, then name
+	if len(grants) != 3 {
+		t.Fatalf("granted %d of 3", len(grants))
+	}
+	for i, g := range grants {
+		if g.Name != wantOrder[i] {
+			t.Fatalf("grant %d = %s, want %s", i, g.Name, wantOrder[i])
+		}
+	}
+}
+
+func TestAgingPromotesStarvedP3(t *testing.T) {
+	q := NewQueue(Config{AgeBoost: 10 * time.Minute})
+	// The P3 rack has waited 20 min (two promotion steps -> effective P1);
+	// the fresh P2 arrived a minute ago and is still effective P2. The aged
+	// P3 outranks it for the single admission slot.
+	q.Enqueue(0, Request{Name: "old-p3", Priority: rack.P3, DOD: 0.5})
+	q.Enqueue(19*time.Minute, Request{Name: "new-p2", Priority: rack.P2, DOD: 0.1})
+
+	q.cfg.MaxWave = 1
+	grants := q.Admit(20*time.Minute, 1*units.Megawatt, core.DefaultConfig())
+	if len(grants) != 1 || grants[0].Name != "old-p3" {
+		t.Fatalf("grants = %+v, want the aged P3 first", grants)
+	}
+	if q.Metrics().Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1", q.Metrics().Promotions)
+	}
+}
+
+func TestAgedP3DoesNotJumpCohortP2(t *testing.T) {
+	q := NewQueue(Config{AgeBoost: 10 * time.Minute})
+	// Both enqueued in the same storm, both aged to the effective-P1 clamp:
+	// the nominal class still orders the wave, whatever the DODs and names.
+	q.Enqueue(0, Request{Name: "a-p3", Priority: rack.P3, DOD: 0.1})
+	q.Enqueue(0, Request{Name: "z-p2", Priority: rack.P2, DOD: 0.9})
+
+	grants := q.Admit(40*time.Minute, 1*units.Megawatt, core.DefaultConfig())
+	if len(grants) != 2 || grants[0].Name != "z-p2" {
+		t.Fatalf("grants = %+v, want the nominal P2 first", grants)
+	}
+}
+
+func TestAgingClampsAtP1(t *testing.T) {
+	q := NewQueue(Config{AgeBoost: 10 * time.Minute})
+	// 100 min of waiting is ten promotion steps — far past P1. If the clamp
+	// were missing the P3 would sort ahead of a genuine P1; clamped, the tie
+	// breaks on DOD and the P1 goes first.
+	q.Enqueue(0, Request{Name: "ancient-p3", Priority: rack.P3, DOD: 0.5})
+	q.Enqueue(100*time.Minute, Request{Name: "new-p1", Priority: rack.P1, DOD: 0.1})
+
+	grants := q.Admit(100*time.Minute, 1*units.Megawatt, core.DefaultConfig())
+	if len(grants) != 2 || grants[0].Name != "new-p1" {
+		t.Fatalf("grants = %+v, want new-p1 first", grants)
+	}
+}
+
+func TestAdmitFitsBudgetOnGrid(t *testing.T) {
+	cfg := core.DefaultConfig()
+	q := NewQueue(Config{})
+	// A P1 at DOD 0.9 wants the maximum current (its SLA is infeasible, so
+	// RequiredCurrent returns best-effort 5 A), but the budget only carries
+	// 2.5 A worth — the grant must step down the 1 A grid to 2 A.
+	q.Enqueue(0, Request{Name: "a", Priority: rack.P1, DOD: 0.9})
+	budget := units.Power(2.5 * float64(cfg.WattsPerAmp))
+	grants := q.Admit(0, budget, cfg)
+	if len(grants) != 1 {
+		t.Fatalf("granted %d of 1", len(grants))
+	}
+	if grants[0].Current != 2 {
+		t.Fatalf("grant current = %v, want 2 A", grants[0].Current)
+	}
+}
+
+func TestAdmitHeadOfLineBlocking(t *testing.T) {
+	cfg := core.DefaultConfig()
+	q := NewQueue(Config{})
+	q.Enqueue(0, Request{Name: "front-p1", Priority: rack.P1, DOD: 0.9})
+	q.Enqueue(0, Request{Name: "tiny-p3", Priority: rack.P3, DOD: 0.1})
+
+	// Budget below even the minimum current: nothing may be admitted — the
+	// small P3 cannot jump the blocked P1.
+	minPower := float64(cfg.Surface.MinCurrent()) * cfg.WattsPerAmp
+	if grants := q.Admit(0, units.Power(minPower-1), cfg); len(grants) != 0 {
+		t.Fatalf("admitted %+v past a blocked head", grants)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("queue length = %d, want 2", q.Len())
+	}
+
+	// Budget for exactly one minimum-current grant: the P1 takes it and the
+	// P3 still waits behind it.
+	grants := q.Admit(0, units.Power(minPower), cfg)
+	if len(grants) != 1 || grants[0].Name != "front-p1" || grants[0].Current != cfg.Surface.MinCurrent() {
+		t.Fatalf("grants = %+v, want front-p1 at the minimum current", grants)
+	}
+	if !q.Contains("tiny-p3") {
+		t.Fatal("blocked P3 left the queue without a grant")
+	}
+}
+
+func TestMaxWaveCapsAdmissions(t *testing.T) {
+	q := NewQueue(Config{MaxWave: 2})
+	for _, n := range []string{"a", "b", "c"} {
+		q.Enqueue(0, Request{Name: n, Priority: rack.P2, DOD: 0.5})
+	}
+	if got := len(q.Admit(0, 1*units.Megawatt, core.DefaultConfig())); got != 2 {
+		t.Fatalf("wave 1 admitted %d, want 2", got)
+	}
+	if got := len(q.Admit(0, 1*units.Megawatt, core.DefaultConfig())); got != 1 {
+		t.Fatalf("wave 2 admitted %d, want 1", got)
+	}
+	m := q.Metrics()
+	if m.Waves != 2 || m.Admitted != 3 {
+		t.Fatalf("metrics = %+v, want 2 waves / 3 admitted", m)
+	}
+}
+
+func TestEnqueueDedupAndBookkeeping(t *testing.T) {
+	q := NewQueue(Config{})
+	q.Enqueue(0, Request{Name: "a", Priority: rack.P1, DOD: 0.5})
+	q.Enqueue(0, Request{Name: "a", Priority: rack.P1, DOD: 0.5}) // duplicate
+	q.Enqueue(0, Request{Name: "b", Priority: rack.P2, DOD: 0})   // nothing owed
+	if q.Len() != 1 {
+		t.Fatalf("queue length = %d, want 1", q.Len())
+	}
+	if m := q.Metrics(); m.Enqueued != 1 || m.MaxQueue != 1 {
+		t.Fatalf("metrics = %+v, want Enqueued 1 / MaxQueue 1", m)
+	}
+
+	q.Enqueue(0, Request{Name: "c", Priority: rack.P3, DOD: 0.2})
+	if m := q.Metrics(); m.MaxQueue != 2 {
+		t.Fatalf("MaxQueue = %d, want 2", m.MaxQueue)
+	}
+	if !q.Remove("a") || q.Remove("a") {
+		t.Fatal("Remove did not report membership correctly")
+	}
+	if q.Contains("a") || !q.Contains("c") {
+		t.Fatal("membership wrong after Remove")
+	}
+
+	// A crash-time Reset empties the queue but keeps the counters: metrics
+	// survive the controller restart the queue itself does not.
+	q.Reset()
+	if q.Len() != 0 || q.Contains("c") {
+		t.Fatal("Reset left waiters behind")
+	}
+	if m := q.Metrics(); m.Enqueued != 2 || m.MaxQueue != 2 {
+		t.Fatalf("Reset clobbered metrics: %+v", m)
+	}
+}
+
+// --- Breaker guard ---
+
+// chargingRack builds a rack charging at the maximum current with a deep
+// enough discharge that the charger runs constant-current (full recharge
+// draw), attached to nothing yet.
+func chargingRack(t *testing.T, name string, p rack.Priority, demand units.Power) *rack.Rack {
+	t.Helper()
+	r := rack.New(name, p, charger.Variable{}, battery.Fig5Surface())
+	r.SetDemand(demand)
+	r.LoseInput(0)
+	r.Step(2*time.Minute, 2*time.Minute)
+	r.RestoreInput(2 * time.Minute)
+	if !r.Charging() {
+		t.Fatalf("setup: rack %s not charging after restore", name)
+	}
+	r.OverrideCurrent(5 * units.Ampere)
+	return r
+}
+
+// guardRig wires racks under one RPP node with a guard.
+func guardRig(t *testing.T, cfg GuardConfig, racks ...*rack.Rack) (*power.Node, *Guard) {
+	t.Helper()
+	n := power.NewNode("rpp", power.LevelRPP, power.DefaultRPPLimit)
+	for _, r := range racks {
+		n.AttachLoad(r)
+	}
+	return n, NewGuard(n, racks, core.DefaultConfig(), cfg)
+}
+
+func TestGuardDemotesBeforePausing(t *testing.T) {
+	r1 := chargingRack(t, "p1", rack.P1, 6300*units.Watt)
+	r2 := chargingRack(t, "p2", rack.P2, 6300*units.Watt)
+	r3 := chargingRack(t, "p3a", rack.P3, 6300*units.Watt)
+	r4 := chargingRack(t, "p3b", rack.P3, 6300*units.Watt)
+	n, g := guardRig(t, GuardConfig{}, r1, r2, r3, r4)
+
+	// A sliver of overdraw: demoting the first P3 rack must already contain
+	// it, leaving every other setpoint — and all IT load — untouched.
+	n.SetLimit(n.Power() - 1*units.Watt)
+	start := 3 * time.Minute
+	g.Tick(start)
+	if g.Metrics().Fires != 0 {
+		t.Fatal("guard fired before the sustain window opened")
+	}
+	g.Tick(start + g.fireAfter())
+
+	m := g.Metrics()
+	if m.Fires != 1 || m.Demoted != 1 || m.Paused != 0 || m.ITCapped != 0 {
+		t.Fatalf("metrics = %+v, want exactly one demote", m)
+	}
+	if n.Power() > n.Limit() {
+		t.Fatalf("draw %v still over limit %v after shed", n.Power(), n.Limit())
+	}
+	if r3.Pack().Setpoint() != core.DefaultConfig().SafeCurrent() {
+		t.Fatalf("p3a setpoint = %v, want the safe current", r3.Pack().Setpoint())
+	}
+	for _, r := range []*rack.Rack{r1, r2, r4} {
+		if r.Pack().Setpoint() != 5 {
+			t.Fatalf("%s setpoint = %v, want untouched 5 A", r.Name(), r.Pack().Setpoint())
+		}
+	}
+}
+
+func TestGuardEscalatesToPauseIntoQueue(t *testing.T) {
+	r1 := chargingRack(t, "p1", rack.P1, 6300*units.Watt)
+	r2 := chargingRack(t, "p2", rack.P2, 6300*units.Watt)
+	r3 := chargingRack(t, "p3a", rack.P3, 6300*units.Watt)
+	r4 := chargingRack(t, "p3b", rack.P3, 6300*units.Watt)
+	n, g := guardRig(t, GuardConfig{}, r1, r2, r3, r4)
+	q := NewQueue(Config{})
+	g.AttachQueue(q)
+
+	// Even the whole fleet at the safe current overdraws: after demoting all
+	// four, the guard must pause reverse-priority until the draw fits. The
+	// limit leaves room for IT plus 1.5 safe-current charges, so exactly
+	// three pauses (both P3s and the P2) are needed and the P1 keeps charging.
+	it := r1.ITLoad() + r2.ITLoad() + r3.ITLoad() + r4.ITLoad()
+	safePower := units.Power(float64(core.DefaultConfig().SafeCurrent()) * core.DefaultConfig().WattsPerAmp)
+	n.SetLimit(it + units.Power(1.5*float64(safePower)))
+	start := 3 * time.Minute
+	g.Tick(start)
+	g.Tick(start + g.fireAfter())
+
+	m := g.Metrics()
+	if m.Demoted != 4 || m.Paused != 3 || m.ITCapped != 0 {
+		t.Fatalf("metrics = %+v, want 4 demoted / 3 paused / 0 IT capped", m)
+	}
+	if n.Power() > n.Limit() {
+		t.Fatalf("draw %v still over limit %v", n.Power(), n.Limit())
+	}
+	if !r1.Charging() {
+		t.Fatal("the P1 charge was paused before lower priorities covered the shed")
+	}
+	for _, r := range []*rack.Rack{r2, r3, r4} {
+		if r.Charging() || r.PendingDOD() <= 0 || !q.Contains(r.Name()) {
+			t.Fatalf("%s: charging=%v pending=%v queued=%v, want paused into the queue",
+				r.Name(), r.Charging(), r.PendingDOD(), q.Contains(r.Name()))
+		}
+	}
+}
+
+func TestGuardSelfResumesAfterQuiet(t *testing.T) {
+	r1 := chargingRack(t, "p1", rack.P1, 6300*units.Watt)
+	r2 := chargingRack(t, "p3a", rack.P3, 6300*units.Watt)
+	r3 := chargingRack(t, "p3b", rack.P3, 6300*units.Watt)
+	n, g := guardRig(t, GuardConfig{}, r1, r2, r3)
+
+	it := r1.ITLoad() + r2.ITLoad() + r3.ITLoad()
+	n.SetLimit(it + 400*units.Watt) // one safe-current charge fits
+	start := 3 * time.Minute
+	g.Tick(start)
+	shedAt := start + g.fireAfter()
+	g.Tick(shedAt)
+	if m := g.Metrics(); m.Paused != 2 {
+		t.Fatalf("paused %d, want 2 (no queue attached -> self-managed)", m.Paused)
+	}
+
+	// Relax the limit and stay quiet for the resume window: the guard must
+	// resume its paused charges one per tick at the safe current.
+	n.SetLimit(power.DefaultRPPLimit)
+	g.Tick(shedAt + time.Second)
+	quiet := shedAt + time.Second + g.resumeAfter()
+	g.Tick(quiet)
+	if m := g.Metrics(); m.Resumed != 1 {
+		t.Fatalf("Resumed = %d after first quiet release, want 1 (MaxResumePerTick)", m.Resumed)
+	}
+	g.Tick(quiet + time.Second)
+	if m := g.Metrics(); m.Resumed != 2 {
+		t.Fatalf("Resumed = %d after second release, want 2", m.Resumed)
+	}
+	for _, r := range []*rack.Rack{r2, r3} {
+		if !r.Charging() || r.Pack().Setpoint() != core.DefaultConfig().SafeCurrent() {
+			t.Fatalf("%s not resumed at the safe current", r.Name())
+		}
+	}
+}
+
+func TestGuardCapsITOnlyBeyondTripThreshold(t *testing.T) {
+	mk := func(name string, p rack.Priority) *rack.Rack {
+		r := rack.New(name, p, charger.Variable{}, battery.Fig5Surface())
+		r.SetDemand(12 * units.Kilowatt)
+		return r
+	}
+	r1, r2, r3 := mk("p1", rack.P1), mk("p2", rack.P2), mk("p3", rack.P3)
+	n, g := guardRig(t, GuardConfig{}, r1, r2, r3)
+	n.SetLimit(20 * units.Kilowatt) // 36 kW of pure IT load, threshold 26 kW
+
+	start := time.Duration(0)
+	g.Tick(start)
+	g.Tick(start + g.fireAfter())
+
+	m := g.Metrics()
+	if m.ITCapped != 2 || m.Demoted != 0 || m.Paused != 0 {
+		t.Fatalf("metrics = %+v, want exactly the two lowest priorities capped", m)
+	}
+	if m.MaxITCut != 16*units.Kilowatt {
+		t.Fatalf("MaxITCut = %v, want 16 kW", m.MaxITCut)
+	}
+	if n.Power() != n.Limit() {
+		t.Fatalf("draw %v after capping, want exactly the limit %v", n.Power(), n.Limit())
+	}
+	if r1.ITLoad() != 12*units.Kilowatt {
+		t.Fatalf("P1 IT load cut to %v; the final resort must walk reverse priority", r1.ITLoad())
+	}
+	if r3.ITLoad() != 0 || r2.ITLoad() != 8*units.Kilowatt {
+		t.Fatalf("cap split = P3 %v / P2 %v, want 0 / 8 kW", r3.ITLoad(), r2.ITLoad())
+	}
+
+	// Quiet release restores the caps (availability first).
+	capAt := start + g.fireAfter()
+	g.Tick(capAt + time.Second)
+	g.Tick(capAt + time.Second + g.resumeAfter())
+	if r3.ITLoad() != 12*units.Kilowatt || r2.ITLoad() != 12*units.Kilowatt {
+		t.Fatalf("caps not lifted on release: P3 %v P2 %v", r3.ITLoad(), r2.ITLoad())
+	}
+}
+
+func TestGuardIgnoresBriefSpikes(t *testing.T) {
+	r1 := chargingRack(t, "p1", rack.P1, 6300*units.Watt)
+	n, g := guardRig(t, GuardConfig{}, r1)
+	n.SetLimit(n.Power() - 1*units.Watt)
+	start := 3 * time.Minute
+	g.Tick(start)
+	// The draw dips back under the limit before the fire window closes.
+	n.SetLimit(power.DefaultRPPLimit)
+	g.Tick(start + g.fireAfter()/2)
+	n.SetLimit(n.Power() - 1*units.Watt)
+	g.Tick(start + g.fireAfter())
+	if m := g.Metrics(); m.Fires != 0 {
+		t.Fatalf("guard fired on a non-sustained spike: %+v", m)
+	}
+}

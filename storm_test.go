@@ -1,0 +1,174 @@
+package coordcharge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/storm"
+	"coordcharge/internal/units"
+)
+
+// Recharge-storm acceptance: a site-wide 90 s utility outage at peak load
+// drains every BBU at once, and the synchronized recharge that follows is the
+// paper's §I trip hazard. With storm admission armed the fleet must recover
+// with zero breaker trips and zero IT load lost to the guard; without it, the
+// same scenario must demonstrably trip the breaker (or force the guard to
+// act) — proving the hazard the admission layer removes is real.
+
+// stormSpec is the shared scenario: 30 racks, a breaker limit close to the
+// IT peak, and a hair-trigger 5 %/30 s protection curve that makes the trip
+// hazard reachable at realistic rack loads.
+func stormSpec(seed int64) scenario.CoordSpec {
+	return scenario.CoordSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10,
+		Seed:              seed,
+		MSBLimit:          205 * units.Kilowatt,
+		Mode:              dynamo.ModePriorityAware,
+		OutageLen:         90 * time.Second,
+		TripRule:          &power.TripRule{Fraction: 0.05, Sustain: 30 * time.Second},
+		MaxChargeDuration: 6 * time.Hour,
+	}
+}
+
+// armStorm arms admission control and the guard the way `coordsim -storm
+// -admission -guard` does, with a reserve small enough for the tight limit.
+func armStorm(spec *scenario.CoordSpec) {
+	sc := storm.Default()
+	sc.Reserve = 0.01
+	spec.Storm = &sc
+	g := storm.DefaultGuardConfig()
+	spec.Guard = &g
+}
+
+func meanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+func TestStormSurvivalWithAdmission(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := stormSpec(seed)
+			armStorm(&spec)
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tripped) != 0 {
+				t.Fatalf("breakers tripped with admission on: %v", res.Tripped)
+			}
+			if res.Guard.ITCapped != 0 || res.Guard.MaxITCut != 0 {
+				t.Fatalf("guard capped IT load (%d racks, %v max cut); a contained storm sheds charge only",
+					res.Guard.ITCapped, res.Guard.MaxITCut)
+			}
+			if res.LastChargeDone == 0 {
+				t.Fatal("recharges still outstanding at the horizon; the admission queue must drain")
+			}
+			if res.Storm.Storms == 0 || res.Storm.Admitted < spec.NumP1+spec.NumP2+spec.NumP3 {
+				t.Fatalf("storm metrics = %+v, want every rack admitted through the queue", res.Storm)
+			}
+			for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+				if got := len(res.ChargeDurations[p]); got != res.Racks[p] {
+					t.Fatalf("%v: only %d/%d racks completed their recharge", p, got, res.Racks[p])
+				}
+			}
+			p1 := meanDuration(res.ChargeDurations[rack.P1])
+			p2 := meanDuration(res.ChargeDurations[rack.P2])
+			p3 := meanDuration(res.ChargeDurations[rack.P3])
+			if !(p1 < p2 && p2 < p3) {
+				t.Fatalf("completion means not priority-ordered: P1 %v, P2 %v, P3 %v", p1, p2, p3)
+			}
+		})
+	}
+}
+
+// The distributed control plane must pass the same bar: admission decisions
+// travel over the message bus (pause/resume directives through the leaves)
+// rather than direct controller calls.
+func TestStormSurvivalWithAdmissionDistributed(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := stormSpec(seed)
+			armStorm(&spec)
+			spec.Distributed = true
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tripped) != 0 {
+				t.Fatalf("breakers tripped with admission on: %v", res.Tripped)
+			}
+			if res.Guard.ITCapped != 0 || res.Guard.MaxITCut != 0 {
+				t.Fatalf("guard capped IT load (%d racks, %v max cut)", res.Guard.ITCapped, res.Guard.MaxITCut)
+			}
+			if res.LastChargeDone == 0 {
+				t.Fatal("recharges still outstanding at the horizon")
+			}
+			if res.Storm.Storms == 0 {
+				t.Fatalf("storm metrics = %+v, want a detected storm", res.Storm)
+			}
+		})
+	}
+}
+
+// Control arm: with admission off and the coordinating controllers crashed
+// (the planner cannot throttle the synchronized restart), the guard is the
+// last line — it must act, and acting must keep the breaker closed.
+func TestStormGuardActsWhenAdmissionOff(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := stormSpec(seed)
+			g := storm.DefaultGuardConfig()
+			spec.Guard = &g
+			spec.Faults = faults.Config{
+				Seed:           seed,
+				ControllerMTBF: time.Millisecond,
+				ControllerMTTR: 1000 * time.Hour,
+			}
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Guard.Fires == 0 {
+				t.Fatalf("guard never fired with the planner down (guard = %+v)", res.Guard)
+			}
+			if len(res.Tripped) != 0 {
+				t.Fatalf("guard fired but breakers still tripped: %v", res.Tripped)
+			}
+		})
+	}
+}
+
+// Control arm: with neither admission nor the guard, the same storm trips the
+// breaker — the hazard is real, not an artifact of the tightened rule.
+func TestStormTripsWithoutProtection(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec := stormSpec(seed)
+			spec.Faults = faults.Config{
+				Seed:           seed,
+				ControllerMTBF: time.Millisecond,
+				ControllerMTTR: 1000 * time.Hour,
+			}
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Tripped) == 0 {
+				t.Fatal("storm did not trip any breaker with all protection off")
+			}
+		})
+	}
+}
