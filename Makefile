@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-short test-race bench cover fuzz reproduce examples clean
+.PHONY: build test test-short test-race bench bench-json cover fuzz reproduce examples clean
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,10 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One pass over every benchmark, archived as machine-readable JSON.
+bench-json:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 cover:
 	$(GO) test -cover ./...

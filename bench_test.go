@@ -13,6 +13,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/dynamo"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/reliability"
@@ -485,6 +486,51 @@ func BenchmarkStormRecovery(b *testing.B) {
 		recoveryMin = res.LastChargeDone.Minutes()
 	}
 	b.ReportMetric(recoveryMin, "recovery-min")
+}
+
+// obsOverheadSpec is the storm-recovery scenario BenchmarkObsOverhead replays
+// under each observability setting: every instrumented path (controllers,
+// admission queue, guard, watchdogs) is on the hot loop.
+func obsOverheadSpec(s *obs.Sink) scenario.CoordSpec {
+	sc := storm.Default()
+	sc.Reserve = 0.01
+	g := storm.DefaultGuardConfig()
+	return scenario.CoordSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10, Seed: 1,
+		MSBLimit: 205 * units.Kilowatt, Mode: dynamo.ModePriorityAware,
+		OutageLen:         90 * time.Second,
+		TripRule:          &power.TripRule{Fraction: 0.05, Sustain: 30 * time.Second},
+		MaxChargeDuration: 6 * time.Hour,
+		Storm:             &sc, Guard: &g,
+		Obs: s,
+	}
+}
+
+// BenchmarkObsOverhead measures what the observability plane costs a storm
+// run. The disabled case is the default for every library caller — nil sink,
+// every metric and event call hitting the nil-receiver fast path — and must
+// stay within noise of a build without instrumentation (<2 %). The enabled
+// case carries the full registry and flight recorder and reports how many
+// events one recovery journals.
+func BenchmarkObsOverhead(b *testing.B) {
+	b.Run("disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scenario.RunCoordinated(obsOverheadSpec(nil)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		var events float64
+		for i := 0; i < b.N; i++ {
+			sink := obs.NewSink(obs.DefaultFlightCap)
+			if _, err := scenario.RunCoordinated(obsOverheadSpec(sink)); err != nil {
+				b.Fatal(err)
+			}
+			events = float64(sink.Flight.Total())
+		}
+		b.ReportMetric(events, "events")
+	})
 }
 
 // BenchmarkAblationPostpone contrasts the postponed-charging extension with

@@ -1,0 +1,122 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, so benchmark results can be archived and diffed
+// mechanically (see `make bench-json`).
+//
+// Each benchmark line
+//
+//	BenchmarkStormRecovery-8   1   203417385 ns/op   97.30 recovery-min
+//
+// becomes
+//
+//	{"name":"StormRecovery","pkg":"coordcharge","procs":8,"iterations":1,
+//	 "metrics":{"ns/op":203417385,"recovery-min":97.3}}
+//
+// Non-benchmark lines (goos/goarch/cpu headers, PASS/ok trailers) set the
+// document's context fields and are otherwise ignored, so the tool can be fed
+// the raw output of `go test -bench=. ./...` across many packages.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Pkg        string             `json:"pkg,omitempty"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Doc is the whole document: machine context plus every benchmark.
+type Doc struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func main() {
+	doc, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Doc, error) {
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	doc := &Doc{Benchmarks: []Result{}}
+	pkg := ""
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			r, ok, err := parseBench(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseBench parses one "BenchmarkName-P  N  value unit  value unit ..."
+// line. Lines that merely start with "Benchmark" but do not follow the
+// results grammar (e.g. a failure message) are skipped, not fatal.
+func parseBench(line, pkg string) (Result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Result{}, false, nil
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	procs := 0
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false, nil
+	}
+	r := Result{Name: name, Pkg: pkg, Procs: procs, Iterations: iters,
+		Metrics: map[string]float64{}}
+	// The tail is value/unit pairs; an odd leftover is a malformed line.
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return Result{}, false, fmt.Errorf("odd value/unit tail in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return Result{}, false, fmt.Errorf("bad value %q in %q", rest[i], line)
+		}
+		r.Metrics[rest[i+1]] = v
+	}
+	return r, true, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: coordcharge
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStormRecovery-8   	       1	 203417385 ns/op	        97.30 recovery-min
+BenchmarkObsOverhead/disabled-8         	       2	 100777446 ns/op
+BenchmarkObsOverhead/enabled-8          	       2	 134066046 ns/op	      5540 events
+PASS
+ok  	coordcharge	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.CPU == "" {
+		t.Fatalf("context not captured: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "StormRecovery" || b.Pkg != "coordcharge" || b.Procs != 8 || b.Iterations != 1 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 203417385 || b.Metrics["recovery-min"] != 97.30 {
+		t.Fatalf("first benchmark metrics = %v", b.Metrics)
+	}
+	if doc.Benchmarks[2].Name != "ObsOverhead/enabled" || doc.Benchmarks[2].Metrics["events"] != 5540 {
+		t.Fatalf("sub-benchmark = %+v", doc.Benchmarks[2])
+	}
+}
+
+func TestParseSkipsMalformedNames(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken\nBenchmarkAlso-8 notanumber ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(doc.Benchmarks))
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"coordcharge/internal/config"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/scenario"
 	"coordcharge/internal/storm"
@@ -29,6 +30,8 @@ type customSpec struct {
 	storm        time.Duration
 	admission    bool
 	guard        bool
+	serve        string
+	pace         float64
 }
 
 func parseMode(s string) (dynamo.Mode, error) { return config.ParseMode(s) }
@@ -208,6 +211,26 @@ func runCustom(cs customSpec) {
 		f.Close()
 		check(err)
 		spec.Trace = m
+	}
+	if cs.serve != "" {
+		sink := obs.NewSink(obs.DefaultFlightCap)
+		spec.Obs = sink
+		srv, addr, err := obs.Serve(cs.serve, sink, func() map[string]any {
+			return map[string]any{"mode": cs.mode, "seed": cs.seed}
+		})
+		check(err)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "coordsim: observability on http://%s (metrics, healthz, debug/flight, debug/pprof)\n", addr)
+		if cs.pace > 0 {
+			// Pace virtual time against the wall clock so a scraper can watch
+			// the run unfold: sleep one tick's worth of wall time, scaled.
+			step := spec.Step
+			if step == 0 {
+				step = 3 * time.Second // RunCoordinated's default tick
+			}
+			wait := time.Duration(float64(step) / cs.pace)
+			spec.StepHook = func(time.Duration) { time.Sleep(wait) }
+		}
 	}
 	res, err := scenario.RunCoordinated(spec)
 	check(err)

@@ -56,7 +56,10 @@ func main() {
 	stormDur := flag.Duration("storm", 0, "custom run: site-wide outage duration (grid-event storm; replaces the -dod-derived transition length)")
 	admission := flag.Bool("admission", false, "custom run: arm recharge-storm admission control (priority-aware waves under measured headroom)")
 	guard := flag.Bool("guard", false, "custom run: arm the last-line breaker guard (sheds charging current before the trip window closes)")
+	serve := flag.String("serve", "", "custom run: serve the observability surface (/metrics, /healthz, /debug/flight, pprof) on this address while the run executes, e.g. :8080")
+	pace := flag.Float64("pace", 0, "custom run: simulated seconds per wall-clock second (0 = free-running); requires -serve")
 	flag.Parse()
+	validateFlags()
 
 	if *configPath != "" {
 		runConfig(*configPath, *csv)
@@ -68,6 +71,7 @@ func main() {
 			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
 			analytics: *analytics, faultsSpec: *faultsSpec, watchdog: *watchdog,
 			storm: *stormDur, admission: *admission, guard: *guard,
+			serve: *serve, pace: *pace,
 		})
 		return
 	}
@@ -130,6 +134,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "coordsim: pass -fig 12|13|14|15, -table 3, or -all")
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// validateFlags rejects incoherent flag combinations up front, before any
+// simulation work starts, so a typo'd invocation fails fast with a clear
+// message instead of silently ignoring half the flags.
+func validateFlags() {
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "coordsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
+	// Flags that only mean something inside a custom -run experiment.
+	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard"} {
+		if set[name] && !set["run"] {
+			fail("-%s requires -run", name)
+		}
+	}
+	if set["run"] {
+		for _, name := range []string{"fig", "table", "all", "endurance", "config"} {
+			if set[name] {
+				fail("-run is incompatible with -%s", name)
+			}
+		}
+	}
+	// Storm machinery needs a storm to act on.
+	for _, name := range []string{"admission", "guard"} {
+		if set[name] && !set["storm"] {
+			fail("-%s requires -storm (there is no recharge storm without a grid event)", name)
+		}
+	}
+	if set["pace"] && !set["serve"] {
+		fail("-pace requires -serve (pacing only matters when something is scraping the run)")
+	}
+	if f := flag.Lookup("pace"); f != nil && set["pace"] {
+		if v, ok := f.Value.(flag.Getter); ok {
+			if p, ok := v.Get().(float64); ok && p < 0 {
+				fail("-pace must be >= 0 (got %v)", p)
+			}
+		}
+	}
+	if set["years"] && !set["endurance"] {
+		fail("-years requires -endurance")
 	}
 }
 

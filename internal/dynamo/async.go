@@ -3,12 +3,14 @@ package dynamo
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"coordcharge/internal/bus"
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -107,6 +109,10 @@ type AsyncOptions struct {
 	// controller acts on it (leaves forward its pause/resume directives);
 	// the option is ignored elsewhere.
 	Storm *storm.Config
+	// Obs attaches an observability sink: protective actions are counted
+	// under dynamo.* metrics and control decisions are journaled to the
+	// flight recorder. Nil disables instrumentation at zero cost.
+	Obs *obs.Sink
 }
 
 func (o AsyncOptions) evalAfter(poll time.Duration) time.Duration {
@@ -229,6 +235,8 @@ type AsyncLeaf struct {
 	down       bool
 	resync     bool
 	pending    map[string]*pendingOverride
+
+	obsHandles
 }
 
 // LeafEndpoint returns the bus endpoint name for a leaf controller.
@@ -265,6 +273,7 @@ func NewAsyncLeafOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, agentRac
 		evalAfter:  opts.evalAfter(poll),
 		pending:    make(map[string]*pendingOverride),
 	}
+	l.obsHandles = newObsHandles(opts.Obs, node.Name())
 	for _, r := range agentRacks {
 		l.agents = append(l.agents, AgentEndpoint(r.Name()))
 	}
@@ -282,6 +291,7 @@ func (l *AsyncLeaf) Down() bool { return l.down }
 func (l *AsyncLeaf) crash() {
 	l.down = true
 	l.metrics.Crashes++
+	l.cCrashes.Inc()
 	l.cache = make(map[string]Snapshot)
 	l.was = make(map[string]bool)
 	for _, p := range l.pending {
@@ -310,6 +320,8 @@ func (l *AsyncLeaf) poll(now time.Duration) {
 		l.down = false
 		l.resync = true
 		l.metrics.Restarts++
+		l.cRestarts.Inc()
+		l.sink.Event(now, l.name, "restart")
 	}
 	l.gen++
 	gen := l.gen
@@ -364,9 +376,11 @@ func (l *AsyncLeaf) evaluate(now time.Duration) {
 	for i, s := range snaps {
 		if !l.freshSnap(s, now) {
 			l.metrics.StaleTelemetry++
+			l.cStale.Inc()
 			snaps[i] = conservativeView(s, l.cfg)
 		}
 	}
+	l.gHeadroom.Set(float64(l.node.Headroom()))
 	planned := false
 	if l.resync {
 		// First generation after a restart: rebuild charge tracking from
@@ -402,6 +416,9 @@ func (l *AsyncLeaf) sendOverride(now time.Duration, rackName string, want units.
 	want = charger.ClampOverride(want)
 	l.b.Send(l.name, AgentEndpoint(rackName), "override", want)
 	l.metrics.OverridesIssued++
+	l.cOverrides.Inc()
+	l.sink.Event(now, l.name, "override",
+		"rack", rackName, "amps", strconv.Itoa(int(want)))
 	if !l.retry.enabled() {
 		return
 	}
@@ -425,15 +442,25 @@ func (l *AsyncLeaf) checkPendingOne(now time.Duration, rackName string, p *pendi
 	}
 	if s, ok := l.cache[rackName]; ok && s.Taken > p.issuedAt && (!s.Charging || s.Setpoint == p.want) {
 		delete(l.pending, rackName)
+		l.cConfirms.Inc()
+		wait := (now - p.issuedAt).Seconds()
+		l.hConfirm.Observe(wait)
+		l.sink.Event(now, l.name, "confirm",
+			"rack", rackName, "wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
 		return
 	}
 	if p.attempts >= l.retry.maxAttempts() {
 		delete(l.pending, rackName)
 		l.metrics.AbandonedOverrides++
+		l.cAbandons.Inc()
+		l.sink.Event(now, l.name, "abandon", "rack", rackName)
 		return
 	}
 	p.attempts++
 	l.metrics.Retries++
+	l.cRetries.Inc()
+	l.sink.Event(now, l.name, "retry",
+		"rack", rackName, "attempt", strconv.Itoa(p.attempts))
 	l.b.Send(l.name, AgentEndpoint(rackName), "override", p.want)
 	p.issuedAt = now
 	l.armPending(rackName, p)
@@ -472,6 +499,10 @@ func (l *AsyncLeaf) planFresh(now time.Duration, snaps []Snapshot) bool {
 		plan = core.PlanPriorityAware(available, fresh, cfg)
 	}
 	l.metrics.PlansComputed++
+	l.cPlans.Inc()
+	l.sink.Event(now, l.name, "plan",
+		"starts", strconv.Itoa(len(fresh)),
+		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
 	for _, asg := range plan {
 		if asg.DOD <= 0 || asg.Postponed {
 			continue
@@ -510,6 +541,10 @@ func (l *AsyncLeaf) protect(now time.Duration, snaps []Snapshot) {
 		ids := core.ThrottleToMinimum(excess, active, l.cfg)
 		if len(ids) > 0 {
 			l.metrics.ThrottleEvents++
+			l.cThrottles.Inc()
+			l.sink.Event(now, l.name, "throttle",
+				"sheds", strconv.Itoa(len(ids)),
+				"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
 		}
 		min := l.cfg.Surface.MinCurrent()
 		for _, id := range ids {
@@ -531,7 +566,7 @@ func (l *AsyncLeaf) protect(now time.Duration, snaps []Snapshot) {
 
 // applyCaps distributes a server power reduction lowest-priority-first via
 // cap messages.
-func (l *AsyncLeaf) applyCaps(_ time.Duration, snaps []Snapshot, needed units.Power) {
+func (l *AsyncLeaf) applyCaps(now time.Duration, snaps []Snapshot, needed units.Power) {
 	order := append([]Snapshot(nil), snaps...)
 	sort.SliceStable(order, func(i, j int) bool { return order[i].Priority > order[j].Priority })
 	var applied, it units.Power
@@ -555,6 +590,10 @@ func (l *AsyncLeaf) applyCaps(_ time.Duration, snaps []Snapshot, needed units.Po
 		l.b.Send(l.name, AgentEndpoint(s.Name), "cap", CapRequest{Source: l.name, Level: s.Demand - cut})
 		needed -= cut
 		applied += cut
+	}
+	if applied > 0 {
+		l.sink.Event(now, l.name, "cap",
+			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}
 	if applied > l.metrics.MaxCapping {
 		l.metrics.MaxCapping = applied
@@ -668,6 +707,8 @@ type AsyncUpper struct {
 	// so a lost resume message degrades a rack's charge start, never loses it.
 	stormQ  *storm.Queue
 	resumed map[string]time.Duration
+
+	obsHandles
 }
 
 // UpperEndpoint returns the bus endpoint name for an upper controller.
@@ -699,9 +740,13 @@ func NewAsyncUpperOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves 
 		staleAfter: opts.StaleAfter,
 		evalAfter:  opts.evalAfter(poll),
 	}
+	u.obsHandles = newObsHandles(opts.Obs, node.Name())
 	if opts.Storm != nil {
 		u.stormQ = storm.NewQueue(*opts.Storm)
 		u.resumed = make(map[string]time.Duration)
+		if opts.Obs != nil {
+			u.stormQ.SetObs(opts.Obs)
+		}
 	}
 	for _, l := range leaves {
 		u.leaves = append(u.leaves, l.name)
@@ -731,6 +776,7 @@ func (u *AsyncUpper) StormQueue() *storm.Queue { return u.stormQ }
 func (u *AsyncUpper) crash() {
 	u.down = true
 	u.metrics.Crashes++
+	u.cCrashes.Inc()
 	u.agg = make(map[string]AggregateReply)
 	u.was = make(map[string]bool)
 	if u.stormQ != nil {
@@ -756,6 +802,8 @@ func (u *AsyncUpper) poll(now time.Duration) {
 		u.down = false
 		u.resync = true
 		u.metrics.Restarts++
+		u.cRestarts.Inc()
+		u.sink.Event(now, u.name, "restart")
 	}
 	u.gen++
 	gen := u.gen
@@ -808,11 +856,23 @@ func (u *AsyncUpper) evaluate(now time.Duration) {
 		snaps = append(snaps, u.agg[ep].Racks...)
 	}
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Name < snaps[j].Name })
+	stale := 0
 	for i, s := range snaps {
 		if !u.fresh(s, now) {
 			u.metrics.StaleTelemetry++
+			u.cStale.Inc()
+			stale++
 			snaps[i] = conservativeView(s, u.cfg)
 		}
+	}
+	if u.sink != nil {
+		u.gHeadroom.Set(float64(u.node.Headroom()))
+		// One telemetry summary per evaluation generation (per-rack events
+		// would flood the flight recorder at fleet scale).
+		u.sink.Event(now, u.name, "telemetry",
+			"fresh", strconv.Itoa(len(snaps)-stale),
+			"stale", strconv.Itoa(stale),
+			"headroom_w", strconv.FormatFloat(float64(u.node.Headroom()), 'f', 0, 64))
 	}
 
 	if u.resync {
@@ -886,8 +946,10 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		// whose pause message is lost shows up fresh again next generation
 		// and is re-paused.
 		if len(fresh) >= u.stormQ.Config().MinRacks {
-			u.stormQ.NoteStorm()
+			u.stormQ.NoteStorm(now)
 		}
+		u.sink.Event(now, u.name, "storm-pause",
+			"starts", strconv.Itoa(len(fresh)))
 		byLeaf := map[string][]string{}
 		for _, ri := range fresh {
 			u.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: snaps[ri.ID].DOD})
@@ -912,6 +974,10 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		plan = core.PlanPriorityAware(available, fresh, cfg)
 	}
 	u.metrics.PlansComputed++
+	u.cPlans.Inc()
+	u.sink.Event(now, u.name, "plan",
+		"starts", strconv.Itoa(len(fresh)),
+		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
 	byLeaf := map[string]map[string]units.Current{}
 	for _, asg := range plan {
 		if asg.DOD <= 0 || asg.Postponed {
@@ -926,6 +992,7 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		}
 		byLeaf[leaf][asg.Name] = asg.Current
 		u.metrics.OverridesIssued++
+		u.cOverrides.Inc()
 	}
 	for _, leaf := range sortedKeys(byLeaf) {
 		u.b.Send(u.name, leaf, "setcurrents", byLeaf[leaf])
@@ -994,6 +1061,7 @@ func (u *AsyncUpper) admitStorm(now time.Duration, snaps []Snapshot) {
 		byLeaf[leaf][g.Name] = g.Current
 		u.resumed[g.Name] = now
 		u.metrics.OverridesIssued++
+		u.cOverrides.Inc()
 	}
 	for _, leaf := range sortedKeys(byLeaf) {
 		u.b.Send(u.name, leaf, "resumecharges", byLeaf[leaf])
@@ -1031,6 +1099,10 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 	ids := core.ThrottleToMinimum(excess, active, u.cfg)
 	if len(ids) > 0 {
 		u.metrics.ThrottleEvents++
+		u.cThrottles.Inc()
+		u.sink.Event(now, u.name, "throttle",
+			"sheds", strconv.Itoa(len(ids)),
+			"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
 	}
 	min := u.cfg.Surface.MinCurrent()
 	byLeaf := map[string]map[string]units.Current{}
@@ -1045,6 +1117,7 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 		}
 		byLeaf[leaf][s.Name] = min
 		u.metrics.OverridesIssued++
+		u.cOverrides.Inc()
 		if u.fresh(s, now) {
 			excess -= units.Power(float64(s.Setpoint-min) * u.cfg.WattsPerAmp)
 		}
@@ -1089,6 +1162,10 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 	}
 	for _, leaf := range sortedKeys(caps) {
 		u.b.Send(u.name, leaf, "caps", caps[leaf])
+	}
+	if applied > 0 {
+		u.sink.Event(now, u.name, "cap",
+			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}
 	if applied > u.metrics.MaxCapping {
 		u.metrics.MaxCapping = applied

@@ -28,11 +28,13 @@ package dynamo
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -312,6 +314,45 @@ type ControllerOptions struct {
 	// being planned (and floored) all at once. Ignored on non-planning
 	// controllers.
 	Storm *storm.Config
+	// Obs attaches an observability sink: protective actions are counted
+	// under dynamo.* metrics and every control decision is journaled to the
+	// flight recorder. Nil disables instrumentation at zero cost.
+	Obs *obs.Sink
+}
+
+// obsHandles caches a controller's metric handles so hot paths never take
+// the registry lock. The zero value (nil sink, nil handles) no-ops
+// everywhere: instrumentation costs nothing when no sink is attached.
+type obsHandles struct {
+	sink                                    *obs.Sink
+	cPlans, cOverrides, cRetries, cAbandons *obs.Counter
+	cConfirms, cThrottles, cStale           *obs.Counter
+	cCrashes, cRestarts                     *obs.Counter
+	hConfirm                                *obs.Histogram
+	gHeadroom                               *obs.Gauge
+}
+
+// newObsHandles resolves the dynamo.* metric handles against a sink; a nil
+// sink yields the no-op zero value. Counters are shared across controllers
+// (they aggregate fleet-wide); the headroom gauge is per-breaker.
+func newObsHandles(s *obs.Sink, nodeName string) obsHandles {
+	if s == nil {
+		return obsHandles{}
+	}
+	return obsHandles{
+		sink:       s,
+		cPlans:     s.Counter("dynamo.plans"),
+		cOverrides: s.Counter("dynamo.overrides"),
+		cRetries:   s.Counter("dynamo.override_retries"),
+		cAbandons:  s.Counter("dynamo.override_abandons"),
+		cConfirms:  s.Counter("dynamo.override_confirms"),
+		cThrottles: s.Counter("dynamo.throttle_events"),
+		cStale:     s.Counter("dynamo.stale_telemetry"),
+		cCrashes:   s.Counter("dynamo.crashes"),
+		cRestarts:  s.Counter("dynamo.restarts"),
+		hConfirm:   s.Histogram("dynamo.override_confirm_s", 0),
+		gHeadroom:  s.Gauge("headroom_w." + nodeName),
+	}
 }
 
 // pendingOverride tracks an override awaiting telemetry confirmation.
@@ -354,6 +395,8 @@ type Controller struct {
 	telOK   []bool
 	viewBuf []Snapshot
 	pending map[int]*pendingOverride
+
+	obsHandles
 }
 
 // NewController builds a controller protecting node, managing the racks
@@ -397,6 +440,10 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 	if opts.Storm != nil && plans {
 		c.stormQ = storm.NewQueue(*opts.Storm)
 	}
+	c.obsHandles = newObsHandles(opts.Obs, node.Name())
+	if c.stormQ != nil && opts.Obs != nil {
+		c.stormQ.SetObs(opts.Obs)
+	}
 	return c
 }
 
@@ -430,6 +477,10 @@ func (c *Controller) Restart(now time.Duration) {
 func (c *Controller) crash() {
 	c.down = true
 	c.metrics.Crashes++
+	c.cCrashes.Inc()
+	// Crash() has no virtual-time argument; the last tick's timestamp is the
+	// closest deterministic stand-in.
+	c.sink.Event(c.lastTick, c.comp, "crash")
 	c.wasCharging = make(map[*rack.Rack]bool)
 	c.postponed = make(map[*rack.Rack]core.RackInfo)
 	if c.stormQ != nil {
@@ -458,6 +509,8 @@ func (c *Controller) crash() {
 func (c *Controller) restart(now time.Duration) {
 	c.down = false
 	c.metrics.Restarts++
+	c.cRestarts.Inc()
+	c.sink.Event(now, c.comp, "restart")
 	c.sample(now)
 	for i, a := range c.agents {
 		if !c.telOK[i] {
@@ -514,6 +567,23 @@ func (c *Controller) Tick(now time.Duration) {
 			a.Heartbeat(now)
 		}
 	}
+	if c.sink != nil {
+		c.gHeadroom.Set(float64(c.node.Headroom()))
+		if c.plans {
+			// One telemetry summary per planning tick (per-rack events would
+			// flood the flight recorder at fleet scale).
+			fresh := 0
+			for i := range c.agents {
+				if c.fresh(i, now) {
+					fresh++
+				}
+			}
+			c.sink.Event(now, c.comp, "telemetry",
+				"fresh", strconv.Itoa(fresh),
+				"stale", strconv.Itoa(len(c.agents)-fresh),
+				"headroom_w", strconv.FormatFloat(float64(c.node.Headroom()), 'f', 0, 64))
+		}
+	}
 	c.node.Observe(now)
 }
 
@@ -553,6 +623,7 @@ func (c *Controller) views(now time.Duration) []Snapshot {
 			continue
 		}
 		c.metrics.StaleTelemetry++
+		c.cStale.Inc()
 		if !c.telOK[i] {
 			r := c.agents[i].Rack()
 			s.Name = r.Name()
@@ -578,6 +649,9 @@ func (c *Controller) sendOverride(now time.Duration, idx int, want units.Current
 	want = charger.ClampOverride(want)
 	delivered := c.agents[idx].Override(now, want)
 	c.metrics.OverridesIssued++
+	c.cOverrides.Inc()
+	c.sink.Event(now, c.comp, "override",
+		"rack", c.agents[idx].Rack().Name(), "amps", strconv.Itoa(int(want)))
 	if c.retry.enabled() {
 		if old := c.pending[idx]; old != nil && old.ev != nil && c.engine != nil {
 			c.engine.Cancel(old.ev)
@@ -620,16 +694,28 @@ func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverr
 		s := c.tel[idx]
 		if s.Taken > p.issuedAt+c.agents[idx].Latency() && (!s.Charging || s.Setpoint == p.want) {
 			delete(c.pending, idx)
+			c.cConfirms.Inc()
+			wait := (now - p.issuedAt).Seconds()
+			c.hConfirm.Observe(wait)
+			c.sink.Event(now, c.comp, "confirm",
+				"rack", c.agents[idx].Rack().Name(),
+				"wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
 			return
 		}
 	}
 	if p.attempts >= c.retry.maxAttempts() {
 		delete(c.pending, idx)
 		c.metrics.AbandonedOverrides++
+		c.cAbandons.Inc()
+		c.sink.Event(now, c.comp, "abandon",
+			"rack", c.agents[idx].Rack().Name())
 		return
 	}
 	p.attempts++
 	c.metrics.Retries++
+	c.cRetries.Inc()
+	c.sink.Event(now, c.comp, "retry",
+		"rack", c.agents[idx].Rack().Name(), "attempt", strconv.Itoa(p.attempts))
 	c.agents[idx].Override(now, p.want)
 	p.issuedAt = now
 	c.armPending(now, idx, p)
@@ -661,8 +747,10 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 		// — them all at once. Pause rides the direct server-management path,
 		// like capping, so the correlated spike ends within this tick.
 		if len(freshStarts) >= c.stormQ.Config().MinRacks {
-			c.stormQ.NoteStorm()
+			c.stormQ.NoteStorm(now)
 		}
+		c.sink.Event(now, c.comp, "storm-pause",
+			"starts", strconv.Itoa(len(freshStarts)))
 		for _, ri := range freshStarts {
 			r := c.agents[ri.ID].Rack()
 			r.Postpone()
@@ -689,6 +777,10 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 		plan = core.PlanPriorityAware(available, freshStarts, cfg)
 	}
 	c.metrics.PlansComputed++
+	c.cPlans.Inc()
+	c.sink.Event(now, c.comp, "plan",
+		"starts", strconv.Itoa(len(freshStarts)),
+		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
 	for _, asg := range plan {
 		if asg.DOD <= 0 {
 			continue
@@ -746,6 +838,9 @@ func (c *Controller) restartPostponed() {
 		headroom -= units.Power(float64(grant) * c.cfg.WattsPerAmp)
 		c.wasCharging[r] = true
 		c.metrics.OverridesIssued++
+		c.cOverrides.Inc()
+		c.sink.Event(c.lastTick, c.comp, "resume",
+			"rack", ri.Name, "amps", strconv.Itoa(int(grant)))
 		delete(c.postponed, r)
 	}
 }
@@ -774,6 +869,7 @@ func (c *Controller) admitStorm(now time.Duration) {
 		r.ResumeCharge(g.Current)
 		c.wasCharging[r] = true
 		c.metrics.OverridesIssued++
+		c.cOverrides.Inc()
 	}
 }
 
@@ -843,6 +939,10 @@ func (c *Controller) throttleBatteries(now time.Duration, views []Snapshot, exce
 		return 0
 	}
 	c.metrics.ThrottleEvents++
+	c.cThrottles.Inc()
+	c.sink.Event(now, c.comp, "throttle",
+		"sheds", strconv.Itoa(len(ids)),
+		"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
 	min := c.cfg.Surface.MinCurrent()
 	var recovered units.Power
 	current := make(map[int]units.Current, len(active))
@@ -887,6 +987,10 @@ func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.
 		after += asg.RechargePower(c.cfg.WattsPerAmp)
 	}
 	c.metrics.ThrottleEvents++
+	c.cThrottles.Inc()
+	c.sink.Event(now, c.comp, "throttle",
+		"sheds", strconv.Itoa(len(plan)),
+		"mode", "global")
 	if after >= before {
 		return 0
 	}
@@ -925,6 +1029,10 @@ func (c *Controller) applyCaps(views []Snapshot, needed units.Power, dt time.Dur
 		r.Cap(source, demand-cut)
 		applied += cut
 		remaining -= cut
+	}
+	if applied > 0 {
+		c.sink.Event(c.lastTick, c.comp, "cap",
+			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}
 	if applied > c.metrics.MaxCapping {
 		c.metrics.MaxCapping = applied

@@ -7,6 +7,7 @@ import (
 
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -57,6 +58,9 @@ type HierarchyOptions struct {
 	// controller is crashed. Paused charges are handed to the storm
 	// admission queue when Storm is also armed.
 	Guard *storm.GuardConfig
+	// Obs attaches an observability sink to every controller, guard, and
+	// rack fail-safe watchdog in the hierarchy. Nil disables instrumentation.
+	Obs *obs.Sink
 }
 
 // BuildHierarchy walks the power tree rooted at root and creates a
@@ -93,6 +97,9 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 				if opts.WatchdogTTL > 0 {
 					r.SetWatchdog(opts.WatchdogTTL, cfg.SafeCurrent())
 				}
+				if opts.Obs != nil {
+					r.SetObs(opts.Obs)
+				}
 				h.agents[r] = a
 			}
 			agents = append(agents, a)
@@ -107,6 +114,7 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 			Retry:      opts.Retry,
 			Heartbeat:  opts.WatchdogTTL > 0,
 			Storm:      opts.Storm,
+			Obs:        opts.Obs,
 		})
 		h.controllers = append(h.controllers, ctl)
 		h.byNode[n] = ctl
@@ -121,6 +129,9 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 			g := storm.NewGuard(n, racks, cfg, *opts.Guard)
 			if queue != nil {
 				g.AttachQueue(queue)
+			}
+			if opts.Obs != nil {
+				g.SetObs(opts.Obs)
 			}
 			h.guards = append(h.guards, g)
 		}

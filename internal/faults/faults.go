@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"coordcharge/internal/obs"
 	"coordcharge/internal/rng"
 )
 
@@ -245,6 +246,11 @@ type Injector struct {
 	draws    *rng.Source // per-decision Bernoulli draws, consumed in call order
 	comps    map[string]*schedule
 	counters Counters
+
+	// Mirrored observability counters (nil when no sink is attached).
+	cReadsDropped, cReadsStaled                 *obs.Counter
+	cCmdsDropped, cCmdsDuplicated, cCmdsDelayed *obs.Counter
+	cAgentOutages, cControllerOutages           *obs.Counter
 }
 
 // New builds an injector. It panics on an invalid config: injector
@@ -266,6 +272,19 @@ func (in *Injector) Config() Config { return in.cfg }
 // Counters returns the fault totals injected so far.
 func (in *Injector) Counters() Counters { return in.counters }
 
+// SetObs mirrors the injector's fault counters into an observability
+// registry (faults.* counters) so a live /metrics scrape shows what the
+// injector has done. A nil sink detaches the mirroring.
+func (in *Injector) SetObs(s *obs.Sink) {
+	in.cReadsDropped = s.Counter("faults.reads_dropped")
+	in.cReadsStaled = s.Counter("faults.reads_staled")
+	in.cCmdsDropped = s.Counter("faults.commands_dropped")
+	in.cCmdsDuplicated = s.Counter("faults.commands_duplicated")
+	in.cCmdsDelayed = s.Counter("faults.commands_delayed")
+	in.cAgentOutages = s.Counter("faults.agent_outages")
+	in.cControllerOutages = s.Counter("faults.controller_outages")
+}
+
 // DropRead decides whether a telemetry read fails.
 func (in *Injector) DropRead() bool {
 	if in.cfg.TelemetryLoss <= 0 {
@@ -273,6 +292,7 @@ func (in *Injector) DropRead() bool {
 	}
 	if in.draws.Float64() < in.cfg.TelemetryLoss {
 		in.counters.ReadsDropped++
+		in.cReadsDropped.Inc()
 		return true
 	}
 	return false
@@ -285,6 +305,7 @@ func (in *Injector) StaleRead() bool {
 	}
 	if in.draws.Float64() < in.cfg.TelemetryStale {
 		in.counters.ReadsStaled++
+		in.cReadsStaled.Inc()
 		return true
 	}
 	return false
@@ -297,6 +318,7 @@ func (in *Injector) DropCommand() bool {
 	}
 	if in.draws.Float64() < in.cfg.CommandLoss {
 		in.counters.CommandsDropped++
+		in.cCmdsDropped.Inc()
 		return true
 	}
 	return false
@@ -309,6 +331,7 @@ func (in *Injector) DupCommand() bool {
 	}
 	if in.draws.Float64() < in.cfg.CommandDup {
 		in.counters.CommandsDuplicated++
+		in.cCmdsDuplicated.Inc()
 		return true
 	}
 	return false
@@ -324,6 +347,7 @@ func (in *Injector) CommandDelay() time.Duration {
 		return 0
 	}
 	in.counters.CommandsDelayed++
+	in.cCmdsDelayed.Inc()
 	return time.Duration(in.draws.Uniform(0, float64(in.cfg.CommandDelayMax)))
 }
 
@@ -349,7 +373,14 @@ func (in *Injector) Up(component string, now time.Duration) bool {
 		}
 		in.comps[component] = s
 	}
+	before := in.counters
 	s.extendTo(now, &in.counters)
+	if d := in.counters.AgentOutages - before.AgentOutages; d > 0 {
+		in.cAgentOutages.Add(int64(d))
+	}
+	if d := in.counters.ControllerOutages - before.ControllerOutages; d > 0 {
+		in.cControllerOutages.Add(int64(d))
+	}
 	return s.up(now)
 }
 

@@ -1,0 +1,275 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultHistWindow is the observation window a histogram keeps when the
+// caller passes a non-positive window.
+const DefaultHistWindow = 1024
+
+// Counter is a monotonically increasing metric. The zero value is ready to
+// use; all methods are nil-safe.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d (no-op on nil).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one (no-op on nil).
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Set forces the counter to v (no-op on nil). It exists for mirroring
+// externally accumulated totals (e.g. fault-injector counters) into the
+// registry without double counting.
+func (c *Counter) Set(v int64) {
+	if c == nil {
+		return
+	}
+	c.v.Store(v)
+}
+
+// Gauge is a last-value metric. The zero value is ready to use; all methods
+// are nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records the gauge's current value (no-op on nil).
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (zero on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram keeps a sliding window of the most recent observations and
+// summarises them as count/min/max/mean and p50/p95/p99 quantiles. All
+// methods are nil-safe. Construct through Registry.Histogram (or NewSink);
+// the zero value is not usable.
+type Histogram struct {
+	mu    sync.Mutex
+	ring  []float64
+	n     int   // valid entries in ring
+	next  int   // next write position
+	total int64 // observations ever
+}
+
+func newHistogram(window int) *Histogram {
+	if window <= 0 {
+		window = DefaultHistWindow
+	}
+	return &Histogram{ring: make([]float64, window)}
+}
+
+// Observe records one value (no-op on nil).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.ring[h.next] = v
+	h.next = (h.next + 1) % len(h.ring)
+	if h.n < len(h.ring) {
+		h.n++
+	}
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a histogram's summary over its current window (Count is
+// the all-time observation count; the quantiles cover the window only).
+type HistSnapshot struct {
+	Count int64   `json:"count"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarises the window (zero snapshot on nil or empty).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	vals := make([]float64, h.n)
+	copy(vals, h.ring[:h.n])
+	total := h.total
+	h.mu.Unlock()
+	if len(vals) == 0 {
+		return HistSnapshot{}
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	sort.Float64s(vals)
+	q := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(vals)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(vals) {
+			i = len(vals) - 1
+		}
+		return vals[i]
+	}
+	return HistSnapshot{
+		Count: total,
+		Min:   vals[0],
+		Max:   vals[len(vals)-1],
+		Mean:  sum / float64(len(vals)),
+		P50:   q(0.50),
+		P95:   q(0.95),
+		P99:   q(0.99),
+	}
+}
+
+// Registry is a concurrency-safe collection of named metrics. Metric handles
+// are created on first use and stable thereafter, so hot paths should look
+// them up once and hold the pointer.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter; nil on a nil
+// registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge; nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram with the given
+// observation window (DefaultHistWindow if <= 0; the window of an existing
+// histogram is not changed). Nil on a nil registry.
+func (r *Registry) Histogram(name string, window int) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(window)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is the registry's full state, JSON-marshalable with deterministic
+// (sorted) key order — encoding/json sorts map keys.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value (empty snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		snap.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		snap.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		snap.Histograms[k] = v.Snapshot()
+	}
+	return snap
+}
+
+// WriteJSON writes the registry snapshot as indented JSON (expvar-style:
+// one object, sorted keys).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

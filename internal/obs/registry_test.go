@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("a.count") != c {
+		t.Fatal("counter handle not stable across lookups")
+	}
+	g := r.Gauge("a.gauge")
+	g.Set(3.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	c.Set(42)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter after Set = %d, want 42", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1000)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v, want count 100, min 1, max 100", s)
+	}
+	if s.P50 != 50 || s.P95 != 95 || s.P99 != 99 {
+		t.Fatalf("quantiles p50=%v p95=%v p99=%v, want 50/95/99", s.P50, s.P95, s.P99)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+}
+
+func TestHistogramWindowSlides(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("w", 10)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("all-time count = %d, want 100", s.Count)
+	}
+	if s.Min != 90 || s.Max != 99 {
+		t.Fatalf("window min/max = %v/%v, want 90/99 (last 10 only)", s.Min, s.Max)
+	}
+}
+
+// The disabled path: every method on nil receivers must be a safe no-op.
+func TestNilSafety(t *testing.T) {
+	var s *Sink
+	s.Counter("x").Inc()
+	s.Counter("x").Add(3)
+	s.Gauge("y").Set(1)
+	s.Histogram("z", 8).Observe(2)
+	s.Event(0, "comp", "kind", "k", "v")
+	if s.Counter("x").Value() != 0 || s.Gauge("y").Value() != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+	if snap := s.Histogram("z", 8).Snapshot(); snap.Count != 0 {
+		t.Fatal("nil histogram returned observations")
+	}
+	var reg *Registry
+	if reg.Counter("a") != nil || reg.Gauge("b") != nil || reg.Histogram("c", 1) != nil {
+		t.Fatal("nil registry returned live metrics")
+	}
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var fr *Recorder
+	fr.Record(0, "c", "k")
+	if fr.Total() != 0 || fr.Digest() != "" || fr.Last(10) != nil {
+		t.Fatal("nil recorder not inert")
+	}
+	// A sink with nil fields is equally inert.
+	half := &Sink{}
+	half.Counter("x").Inc()
+	half.Event(0, "c", "k")
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", 64).Observe(float64(j))
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("concurrent counter = %d, want 8000", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c1").Add(7)
+	r.Gauge("g1").Set(2.25)
+	r.Histogram("h1", 16).Observe(1)
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"c1": 7`, `"g1": 2.25`, `"h1"`, `"p95"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// HealthFunc supplies extra fields for the /healthz response (may be nil).
+// It is called from HTTP handler goroutines and must only read state that is
+// safe to read concurrently with the simulation.
+type HealthFunc func() map[string]any
+
+// Handler returns the observability HTTP surface over a sink:
+//
+//	/metrics            registry snapshot (expvar-style JSON, sorted keys)
+//	/healthz            {"status":"ok", ...health()}
+//	/debug/flight       last-N flight-recorder events as JSONL (?n=, default 256)
+//	/debug/flight/digest  running digest + totals as JSON
+//	/debug/pprof/...    net/http/pprof
+//
+// A nil sink serves empty metrics and no flight events, never errors.
+func Handler(s *Sink, health HealthFunc) http.Handler {
+	var reg *Registry
+	var fr *Recorder
+	if s != nil {
+		reg = s.Reg
+		fr = s.Flight
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := reg.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		resp := map[string]any{"status": "ok"}
+		if health != nil {
+			for k, v := range health() {
+				resp[k] = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(resp)
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, fmt.Sprintf("bad n %q", q), http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, e := range fr.Last(n) {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/debug/flight/digest", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"digest":  fr.Digest(),
+			"total":   fr.Total(),
+			"dropped": fr.Dropped(),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(s, health) in a background
+// goroutine. It returns the server (for Shutdown/Close) and the bound
+// listener address — useful when addr ends in ":0". Startup errors (bad
+// address, port in use) are returned synchronously.
+func Serve(addr string, s *Sink, health HealthFunc) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{
+		Handler:           Handler(s, health),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"coordcharge/internal/battery"
 	"coordcharge/internal/charger"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/units"
 )
 
@@ -80,6 +81,11 @@ type Rack struct {
 	haveContact   bool
 	failSafe      bool
 	failSafeCount int
+
+	// Observability (nil when detached): fail-safe activations are counted
+	// and journaled so a watchdog firing can be traced post-hoc.
+	sink      *obs.Sink
+	cFailSafe *obs.Counter
 }
 
 // New returns a rack with input power up, a fully charged battery pack, and
@@ -237,7 +243,7 @@ func (r *Rack) checkWatchdog(now time.Duration) {
 	}
 	if r.failSafe {
 		if r.pack.Setpoint() > r.safeCurrent {
-			r.failSafeCount++
+			r.noteFailSafe(now, "latched-demote")
 			r.pack.SetCurrent(r.safeCurrent)
 		}
 		return
@@ -250,7 +256,7 @@ func (r *Rack) checkWatchdog(now time.Duration) {
 		return
 	}
 	r.failSafe = true
-	r.failSafeCount++
+	r.noteFailSafe(now, "ttl-expired")
 	if r.pack.Setpoint() > r.safeCurrent {
 		r.pack.SetCurrent(r.safeCurrent)
 	}
@@ -277,7 +283,7 @@ func (r *Rack) RestoreInput(now time.Duration) {
 		// charge starts at the safe current instead of getting another TTL
 		// at the policy rate.
 		i = r.safeCurrent
-		r.failSafeCount++
+		r.noteFailSafe(now, "restore-while-latched")
 	}
 	r.pack.StartCharge(i, dod)
 	r.chargeStart = now
@@ -309,6 +315,21 @@ func (r *Rack) Charging() bool { return r.pack.Charging() }
 // control plane, clamped to the hardware's [1 A, 5 A] range.
 func (r *Rack) OverrideCurrent(i units.Current) {
 	r.pack.SetCurrent(charger.ClampOverride(i))
+}
+
+// SetObs attaches an observability sink: fail-safe watchdog activations are
+// counted under rack.failsafe_activations and journaled to the flight
+// recorder. A nil sink detaches instrumentation.
+func (r *Rack) SetObs(s *obs.Sink) {
+	r.sink = s
+	r.cFailSafe = s.Counter("rack.failsafe_activations")
+}
+
+// noteFailSafe records one watchdog activation (counter + flight event).
+func (r *Rack) noteFailSafe(now time.Duration, cause string) {
+	r.failSafeCount++
+	r.cFailSafe.Inc()
+	r.sink.Event(now, "rack/"+r.name, "failsafe", "cause", cause)
 }
 
 // SetWatchdog arms the rack's local fail-safe watchdog: whenever a charge
@@ -363,7 +384,9 @@ func (r *Rack) ResumeCharge(i units.Current) {
 	}
 	if r.failSafe && i > r.safeCurrent {
 		i = r.safeCurrent
-		r.failSafeCount++
+		// ResumeCharge carries no tick time; the last controller contact is
+		// the deterministic stand-in (resumes follow a contact).
+		r.noteFailSafe(r.lastContact, "resume-while-latched")
 	}
 	r.pack.StartCharge(i, r.pendingDOD)
 	r.pendingDOD = 0

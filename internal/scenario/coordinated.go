@@ -16,6 +16,7 @@ import (
 	"coordcharge/internal/core"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/sim"
@@ -107,6 +108,17 @@ type CoordSpec struct {
 	// power package's 30%-over-for-30s rule). Storm experiments tighten it
 	// to make the trip hazard reachable at realistic rack loads.
 	TripRule *power.TripRule
+	// Obs attaches an observability sink to the whole run: controllers,
+	// guards, admission queue, rack watchdogs, and the fault injector count
+	// into its registry and journal to its flight recorder, and the run
+	// updates fleet gauges (msb.*, charge.*) every tick. Nil disables
+	// instrumentation.
+	Obs *obs.Sink
+	// StepHook, when non-nil, is called at the end of every simulation tick
+	// with the current virtual time — after controllers, guards, and gauge
+	// updates. coordsim's -serve mode uses it for wall-clock pacing; tests
+	// use it to scrape the HTTP surface mid-run.
+	StepHook func(now time.Duration)
 }
 
 func (s *CoordSpec) fillDefaults() error {
@@ -281,6 +293,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	var inj *faults.Injector
 	if spec.Faults.Enabled() {
 		inj = faults.New(spec.Faults)
+		if spec.Obs != nil {
+			inj.SetObs(spec.Obs)
+		}
 	}
 	cfg := core.DefaultConfig()
 	var hier *dynamo.Hierarchy
@@ -304,6 +319,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			if spec.WatchdogTTL > 0 {
 				r.SetWatchdog(spec.WatchdogTTL, cfg.SafeCurrent())
 			}
+			if spec.Obs != nil {
+				r.SetObs(spec.Obs)
+			}
 		}
 		opts := dynamo.AsyncOptions{
 			Injector:   inj,
@@ -311,6 +329,7 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			Retry:      spec.Retry,
 			Heartbeat:  spec.WatchdogTTL > 0,
 			Storm:      spec.Storm,
+			Obs:        spec.Obs,
 		}
 		msb.Walk(func(nd *power.Node) {
 			if nd.Level() != power.LevelRPP {
@@ -339,6 +358,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 				if queue != nil {
 					g.AttachQueue(queue)
 				}
+				if spec.Obs != nil {
+					g.SetObs(spec.Obs)
+				}
 				guards = append(guards, g)
 			})
 		}
@@ -352,6 +374,7 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			WatchdogTTL: spec.WatchdogTTL,
 			Storm:       spec.Storm,
 			Guard:       spec.Guard,
+			Obs:         spec.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -394,6 +417,10 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 		engine.Run(start)
 	}
 
+	var gauges *runGauges
+	if spec.Obs != nil {
+		gauges = newRunGauges(spec.Obs)
+	}
 	lastSample := time.Duration(-1 << 62)
 	tripped := map[string]bool{}
 	for now := start; now <= horizon; now += spec.Step {
@@ -404,6 +431,7 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			// An MSB-level open transition: the breaker leaves the critical
 			// power path and every rack beneath falls back to batteries.
 			msb.Deenergize(now)
+			spec.Obs.Event(now, "scenario", "outage")
 		}
 		if now == restoreAt {
 			msb.Reenergize(now)
@@ -414,6 +442,8 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 				res.DODs = append(res.DODs, float64(r.LastDOD()))
 			}
 			res.AvgDOD = units.Fraction(sum / float64(n))
+			spec.Obs.Event(now, "scenario", "restore",
+				"avg_dod", fmt.Sprintf("%.3f", float64(res.AvgDOD)))
 		}
 		for _, r := range racks {
 			r.Step(now, spec.Step)
@@ -431,8 +461,12 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			if nd.Tripped() && !tripped[nd.Name()] {
 				tripped[nd.Name()] = true
 				res.Tripped = append(res.Tripped, nd.Name())
+				spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
 			}
 		})
+		if gauges != nil {
+			gauges.update(now, msb, racks)
+		}
 
 		if now-lastSample >= spec.SampleEvery {
 			lastSample = now
@@ -450,6 +484,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 		}
 		if p := msb.Power(); now > restoreAt && p > res.PeakPower {
 			res.PeakPower = p
+		}
+		if spec.StepHook != nil {
+			spec.StepHook(now)
 		}
 
 		if now > restoreAt {

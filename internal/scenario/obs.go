@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"time"
+
+	"coordcharge/internal/obs"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+)
+
+// runGauges caches the fleet-level gauge handles RunCoordinated refreshes
+// every tick: the MSB power balance (msb.*) and the per-priority charging
+// state (charge.*). Controllers, guards, and the admission queue own their
+// metrics themselves; these are the run-level aggregates a scraper needs to
+// follow a storm without reading the flight recorder.
+type runGauges struct {
+	power, limit, headroom       *obs.Gauge
+	it, recharge, capped         *obs.Gauge
+	now                          *obs.Gauge
+	current, charging, completed [3]*obs.Gauge // indexed rack.P1-1 .. rack.P3-1
+}
+
+func newRunGauges(s *obs.Sink) *runGauges {
+	g := &runGauges{
+		power:    s.Gauge("msb.power_w"),
+		limit:    s.Gauge("msb.limit_w"),
+		headroom: s.Gauge("msb.headroom_w"),
+		it:       s.Gauge("msb.it_w"),
+		recharge: s.Gauge("msb.recharge_w"),
+		capped:   s.Gauge("msb.capped_w"),
+		now:      s.Gauge("sim.now_s"),
+	}
+	for i, p := range []string{"p1", "p2", "p3"} {
+		g.current[i] = s.Gauge("charge.current_a." + p)
+		g.charging[i] = s.Gauge("charge.charging." + p)
+		g.completed[i] = s.Gauge("charge.completed." + p)
+	}
+	return g
+}
+
+// update refreshes every gauge from live rack and breaker state at virtual
+// time now. Completed counts match CoordResult.ChargeDurations semantics: a
+// rack counts once its most recent charge has finished.
+func (g *runGauges) update(now time.Duration, msb *power.Node, racks []*rack.Rack) {
+	var it, recharge, capped float64
+	var current, charging, completed [3]float64
+	for _, r := range racks {
+		if r.InputUp() {
+			it += float64(r.ITLoad())
+			recharge += float64(r.RechargePower())
+		}
+		capped += float64(r.CappedPower())
+		i := int(r.Priority()) - 1
+		if i < 0 || i > 2 {
+			continue
+		}
+		if r.Charging() {
+			charging[i]++
+			current[i] += float64(r.Pack().Setpoint())
+		}
+		if _, done := r.ChargeDuration(now); done {
+			completed[i]++
+		}
+	}
+	g.power.Set(float64(msb.Power()))
+	g.limit.Set(float64(msb.Limit()))
+	g.headroom.Set(float64(msb.Headroom()))
+	g.it.Set(it)
+	g.recharge.Set(recharge)
+	g.capped.Set(capped)
+	g.now.Set(now.Seconds())
+	for i := range current {
+		g.current[i].Set(current[i])
+		g.charging[i].Set(charging[i])
+		g.completed[i].Set(completed[i])
+	}
+}

@@ -1,10 +1,12 @@
 package storm
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"coordcharge/internal/core"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/units"
@@ -80,6 +82,11 @@ type Guard struct {
 	capped map[*rack.Rack]bool
 
 	metrics GuardMetrics
+
+	// Observability (nil when detached).
+	sink                                         *obs.Sink
+	cFires, cDemoted, cPaused, cCapped, cResumed *obs.Counter
+	gProximity                                   *obs.Gauge
 }
 
 // NewGuard builds a guard for node, shedding among the given racks (the
@@ -106,6 +113,23 @@ func NewGuard(node *power.Node, racks []*rack.Rack, ccfg core.Config, cfg GuardC
 // instead of the guard's own quiet-time resume.
 func (g *Guard) AttachQueue(q *Queue) { g.queue = q }
 
+// SetObs attaches an observability sink: shed/release activity is counted
+// under guard.* metrics, a per-node trip-proximity gauge tracks how far into
+// the breaker's sustain window the current overdraw episode has run, and
+// every escalation rung is journaled to the flight recorder.
+func (g *Guard) SetObs(s *obs.Sink) {
+	g.sink = s
+	g.cFires = s.Counter("guard.fires")
+	g.cDemoted = s.Counter("guard.demoted")
+	g.cPaused = s.Counter("guard.paused")
+	g.cCapped = s.Counter("guard.it_capped")
+	g.cResumed = s.Counter("guard.resumed")
+	g.gProximity = s.Gauge("guard.trip_proximity." + g.node.Name())
+}
+
+// comp is the guard's flight-recorder component label.
+func (g *Guard) comp() string { return "guard/" + g.node.Name() }
+
 // Node returns the breaker this guard watches.
 func (g *Guard) Node() *power.Node { return g.node }
 
@@ -119,6 +143,18 @@ func (g *Guard) fireAfter() time.Duration {
 		sustain = 30 * time.Second
 	}
 	return time.Duration(g.cfg.FireFraction * float64(sustain))
+}
+
+// proximity is how far the current overdraw episode has run into the
+// breaker's sustain window: 0 at breach, 1 at the window the TripRule needs
+// to trip. It can exceed 1 when overdraw persists past the window without
+// crossing the trip threshold fraction.
+func (g *Guard) proximity(now time.Duration) float64 {
+	sustain := g.node.Rule().Sustain
+	if sustain <= 0 {
+		sustain = 30 * time.Second
+	}
+	return float64(now-g.overSince) / float64(sustain)
 }
 
 // resumeAfter is the quiet time before the guard releases its actions.
@@ -139,6 +175,7 @@ func (g *Guard) Tick(now time.Duration) {
 	if !g.node.Energized() {
 		// No draw while de-energized; clear the episode.
 		g.over, g.fired, g.quiet = false, false, false
+		g.gProximity.Set(0)
 		return
 	}
 	p := g.node.Power()
@@ -147,7 +184,11 @@ func (g *Guard) Tick(now time.Duration) {
 		g.quiet = false
 		if !g.over {
 			g.over, g.overSince = true, now
+			g.sink.Event(now, g.comp(), "breach",
+				"power_w", fmt.Sprintf("%.0f", float64(p)),
+				"limit_w", fmt.Sprintf("%.0f", float64(limit)))
 		}
+		g.gProximity.Set(g.proximity(now))
 		if now-g.overSince >= g.fireAfter() {
 			g.shed(now)
 		}
@@ -155,6 +196,7 @@ func (g *Guard) Tick(now time.Duration) {
 	}
 	// Below the limit: the episode (if any) is contained.
 	g.over, g.fired = false, false
+	g.gProximity.Set(0)
 	if !g.hasActions() {
 		g.quiet = false
 		return
@@ -200,6 +242,10 @@ func (g *Guard) shed(now time.Duration) {
 	if !g.fired {
 		g.fired = true
 		g.metrics.Fires++
+		g.cFires.Inc()
+		g.sink.Event(now, g.comp(), "guard-fire",
+			"power_w", fmt.Sprintf("%.0f", float64(g.node.Power())),
+			"limit_w", fmt.Sprintf("%.0f", float64(g.node.Limit())))
 	}
 	limit := g.node.Limit()
 	safe := g.ccfg.SafeCurrent()
@@ -215,6 +261,9 @@ func (g *Guard) shed(now time.Duration) {
 		}
 		r.OverrideCurrent(safe)
 		g.metrics.Demoted++
+		g.cDemoted.Inc()
+		g.sink.Event(now, g.comp(), "demote",
+			"rack", r.Name(), "amps", fmt.Sprintf("%d", int(safe)))
 	}
 	// Rung 2: pause charges outright.
 	for _, r := range order {
@@ -226,6 +275,8 @@ func (g *Guard) shed(now time.Duration) {
 		}
 		r.Postpone()
 		g.metrics.Paused++
+		g.cPaused.Inc()
+		g.sink.Event(now, g.comp(), "guard-pause", "rack", r.Name())
 		if g.queue != nil {
 			g.queue.Enqueue(now, Request{Name: r.Name(), Priority: r.Priority(), DOD: r.PendingDOD()})
 		} else {
@@ -255,8 +306,11 @@ func (g *Guard) shed(now time.Duration) {
 		r.Cap(g.capSource(), r.ITLoad()-c)
 		if !g.capped[r] {
 			g.metrics.ITCapped++
+			g.cCapped.Inc()
 		}
 		g.capped[r] = true
+		g.sink.Event(now, g.comp(), "it-cap",
+			"rack", r.Name(), "cut_w", fmt.Sprintf("%.0f", float64(c)))
 		cut += c
 	}
 	if cut > g.metrics.MaxITCut {
@@ -269,6 +323,11 @@ func (g *Guard) shed(now time.Duration) {
 // queue owns them — paused charges resume at the safe current, at most
 // MaxResumePerTick per tick so the release cannot recreate the storm.
 func (g *Guard) release(now time.Duration) {
+	if len(g.capped) > 0 || len(g.paused) > 0 {
+		g.sink.Event(now, g.comp(), "guard-release",
+			"capped", fmt.Sprintf("%d", len(g.capped)),
+			"paused", fmt.Sprintf("%d", len(g.paused)))
+	}
 	for r := range g.capped {
 		r.Uncap(g.capSource())
 		delete(g.capped, r)
@@ -282,6 +341,8 @@ func (g *Guard) release(now time.Duration) {
 		}
 		r.ResumeCharge(g.ccfg.SafeCurrent())
 		g.metrics.Resumed++
+		g.cResumed.Inc()
+		g.sink.Event(now, g.comp(), "guard-resume", "rack", r.Name())
 		resumed++
 	}
 	if !g.hasActions() {

@@ -19,10 +19,12 @@
 package storm
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
 	"coordcharge/internal/core"
+	"coordcharge/internal/obs"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/units"
 )
@@ -119,11 +121,31 @@ type Queue struct {
 	waiting []waiter
 	member  map[string]bool
 	metrics Metrics
+
+	// Observability (nil when detached).
+	sink                                               *obs.Sink
+	cStorms, cEnqueued, cAdmitted, cWaves, cPromotions *obs.Counter
+	gDepth                                             *obs.Gauge
+	hWait                                              *obs.Histogram
 }
 
 // NewQueue returns an empty admission queue.
 func NewQueue(cfg Config) *Queue {
 	return &Queue{cfg: cfg.withDefaults(), member: make(map[string]bool)}
+}
+
+// SetObs attaches an observability sink: admission activity is counted under
+// storm.* metrics (queue depth gauge, queue-wait histogram) and every
+// pause/admission decision is journaled to the flight recorder.
+func (q *Queue) SetObs(s *obs.Sink) {
+	q.sink = s
+	q.cStorms = s.Counter("storm.storms")
+	q.cEnqueued = s.Counter("storm.enqueued")
+	q.cAdmitted = s.Counter("storm.admitted")
+	q.cWaves = s.Counter("storm.waves")
+	q.cPromotions = s.Counter("storm.promotions")
+	q.gDepth = s.Gauge("storm.queue_depth")
+	q.hWait = s.Histogram("storm.queue_wait_s", 0)
 }
 
 // Config returns the queue's resolved parameters.
@@ -138,8 +160,12 @@ func (q *Queue) Len() int { return len(q.waiting) }
 // Contains reports whether the named rack is waiting for admission.
 func (q *Queue) Contains(name string) bool { return q.member[name] }
 
-// NoteStorm records a detected correlated-start event.
-func (q *Queue) NoteStorm() { q.metrics.Storms++ }
+// NoteStorm records a detected correlated-start event at virtual time now.
+func (q *Queue) NoteStorm(now time.Duration) {
+	q.metrics.Storms++
+	q.cStorms.Inc()
+	q.sink.Event(now, "storm/queue", "storm-detected")
+}
 
 // Enqueue pauses a recharge into the queue at virtual time now. Requests
 // with nothing owed or already queued are ignored.
@@ -153,6 +179,12 @@ func (q *Queue) Enqueue(now time.Duration, r Request) {
 	if len(q.waiting) > q.metrics.MaxQueue {
 		q.metrics.MaxQueue = len(q.waiting)
 	}
+	q.cEnqueued.Inc()
+	q.gDepth.Set(float64(len(q.waiting)))
+	q.sink.Event(now, "storm/queue", "enqueue",
+		"rack", r.Name,
+		"priority", fmt.Sprintf("%d", r.Priority),
+		"dod", fmt.Sprintf("%.3f", float64(r.DOD)))
 }
 
 // Remove drops the named rack from the queue (it lost input again, or a
@@ -169,6 +201,7 @@ func (q *Queue) Remove(name string) bool {
 			break
 		}
 	}
+	q.gDepth.Set(float64(len(q.waiting)))
 	return true
 }
 
@@ -178,6 +211,7 @@ func (q *Queue) Remove(name string) bool {
 func (q *Queue) Reset() {
 	q.waiting = nil
 	q.member = make(map[string]bool)
+	q.gDepth.Set(0)
 }
 
 // effectivePriority is the admission-ordering priority after deficit aging:
@@ -256,14 +290,26 @@ func (q *Queue) Admit(now time.Duration, budget units.Power, cfg core.Config) []
 		grants = append(grants, Grant{Request: w.Request, Current: grant})
 		if q.effectivePriority(w, now) < w.Priority {
 			q.metrics.Promotions++
+			q.cPromotions.Inc()
 		}
+		wait := (now - w.since).Seconds()
+		q.hWait.Observe(wait)
+		q.sink.Event(now, "storm/queue", "admit",
+			"rack", w.Name,
+			"amps", fmt.Sprintf("%d", int(grant)),
+			"wait_s", fmt.Sprintf("%.0f", wait))
 	}
 	for _, g := range grants {
 		q.Remove(g.Name)
 	}
 	q.metrics.Admitted += len(grants)
+	q.cAdmitted.Add(int64(len(grants)))
 	if len(grants) > 0 {
 		q.metrics.Waves++
+		q.cWaves.Inc()
+		q.sink.Event(now, "storm/queue", "admission-wave",
+			"granted", fmt.Sprintf("%d", len(grants)),
+			"budget_w", fmt.Sprintf("%.0f", float64(budget)))
 	}
 	return grants
 }
