@@ -1,13 +1,20 @@
 # Convenience targets for the coordcharge reproduction.
 
 GO ?= go
+BENCH_OUT ?= BENCH_latest.json
 
-.PHONY: build test test-short test-race bench bench-json cover fuzz reproduce examples clean
+.PHONY: build lint test test-short test-race bench bench-json cover fuzz reproduce examples clean
 
 build:
 	$(GO) build ./...
 
-test:
+# Formatting + the repo's own domain-aware analyzers (cmd/coordvet).
+lint:
+	@unformatted="$$(gofmt -l .)"; if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; fi
+	$(GO) run ./cmd/coordvet ./...
+
+test: lint
 	$(GO) vet ./...
 	$(GO) test ./...
 
@@ -21,8 +28,9 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One pass over every benchmark, archived as machine-readable JSON.
+# Override the destination per snapshot: make bench-json BENCH_OUT=BENCH_PR7.json
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
 
 cover:
 	$(GO) test -cover ./...
@@ -31,6 +39,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=30s ./internal/trace/
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/config/
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/faults/
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/units/
 
 reproduce:
 	$(GO) run ./cmd/reproduce -out artifacts

@@ -1,0 +1,82 @@
+// Command coordvet runs the repo's domain-aware static analysis suite
+// (internal/lint): five analyzers enforcing the contracts the runtime tests
+// can only check after the fact — control-plane determinism, map-iteration
+// order feeding the flight digest, nil-safe observability, mutex
+// annotations, and error hygiene.
+//
+// Usage:
+//
+//	go run ./cmd/coordvet ./...              # whole repo (CI invocation)
+//	go run ./cmd/coordvet -run determinism ./internal/...
+//	go run ./cmd/coordvet -list
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings are
+// reported as file:line:col: [analyzer] message. Suppress a single finding
+// with `//coordvet:ignore <analyzer> <justification>` on the same line or
+// the line above; stale suppressions are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coordcharge/internal/lint"
+)
+
+func main() {
+	runList := flag.String("run", "", "comma-separated analyzers to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: coordvet [-run a,b] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *runList != "" {
+		var err error
+		analyzers, err = lint.ByName(*runList)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "coordvet:", err)
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordvet:", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordvet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "coordvet:", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(loader.Program(pkgs), analyzers)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "coordvet: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -417,8 +417,10 @@ func (l *AsyncLeaf) sendOverride(now time.Duration, rackName string, want units.
 	l.b.Send(l.name, AgentEndpoint(rackName), "override", want)
 	l.metrics.OverridesIssued++
 	l.cOverrides.Inc()
-	l.sink.Event(now, l.name, "override",
-		"rack", rackName, "amps", strconv.Itoa(int(want)))
+	if l.sink != nil {
+		l.sink.Event(now, l.name, "override",
+			"rack", rackName, "amps", strconv.Itoa(int(want)))
+	}
 	if !l.retry.enabled() {
 		return
 	}
@@ -445,8 +447,10 @@ func (l *AsyncLeaf) checkPendingOne(now time.Duration, rackName string, p *pendi
 		l.cConfirms.Inc()
 		wait := (now - p.issuedAt).Seconds()
 		l.hConfirm.Observe(wait)
-		l.sink.Event(now, l.name, "confirm",
-			"rack", rackName, "wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
+		if l.sink != nil {
+			l.sink.Event(now, l.name, "confirm",
+				"rack", rackName, "wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
+		}
 		return
 	}
 	if p.attempts >= l.retry.maxAttempts() {
@@ -459,8 +463,10 @@ func (l *AsyncLeaf) checkPendingOne(now time.Duration, rackName string, p *pendi
 	p.attempts++
 	l.metrics.Retries++
 	l.cRetries.Inc()
-	l.sink.Event(now, l.name, "retry",
-		"rack", rackName, "attempt", strconv.Itoa(p.attempts))
+	if l.sink != nil {
+		l.sink.Event(now, l.name, "retry",
+			"rack", rackName, "attempt", strconv.Itoa(p.attempts))
+	}
 	l.b.Send(l.name, AgentEndpoint(rackName), "override", p.want)
 	p.issuedAt = now
 	l.armPending(rackName, p)
@@ -500,9 +506,11 @@ func (l *AsyncLeaf) planFresh(now time.Duration, snaps []Snapshot) bool {
 	}
 	l.metrics.PlansComputed++
 	l.cPlans.Inc()
-	l.sink.Event(now, l.name, "plan",
-		"starts", strconv.Itoa(len(fresh)),
-		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	if l.sink != nil {
+		l.sink.Event(now, l.name, "plan",
+			"starts", strconv.Itoa(len(fresh)),
+			"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	}
 	for _, asg := range plan {
 		if asg.DOD <= 0 || asg.Postponed {
 			continue
@@ -542,9 +550,11 @@ func (l *AsyncLeaf) protect(now time.Duration, snaps []Snapshot) {
 		if len(ids) > 0 {
 			l.metrics.ThrottleEvents++
 			l.cThrottles.Inc()
-			l.sink.Event(now, l.name, "throttle",
-				"sheds", strconv.Itoa(len(ids)),
-				"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+			if l.sink != nil {
+				l.sink.Event(now, l.name, "throttle",
+					"sheds", strconv.Itoa(len(ids)),
+					"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+			}
 		}
 		min := l.cfg.Surface.MinCurrent()
 		for _, id := range ids {
@@ -591,7 +601,7 @@ func (l *AsyncLeaf) applyCaps(now time.Duration, snaps []Snapshot, needed units.
 		needed -= cut
 		applied += cut
 	}
-	if applied > 0 {
+	if applied > 0 && l.sink != nil {
 		l.sink.Event(now, l.name, "cap",
 			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}
@@ -948,8 +958,10 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		if len(fresh) >= u.stormQ.Config().MinRacks {
 			u.stormQ.NoteStorm(now)
 		}
-		u.sink.Event(now, u.name, "storm-pause",
-			"starts", strconv.Itoa(len(fresh)))
+		if u.sink != nil {
+			u.sink.Event(now, u.name, "storm-pause",
+				"starts", strconv.Itoa(len(fresh)))
+		}
 		byLeaf := map[string][]string{}
 		for _, ri := range fresh {
 			u.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: snaps[ri.ID].DOD})
@@ -975,9 +987,11 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 	}
 	u.metrics.PlansComputed++
 	u.cPlans.Inc()
-	u.sink.Event(now, u.name, "plan",
-		"starts", strconv.Itoa(len(fresh)),
-		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	if u.sink != nil {
+		u.sink.Event(now, u.name, "plan",
+			"starts", strconv.Itoa(len(fresh)),
+			"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	}
 	byLeaf := map[string]map[string]units.Current{}
 	for _, asg := range plan {
 		if asg.DOD <= 0 || asg.Postponed {
@@ -1100,9 +1114,11 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 	if len(ids) > 0 {
 		u.metrics.ThrottleEvents++
 		u.cThrottles.Inc()
-		u.sink.Event(now, u.name, "throttle",
-			"sheds", strconv.Itoa(len(ids)),
-			"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+		if u.sink != nil {
+			u.sink.Event(now, u.name, "throttle",
+				"sheds", strconv.Itoa(len(ids)),
+				"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+		}
 	}
 	min := u.cfg.Surface.MinCurrent()
 	byLeaf := map[string]map[string]units.Current{}
@@ -1163,7 +1179,7 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 	for _, leaf := range sortedKeys(caps) {
 		u.b.Send(u.name, leaf, "caps", caps[leaf])
 	}
-	if applied > 0 {
+	if applied > 0 && u.sink != nil {
 		u.sink.Event(now, u.name, "cap",
 			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}

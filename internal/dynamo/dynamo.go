@@ -650,8 +650,10 @@ func (c *Controller) sendOverride(now time.Duration, idx int, want units.Current
 	delivered := c.agents[idx].Override(now, want)
 	c.metrics.OverridesIssued++
 	c.cOverrides.Inc()
-	c.sink.Event(now, c.comp, "override",
-		"rack", c.agents[idx].Rack().Name(), "amps", strconv.Itoa(int(want)))
+	if c.sink != nil {
+		c.sink.Event(now, c.comp, "override",
+			"rack", c.agents[idx].Rack().Name(), "amps", strconv.Itoa(int(want)))
+	}
 	if c.retry.enabled() {
 		if old := c.pending[idx]; old != nil && old.ev != nil && c.engine != nil {
 			c.engine.Cancel(old.ev)
@@ -697,9 +699,11 @@ func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverr
 			c.cConfirms.Inc()
 			wait := (now - p.issuedAt).Seconds()
 			c.hConfirm.Observe(wait)
-			c.sink.Event(now, c.comp, "confirm",
-				"rack", c.agents[idx].Rack().Name(),
-				"wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
+			if c.sink != nil {
+				c.sink.Event(now, c.comp, "confirm",
+					"rack", c.agents[idx].Rack().Name(),
+					"wait_s", strconv.FormatFloat(wait, 'f', 1, 64))
+			}
 			return
 		}
 	}
@@ -707,15 +711,19 @@ func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverr
 		delete(c.pending, idx)
 		c.metrics.AbandonedOverrides++
 		c.cAbandons.Inc()
-		c.sink.Event(now, c.comp, "abandon",
-			"rack", c.agents[idx].Rack().Name())
+		if c.sink != nil {
+			c.sink.Event(now, c.comp, "abandon",
+				"rack", c.agents[idx].Rack().Name())
+		}
 		return
 	}
 	p.attempts++
 	c.metrics.Retries++
 	c.cRetries.Inc()
-	c.sink.Event(now, c.comp, "retry",
-		"rack", c.agents[idx].Rack().Name(), "attempt", strconv.Itoa(p.attempts))
+	if c.sink != nil {
+		c.sink.Event(now, c.comp, "retry",
+			"rack", c.agents[idx].Rack().Name(), "attempt", strconv.Itoa(p.attempts))
+	}
 	c.agents[idx].Override(now, p.want)
 	p.issuedAt = now
 	c.armPending(now, idx, p)
@@ -749,8 +757,10 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 		if len(freshStarts) >= c.stormQ.Config().MinRacks {
 			c.stormQ.NoteStorm(now)
 		}
-		c.sink.Event(now, c.comp, "storm-pause",
-			"starts", strconv.Itoa(len(freshStarts)))
+		if c.sink != nil {
+			c.sink.Event(now, c.comp, "storm-pause",
+				"starts", strconv.Itoa(len(freshStarts)))
+		}
 		for _, ri := range freshStarts {
 			r := c.agents[ri.ID].Rack()
 			r.Postpone()
@@ -778,9 +788,11 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 	}
 	c.metrics.PlansComputed++
 	c.cPlans.Inc()
-	c.sink.Event(now, c.comp, "plan",
-		"starts", strconv.Itoa(len(freshStarts)),
-		"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	if c.sink != nil {
+		c.sink.Event(now, c.comp, "plan",
+			"starts", strconv.Itoa(len(freshStarts)),
+			"available_w", strconv.FormatFloat(float64(available), 'f', 0, 64))
+	}
 	for _, asg := range plan {
 		if asg.DOD <= 0 {
 			continue
@@ -839,8 +851,10 @@ func (c *Controller) restartPostponed() {
 		c.wasCharging[r] = true
 		c.metrics.OverridesIssued++
 		c.cOverrides.Inc()
-		c.sink.Event(c.lastTick, c.comp, "resume",
-			"rack", ri.Name, "amps", strconv.Itoa(int(grant)))
+		if c.sink != nil {
+			c.sink.Event(c.lastTick, c.comp, "resume",
+				"rack", ri.Name, "amps", strconv.Itoa(int(grant)))
+		}
 		delete(c.postponed, r)
 	}
 }
@@ -940,9 +954,11 @@ func (c *Controller) throttleBatteries(now time.Duration, views []Snapshot, exce
 	}
 	c.metrics.ThrottleEvents++
 	c.cThrottles.Inc()
-	c.sink.Event(now, c.comp, "throttle",
-		"sheds", strconv.Itoa(len(ids)),
-		"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+	if c.sink != nil {
+		c.sink.Event(now, c.comp, "throttle",
+			"sheds", strconv.Itoa(len(ids)),
+			"excess_w", strconv.FormatFloat(float64(excess), 'f', 0, 64))
+	}
 	min := c.cfg.Surface.MinCurrent()
 	var recovered units.Power
 	current := make(map[int]units.Current, len(active))
@@ -988,9 +1004,11 @@ func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.
 	}
 	c.metrics.ThrottleEvents++
 	c.cThrottles.Inc()
-	c.sink.Event(now, c.comp, "throttle",
-		"sheds", strconv.Itoa(len(plan)),
-		"mode", "global")
+	if c.sink != nil {
+		c.sink.Event(now, c.comp, "throttle",
+			"sheds", strconv.Itoa(len(plan)),
+			"mode", "global")
+	}
 	if after >= before {
 		return 0
 	}
@@ -1030,7 +1048,7 @@ func (c *Controller) applyCaps(views []Snapshot, needed units.Power, dt time.Dur
 		applied += cut
 		remaining -= cut
 	}
-	if applied > 0 {
+	if applied > 0 && c.sink != nil {
 		c.sink.Event(c.lastTick, c.comp, "cap",
 			"applied_w", strconv.FormatFloat(float64(applied), 'f', 0, 64))
 	}

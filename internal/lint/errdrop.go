@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop forbids silently discarded errors in internal/ packages: an
+// assignment whose left-hand side is entirely blank (`_ = f()`,
+// `_, _ = g()`) that throws away an error value must carry an adjacent
+// justification comment (same line or the line above). In a control plane
+// where a dropped error means a lost override or an unjournaled decision,
+// "ignored on purpose" has to be visible in the source.
+//
+// Multi-value assignments that keep at least one result (`v, _ := f()`)
+// are a visible, deliberate choice and are not flagged.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "blank-assigning an error in internal/ requires an adjacent justification comment",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(p *Pass) {
+	if !strings.Contains(p.Pkg.Path, "/internal/") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		commented := commentLines(p, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || !allBlank(as.Lhs) {
+				return true
+			}
+			if !dropsError(p, as) {
+				return true
+			}
+			line := p.Prog.Fset.Position(as.Pos()).Line
+			if commented[line] || commented[line-1] {
+				return true
+			}
+			p.Reportf(as.Pos(), "error discarded with a blank assignment and no justification; add an adjacent comment saying why it is safe to ignore")
+			return true
+		})
+	}
+}
+
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}
+
+// dropsError reports whether any value the assignment discards is an error.
+func dropsError(p *Pass, as *ast.AssignStmt) bool {
+	isErr := func(t types.Type) bool {
+		return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+	}
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value call: inspect the tuple.
+		if tv, ok := p.Pkg.Info.Types[as.Rhs[0]]; ok {
+			if tuple, ok := tv.Type.(*types.Tuple); ok {
+				for i := 0; i < tuple.Len(); i++ {
+					if isErr(tuple.At(i).Type()) {
+						return true
+					}
+				}
+			}
+			return isErr(tv.Type)
+		}
+		return false
+	}
+	for _, rhs := range as.Rhs {
+		if isErr(p.Pkg.Info.TypeOf(rhs)) {
+			return true
+		}
+	}
+	return false
+}
+
+// commentLines records the lines carrying a justification-capable comment:
+// any comment except coordvet markers and golden-test `want` expectations
+// (which must not double as justifications in fixtures).
+func commentLines(p *Pass, f *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+			if strings.HasPrefix(text, "want ") || strings.HasPrefix(text, IgnoreMarker) {
+				continue
+			}
+			start := p.Prog.Fset.Position(c.Pos()).Line
+			end := p.Prog.Fset.Position(c.End()).Line
+			for line := start; line <= end; line++ {
+				out[line] = true
+			}
+		}
+	}
+	return out
+}

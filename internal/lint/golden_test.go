@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runGolden is the hand-rolled analysistest: it loads fixture packages from
+// testdata/<name>/src/<import/path>/*.go, runs the given analyzers, and
+// matches every diagnostic against `// want "regexp"` expectation comments
+// on the same line. Each want must be matched by a diagnostic and each
+// diagnostic by a want; anything else fails the test. A want comment may
+// list several quoted regexps, and the marker may also appear mid-comment
+// (so an //coordvet:ignore line can still carry an expectation for the
+// stale-ignore finding it provokes).
+func runGolden(t *testing.T, name string, analyzers []*Analyzer, pkgPaths ...string) []Diagnostic {
+	t.Helper()
+	loader, scanned, diags := loadFixture(t, name, analyzers, pkgPaths...)
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, pkg := range scanned {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					for _, pat := range wantPatterns(t, c.Text) {
+						pos := loader.Fset.Position(c.Pos())
+						k := key{pos.Filename, pos.Line}
+						wants[k] = append(wants[k], pat)
+					}
+				}
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, pat := range wants[k] {
+			if !matched[pat] && pat.MatchString(d.Message) {
+				matched[pat] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, pats := range wants {
+		for _, pat := range pats {
+			if !matched[pat] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, pat)
+			}
+		}
+	}
+	return diags
+}
+
+// loadFixture loads fixture packages under testdata/<name>/src and runs
+// the analyzers, returning the loader, scanned packages, and diagnostics.
+func loadFixture(t *testing.T, name string, analyzers []*Analyzer, pkgPaths ...string) (*Loader, []*Package, []Diagnostic) {
+	t.Helper()
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	loader.OverlayRoot = filepath.Join("testdata", name, "src")
+	var scanned []*Package
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		scanned = append(scanned, pkg)
+	}
+	return loader, scanned, Run(loader.Program(scanned), analyzers)
+}
+
+// runFixture is loadFixture without want-matching, for tests that assert
+// on the diagnostics directly.
+func runFixture(t *testing.T, name string, analyzers []*Analyzer, pkgPaths ...string) []Diagnostic {
+	t.Helper()
+	_, _, diags := loadFixture(t, name, analyzers, pkgPaths...)
+	return diags
+}
+
+// wantPatterns extracts the quoted regexps following a `want ` marker in a
+// comment, compiling each.
+func wantPatterns(t *testing.T, comment string) []*regexp.Regexp {
+	t.Helper()
+	_, rest, ok := strings.Cut(comment, "want ")
+	if !ok {
+		return nil
+	}
+	var pats []*regexp.Regexp
+	for {
+		i := strings.IndexByte(rest, '"')
+		if i < 0 {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest[i:])
+		if err != nil {
+			break
+		}
+		raw, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("bad want string %s: %v", q, err)
+		}
+		pat, err := regexp.Compile(raw)
+		if err != nil {
+			t.Fatalf("bad want regexp %q: %v", raw, err)
+		}
+		pats = append(pats, pat)
+		rest = rest[i+len(q):]
+	}
+	return pats
+}
+
+// mustPos is a tiny helper for tests asserting on diagnostic positions.
+func mustPos(t *testing.T, d Diagnostic) string {
+	t.Helper()
+	if d.Pos.Filename == "" || d.Pos.Line == 0 {
+		t.Fatalf("diagnostic without position: %v", d)
+	}
+	return fmt.Sprintf("%s:%d", filepath.Base(d.Pos.Filename), d.Pos.Line)
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// IgnoreMarker opens a suppression comment:
+//
+//	//coordvet:ignore <analyzer>[,<analyzer>] <justification>
+//
+// It silences matching findings on the same line or the line directly
+// below (so it can trail the offending statement or sit on its own line
+// above it). The justification is mandatory, and a stale ignore — one that
+// suppresses nothing — is itself reported, so suppressions cannot outlive
+// the code they excuse.
+const IgnoreMarker = "coordvet:ignore"
+
+type ignoreEntry struct {
+	pos       token.Position
+	analyzers []string
+	reason    string
+	used      bool
+}
+
+// applyIgnores filters suppressed diagnostics and appends "ignore"
+// diagnostics for malformed or stale entries.
+func applyIgnores(prog *Program, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+
+	var entries []*ignoreEntry
+	var bad []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					rest, ok := strings.CutPrefix(text, IgnoreMarker)
+					if !ok {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					names, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+					e := &ignoreEntry{pos: pos, reason: strings.TrimSpace(reason)}
+					for _, n := range strings.Split(names, ",") {
+						if n = strings.TrimSpace(n); n != "" {
+							e.analyzers = append(e.analyzers, n)
+						}
+					}
+					for _, n := range e.analyzers {
+						if !known[n] {
+							bad = append(bad, Diagnostic{Analyzer: "ignore", Pos: pos,
+								Message: "//" + IgnoreMarker + " names unknown analyzer \"" + n + "\""})
+						}
+					}
+					if len(e.analyzers) == 0 {
+						bad = append(bad, Diagnostic{Analyzer: "ignore", Pos: pos,
+							Message: "//" + IgnoreMarker + " must name the analyzer(s) it suppresses"})
+						continue
+					}
+					if e.reason == "" {
+						bad = append(bad, Diagnostic{Analyzer: "ignore", Pos: pos,
+							Message: "//" + IgnoreMarker + " needs a justification after the analyzer name"})
+					}
+					entries = append(entries, e)
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, e := range entries {
+			if e.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line != e.pos.Line && d.Pos.Line != e.pos.Line+1 {
+				continue
+			}
+			for _, n := range e.analyzers {
+				if n == d.Analyzer {
+					e.used = true
+					suppressed = true
+				}
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+
+	out := append(kept, bad...)
+	for _, e := range entries {
+		if e.used {
+			continue
+		}
+		// Only call an ignore stale when every analyzer it names actually
+		// ran; a partial -run invocation must not flag ignores it cannot
+		// have matched.
+		allRan := true
+		for _, n := range e.analyzers {
+			if !ran[n] || !known[n] {
+				allRan = false
+			}
+		}
+		if allRan {
+			out = append(out, Diagnostic{Analyzer: "ignore", Pos: e.pos,
+				Message: "stale //" + IgnoreMarker + " " + strings.Join(e.analyzers, ",") +
+					": nothing to suppress on this or the next line"})
+		}
+	}
+	return out
+}

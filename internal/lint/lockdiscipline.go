@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockDiscipline checks the `// guarded by <mutex>` field-annotation
+// convention: a struct field annotated
+//
+//	ring []Event // guarded by mu
+//
+// may only be read or written (a) inside the declaring package, (b) from a
+// function that locks the named mutex somewhere in its body. The check is
+// deliberately flow-insensitive — it asks "does this function ever take the
+// lock", not "is the lock held here" — which is cheap, has no false
+// negatives for the single-mutex structs this repo uses, and catches the
+// real bug class: a new method reading a registry map with no locking at
+// all.
+//
+// Two escapes: composite-literal construction (keyed fields in `&T{...}`)
+// is exempt because the value is not yet shared, and helpers named
+// `...Locked` are exempt by convention (they document that the caller holds
+// the lock).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "annotated mutex-guarded fields may only be touched by functions that lock the named mutex",
+	Run:  runLockDiscipline,
+}
+
+func runLockDiscipline(p *Pass) {
+	if len(p.Prog.Guarded) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			locked := lockedMutexes(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := p.Pkg.Info.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				guard, ok := p.Prog.Guarded[selection.Obj()]
+				if !ok {
+					return true
+				}
+				if guard.PkgPath != p.Pkg.Path {
+					p.Reportf(sel.Sel.Pos(), "field %s.%s is guarded by %s and must not be touched outside package %s",
+						guard.Struct, sel.Sel.Name, guard.Mutex, guard.PkgPath)
+					return true
+				}
+				if !locked[guard.Mutex] {
+					p.Reportf(sel.Sel.Pos(), "field %s.%s is guarded by %s, but %s never locks %s",
+						guard.Struct, sel.Sel.Name, guard.Mutex, fd.Name.Name, guard.Mutex)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// lockedMutexes collects the terminal names of every mutex the function
+// body locks (`x.mu.Lock()`, `mu.RLock()`, ...).
+func lockedMutexes(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := ast.Unparen(sel.X).(type) {
+		case *ast.SelectorExpr:
+			out[x.Sel.Name] = true
+		case *ast.Ident:
+			out[x.Name] = true
+		}
+		return true
+	})
+	return out
+}

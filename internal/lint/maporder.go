@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` over a map whose loop body does something
+// order-sensitive: appends to a slice that is never sorted afterwards,
+// emits a flight-recorder event, or writes formatted output. Go randomizes
+// map iteration order, so any of these silently breaks the per-seed flight
+// digest (DESIGN.md §8) or byte-identical report output. The sanctioned
+// idiom — collect keys, sort, then act — is recognized: an append whose
+// target is passed to a sort call later in the same enclosing block is
+// clean.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive work (append-without-sort, flight events, formatted output) inside map iteration",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Statements live in block statements and in switch/select
+			// clauses; scan every such list so a following sort is visible.
+			var list []ast.Stmt
+			switch v := n.(type) {
+			case *ast.BlockStmt:
+				list = v.List
+			case *ast.CaseClause:
+				list = v.Body
+			case *ast.CommClause:
+				list = v.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rng, ok := stmt.(*ast.RangeStmt)
+				if ok && isMapType(p, rng.X) {
+					checkMapRangeBody(p, rng, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapType(p *Pass, e ast.Expr) bool {
+	t := p.Pkg.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRangeBody scans one map-range body for order-sensitive
+// operations; rest is the tail of the enclosing block after the loop, where
+// a sorting call can launder collected keys.
+func checkMapRangeBody(p *Pass, rng *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.RangeStmt); ok && isMapType(p, inner.X) {
+			// Nested map ranges are reported on their own enclosing block
+			// walk; don't double-report their bodies here.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target := appendTarget(p, call); target != "" {
+			if !sortedAfter(p, target, rest) {
+				p.Reportf(call.Pos(),
+					"append to %q inside map iteration without a later sort of %q: slice order follows randomized map order", target, target)
+			}
+			return true
+		}
+		if fn := p.Callee(call); fn != nil {
+			if isFlightEmit(fn) {
+				p.Reportf(call.Pos(),
+					"flight-recorder %s inside map iteration: event order follows randomized map order and breaks the per-seed digest", fn.Name())
+			} else if isFormattedWrite(fn) {
+				p.Reportf(call.Pos(),
+					"%s.%s inside map iteration: output order follows randomized map order", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the root identifier a call like
+// `keys = append(keys, k)` grows, detected from the first argument (""
+// when the call is not append or the slice has no simple root).
+func appendTarget(p *Pass, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return ""
+	}
+	if b, ok := p.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return ""
+	}
+	return rootIdent(call.Args[0])
+}
+
+// rootIdent unwraps x.y.z / x[i] / (x) to the base identifier name, or "".
+func rootIdent(e ast.Expr) string {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return v.Name
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return ""
+		}
+	}
+}
+
+// sortedAfter reports whether any statement in rest passes the named
+// variable to a sort/slices ordering call.
+func sortedAfter(p *Pass, target string, rest []ast.Stmt) bool {
+	for _, stmt := range rest {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := p.Callee(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			pkg := fn.Pkg().Path()
+			if pkg != "sort" && pkg != "slices" {
+				return true
+			}
+			if len(call.Args) > 0 && rootIdent(call.Args[0]) == target {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isFlightEmit recognizes the flight-recorder entry points: Record on
+// obs.Recorder, Event on obs.Sink.
+func isFlightEmit(fn *types.Func) bool {
+	if fn.Pkg() == nil || !isObsPkg(fn.Pkg().Path()) {
+		return false
+	}
+	return fn.Name() == "Record" || fn.Name() == "Event"
+}
+
+// isFormattedWrite recognizes fmt's printing functions (writers and
+// printers; Sprintf and friends build strings and are judged by what is
+// done with them, not here).
+func isFormattedWrite(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+		return true
+	}
+	return false
+}

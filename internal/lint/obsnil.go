@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsNil protects the observability plane's disabled-path budget
+// (BenchmarkObsOverhead: nil-sink instrumentation must cost <2%). Two
+// contracts:
+//
+//  1. Every exported pointer-receiver method in internal/obs must open with
+//     a nil-receiver guard (`if x == nil { ... }` as the first statement),
+//     so detached instrumentation is a branch, not a panic.
+//
+//  2. Call sites of the flight-recorder entry points (Sink.Event,
+//     Recorder.Record) must not compute arguments — fmt.Sprintf, string
+//     concatenation, composite literals — outside an explicit
+//     `sink != nil` guard: Go evaluates arguments before the callee's nil
+//     check, so unguarded formatting allocates even when observability is
+//     detached.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "require nil-receiver guards in internal/obs and nil-guarded argument computation at flight-recorder call sites",
+	Run:  runObsNil,
+}
+
+// isObsPkg matches the observability package (real tree or golden
+// fixtures).
+func isObsPkg(path string) bool {
+	return strings.HasSuffix(path, "internal/obs")
+}
+
+func runObsNil(p *Pass) {
+	if isObsPkg(p.Pkg.Path) {
+		checkObsMethodGuards(p)
+	}
+	checkObsCallSites(p)
+}
+
+// checkObsMethodGuards enforces contract 1 over the obs package itself.
+func checkObsMethodGuards(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			if _, isPtr := recv.Type.(*ast.StarExpr); !isPtr {
+				continue // value receivers cannot be nil
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				p.Reportf(fd.Pos(), "exported method %s has an unnamed pointer receiver: it cannot nil-guard itself", fd.Name.Name)
+				continue
+			}
+			name := recv.Names[0].Name
+			if !startsWithNilGuard(fd.Body, name) {
+				p.Reportf(fd.Pos(), "exported method (%s) %s must begin with `if %s == nil` — obs methods are nil-safe by contract",
+					name, fd.Name.Name, name)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the body's first statement is an if
+// whose condition checks `recv == nil`.
+func startsWithNilGuard(body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	found := false
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if ok && b.Op == token.EQL && (isNilCheckPair(b.X, b.Y, recv) || isNilCheckPair(b.Y, b.X, recv)) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilCheckPair(x, y ast.Expr, recv string) bool {
+	xi, ok := ast.Unparen(x).(*ast.Ident)
+	if !ok || xi.Name != recv {
+		return false
+	}
+	yi, ok := ast.Unparen(y).(*ast.Ident)
+	return ok && yi.Name == "nil"
+}
+
+// checkObsCallSites enforces contract 2 everywhere.
+func checkObsCallSites(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		scanGuarded(f, nil, func(call *ast.CallExpr, guards []string) {
+			fn := p.Callee(call)
+			if fn == nil || !isFlightEmit(fn) {
+				return
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			recv := types.ExprString(sel.X)
+			for _, g := range guards {
+				if g == recv {
+					return
+				}
+			}
+			for _, arg := range call.Args {
+				if alloc := allocExpr(p, arg); alloc != "" {
+					p.Reportf(arg.Pos(),
+						"%s argument computes %s outside an `if %s != nil` guard: arguments are evaluated even when the sink is nil (disabled-path budget, DESIGN.md §8)",
+						fn.Name(), alloc, recv)
+					return // one finding per call is enough
+				}
+			}
+		})
+	}
+}
+
+// scanGuarded walks n, tracking the set of expressions proven non-nil by
+// enclosing if conditions, and invokes onCall for every call expression
+// with the guards active at that point. Flow-insensitive beyond lexical
+// if-nesting: else branches and early returns are not modeled.
+func scanGuarded(n ast.Node, guards []string, onCall func(*ast.CallExpr, []string)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch v := m.(type) {
+		case *ast.IfStmt:
+			if v.Init != nil {
+				scanGuarded(v.Init, guards, onCall)
+			}
+			scanGuarded(v.Cond, guards, onCall)
+			scanGuarded(v.Body, append(guards, nonNilConjuncts(v.Cond)...), onCall)
+			if v.Else != nil {
+				scanGuarded(v.Else, guards, onCall)
+			}
+			return false
+		case *ast.CallExpr:
+			onCall(v, guards)
+		}
+		return true
+	})
+}
+
+// nonNilConjuncts extracts the expressions a condition proves non-nil:
+// `x != nil` conjuncts joined by &&.
+func nonNilConjuncts(cond ast.Expr) []string {
+	switch v := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			return append(nonNilConjuncts(v.X), nonNilConjuncts(v.Y)...)
+		case token.NEQ:
+			if id, ok := ast.Unparen(v.Y).(*ast.Ident); ok && id.Name == "nil" {
+				return []string{types.ExprString(ast.Unparen(v.X))}
+			}
+			if id, ok := ast.Unparen(v.X).(*ast.Ident); ok && id.Name == "nil" {
+				return []string{types.ExprString(ast.Unparen(v.Y))}
+			}
+		}
+	}
+	return nil
+}
+
+// allocExpr describes the first allocation-bearing sub-expression of an
+// argument ("" when the argument is a simple identifier/selector/literal
+// or a pure conversion chain).
+func allocExpr(p *Pass, e ast.Expr) string {
+	desc := ""
+	ast.Inspect(e, func(n ast.Node) bool {
+		if desc != "" {
+			return false
+		}
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			if p.IsConversion(v) {
+				return true // conversions are free; keep scanning operands
+			}
+			desc = "a call (" + types.ExprString(v.Fun) + ")"
+			return false
+		case *ast.BinaryExpr:
+			if t := p.Pkg.Info.TypeOf(v); t != nil {
+				if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+					desc = "a string concatenation"
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			desc = "a composite literal"
+			return false
+		}
+		return true
+	})
+	return desc
+}

@@ -1,0 +1,14 @@
+// Package obs mirrors the real observability package: Serve is the one
+// allowlisted wall-clock boundary (live HTTP pacing), while every other
+// function in the package stays checked.
+package obs
+
+import "time"
+
+func Serve() time.Time {
+	return time.Now() // allowlisted: the live HTTP surface is wall-clock by design
+}
+
+func notServe() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}

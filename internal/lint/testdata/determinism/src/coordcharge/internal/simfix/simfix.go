@@ -1,0 +1,34 @@
+// Package simfix is a determinism golden fixture: a stand-in sim/control
+// package exercising every forbidden wall-clock and global-rand call plus
+// the sanctioned alternatives.
+package simfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockReads() time.Duration {
+	start := time.Now()                       // want "time.Now reads the wall clock"
+	_ = time.Since(start)                     // want "time.Since reads the wall clock"
+	time.Sleep(time.Millisecond)              // want "time.Sleep couples the run to real elapsed time"
+	<-time.After(time.Millisecond)            // want "time.After couples the run to real elapsed time"
+	return time.Until(start.Add(time.Second)) // want "time.Until reads the wall clock"
+}
+
+func globalRand() int {
+	rand.Shuffle(3, func(i, j int) {}) // want "global rand.Shuffle is shared mutable state"
+	return rand.Intn(10)               // want "global rand.Intn is shared mutable state"
+}
+
+// seededRand is the sanctioned idiom: a locally seeded generator.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are allowed
+	return r.Float64()                  // methods on *rand.Rand are allowed
+}
+
+// virtualTime shows that time.Duration arithmetic and constants are fine;
+// only clock reads are banned.
+func virtualTime(now time.Duration) time.Duration {
+	return now + 3*time.Second
+}

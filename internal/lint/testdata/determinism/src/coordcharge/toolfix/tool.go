@@ -1,0 +1,7 @@
+// Package toolfix sits outside internal/ and cmd/, so the determinism
+// analyzer does not apply. No finding expected.
+package toolfix
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,39 @@
+// Package errfix is the errdrop golden fixture: blank-assigned errors with
+// and without the required justification.
+package errfix
+
+import (
+	"errors"
+	"strconv"
+)
+
+func fallible() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func silentDrop() {
+	_ = fallible() // want "error discarded with a blank assignment and no justification"
+}
+
+func justifiedSameLine() {
+	_ = fallible() // best-effort flush: the retry path re-reports any failure
+}
+
+func justifiedLineAbove() {
+	// Shutdown path; the connection is going away regardless.
+	_ = fallible()
+}
+
+func doubleBlank() {
+	_, _ = pair() // want "error discarded with a blank assignment and no justification"
+}
+
+func keepsAValue() {
+	// Keeping one result makes the discard visible and deliberate: clean.
+	v, _ := strconv.Atoi("42")
+	_ = v // not an error value: clean
+}
+
+func nonErrorDiscard() {
+	_ = len("x")
+}

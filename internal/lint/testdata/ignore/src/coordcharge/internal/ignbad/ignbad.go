@@ -1,0 +1,19 @@
+// Package ignbad holds malformed suppressions; the test asserts on the
+// resulting diagnostics directly (the marker occupies the whole comment, so
+// no want expectation can share its line).
+package ignbad
+
+import "time"
+
+// reasonless: the violation is suppressed, but the bare marker is reported
+// for lacking a justification (and, suppressing nothing else, stays
+// non-stale because it did fire).
+func reasonless() time.Time {
+	return time.Now() //coordvet:ignore determinism
+}
+
+// unknownAnalyzer names an analyzer that does not exist.
+func unknownAnalyzer() time.Duration {
+	//coordvet:ignore nosuchanalyzer typo in the analyzer name
+	return 3 * time.Second
+}

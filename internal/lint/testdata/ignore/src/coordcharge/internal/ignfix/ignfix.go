@@ -1,0 +1,23 @@
+// Package ignfix exercises the //coordvet:ignore machinery: a justified
+// ignore silences its finding, and a stale ignore is itself reported.
+package ignfix
+
+import "time"
+
+// suppressedTrailing: the finding on this line is silenced by the trailing
+// justified ignore.
+func suppressedTrailing() time.Time {
+	return time.Now() //coordvet:ignore determinism fixture demonstrates a justified suppression
+}
+
+// suppressedAbove: an ignore on its own line covers the line below.
+func suppressedAbove() time.Time {
+	//coordvet:ignore determinism fixture demonstrates the line-above form
+	return time.Now()
+}
+
+// stale: nothing to suppress here, so the ignore itself is the finding.
+func stale() time.Duration {
+	//coordvet:ignore determinism nothing is wrong below, so expect: want "stale //coordvet:ignore determinism: nothing to suppress"
+	return 3 * time.Second
+}

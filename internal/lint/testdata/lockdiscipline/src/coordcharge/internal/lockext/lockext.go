@@ -1,0 +1,16 @@
+// Package lockext exports a guarded field so the cross-package rule can be
+// exercised from lockuse.
+package lockext
+
+import "sync"
+
+type Store struct {
+	Mu    sync.Mutex
+	Total int // guarded by Mu
+}
+
+func (s *Store) Add(n int) {
+	s.Mu.Lock()
+	s.Total += n
+	s.Mu.Unlock()
+}

@@ -1,0 +1,63 @@
+// Package lockfix is the lockdiscipline golden fixture: a registry-shaped
+// struct whose annotated fields must only be touched under the named mutex.
+package lockfix
+
+import "sync"
+
+type registry struct {
+	mu sync.Mutex
+	// names is the lookup table.
+	names map[string]int // guarded by mu
+	Hits  int            // guarded by mu
+	free  int            // unannotated: no discipline enforced
+}
+
+// newRegistry constructs through a composite literal: the value is not yet
+// shared, so keyed initialization is exempt.
+func newRegistry() *registry {
+	return &registry{names: map[string]int{}}
+}
+
+// lookup takes the lock before touching the annotated field: clean.
+func (r *registry) lookup(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names[name]
+}
+
+// record locks via defer pairing and writes both annotated fields: clean.
+func (r *registry) record(name string) {
+	r.mu.Lock()
+	r.names[name]++
+	r.Hits++
+	r.mu.Unlock()
+}
+
+// leak reads an annotated field with no locking anywhere in the function.
+func (r *registry) leak(name string) int {
+	return r.names[name] // want "field registry.names is guarded by mu, but leak never locks mu"
+}
+
+// bump writes an annotated field without the lock.
+func (r *registry) bump() {
+	r.Hits++ // want "field registry.Hits is guarded by mu, but bump never locks mu"
+}
+
+// wrongLock locks a different mutex than the annotation names.
+var other sync.Mutex
+
+func (r *registry) wrongLock() int {
+	other.Lock()
+	defer other.Unlock()
+	return r.Hits // want "field registry.Hits is guarded by mu, but wrongLock never locks mu"
+}
+
+// drainLocked follows the ...Locked naming convention: the caller holds the
+// lock, so the helper is exempt.
+func (r *registry) drainLocked() {
+	r.names = map[string]int{}
+	r.Hits = 0
+}
+
+// touchFree shows unannotated fields carry no discipline.
+func (r *registry) touchFree() int { return r.free }

@@ -1,0 +1,12 @@
+// Package lockuse reaches into a sibling package's exported guarded field:
+// annotated fields must not be touched outside the declaring package at
+// all, locked or not.
+package lockuse
+
+import "coordcharge/internal/lockext"
+
+func Peek(s *lockext.Store) int {
+	s.Mu.Lock()
+	defer s.Mu.Unlock()
+	return s.Total // want "field Store.Total is guarded by Mu and must not be touched outside package coordcharge/internal/lockext"
+}

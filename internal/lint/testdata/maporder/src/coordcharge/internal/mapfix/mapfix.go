@@ -1,0 +1,99 @@
+// Package mapfix is the maporder golden fixture: order-sensitive work
+// inside randomized map iteration, against the sanctioned
+// collect-sort-act idiom.
+package mapfix
+
+import (
+	"fmt"
+	"sort"
+
+	"coordcharge/internal/obs"
+)
+
+// unsortedAppend grows a slice in map order and never sorts it.
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to \"keys\" inside map iteration without a later sort"
+	}
+	return keys
+}
+
+// sortedAppend is the sanctioned idiom: collect, then sort.
+func sortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceAlsoCounts accepts any sort/slices ordering call on the target.
+func sortSliceAlsoCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// printsInMapOrder writes formatted output per iteration.
+func printsInMapOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration"
+	}
+}
+
+// emitsFlightEvents journals one event per iteration: the exact bug class
+// that breaks the per-seed digest.
+func emitsFlightEvents(s *obs.Sink, m map[string]int) {
+	for k := range m {
+		s.Event(0, "fix", "tick", "k", k) // want "flight-recorder Event inside map iteration"
+	}
+}
+
+// recorderDirect hits the Recorder entry point too.
+func recorderDirect(r *obs.Recorder, m map[string]int) {
+	for k := range m {
+		r.Record(0, "fix", k) // want "flight-recorder Record inside map iteration"
+	}
+}
+
+// mapToMapCopy is order-insensitive and clean.
+func mapToMapCopy(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// sliceRange is not a map range; appends are fine.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// caseClause checks ranges nested in switch bodies (statement lists that
+// are not block statements).
+func caseClause(mode int, m map[string]int) []string {
+	var keys []string
+	switch mode {
+	case 1:
+		for k := range m {
+			keys = append(keys, k) // want "append to \"keys\" inside map iteration without a later sort"
+		}
+		return keys
+	default:
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+}

@@ -1,0 +1,53 @@
+// Package obs is the obsnil golden fixture's stand-in observability
+// package: correct nil-guarded methods beside every guard mistake the
+// analyzer must catch.
+package obs
+
+import "time"
+
+type Recorder struct{ n int }
+
+// Record opens with the contractual guard: clean.
+func (r *Recorder) Record(t time.Duration, comp, kind string, kv ...string) {
+	if r == nil {
+		return
+	}
+	r.n++
+}
+
+// Total guards with the operands reversed: still clean.
+func (r *Recorder) Total() int {
+	if nil == r {
+		return 0
+	}
+	return r.n
+}
+
+// Dropped does real work before the guard. // want is on the decl below.
+func (r *Recorder) Dropped() int { // want "exported method \\(r\\) Dropped must begin with `if r == nil`"
+	n := r.n
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Reset has no guard at all.
+func (r *Recorder) Reset() { // want "exported method \\(r\\) Reset must begin with `if r == nil`"
+	r.n = 0
+}
+
+// snapshot is unexported: callers inside the package guard for it.
+func (r *Recorder) snapshot() int { return r.n }
+
+type Sink struct{ Flight *Recorder }
+
+func (s *Sink) Event(t time.Duration, comp, kind string, kv ...string) {
+	if s == nil {
+		return
+	}
+	s.Flight.Record(t, comp, kind, kv...)
+}
+
+// ID has a value receiver, which cannot be nil: clean without a guard.
+func (s Sink) ID() string { return "sink" }

@@ -1,0 +1,60 @@
+// Package usefix is the obsnil call-site fixture: flight-recorder calls
+// whose arguments allocate must sit behind an explicit sink nil-check,
+// because Go evaluates arguments before the callee's own guard runs.
+package usefix
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"coordcharge/internal/obs"
+)
+
+type rack struct {
+	name string
+	sink *obs.Sink
+}
+
+func (r *rack) id() string { return r.name }
+
+// simpleArgs passes only identifiers and literals: nothing allocates, no
+// guard needed.
+func (r *rack) simpleArgs(now int) {
+	r.sink.Event(0, r.name, "tick")
+}
+
+// unguardedSprintf formats on the disabled path.
+func (r *rack) unguardedSprintf(v float64) {
+	r.sink.Event(0, r.name, "tick", "v", fmt.Sprintf("%.1f", v)) // want "Event argument computes a call \\(fmt.Sprintf\\) outside an `if r.sink != nil` guard"
+}
+
+// unguardedConcat allocates a string on the disabled path.
+func (r *rack) unguardedConcat() {
+	r.sink.Event(0, "rack/"+r.name, "tick") // want "Event argument computes a string concatenation outside an `if r.sink != nil` guard"
+}
+
+// unguardedMethodCall calls through on the disabled path.
+func (r *rack) unguardedMethodCall() {
+	r.sink.Event(0, r.id(), "tick") // want "Event argument computes a call \\(r.id\\) outside an `if r.sink != nil` guard"
+}
+
+// guarded is the sanctioned shape: the formatting cost is paid only when a
+// sink is attached.
+func (r *rack) guarded(v float64) {
+	if r.sink != nil {
+		r.sink.Event(0, r.name, "tick", "v", strconv.FormatFloat(v, 'f', 1, 64))
+	}
+}
+
+// guardedCompound accepts the guard as one conjunct of a wider condition.
+func (r *rack) guardedCompound(v float64, loud bool) {
+	if loud && r.sink != nil {
+		r.sink.Event(0, r.name, "tick", "v", strconv.FormatFloat(v, 'f', 1, 64))
+	}
+}
+
+// conversionOnly is free — type conversions do not allocate.
+func (r *rack) conversionOnly(ticks int64) {
+	r.sink.Event(time.Duration(ticks), r.name, "tick")
+}

@@ -48,12 +48,12 @@ func (e Event) canonical() string {
 // bounded; the digest is not). Safe for concurrent use; nil-safe throughout.
 type Recorder struct {
 	mu    sync.Mutex
-	ring  []Event
-	n     int
-	next  int
-	seq   uint64
-	hash  uint64 // running FNV-64a over canonical event lines
-	drops uint64 // events evicted from the ring
+	ring  []Event // guarded by mu
+	n     int     // guarded by mu
+	next  int     // guarded by mu
+	seq   uint64  // guarded by mu
+	hash  uint64  // guarded by mu; running FNV-64a over canonical event lines
+	drops uint64  // guarded by mu; events evicted from the ring
 }
 
 // NewRecorder returns a recorder retaining the last capacity events
@@ -156,8 +156,11 @@ func (r *Recorder) Digest() string {
 
 // WriteJSONL dumps the retained events as JSON Lines, oldest first, so any
 // trip or SLA miss can be reconstructed post-hoc from the decisions that led
-// to it.
+// to it. A nil recorder writes nothing.
 func (r *Recorder) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
 	for _, e := range r.Last(0) {

@@ -28,7 +28,12 @@ func (c *Counter) Add(d int64) {
 }
 
 // Inc increments the counter by one (no-op on nil).
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Value returns the current count (zero on nil).
 func (c *Counter) Value() int64 {
@@ -76,10 +81,10 @@ func (g *Gauge) Value() float64 {
 // the zero value is not usable.
 type Histogram struct {
 	mu    sync.Mutex
-	ring  []float64
-	n     int   // valid entries in ring
-	next  int   // next write position
-	total int64 // observations ever
+	ring  []float64 // guarded by mu
+	n     int       // guarded by mu; valid entries in ring
+	next  int       // guarded by mu; next write position
+	total int64     // guarded by mu; observations ever
 }
 
 func newHistogram(window int) *Histogram {
@@ -160,9 +165,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 // them up once and hold the pointer.
 type Registry struct {
 	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	counters map[string]*Counter   // guarded by mu
+	gauges   map[string]*Gauge     // guarded by mu
+	hists    map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -230,16 +235,20 @@ type Snapshot struct {
 	Histograms map[string]HistSnapshot `json:"histograms"`
 }
 
-// Snapshot captures every metric's current value (empty snapshot on nil).
-func (r *Registry) Snapshot() Snapshot {
-	snap := Snapshot{
+func emptySnapshot() Snapshot {
+	return Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]float64{},
 		Histograms: map[string]HistSnapshot{},
 	}
+}
+
+// Snapshot captures every metric's current value (empty snapshot on nil).
+func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
-		return snap
+		return emptySnapshot()
 	}
+	snap := emptySnapshot()
 	r.mu.Lock()
 	counters := make(map[string]*Counter, len(r.counters))
 	for k, v := range r.counters {
@@ -267,9 +276,16 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteJSON writes the registry snapshot as indented JSON (expvar-style:
-// one object, sorted keys).
+// one object, sorted keys). A nil registry writes an empty snapshot.
 func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		return writeSnapshotJSON(w, emptySnapshot())
+	}
+	return writeSnapshotJSON(w, r.Snapshot())
+}
+
+func writeSnapshotJSON(w io.Writer, snap Snapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(r.Snapshot())
+	return enc.Encode(snap)
 }

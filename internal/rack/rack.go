@@ -329,7 +329,9 @@ func (r *Rack) SetObs(s *obs.Sink) {
 func (r *Rack) noteFailSafe(now time.Duration, cause string) {
 	r.failSafeCount++
 	r.cFailSafe.Inc()
-	r.sink.Event(now, "rack/"+r.name, "failsafe", "cause", cause)
+	if r.sink != nil {
+		r.sink.Event(now, "rack/"+r.name, "failsafe", "cause", cause)
+	}
 }
 
 // SetWatchdog arms the rack's local fail-safe watchdog: whenever a charge

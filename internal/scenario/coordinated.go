@@ -442,8 +442,10 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 				res.DODs = append(res.DODs, float64(r.LastDOD()))
 			}
 			res.AvgDOD = units.Fraction(sum / float64(n))
-			spec.Obs.Event(now, "scenario", "restore",
-				"avg_dod", fmt.Sprintf("%.3f", float64(res.AvgDOD)))
+			if spec.Obs != nil {
+				spec.Obs.Event(now, "scenario", "restore",
+					"avg_dod", fmt.Sprintf("%.3f", float64(res.AvgDOD)))
+			}
 		}
 		for _, r := range racks {
 			r.Step(now, spec.Step)
@@ -461,7 +463,9 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			if nd.Tripped() && !tripped[nd.Name()] {
 				tripped[nd.Name()] = true
 				res.Tripped = append(res.Tripped, nd.Name())
-				spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
+				if spec.Obs != nil {
+					spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
+				}
 			}
 		})
 		if gauges != nil {

@@ -184,9 +184,11 @@ func (g *Guard) Tick(now time.Duration) {
 		g.quiet = false
 		if !g.over {
 			g.over, g.overSince = true, now
-			g.sink.Event(now, g.comp(), "breach",
-				"power_w", fmt.Sprintf("%.0f", float64(p)),
-				"limit_w", fmt.Sprintf("%.0f", float64(limit)))
+			if g.sink != nil {
+				g.sink.Event(now, g.comp(), "breach",
+					"power_w", fmt.Sprintf("%.0f", float64(p)),
+					"limit_w", fmt.Sprintf("%.0f", float64(limit)))
+			}
 		}
 		g.gProximity.Set(g.proximity(now))
 		if now-g.overSince >= g.fireAfter() {
@@ -243,9 +245,11 @@ func (g *Guard) shed(now time.Duration) {
 		g.fired = true
 		g.metrics.Fires++
 		g.cFires.Inc()
-		g.sink.Event(now, g.comp(), "guard-fire",
-			"power_w", fmt.Sprintf("%.0f", float64(g.node.Power())),
-			"limit_w", fmt.Sprintf("%.0f", float64(g.node.Limit())))
+		if g.sink != nil {
+			g.sink.Event(now, g.comp(), "guard-fire",
+				"power_w", fmt.Sprintf("%.0f", float64(g.node.Power())),
+				"limit_w", fmt.Sprintf("%.0f", float64(g.node.Limit())))
+		}
 	}
 	limit := g.node.Limit()
 	safe := g.ccfg.SafeCurrent()
@@ -262,8 +266,10 @@ func (g *Guard) shed(now time.Duration) {
 		r.OverrideCurrent(safe)
 		g.metrics.Demoted++
 		g.cDemoted.Inc()
-		g.sink.Event(now, g.comp(), "demote",
-			"rack", r.Name(), "amps", fmt.Sprintf("%d", int(safe)))
+		if g.sink != nil {
+			g.sink.Event(now, g.comp(), "demote",
+				"rack", r.Name(), "amps", fmt.Sprintf("%d", int(safe)))
+		}
 	}
 	// Rung 2: pause charges outright.
 	for _, r := range order {
@@ -276,7 +282,9 @@ func (g *Guard) shed(now time.Duration) {
 		r.Postpone()
 		g.metrics.Paused++
 		g.cPaused.Inc()
-		g.sink.Event(now, g.comp(), "guard-pause", "rack", r.Name())
+		if g.sink != nil {
+			g.sink.Event(now, g.comp(), "guard-pause", "rack", r.Name())
+		}
 		if g.queue != nil {
 			g.queue.Enqueue(now, Request{Name: r.Name(), Priority: r.Priority(), DOD: r.PendingDOD()})
 		} else {
@@ -309,8 +317,10 @@ func (g *Guard) shed(now time.Duration) {
 			g.cCapped.Inc()
 		}
 		g.capped[r] = true
-		g.sink.Event(now, g.comp(), "it-cap",
-			"rack", r.Name(), "cut_w", fmt.Sprintf("%.0f", float64(c)))
+		if g.sink != nil {
+			g.sink.Event(now, g.comp(), "it-cap",
+				"rack", r.Name(), "cut_w", fmt.Sprintf("%.0f", float64(c)))
+		}
 		cut += c
 	}
 	if cut > g.metrics.MaxITCut {
@@ -323,7 +333,7 @@ func (g *Guard) shed(now time.Duration) {
 // queue owns them — paused charges resume at the safe current, at most
 // MaxResumePerTick per tick so the release cannot recreate the storm.
 func (g *Guard) release(now time.Duration) {
-	if len(g.capped) > 0 || len(g.paused) > 0 {
+	if (len(g.capped) > 0 || len(g.paused) > 0) && g.sink != nil {
 		g.sink.Event(now, g.comp(), "guard-release",
 			"capped", fmt.Sprintf("%d", len(g.capped)),
 			"paused", fmt.Sprintf("%d", len(g.paused)))
@@ -342,7 +352,9 @@ func (g *Guard) release(now time.Duration) {
 		r.ResumeCharge(g.ccfg.SafeCurrent())
 		g.metrics.Resumed++
 		g.cResumed.Inc()
-		g.sink.Event(now, g.comp(), "guard-resume", "rack", r.Name())
+		if g.sink != nil {
+			g.sink.Event(now, g.comp(), "guard-resume", "rack", r.Name())
+		}
 		resumed++
 	}
 	if !g.hasActions() {

@@ -181,10 +181,12 @@ func (q *Queue) Enqueue(now time.Duration, r Request) {
 	}
 	q.cEnqueued.Inc()
 	q.gDepth.Set(float64(len(q.waiting)))
-	q.sink.Event(now, "storm/queue", "enqueue",
-		"rack", r.Name,
-		"priority", fmt.Sprintf("%d", r.Priority),
-		"dod", fmt.Sprintf("%.3f", float64(r.DOD)))
+	if q.sink != nil {
+		q.sink.Event(now, "storm/queue", "enqueue",
+			"rack", r.Name,
+			"priority", fmt.Sprintf("%d", r.Priority),
+			"dod", fmt.Sprintf("%.3f", float64(r.DOD)))
+	}
 }
 
 // Remove drops the named rack from the queue (it lost input again, or a
@@ -294,10 +296,12 @@ func (q *Queue) Admit(now time.Duration, budget units.Power, cfg core.Config) []
 		}
 		wait := (now - w.since).Seconds()
 		q.hWait.Observe(wait)
-		q.sink.Event(now, "storm/queue", "admit",
-			"rack", w.Name,
-			"amps", fmt.Sprintf("%d", int(grant)),
-			"wait_s", fmt.Sprintf("%.0f", wait))
+		if q.sink != nil {
+			q.sink.Event(now, "storm/queue", "admit",
+				"rack", w.Name,
+				"amps", fmt.Sprintf("%d", int(grant)),
+				"wait_s", fmt.Sprintf("%.0f", wait))
+		}
 	}
 	for _, g := range grants {
 		q.Remove(g.Name)
@@ -307,9 +311,11 @@ func (q *Queue) Admit(now time.Duration, budget units.Power, cfg core.Config) []
 	if len(grants) > 0 {
 		q.metrics.Waves++
 		q.cWaves.Inc()
-		q.sink.Event(now, "storm/queue", "admission-wave",
-			"granted", fmt.Sprintf("%d", len(grants)),
-			"budget_w", fmt.Sprintf("%.0f", float64(budget)))
+		if q.sink != nil {
+			q.sink.Event(now, "storm/queue", "admission-wave",
+				"granted", fmt.Sprintf("%d", len(grants)),
+				"budget_w", fmt.Sprintf("%.0f", float64(budget)))
+		}
 	}
 	return grants
 }

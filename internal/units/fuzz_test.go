@@ -1,0 +1,63 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the three human-friendly parsers with arbitrary input.
+// The parsers back CLI flags and config files, so the invariants are the
+// usual ones for untrusted text: never panic, fail with a descriptive error
+// rather than a zero value, and — when parsing succeeds — round-trip through
+// the documented suffix conventions.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"2.3MW", "190 kw", "380", "380W", " 12.5 kW ",
+		"2.5A", "16a", "-3A",
+		"0.7", "70%", "100 %", "-0.1", "1e3%",
+		"", " ", "W", "%", "A", "kW", "NaN", "Inf", "-Inf",
+		"0x10", "1_000", "+5", "..", "1.2.3", "ммW", "\x00",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		if p, err := ParsePower(s); err == nil {
+			if math.IsNaN(float64(p)) && !strings.Contains(strings.ToLower(s), "nan") {
+				t.Fatalf("ParsePower(%q) = NaN from non-NaN input", s)
+			}
+		} else if !strings.Contains(err.Error(), "cannot parse power") {
+			t.Fatalf("ParsePower(%q): undescriptive error %v", s, err)
+		}
+
+		if c, err := ParseCurrent(s); err == nil {
+			// "A" is the only unit: stripping it must not change the value.
+			trimmed := strings.TrimSuffix(strings.TrimSpace(strings.ToLower(s)), "a")
+			c2, err2 := ParseCurrent(trimmed)
+			if err2 != nil {
+				t.Fatalf("ParseCurrent(%q) ok but bare %q failed: %v", s, trimmed, err2)
+			}
+			if c != c2 && !math.IsNaN(float64(c)) {
+				t.Fatalf("ParseCurrent(%q) = %v but ParseCurrent(%q) = %v", s, c, trimmed, c2)
+			}
+		} else if !strings.Contains(err.Error(), "cannot parse current") {
+			t.Fatalf("ParseCurrent(%q): undescriptive error %v", s, err)
+		}
+
+		if fr, err := ParseFraction(s); err == nil {
+			if strings.HasSuffix(strings.TrimSpace(s), "%") {
+				bare := strings.TrimSuffix(strings.TrimSpace(s), "%")
+				fr2, err2 := ParseFraction(bare)
+				if err2 != nil {
+					t.Fatalf("ParseFraction(%q) ok but bare %q failed: %v", s, bare, err2)
+				}
+				got, want := float64(fr), float64(fr2)/100
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("ParseFraction(%q) = %v, want %v/100", s, fr, fr2)
+				}
+			}
+		} else if !strings.Contains(err.Error(), "cannot parse fraction") {
+			t.Fatalf("ParseFraction(%q): undescriptive error %v", s, err)
+		}
+	})
+}
