@@ -2,8 +2,16 @@
 
 GO ?= go
 BENCH_OUT ?= BENCH_latest.json
+# The committed baseline the regression gate compares against; refresh with
+# `make bench-json BENCH_OUT=BENCH_PR<N>.json` when a PR changes performance
+# on purpose.
+BENCH_BASELINE ?= BENCH_PR5.json
+BENCH_TOLERANCE ?= 25
+# Benchmarks cheaper than this (ns/op in the baseline) are reported but not
+# gated: at one measured iteration their timing is scheduler noise.
+BENCH_FLOOR ?= 10000000
 
-.PHONY: build lint test test-short test-race bench bench-json cover fuzz reproduce examples clean
+.PHONY: build lint test test-short test-race bench bench-json bench-compare profile cover fuzz reproduce examples clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +39,19 @@ bench:
 # Override the destination per snapshot: make bench-json BENCH_OUT=BENCH_PR7.json
 bench-json:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+
+# Regression gate: one benchmark pass diffed against the committed baseline.
+# Fails if any benchmark is more than BENCH_TOLERANCE percent slower.
+bench-compare:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | \
+		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) \
+			-tolerance $(BENCH_TOLERANCE) -floor $(BENCH_FLOOR)
+
+# CPU + heap profiles of the heaviest benchmark, for pprof inspection:
+#   go tool pprof cpu.pprof
+profile:
+	$(GO) test -bench=BenchmarkTable3MaxCapping -benchtime=1x -run='^$$' \
+		-cpuprofile cpu.pprof -memprofile mem.pprof .
 
 cover:
 	$(GO) test -cover ./...

@@ -192,6 +192,7 @@ func fig13Run(b *testing.B, mode dynamo.Mode, pol charger.Policy, limit units.Po
 // BenchmarkFig13CoordinatedCharging runs the hardest Fig 13 case — (f) high
 // discharge at the 2.3 MW low limit — under all three algorithms.
 func BenchmarkFig13CoordinatedCharging(b *testing.B) {
+	b.ReportAllocs()
 	var prioCapKW float64
 	for i := 0; i < b.N; i++ {
 		_ = fig13Run(b, dynamo.ModeNone, charger.Original{}, 2.3*units.Megawatt, 0.7)
@@ -205,6 +206,7 @@ func BenchmarkFig13CoordinatedCharging(b *testing.B) {
 // BenchmarkTable3MaxCapping regenerates the full Table III: six cases under
 // three algorithms (18 production-scale runs per iteration).
 func BenchmarkTable3MaxCapping(b *testing.B) {
+	b.ReportAllocs()
 	var origWorstKW float64
 	for i := 0; i < b.N; i++ {
 		res, err := scenario.RunFig13(1)
@@ -461,6 +463,7 @@ func BenchmarkAblationPollCadence(b *testing.B) {
 // under a breaker tightened to a 5%-over-for-30s trip rule. Reports the
 // wall-clock of one full recovery and the time the last rack finished.
 func BenchmarkStormRecovery(b *testing.B) {
+	b.ReportAllocs()
 	var recoveryMin float64
 	for i := 0; i < b.N; i++ {
 		sc := storm.Default()

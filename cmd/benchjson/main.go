@@ -14,13 +14,22 @@
 // Non-benchmark lines (goos/goarch/cpu headers, PASS/ok trailers) set the
 // document's context fields and are otherwise ignored, so the tool can be fed
 // the raw output of `go test -bench=. ./...` across many packages.
+//
+// With -compare old.json the tool becomes a regression gate instead of a
+// converter: fresh `go test -bench` text on stdin is parsed and its ns/op
+// diffed against the archived document. Any benchmark slower than the
+// baseline by more than -tolerance percent — or present in the baseline but
+// missing from stdin — fails the run (exit 1). See `make bench-compare`.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -43,10 +52,28 @@ type Doc struct {
 }
 
 func main() {
+	compareWith := flag.String("compare", "", "baseline JSON document to diff ns/op against (regression-gate mode)")
+	tolerance := flag.Float64("tolerance", 10, "allowed ns/op regression in percent before -compare fails")
+	floor := flag.Float64("floor", 0, "baseline ns/op below which a benchmark is reported but not gated (single-iteration noise)")
+	flag.Parse()
+
 	doc, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+	if *compareWith != "" {
+		old, err := loadDoc(*compareWith)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		report, ok := compare(old, doc, *tolerance, *floor)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -54,6 +81,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+func loadDoc(path string) (*Doc, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	doc := &Doc{}
+	if err := json.Unmarshal(data, doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compare diffs new ns/op against old, benchmark by benchmark (matched by
+// name). It returns a human-readable report and whether the gate passes:
+// every baseline benchmark must be present in the new run and no more than
+// tolerance percent slower. New-only benchmarks and baseline entries without
+// an ns/op metric are reported but never fail the gate; neither do
+// benchmarks whose baseline cost is under floor ns — at one measured
+// iteration their timing is dominated by scheduler noise, not by the code
+// under test (they must still be present, so renames refresh the baseline).
+func compare(old, new *Doc, tolerance, floor float64) (string, bool) {
+	newByName := map[string]Result{}
+	for _, r := range new.Benchmarks {
+		newByName[r.Name] = r
+	}
+	var b strings.Builder
+	ok := true
+	for _, base := range old.Benchmarks {
+		baseNs, has := base.Metrics["ns/op"]
+		if !has || baseNs <= 0 {
+			fmt.Fprintf(&b, "  ?  %-40s baseline has no ns/op\n", base.Name)
+			continue
+		}
+		cur, found := newByName[base.Name]
+		if !found {
+			fmt.Fprintf(&b, "FAIL %-40s missing from new run\n", base.Name)
+			ok = false
+			continue
+		}
+		curNs := cur.Metrics["ns/op"]
+		delta := (curNs - baseNs) / baseNs * 100
+		verdict := " ok "
+		switch {
+		case baseNs < floor:
+			verdict = "  - " // under the noise floor: informational only
+		case delta > tolerance:
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "%s %-40s %14.0f -> %14.0f ns/op  %+7.1f%%\n",
+			verdict, base.Name, baseNs, curNs, delta)
+	}
+	baseNames := map[string]bool{}
+	for _, r := range old.Benchmarks {
+		baseNames[r.Name] = true
+	}
+	var added []string
+	for name := range newByName {
+		if !baseNames[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(&b, " new %-40s %14.0f ns/op (no baseline)\n",
+			name, newByName[name].Metrics["ns/op"])
+	}
+	if ok {
+		fmt.Fprintf(&b, "benchjson: gate passed (tolerance %.0f%%)\n", tolerance)
+	} else {
+		fmt.Fprintf(&b, "benchjson: gate FAILED (tolerance %.0f%%)\n", tolerance)
+	}
+	return b.String(), ok
 }
 
 func parse(sc *bufio.Scanner) (*Doc, error) {

@@ -49,3 +49,86 @@ func TestParseSkipsMalformedNames(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks from garbage, want 0", len(doc.Benchmarks))
 	}
 }
+
+func docFromText(t *testing.T, text string) *Doc {
+	t.Helper()
+	doc, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return doc
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	cur := docFromText(t, "BenchmarkA 1 1080 ns/op")
+	report, ok := compare(old, cur, 10, 0)
+	if !ok {
+		t.Fatalf("8%% regression failed a 10%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "gate passed") {
+		t.Fatalf("report missing pass marker:\n%s", report)
+	}
+}
+
+func TestCompareRegressionFails(t *testing.T) {
+	old := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	cur := docFromText(t, "BenchmarkA 1 1500 ns/op")
+	report, ok := compare(old, cur, 10, 0)
+	if ok {
+		t.Fatalf("50%% regression passed a 10%% gate:\n%s", report)
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report missing failure marker:\n%s", report)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	cur := docFromText(t, "BenchmarkA 1 400 ns/op")
+	if report, ok := compare(old, cur, 10, 0); !ok {
+		t.Fatalf("speedup failed the gate:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := docFromText(t, "BenchmarkA 1 1000 ns/op\nBenchmarkB 1 2000 ns/op")
+	cur := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	report, ok := compare(old, cur, 10, 0)
+	if ok {
+		t.Fatalf("missing benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "missing from new run") {
+		t.Fatalf("report missing the missing-benchmark marker:\n%s", report)
+	}
+}
+
+func TestCompareNewBenchmarkReportedNotFatal(t *testing.T) {
+	old := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	cur := docFromText(t, "BenchmarkA 1 1000 ns/op\nBenchmarkNew 1 5 ns/op")
+	report, ok := compare(old, cur, 10, 0)
+	if !ok {
+		t.Fatalf("new benchmark failed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "no baseline") {
+		t.Fatalf("report missing new-benchmark marker:\n%s", report)
+	}
+}
+
+func TestCompareFloorExemptsNoisyMicrobenchmarks(t *testing.T) {
+	old := docFromText(t, "BenchmarkMicro 1 1000 ns/op\nBenchmarkBig 1 50000000 ns/op")
+	cur := docFromText(t, "BenchmarkMicro 1 9000 ns/op\nBenchmarkBig 1 50000000 ns/op")
+	if report, ok := compare(old, cur, 10, 10_000_000); !ok {
+		t.Fatalf("under-floor regression failed the gate:\n%s", report)
+	}
+	// The floor does not exempt genuinely gated benchmarks.
+	cur = docFromText(t, "BenchmarkMicro 1 1000 ns/op\nBenchmarkBig 1 90000000 ns/op")
+	if report, ok := compare(old, cur, 10, 10_000_000); ok {
+		t.Fatalf("over-floor regression passed the gate:\n%s", report)
+	}
+	// Nor does it excuse a missing benchmark.
+	cur = docFromText(t, "BenchmarkBig 1 50000000 ns/op")
+	if report, ok := compare(old, cur, 10, 10_000_000); ok {
+		t.Fatalf("missing under-floor benchmark passed the gate:\n%s", report)
+	}
+}

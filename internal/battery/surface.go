@@ -161,6 +161,116 @@ func (s *Surface) RequiredCurrent(dod units.Fraction, deadline time.Duration, re
 	return max, true
 }
 
+// SLACurve is a memoized inverse of a Surface at one (deadline, resolution)
+// pair: the per-priority SLA-current curve of Fig 9b, precomputed so
+// planners stop re-scanning the surface on every plan. For each current on
+// the resolution grid it stores the largest depth of discharge that current
+// can still charge within the deadline; RequiredCurrent then reduces to a
+// handful of float comparisons.
+//
+// The boundaries are found by bisecting the float64 bit-space of the DOD
+// axis, so every query returns bit-for-bit the same (current, feasible)
+// pair as Surface.RequiredCurrent — the curve is a cache, never an
+// approximation. This relies on ChargeTime being monotone nondecreasing in
+// DOD at fixed current, which NewSurface validates.
+type SLACurve struct {
+	surface    *Surface
+	deadline   time.Duration
+	resolution units.Current
+	grid       []units.Current // RequiredCurrent's scan grid: min, min+res, … < max
+	maxDOD     []float64       // maxDOD[k]: largest clamped DOD meeting deadline at grid[k] (-1: none)
+	maxDODTop  float64         // same boundary for MaxCurrent()
+}
+
+// NewSLACurve precomputes the inverse of s at the given deadline on the
+// given resolution grid (non-positive resolution defaults to 1 A, matching
+// RequiredCurrent).
+func NewSLACurve(s *Surface, deadline time.Duration, resolution units.Current) *SLACurve {
+	if resolution <= 0 {
+		resolution = 1
+	}
+	c := &SLACurve{surface: s, deadline: deadline, resolution: resolution}
+	min, max := s.MinCurrent(), s.MaxCurrent()
+	// The grid is generated by the same accumulation loop RequiredCurrent
+	// scans, so the tabulated currents are the exact float64 values it
+	// would return.
+	for i := min; i < max; i += resolution {
+		c.grid = append(c.grid, i)
+		c.maxDOD = append(c.maxDOD, s.maxDODWithin(i, deadline))
+	}
+	c.maxDODTop = s.maxDODWithin(max, deadline)
+	return c
+}
+
+// maxDODWithin returns the largest clamped depth of discharge whose charge
+// time at current i meets the deadline, or -1 when even DOD 0 does not. The
+// boundary is exact to the last float64 bit: queries against it decide
+// "ChargeTime(i, d) ≤ deadline" for every d without calling ChargeTime.
+func (s *Surface) maxDODWithin(i units.Current, deadline time.Duration) float64 {
+	meets := func(d float64) bool {
+		return s.ChargeTime(i, units.Fraction(d)) <= deadline
+	}
+	if !meets(0) {
+		return -1
+	}
+	if meets(1) {
+		return 1
+	}
+	lo, hi := 0.0, 1.0 // meets(lo), !meets(hi)
+	for {
+		mid := math.Float64frombits((math.Float64bits(lo) + math.Float64bits(hi)) / 2)
+		if mid == lo || mid == hi {
+			return lo
+		}
+		if meets(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+}
+
+// Deadline returns the charging-time SLA this curve was built for.
+func (c *SLACurve) Deadline() time.Duration { return c.deadline }
+
+// Resolution returns the current grid the curve was built on.
+func (c *SLACurve) Resolution() units.Current { return c.resolution }
+
+// Surface returns the surface the curve inverts.
+func (c *SLACurve) Surface() *Surface { return c.surface }
+
+// RequiredCurrent is Surface.RequiredCurrent(dod, c.Deadline(),
+// c.Resolution()) answered from the precomputed boundaries.
+func (c *SLACurve) RequiredCurrent(dod units.Fraction) (units.Current, bool) {
+	d := float64(dod.Clamp01())
+	if d > c.maxDODTop {
+		return c.surface.MaxCurrent(), false
+	}
+	for k, b := range c.maxDOD {
+		if d <= b {
+			return c.grid[k], true
+		}
+	}
+	return c.surface.MaxCurrent(), true
+}
+
+// Meets reports whether charging at current i from dod finishes within the
+// curve's deadline. ok is false when i is not a current the curve has a
+// boundary for (off the resolution grid); the caller then falls back to
+// Surface.ChargeTime.
+func (c *SLACurve) Meets(i units.Current, dod units.Fraction) (meets, ok bool) {
+	d := float64(dod.Clamp01())
+	if i == c.surface.MaxCurrent() {
+		return d <= c.maxDODTop, true
+	}
+	for k, g := range c.grid {
+		if g == i {
+			return d <= c.maxDOD[k], true
+		}
+	}
+	return false, false
+}
+
 // RackPack is the rack-level battery model the coordinated-charging
 // simulator uses: the paper's own abstraction (§V-B1) of a constant-power CC
 // phase proportional to the charging current, an exponentially decaying CV

@@ -63,9 +63,24 @@ type Config struct {
 	// Order is the grant order (ablation knob; the default is Algorithm 1's
 	// highest-priority-lowest-discharge-first).
 	Order OrderPolicy
+
+	// curves memoizes the per-priority SLA-current inversions (Fig 9b).
+	// Config is passed by value, so the cache rides along as a shared
+	// pointer; every lookup revalidates the cached curve against the live
+	// Surface/Deadlines/Resolution and silently falls back to the direct
+	// surface inversion on any mismatch — mutating a precomputed Config
+	// stays correct, it just stops benefiting from the cache.
+	curves *slaCurves
 }
 
-// DefaultConfig returns the production configuration.
+// slaCurves is the precomputed planner cache, indexed by rack priority.
+type slaCurves struct {
+	surface    *battery.Surface
+	byPriority [rack.P3 + 1]*battery.SLACurve
+}
+
+// DefaultConfig returns the production configuration, with the per-priority
+// SLA-current curves precomputed.
 func DefaultConfig() Config {
 	return Config{
 		Surface:     battery.Fig5Surface(),
@@ -76,7 +91,40 @@ func DefaultConfig() Config {
 		// recharge per rack, small enough that a whole partitioned row
 		// stays inside its breaker's trip curve.
 		FailSafeCurrent: 1,
+	}.Precomputed()
+}
+
+// Precomputed returns c with the per-priority SLA-current curves memoized:
+// SLACurrent and SLA checks answer from precomputed surface inversions
+// instead of re-scanning the charge-time surface on every plan. Results are
+// bit-identical to the uncached path (the curves are exact caches), and a
+// Config whose Surface, Deadlines, or Resolution is mutated afterwards
+// falls back to direct inversion automatically.
+func (c Config) Precomputed() Config {
+	if c.Surface == nil {
+		return c
 	}
+	sc := &slaCurves{surface: c.Surface}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if d, ok := c.Deadlines[p]; ok && d > 0 && c.Resolution > 0 {
+			sc.byPriority[p] = battery.NewSLACurve(c.Surface, d, c.Resolution)
+		}
+	}
+	c.curves = sc
+	return c
+}
+
+// curve returns the valid cached SLA curve for priority p, or nil when no
+// cache applies (not precomputed, or the config diverged since).
+func (c Config) curve(p rack.Priority) *battery.SLACurve {
+	if c.curves == nil || !p.Valid() || c.curves.surface != c.Surface {
+		return nil
+	}
+	cv := c.curves.byPriority[p]
+	if cv == nil || cv.Deadline() != c.Deadlines[p] || cv.Resolution() != c.Resolution {
+		return nil
+	}
+	return cv
 }
 
 // SafeCurrent returns the effective degraded-mode charging current: the
@@ -118,6 +166,9 @@ func (c Config) Validate() error {
 // at depth of discharge dod to meet its charging-time SLA (the Fig 9b
 // curves), and whether the SLA is achievable within the charger's range.
 func (c Config) SLACurrent(p rack.Priority, dod units.Fraction) (units.Current, bool) {
+	if cv := c.curve(p); cv != nil {
+		return cv.RequiredCurrent(dod)
+	}
 	return c.Surface.RequiredCurrent(dod, c.Deadlines[p], c.Resolution)
 }
 
@@ -161,6 +212,11 @@ func (c Config) meetsSLA(ri RackInfo, i units.Current) bool {
 	}
 	if i <= 0 {
 		return false
+	}
+	if cv := c.curve(ri.Priority); cv != nil {
+		if meets, ok := cv.Meets(i, ri.DOD); ok {
+			return meets
+		}
 	}
 	return c.Surface.ChargeTime(i, ri.DOD) <= c.Deadlines[ri.Priority]
 }

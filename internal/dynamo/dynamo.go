@@ -91,6 +91,7 @@ type Agent struct {
 	inj      *faults.Injector
 	comp     string
 	last     Snapshot
+	lastVer  uint64 // rack.Version() when last was taken (fault-free path)
 	haveLast bool
 }
 
@@ -147,10 +148,27 @@ func (a *Agent) Sample(now time.Duration) (Snapshot, bool) {
 		if a.haveLast && a.inj.StaleRead() {
 			return a.last, true
 		}
+		s := snapshotRack(a.rack, now)
+		a.last, a.haveLast = s, true
+		return s, true
 	}
-	s := snapshotRack(a.rack, now)
-	a.last, a.haveLast = s, true
-	return s, true
+	a.refresh(now)
+	return a.last, true
+}
+
+// refresh rebuilds the agent's cached snapshot unless it already reflects the
+// rack's state at this exact (time, version) pair. The cache is shared by
+// every controller sampling through this agent, so a rack snapshotted by the
+// RPP controller is a copy — not a rebuild — for the SB and MSB controllers
+// on the same tick. Fault-free path only: with an injector attached, Sample
+// keeps the historical per-call read semantics (and RNG draw order).
+func (a *Agent) refresh(now time.Duration) {
+	v := a.rack.Version()
+	if a.haveLast && a.lastVer == v && a.last.Taken == now {
+		return
+	}
+	a.last = snapshotRack(a.rack, now)
+	a.lastVer, a.haveLast = v, true
 }
 
 // Override issues a charging-current override at virtual time now; the new
@@ -374,7 +392,7 @@ type Controller struct {
 	plans   bool
 	metrics Metrics
 
-	wasCharging map[*rack.Rack]bool
+	wasCharging []bool // last observed Charging bit, index-aligned with agents
 	postponed   map[*rack.Rack]core.RackInfo
 	lastTick    time.Duration
 
@@ -390,11 +408,25 @@ type Controller struct {
 	down       bool
 
 	// tel holds the last known telemetry per agent (index-aligned); telOK
-	// marks entries that have been read at least once since (re)start.
-	tel     []Snapshot
-	telOK   []bool
-	viewBuf []Snapshot
-	pending map[int]*pendingOverride
+	// marks entries that have been read at least once since (re)start, and
+	// telOKCount tracks how many are set so the all-fresh fast path in views
+	// is a single compare. telVer records the rack version each fault-free
+	// entry was taken at, so re-sampling an unchanged rack skips the copy.
+	tel        []Snapshot
+	telOK      []bool
+	telOKCount int
+	telVer     []uint64
+	viewBuf    []Snapshot
+	pending    map[int]*pendingOverride
+
+	// mutated records whether this tick's planning/admission phase touched
+	// any rack; anyInj (recomputed by each sample) whether any agent carries
+	// a fault injector. Together they decide whether the intra-tick
+	// re-sample can be skipped: with no mutations and no injectors it is a
+	// pure no-op, but injected reads draw randomness per call and must keep
+	// their historical draw order.
+	mutated bool
+	anyInj  bool
 
 	obsHandles
 }
@@ -420,7 +452,7 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 		mode:        mode,
 		cfg:         cfg,
 		plans:       plans,
-		wasCharging: make(map[*rack.Rack]bool),
+		wasCharging: make([]bool, len(agents)),
 		postponed:   make(map[*rack.Rack]core.RackInfo),
 		byName:      make(map[string]int, len(agents)),
 		engine:      opts.Engine,
@@ -431,6 +463,7 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 		heartbeat:   opts.Heartbeat,
 		tel:         make([]Snapshot, len(agents)),
 		telOK:       make([]bool, len(agents)),
+		telVer:      make([]uint64, len(agents)),
 		viewBuf:     make([]Snapshot, len(agents)),
 		pending:     make(map[int]*pendingOverride),
 	}
@@ -481,7 +514,9 @@ func (c *Controller) crash() {
 	// Crash() has no virtual-time argument; the last tick's timestamp is the
 	// closest deterministic stand-in.
 	c.sink.Event(c.lastTick, c.comp, "crash")
-	c.wasCharging = make(map[*rack.Rack]bool)
+	for i := range c.wasCharging {
+		c.wasCharging[i] = false
+	}
 	c.postponed = make(map[*rack.Rack]core.RackInfo)
 	if c.stormQ != nil {
 		// The in-memory admission queue dies with the process; the racks'
@@ -491,6 +526,7 @@ func (c *Controller) crash() {
 	for i := range c.telOK {
 		c.telOK[i] = false
 	}
+	c.telOKCount = 0
 	if c.engine != nil {
 		for idx := range c.agents {
 			if p := c.pending[idx]; p != nil && p.ev != nil {
@@ -517,7 +553,7 @@ func (c *Controller) restart(now time.Duration) {
 			continue
 		}
 		r := a.Rack()
-		c.wasCharging[r] = c.tel[i].Charging
+		c.wasCharging[i] = c.tel[i].Charging
 		switch {
 		case c.stormQ != nil && c.tel[i].PendingDOD > 0:
 			c.stormQ.Enqueue(now, storm.Request{Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD})
@@ -549,6 +585,7 @@ func (c *Controller) Tick(now time.Duration) {
 		c.restart(now)
 	}
 	c.sample(now)
+	c.mutated = false
 	if c.plans && c.coordinates() {
 		c.detectChargingStart(now)
 	}
@@ -559,8 +596,11 @@ func (c *Controller) Tick(now time.Duration) {
 	}
 	// Re-sample so protection sees the effect of instantly-settling
 	// overrides issued above, exactly as the pre-fault controller's live
-	// reads did.
-	c.sample(now)
+	// reads did. When nothing was issued and every read is fault-free the
+	// re-sample is a verbatim no-op, so it is skipped.
+	if c.mutated || c.anyInj {
+		c.sample(now)
+	}
 	c.protect(now, dt)
 	if c.heartbeat {
 		for _, a := range c.agents {
@@ -591,14 +631,38 @@ func (c *Controller) coordinates() bool {
 	return c.mode == ModeGlobal || c.mode == ModePriorityAware || c.mode == ModePostpone
 }
 
-// sample refreshes the telemetry cache from every readable agent.
+// sample refreshes the telemetry cache from every readable agent. On the
+// fault-free path it copies straight from the agent's version-cached
+// snapshot and skips even the copy when the cached entry already reflects
+// the rack's state at this exact time and version — which makes the second
+// sample of a tick nearly free for every rack the controller did not touch.
 func (c *Controller) sample(now time.Duration) {
+	anyInj := false
 	for i, a := range c.agents {
+		if a.inj == nil {
+			v := a.rack.Version()
+			if c.telOK[i] && c.telVer[i] == v && c.tel[i].Taken == now {
+				continue
+			}
+			a.refresh(now)
+			c.tel[i] = a.last
+			c.telVer[i] = v
+			if !c.telOK[i] {
+				c.telOK[i] = true
+				c.telOKCount++
+			}
+			continue
+		}
+		anyInj = true
 		if s, ok := a.Sample(now); ok {
 			c.tel[i] = s
-			c.telOK[i] = true
+			if !c.telOK[i] {
+				c.telOK[i] = true
+				c.telOKCount++
+			}
 		}
 	}
+	c.anyInj = anyInj
 }
 
 // fresh reports whether agent i's cached telemetry is usable as-is.
@@ -615,7 +679,14 @@ func (c *Controller) fresh(i int, now time.Duration) bool {
 // recharge power on top of its last known server load — or the full rack
 // rating when no read has ever completed — so the controller over-protects
 // rather than under-protects the breaker.
+// The returned slice is read-only and valid until the next sample or views
+// call: when every entry is fresh it aliases the telemetry cache itself.
 func (c *Controller) views(now time.Duration) []Snapshot {
+	if c.staleAfter <= 0 && c.telOKCount == len(c.agents) {
+		// No freshness bound and every rack has been read: the working view
+		// IS the telemetry cache — no per-rack copying.
+		return c.tel
+	}
 	for i := range c.agents {
 		s := c.tel[i]
 		if c.fresh(i, now) {
@@ -646,6 +717,7 @@ func (c *Controller) views(now time.Duration) []Snapshot {
 // is clamped to the hardware's settable range up front so confirmation
 // compares telemetry against the value the charger can actually report.
 func (c *Controller) sendOverride(now time.Duration, idx int, want units.Current) bool {
+	c.mutated = true
 	want = charger.ClampOverride(want)
 	delivered := c.agents[idx].Override(now, want)
 	c.metrics.OverridesIssued++
@@ -678,6 +750,9 @@ func (c *Controller) armPending(now time.Duration, idx int, p *pendingOverride) 
 
 // checkPending scans tick-driven pending overrides (no engine attached).
 func (c *Controller) checkPending(now time.Duration) {
+	if len(c.pending) == 0 {
+		return
+	}
 	for idx := range c.agents { // index order: deterministic injector draws
 		if p := c.pending[idx]; p != nil && now >= p.due {
 			c.checkPendingOne(now, idx, p)
@@ -724,6 +799,7 @@ func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverr
 		c.sink.Event(now, c.comp, "retry",
 			"rack", c.agents[idx].Rack().Name(), "attempt", strconv.Itoa(p.attempts))
 	}
+	c.mutated = true
 	c.agents[idx].Override(now, p.want)
 	p.issuedAt = now
 	c.armPending(now, idx, p)
@@ -735,16 +811,15 @@ func (c *Controller) checkPendingOne(now time.Duration, idx int, p *pendingOverr
 // available power.
 func (c *Controller) detectChargingStart(now time.Duration) {
 	var freshStarts []core.RackInfo
-	for i, a := range c.agents {
+	for i := range c.agents {
 		if !c.fresh(i, now) {
 			continue
 		}
-		s := c.tel[i]
-		r := a.Rack()
-		if s.Charging && !c.wasCharging[r] {
+		s := &c.tel[i]
+		if s.Charging && !c.wasCharging[i] {
 			freshStarts = append(freshStarts, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
 		}
-		c.wasCharging[r] = s.Charging
+		c.wasCharging[i] = s.Charging
 	}
 	if len(freshStarts) == 0 || !c.coordinates() {
 		return
@@ -761,10 +836,11 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 			c.sink.Event(now, c.comp, "storm-pause",
 				"starts", strconv.Itoa(len(freshStarts)))
 		}
+		c.mutated = true
 		for _, ri := range freshStarts {
 			r := c.agents[ri.ID].Rack()
 			r.Postpone()
-			c.wasCharging[r] = false
+			c.wasCharging[ri.ID] = false
 			// A re-outage of an already-queued rack supersedes its stale
 			// entry with the fresh DOD.
 			c.stormQ.Remove(ri.Name)
@@ -801,9 +877,10 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 		if asg.Postponed {
 			// Stop the charge entirely; the rack records the deficit so a
 			// restarted controller can rediscover it.
+			c.mutated = true
 			r.Postpone()
 			c.postponed[r] = asg.RackInfo
-			c.wasCharging[r] = false
+			c.wasCharging[asg.ID] = false
 			continue
 		}
 		c.sendOverride(now, asg.ID, asg.Current)
@@ -847,8 +924,9 @@ func (c *Controller) restartPostponed() {
 			grant = want
 		}
 		r.ResumeCharge(grant)
+		c.mutated = true
 		headroom -= units.Power(float64(grant) * c.cfg.WattsPerAmp)
-		c.wasCharging[r] = true
+		c.wasCharging[ri.ID] = true
 		c.metrics.OverridesIssued++
 		c.cOverrides.Inc()
 		if c.sink != nil {
@@ -881,7 +959,8 @@ func (c *Controller) admitStorm(now time.Duration) {
 		r := c.agents[idx].Rack()
 		r.ControllerContact(now)
 		r.ResumeCharge(g.Current)
-		c.wasCharging[r] = true
+		c.mutated = true
+		c.wasCharging[idx] = true
 		c.metrics.OverridesIssued++
 		c.cOverrides.Inc()
 	}
@@ -890,8 +969,8 @@ func (c *Controller) admitStorm(now time.Duration) {
 // itLoad sums the (capped) server power of the racks under this controller.
 func (c *Controller) itLoad(views []Snapshot) units.Power {
 	var total units.Power
-	for _, s := range views {
-		if s.InputUp {
+	for i := range views {
+		if s := &views[i]; s.InputUp {
 			total += s.ITLoad
 		}
 	}
@@ -924,7 +1003,8 @@ func (c *Controller) protect(now time.Duration, dt time.Duration) {
 // caps released: capping decisions are recomputed from scratch each tick.
 func (c *Controller) headroomUncapped(views []Snapshot) units.Power {
 	var uncapped units.Power
-	for _, s := range views {
+	for i := range views {
+		s := &views[i]
 		if !s.InputUp {
 			continue
 		}
@@ -940,8 +1020,8 @@ func (c *Controller) headroomUncapped(views []Snapshot) units.Power {
 // recovered power.
 func (c *Controller) throttleBatteries(now time.Duration, views []Snapshot, excess units.Power) units.Power {
 	var active []core.ActiveCharge
-	for i, s := range views {
-		if s.InputUp && s.Charging {
+	for i := range views {
+		if s := &views[i]; s.InputUp && s.Charging {
 			active = append(active, core.ActiveCharge{
 				RackInfo: core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD},
 				Current:  s.Setpoint,
@@ -986,8 +1066,8 @@ func (c *Controller) throttleBatteries(now time.Duration, views []Snapshot, exce
 func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.Power {
 	var charging []core.RackInfo
 	var before units.Power
-	for i, s := range views {
-		if s.InputUp && s.Charging {
+	for i := range views {
+		if s := &views[i]; s.InputUp && s.Charging {
 			charging = append(charging, core.RackInfo{ID: i, Name: s.Name, Priority: s.Priority, DOD: s.DOD})
 			before += s.Recharge
 		}
@@ -1022,8 +1102,8 @@ func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.
 // command path, so caps apply directly even when the agent link is faulty.
 func (c *Controller) applyCaps(views []Snapshot, needed units.Power, dt time.Duration) {
 	order := make([]int, 0, len(views))
-	for i, s := range views {
-		if s.InputUp {
+	for i := range views {
+		if views[i].InputUp {
 			order = append(order, i)
 		}
 	}

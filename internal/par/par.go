@@ -1,0 +1,82 @@
+// Package par provides a small deterministic fork/join helper for running
+// independent jobs concurrently.
+//
+// Determinism contract: results are returned in index order regardless of
+// completion order, and the reported error is the lowest-index failure — so
+// a caller observes byte-identical output whether jobs ran on one worker or
+// many. Jobs must be independent: they may not share mutable state and must
+// draw any randomness from sources derived before the fork (e.g. rand.Split
+// per job), never from a source shared across jobs.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MapErr runs fn(0..n-1) concurrently on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the results in index order.
+// All jobs run to completion even after a failure; the returned error is
+// the one from the lowest failing index, so error reporting is independent
+// of scheduling.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	Do(n, workers, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Map is MapErr for jobs that cannot fail.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(n, workers, func(i int) {
+		out[i] = fn(i)
+	})
+	return out
+}
+
+// Do runs fn(0..n-1) concurrently on at most workers goroutines
+// (workers <= 0 means GOMAXPROCS) and blocks until all calls return.
+// Indexes are handed out in order, so with workers == 1 the jobs run
+// strictly sequentially — the serial reference a determinism test compares
+// a parallel run against.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

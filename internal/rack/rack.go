@@ -52,7 +52,16 @@ type Rack struct {
 
 	demand  units.Power            // what the servers want to draw
 	caps    map[string]units.Power // Dynamo power caps by issuing controller
+	capMin  units.Power            // tightest entry of caps, kept in sync by Cap/Uncap
+	hasCap  bool                   // whether caps is non-empty (capMin is meaningful)
 	inputUp bool
+
+	// version counts externally visible state mutations. Every mutating
+	// method bumps it, so observers (dynamo agents) can reuse a snapshot
+	// taken earlier in the same tick as long as the version is unchanged.
+	// Bumping on a logical no-op is harmless (one wasted re-snapshot);
+	// missing a bump would serve stale reads, so mutators bump up front.
+	version uint64
 
 	// Outage accounting for the closed discharge loop: IT energy the
 	// batteries could not supply (the pack emptied mid-outage), and how many
@@ -111,6 +120,13 @@ func New(name string, p Priority, policy charger.Policy, surface *battery.Surfac
 // Name returns the rack's identifier.
 func (r *Rack) Name() string { return r.name }
 
+// Version returns the rack's mutation counter. It increases (by at least
+// one) whenever any telemetry-visible rack or pack state — demand, caps,
+// input, charge state, setpoint, pending DOD — may have changed; two reads
+// returning the same version bracket a window in which a telemetry snapshot
+// of the rack would have been identical.
+func (r *Rack) Version() uint64 { return r.version }
+
 // Priority returns the rack's service priority.
 func (r *Rack) Priority() Priority { return r.priority }
 
@@ -121,6 +137,7 @@ func (r *Rack) Pack() *battery.RackPack { return r.pack }
 // SetDemand sets the servers' power demand (driven by the trace replay).
 // Values clamp to [0, MaxITLoad].
 func (r *Rack) SetDemand(p units.Power) {
+	r.version++
 	if p < 0 {
 		p = 0
 	}
@@ -136,13 +153,23 @@ func (r *Rack) Demand() units.Power { return r.demand }
 // ITLoad returns the power the servers actually consume: the demand, reduced
 // to the tightest Dynamo cap from any controller.
 func (r *Rack) ITLoad() units.Power {
-	load := r.demand
+	if r.hasCap && r.capMin < r.demand {
+		return r.capMin
+	}
+	return r.demand
+}
+
+// refreshCapMin recomputes the cached tightest cap after Cap/Uncap. The min
+// over the map is order-independent, so ranging it here is deterministic.
+func (r *Rack) refreshCapMin() {
+	r.hasCap = len(r.caps) > 0
+	first := true
 	for _, cap := range r.caps {
-		if cap < load {
-			load = cap
+		if first || cap < r.capMin {
+			r.capMin = cap
+			first = false
 		}
 	}
-	return load
 }
 
 // CappedPower returns how much server power is currently being capped away.
@@ -158,11 +185,26 @@ func (r *Rack) Cap(source string, p units.Power) {
 	if p < 0 {
 		p = 0
 	}
+	if old, ok := r.caps[source]; ok && old == p {
+		return // re-applying the same cap changes nothing observable
+	}
+	r.version++
 	r.caps[source] = p
+	r.refreshCapMin()
 }
 
-// Uncap removes the named controller's power cap, if any.
-func (r *Rack) Uncap(source string) { delete(r.caps, source) }
+// Uncap removes the named controller's power cap, if any. Uncapping a rack
+// the controller holds no cap on is a version-neutral no-op: controllers
+// release caps every healthy tick, and that sweep must not invalidate the
+// fleet's telemetry snapshots.
+func (r *Rack) Uncap(source string) {
+	if _, ok := r.caps[source]; !ok {
+		return
+	}
+	r.version++
+	delete(r.caps, source)
+	r.refreshCapMin()
+}
 
 // InputUp reports whether the rack's input power is present.
 func (r *Rack) InputUp() bool { return r.inputUp }
@@ -194,6 +236,7 @@ func (r *Rack) LoseInput(now time.Duration) {
 	if !r.inputUp {
 		return
 	}
+	r.version++
 	r.inputUp = false
 	// Any postponed deficit already lives in the pack; the charge (if one is
 	// running) is suspended the same way, so the pack's DOD is the single
@@ -210,6 +253,7 @@ func (r *Rack) Step(now time.Duration, dt time.Duration) {
 	if dt <= 0 {
 		return
 	}
+	r.version++
 	if !r.inputUp {
 		wasDepleted := r.pack.Depleted()
 		want := units.EnergyOver(r.ITLoad(), dt)
@@ -271,6 +315,7 @@ func (r *Rack) RestoreInput(now time.Duration) {
 	if r.inputUp {
 		return
 	}
+	r.version++
 	r.inputUp = true
 	dod := r.pack.DOD()
 	r.lastDOD = dod
@@ -314,6 +359,7 @@ func (r *Rack) Charging() bool { return r.pack.Charging() }
 // OverrideCurrent applies a manual charging-current override from the
 // control plane, clamped to the hardware's [1 A, 5 A] range.
 func (r *Rack) OverrideCurrent(i units.Current) {
+	r.version++
 	r.pack.SetCurrent(charger.ClampOverride(i))
 }
 
@@ -340,6 +386,7 @@ func (r *Rack) noteFailSafe(now time.Duration, cause string) {
 // rack cut off from the control plane can never drive its breaker into a
 // sustained overload. A zero ttl disables the watchdog.
 func (r *Rack) SetWatchdog(ttl time.Duration, safe units.Current) {
+	r.version++
 	r.watchdogTTL = ttl
 	r.safeCurrent = charger.ClampOverride(safe)
 }
@@ -347,6 +394,11 @@ func (r *Rack) SetWatchdog(ttl time.Duration, safe units.Current) {
 // ControllerContact records that the control plane reached this rack (a
 // delivered override, cap, or heartbeat) at virtual time now, re-arming the
 // watchdog and leaving fail-safe mode.
+// ControllerContact deliberately does not bump the rack version: it touches
+// only watchdog bookkeeping (lastContact, failSafe), none of which is
+// telemetry-visible — any later effect on the setpoint happens inside Step
+// or ResumeCharge, which do bump. Keeping heartbeats version-neutral lets
+// snapshot caches survive the per-tick keepalive sweep.
 func (r *Rack) ControllerContact(now time.Duration) {
 	r.lastContact = now
 	r.haveContact = true
@@ -369,6 +421,7 @@ func (r *Rack) Postpone() {
 	if !r.pack.Charging() {
 		return
 	}
+	r.version++
 	r.pack.Suspend()
 	r.pendingDOD = r.pack.DOD()
 }
@@ -384,6 +437,7 @@ func (r *Rack) ResumeCharge(i units.Current) {
 	if r.pendingDOD <= 0 {
 		return
 	}
+	r.version++
 	if r.failSafe && i > r.safeCurrent {
 		i = r.safeCurrent
 		// ResumeCharge carries no tick time; the last controller contact is

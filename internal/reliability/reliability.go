@@ -21,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"coordcharge/internal/par"
 	"coordcharge/internal/rng"
 	"coordcharge/internal/units"
 )
@@ -166,15 +167,33 @@ func (s *Simulator) componentEvents(c Component, src *rng.Source, horizonHours f
 	return out
 }
 
+// splitSources derives one independent source per component, in component
+// order. The serial split loop fixes each component's stream as a pure
+// function of the parent seed, so the draws themselves can then run on any
+// number of workers without changing a single sample.
+func (s *Simulator) splitSources() []*rng.Source {
+	srcs := make([]*rng.Source, len(s.components))
+	for i := range s.components {
+		srcs[i] = s.src.Split()
+	}
+	return srcs
+}
+
 // Events generates the merged, start-sorted failure-event stream over the
 // horizon. The endurance simulator replays these against a real power
 // hierarchy; Disruptions reduces the same stream to input-loss intervals for
-// the analytic AOR model.
+// the analytic AOR model. Component streams are drawn concurrently and
+// merged in component order before the sort, so the output is byte-identical
+// to a serial draw.
 func (s *Simulator) Events(horizonYears float64) []Event {
 	horizon := horizonYears * hoursPerYear
+	srcs := s.splitSources()
+	streams := par.Map(len(s.components), 0, func(i int) []Event {
+		return s.componentEvents(s.components[i], srcs[i], horizon)
+	})
 	var out []Event
-	for _, c := range s.components {
-		out = append(out, s.componentEvents(c, s.src.Split(), horizon)...)
+	for _, evs := range streams {
+		out = append(out, evs...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].StartHours < out[j].StartHours })
 	return out
@@ -197,12 +216,17 @@ func (s *Simulator) componentDisruptions(c Component, src *rng.Source, horizonHo
 }
 
 // Disruptions generates the merged, start-sorted stream of input-power-loss
-// intervals over the given horizon.
+// intervals over the given horizon. Like Events, the per-component draws run
+// concurrently after a serial source split, preserving byte-identical output.
 func (s *Simulator) Disruptions(horizonYears float64) []Disruption {
 	horizon := horizonYears * hoursPerYear
+	srcs := s.splitSources()
+	streams := par.Map(len(s.components), 0, func(i int) []Disruption {
+		return s.componentDisruptions(s.components[i], srcs[i], horizon)
+	})
 	var out []Disruption
-	for _, c := range s.components {
-		out = append(out, s.componentDisruptions(c, s.src.Split(), horizon)...)
+	for _, ds := range streams {
+		out = append(out, ds...)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
@@ -224,21 +248,21 @@ type ComponentLoss struct {
 // analysis behind Table II.
 func (s *Simulator) Breakdown(horizonYears float64, chargeTime time.Duration) []ComponentLoss {
 	horizon := horizonYears * hoursPerYear
-	out := make([]ComponentLoss, 0, len(s.components))
-	for _, c := range s.components {
-		ds := s.componentDisruptions(c, s.src.Split(), horizon)
+	srcs := s.splitSources()
+	return par.Map(len(s.components), 0, func(i int) ComponentLoss {
+		c := s.components[i]
+		ds := s.componentDisruptions(c, srcs[i], horizon)
 		aor := AOR(ds, chargeTime, horizonYears)
 		events := float64(len(ds))
 		if c.Type != PowerOutage {
 			events /= 2 // two disruptions per failure event
 		}
-		out = append(out, ComponentLoss{
+		return ComponentLoss{
 			Component:        c,
 			EventsPerYear:    events / horizonYears,
 			LossHoursPerYear: (1 - float64(aor)) * hoursPerYear,
-		})
-	}
-	return out
+		}
+	})
 }
 
 // AOR computes the availability of redundancy over the horizon for a given

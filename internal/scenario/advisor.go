@@ -8,6 +8,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/oversub"
+	"coordcharge/internal/par"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/report"
 	"coordcharge/internal/trace"
@@ -128,26 +129,32 @@ func Advise(spec AdvisorSpec) (*Advice, error) {
 	worstRecharge := units.Power(float64(n) * float64(battery.RackWattsPerAmp) * 5)
 	adv.StaticLimit = adv.PeakITLoad + worstRecharge
 
-	// Reference run with unconstrained power: the feasible SLA ceiling.
-	ref, err := advisorProbe(spec, adv.StaticLimit*2)
-	if err != nil {
-		return nil, err
-	}
-	for p, c := range ref.SLAMet {
-		adv.FeasibleSLAs[p] = c
-	}
-
 	grid := func(p units.Power) units.Power {
 		steps := (p + spec.Resolution - 1) / spec.Resolution
 		return units.Power(int64(steps)) * spec.Resolution
 	}
+
+	// The reference run (unconstrained power: the feasible SLA ceiling) and
+	// the static-limit probe both bisections open with are independent, so
+	// they run as one parallel batch — the shared hi-probe is evaluated once
+	// instead of once per criterion.
+	probes, err := par.MapErr(2, runnerWorkers(), func(i int) (*CoordResult, error) {
+		if i == 0 {
+			return advisorProbe(spec, adv.StaticLimit*2)
+		}
+		return advisorProbe(spec, grid(adv.StaticLimit))
+	})
+	if err != nil {
+		return nil, err
+	}
+	ref, hiRes := probes[0], probes[1]
+	for p, c := range ref.SLAMet {
+		adv.FeasibleSLAs[p] = c
+	}
+
 	bisect := func(ok func(*CoordResult) bool) (units.Power, error) {
 		lo, hi := grid(adv.PeakITLoad), grid(adv.StaticLimit)
-		res, err := advisorProbe(spec, hi)
-		if err != nil {
-			return 0, err
-		}
-		if !ok(res) {
+		if !ok(hiRes) {
 			// Even static provisioning fails the criterion (should not
 			// happen); report the static limit.
 			return hi, nil
@@ -167,26 +174,32 @@ func Advise(spec AdvisorSpec) (*Advice, error) {
 		return hi, nil
 	}
 
-	adv.MinNoCapLimit, err = bisect(func(r *CoordResult) bool {
-		return r.Metrics.MaxCapping == 0
-	})
-	if err != nil {
-		return nil, err
-	}
-	adv.MinFullSLALimit, err = bisect(func(r *CoordResult) bool {
-		if r.Metrics.MaxCapping != 0 {
-			return false
-		}
-		for p, want := range adv.FeasibleSLAs {
-			if r.SLAMet[p] < want {
+	// The two criteria bisect independently (each probe depends only on its
+	// own bisection's history), so they run as parallel jobs with a
+	// deterministic merge.
+	criteria := []func(*CoordResult) bool{
+		func(r *CoordResult) bool {
+			return r.Metrics.MaxCapping == 0
+		},
+		func(r *CoordResult) bool {
+			if r.Metrics.MaxCapping != 0 {
 				return false
 			}
-		}
-		return true
+			for p, want := range adv.FeasibleSLAs {
+				if r.SLAMet[p] < want {
+					return false
+				}
+			}
+			return true
+		},
+	}
+	limits, err := par.MapErr(len(criteria), runnerWorkers(), func(i int) (units.Power, error) {
+		return bisect(criteria[i])
 	})
 	if err != nil {
 		return nil, err
 	}
+	adv.MinNoCapLimit, adv.MinFullSLALimit = limits[0], limits[1]
 	if adv.MinFullSLALimit < adv.MinNoCapLimit {
 		adv.MinFullSLALimit = adv.MinNoCapLimit
 	}

@@ -421,19 +421,58 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	if spec.Obs != nil {
 		gauges = newRunGauges(spec.Obs)
 	}
+	// Steady-state buffers, sized once: the output series gets its full
+	// capacity up front, the per-rack DOD sink is reused on (re)fill, and the
+	// trip scan walks a prebuilt node slice instead of re-walking the tree
+	// (and allocating a closure plus a seen-map) every tick.
+	res.Samples = make([]Sample, 0, trace.NumFrames(start, horizon, spec.SampleEvery)+1)
+	res.DODs = make([]float64, 0, n)
+	var nodes []*power.Node
+	msb.Walk(func(nd *power.Node) { nodes = append(nodes, nd) })
+	trippedSeen := make([]bool, len(nodes))
+	// Outstanding-charge tracking for the end-of-run check: a per-rack bit
+	// plus a running count, updated on observed state transitions instead of
+	// re-scanning the fleet from scratch. A postponed or storm-queued charge
+	// (pending DOD) is still outstanding work: the run must not end while
+	// the admission queue drains.
+	outstanding := make([]bool, n)
+	numOutstanding := 0
+	// Demand frames are precomputed in blocks: each refill amortises the
+	// trace's per-tick work (time decomposition, diurnal/swing terms) across
+	// the whole rack population, and the slab is reused block over block.
+	const demandBlock = 256
+	var demand []units.Power
+	blockStart, blockEnd := start, start-spec.Step // before start: refill on first tick
 	lastSample := time.Duration(-1 << 62)
-	tripped := map[string]bool{}
+	outageFired, restoreFired := false, false
 	for now := start; now <= horizon; now += spec.Step {
-		for i, r := range racks {
-			r.SetDemand(gen.Rack(i, now))
+		if now > blockEnd {
+			to := now + (demandBlock-1)*spec.Step
+			if to > horizon {
+				to = horizon
+			}
+			demand = trace.Frames(gen, demand, now, to, spec.Step)
+			blockStart, blockEnd = now, to
 		}
-		if now == loseAt {
+		frame := demand[int((now-blockStart)/spec.Step)*n:]
+		for i, r := range racks {
+			r.SetDemand(frame[i])
+		}
+		// The transition fires on the first tick at or past its scheduled
+		// time (latched, not ==): a Step that does not divide PreRoll walks
+		// right past the exact loseAt instant. transLen is Step-aligned, so
+		// the restore keeps the full outage length on the same grid.
+		if !outageFired && now >= loseAt {
+			outageFired = true
 			// An MSB-level open transition: the breaker leaves the critical
 			// power path and every rack beneath falls back to batteries.
 			msb.Deenergize(now)
-			spec.Obs.Event(now, "scenario", "outage")
+			if spec.Obs != nil {
+				spec.Obs.Event(now, "scenario", "outage")
+			}
 		}
-		if now == restoreAt {
+		if outageFired && !restoreFired && now >= restoreAt {
+			restoreFired = true
 			msb.Reenergize(now)
 			var sum float64
 			res.DODs = res.DODs[:0]
@@ -459,52 +498,56 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 		for _, g := range guards {
 			g.Tick(now)
 		}
-		msb.Walk(func(nd *power.Node) {
-			if nd.Tripped() && !tripped[nd.Name()] {
-				tripped[nd.Name()] = true
+		for i, nd := range nodes {
+			if nd.Tripped() && !trippedSeen[i] {
+				trippedSeen[i] = true
 				res.Tripped = append(res.Tripped, nd.Name())
 				if spec.Obs != nil {
 					spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
 				}
 			}
-		})
-		if gauges != nil {
-			gauges.update(now, msb, racks)
 		}
-
-		if now-lastSample >= spec.SampleEvery {
-			lastSample = now
-			var it, rech, capped units.Power
-			for _, r := range racks {
+		// One bookkeeping pass over the fleet: maintain the outstanding set
+		// by transition, and accumulate the sample sums only on sample ticks.
+		sampling := now-lastSample >= spec.SampleEvery
+		var it, rech, capped units.Power
+		for i, r := range racks {
+			if out := r.Charging() || r.PendingDOD() > 0; out != outstanding[i] {
+				outstanding[i] = out
+				if out {
+					numOutstanding++
+				} else {
+					numOutstanding--
+				}
+			}
+			if sampling {
 				if r.InputUp() {
 					it += r.ITLoad()
 					rech += r.RechargePower()
 				}
 				capped += r.CappedPower()
 			}
+		}
+		if gauges != nil {
+			gauges.update(now, msb, racks)
+		}
+		if sampling {
+			lastSample = now
 			res.Samples = append(res.Samples, Sample{
 				T: now - loseAt, Total: it + rech, IT: it, Recharge: rech, Capped: capped,
 			})
 		}
-		if p := msb.Power(); now > restoreAt && p > res.PeakPower {
-			res.PeakPower = p
+		if now > restoreAt {
+			if p := msb.Power(); p > res.PeakPower {
+				res.PeakPower = p
+			}
 		}
 		if spec.StepHook != nil {
 			spec.StepHook(now)
 		}
 
 		if now > restoreAt {
-			anyCharging := false
-			for _, r := range racks {
-				// A postponed or storm-queued charge (pending DOD) is still
-				// outstanding work: the run must not end while the admission
-				// queue drains.
-				if r.Charging() || r.PendingDOD() > 0 {
-					anyCharging = true
-					break
-				}
-			}
-			if !anyCharging {
+			if numOutstanding == 0 {
 				if res.LastChargeDone == 0 {
 					res.LastChargeDone = now - loseAt
 				}

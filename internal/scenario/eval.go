@@ -2,8 +2,6 @@ package scenario
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"time"
 
 	"coordcharge/internal/charger"
@@ -74,25 +72,35 @@ type Fig13Result struct {
 }
 
 // RunFig13 executes the six cases under the three algorithms (18 runs of the
-// 316-rack MSB) and renders Fig 13 plus Table III.
+// 316-rack MSB, executed by the parallel experiment runner) and renders
+// Fig 13 plus Table III.
 func RunFig13(seed int64) (*Fig13Result, error) {
 	p1, p2, p3 := ProductionDistribution()
+	cases := Fig13Cases()
+	algs := Fig13Algorithms()
+	specs := make([]CoordSpec, 0, len(cases)*len(algs))
+	for _, cs := range cases {
+		for _, alg := range algs {
+			specs = append(specs, CoordSpec{
+				NumP1: p1, NumP2: p2, NumP3: p3, Seed: seed,
+				MSBLimit: cs.Limit, Mode: alg.Mode, LocalPolicy: alg.Policy, AvgDOD: cs.AvgDOD,
+			})
+		}
+	}
+	runs, err := runCoordinatedBatch(specs)
+	if err != nil {
+		return nil, err
+	}
 	res := &Fig13Result{
 		TableIII: report.NewTable("Table III: maximum server power capping required",
 			"Case", "Original charger", "Variable charger", "Priority-aware"),
 	}
-	for _, cs := range Fig13Cases() {
+	for ci, cs := range cases {
 		chart := report.NewChart("Fig 13 "+cs.Label+": MSB power use", "minutes from transition", "MW")
 		limit := chart.AddSeries("power limit")
 		row := []string{cs.Label}
-		for _, alg := range Fig13Algorithms() {
-			run, err := RunCoordinated(CoordSpec{
-				NumP1: p1, NumP2: p2, NumP3: p3, Seed: seed,
-				MSBLimit: cs.Limit, Mode: alg.Mode, LocalPolicy: alg.Policy, AvgDOD: cs.AvgDOD,
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ai, alg := range algs {
+			run := runs[ci*len(algs)+ai]
 			s := chart.AddSeries(alg.Name)
 			for _, sm := range run.Samples {
 				// Fig 13 plots the uncapped would-be draw for the breaker:
@@ -140,14 +148,21 @@ func defaultSweepLimits() []units.Power {
 	return out
 }
 
-// RunSweep evaluates racks-meeting-SLA (disaggregated by priority) across a
-// power-limit sweep: one subplot of Fig 14 or Fig 15. The limits are
-// independent experiments, so they run concurrently (bounded by GOMAXPROCS);
-// output ordering stays deterministic.
-func RunSweep(spec SweepSpec) (*report.Chart, error) {
-	if len(spec.Limits) == 0 {
-		spec.Limits = defaultSweepLimits()
+// sweepSpecs expands one sweep into its per-limit run specs, in limit order.
+func sweepSpecs(spec SweepSpec) []CoordSpec {
+	specs := make([]CoordSpec, len(spec.Limits))
+	for k, limit := range spec.Limits {
+		specs[k] = CoordSpec{
+			NumP1: spec.NumP1, NumP2: spec.NumP2, NumP3: spec.NumP3, Seed: spec.Seed,
+			MSBLimit: limit, Mode: spec.Mode, AvgDOD: spec.AvgDOD,
+		}
 	}
+	return specs
+}
+
+// assembleSweep renders one sweep's chart from its per-limit runs (index
+// aligned with sweepSpecs).
+func assembleSweep(spec SweepSpec, runs []*CoordResult) *report.Chart {
 	chart := report.NewChart(
 		fmt.Sprintf("%s (%s): racks meeting charging-time SLA vs power limit", spec.Label, spec.Mode),
 		"power limit (MW)", "racks meeting SLA")
@@ -157,28 +172,7 @@ func RunSweep(spec SweepSpec) (*report.Chart, error) {
 		rack.P3: chart.AddSeries("P3"),
 	}
 	total := chart.AddSeries("total")
-
-	runs := make([]*CoordResult, len(spec.Limits))
-	errs := make([]error, len(spec.Limits))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
 	for k, limit := range spec.Limits {
-		wg.Add(1)
-		go func(k int, limit units.Power) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			runs[k], errs[k] = RunCoordinated(CoordSpec{
-				NumP1: spec.NumP1, NumP2: spec.NumP2, NumP3: spec.NumP3, Seed: spec.Seed,
-				MSBLimit: limit, Mode: spec.Mode, AvgDOD: spec.AvgDOD,
-			})
-		}(k, limit)
-	}
-	wg.Wait()
-	for k, limit := range spec.Limits {
-		if errs[k] != nil {
-			return nil, errs[k]
-		}
 		run := runs[k]
 		sum := 0
 		for p, s := range series {
@@ -187,7 +181,45 @@ func RunSweep(spec SweepSpec) (*report.Chart, error) {
 		}
 		total.Append(limit.MW(), float64(sum))
 	}
-	return chart, nil
+	return chart
+}
+
+// RunSweep evaluates racks-meeting-SLA (disaggregated by priority) across a
+// power-limit sweep: one subplot of Fig 14 or Fig 15. The limits are
+// independent experiments, so they run through the parallel experiment
+// runner; output ordering stays deterministic.
+func RunSweep(spec SweepSpec) (*report.Chart, error) {
+	if len(spec.Limits) == 0 {
+		spec.Limits = defaultSweepLimits()
+	}
+	runs, err := runCoordinatedBatch(sweepSpecs(spec))
+	if err != nil {
+		return nil, err
+	}
+	return assembleSweep(spec, runs), nil
+}
+
+// runSweeps executes several sweeps as one flat batch — parallel across
+// subplots and limits alike — and renders one chart per sweep, in order.
+func runSweeps(subplots []SweepSpec) ([]*report.Chart, error) {
+	offsets := make([]int, len(subplots)+1)
+	var specs []CoordSpec
+	for i := range subplots {
+		if len(subplots[i].Limits) == 0 {
+			subplots[i].Limits = defaultSweepLimits()
+		}
+		specs = append(specs, sweepSpecs(subplots[i])...)
+		offsets[i+1] = len(specs)
+	}
+	runs, err := runCoordinatedBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*report.Chart, len(subplots))
+	for i := range subplots {
+		out[i] = assembleSweep(subplots[i], runs[offsets[i]:offsets[i+1]])
+	}
+	return out, nil
 }
 
 // RunFig14 reproduces Fig 14: priority-aware versus global charging across
@@ -201,17 +233,11 @@ func RunFig14(seed int64) ([]*report.Chart, error) {
 		{Label: "Fig 14(c) high discharge", AvgDOD: 0.7, Mode: dynamo.ModePriorityAware},
 		{Label: "Fig 14(d) high discharge", AvgDOD: 0.7, Mode: dynamo.ModeGlobal},
 	}
-	var out []*report.Chart
-	for _, sp := range subplots {
-		sp.NumP1, sp.NumP2, sp.NumP3 = p1, p2, p3
-		sp.Seed = seed
-		c, err := RunSweep(sp)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
+	for i := range subplots {
+		subplots[i].NumP1, subplots[i].NumP2, subplots[i].NumP3 = p1, p2, p3
+		subplots[i].Seed = seed
 	}
-	return out, nil
+	return runSweeps(subplots)
 }
 
 // RunFig15 reproduces Fig 15: the same sweep at medium discharge for two
@@ -224,15 +250,9 @@ func RunFig15(seed int64) ([]*report.Chart, error) {
 		{Label: "Fig 15(c) all P1", NumP1: 316, Mode: dynamo.ModePriorityAware},
 		{Label: "Fig 15(d) all P1", NumP1: 316, Mode: dynamo.ModeGlobal},
 	}
-	var out []*report.Chart
-	for _, sp := range subplots {
-		sp.AvgDOD = 0.5
-		sp.Seed = seed
-		c, err := RunSweep(sp)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
+	for i := range subplots {
+		subplots[i].AvgDOD = 0.5
+		subplots[i].Seed = seed
 	}
-	return out, nil
+	return runSweeps(subplots)
 }

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"sync"
+
+	"coordcharge/internal/par"
+)
+
+// The experiment runner executes independent simulation runs concurrently.
+//
+// Determinism contract: every run is a pure function of its CoordSpec (the
+// control plane draws no randomness beyond the spec's seed, and runs share
+// no mutable state — each builds its own generator, hierarchy, and
+// recorder), results merge in spec order, and the first error by index
+// wins. A batch therefore produces byte-identical charts, metrics, and
+// per-run flight-recorder digests whether it runs on one worker or many;
+// TestRunnerDeterminism asserts exactly that.
+//
+// Specs that share an Observability sink would break the contract (their
+// event streams would interleave nondeterministically), so batch callers
+// leave Obs unset or give each spec its own sink.
+
+var (
+	workersMu         sync.Mutex
+	experimentWorkers int // 0 = GOMAXPROCS
+)
+
+// SetExperimentWorkers bounds the experiment runner's concurrency: n <= 0
+// restores the default (GOMAXPROCS), n == 1 forces serial execution, and
+// larger values force that many workers even on a single-CPU host — which is
+// how the determinism tests exercise the concurrent path. It returns the
+// previous value.
+func SetExperimentWorkers(n int) int {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	prev := experimentWorkers
+	if n < 0 {
+		n = 0
+	}
+	experimentWorkers = n
+	return prev
+}
+
+func runnerWorkers() int {
+	workersMu.Lock()
+	defer workersMu.Unlock()
+	return experimentWorkers
+}
+
+// runCoordinatedBatch runs one coordinated experiment per spec and returns
+// the results in spec order (see the determinism contract above).
+func runCoordinatedBatch(specs []CoordSpec) ([]*CoordResult, error) {
+	return par.MapErr(len(specs), runnerWorkers(), func(i int) (*CoordResult, error) {
+		return RunCoordinated(specs[i])
+	})
+}

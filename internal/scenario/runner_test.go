@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/obs"
+	"coordcharge/internal/units"
+)
+
+// TestOutageFiresWithOffGridStep regresses the exact-equality outage latch:
+// with a 7 s step the tick grid never lands on loseAt (PreRoll is 120 s, not
+// a multiple of 7), so a `now == loseAt` comparison would skip the grid
+// event entirely and the run would see no discharge at all.
+func TestOutageFiresWithOffGridStep(t *testing.T) {
+	spec := smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 100000, 0.5)
+	spec.Step = 7 * time.Second
+	res, err := RunCoordinated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgDOD < 0.1 {
+		t.Fatalf("realised DOD %v: outage did not fire on the off-grid step", res.AvgDOD)
+	}
+	if res.LastChargeDone <= 0 {
+		t.Fatal("no recharge completed after the off-grid outage")
+	}
+}
+
+// chartJSON canonicalises experiment output for byte comparison.
+func chartJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunnerDeterminismFig13 asserts the runner's contract end to end: the
+// 18-run Fig 13 batch renders byte-identical charts and Table III whether
+// the runs execute serially or on four workers.
+func TestRunnerDeterminismFig13(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale determinism comparison")
+	}
+	defer SetExperimentWorkers(SetExperimentWorkers(1))
+	serial, err := RunFig13(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetExperimentWorkers(4)
+	parallel, err := RunFig13(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chartJSON(t, serial.Charts) != chartJSON(t, parallel.Charts) {
+		t.Fatal("Fig 13 charts differ between serial and parallel runs")
+	}
+	if chartJSON(t, serial.TableIII) != chartJSON(t, parallel.TableIII) {
+		t.Fatal("Table III differs between serial and parallel runs")
+	}
+}
+
+// TestRunnerDeterminismSweep asserts the flattened multi-sweep path (the
+// RunFig14/RunFig15 shape: parallel across subplots and limits at once)
+// merges deterministically. Reduced populations and a short limit list keep
+// it fast; the batch shape is identical to the full figures.
+func TestRunnerDeterminismSweep(t *testing.T) {
+	subplots := func() []SweepSpec {
+		mk := func(label string, mode dynamo.Mode) SweepSpec {
+			sp := SweepSpec{Label: label, NumP1: 9, NumP2: 14, NumP3: 7, AvgDOD: 0.5, Mode: mode, Seed: 1}
+			for kw := 240.0; kw >= 200.0; kw -= 20 {
+				sp.Limits = append(sp.Limits, units.Power(kw)*units.Kilowatt)
+			}
+			return sp
+		}
+		return []SweepSpec{
+			mk("subplot A", dynamo.ModePriorityAware),
+			mk("subplot B", dynamo.ModeGlobal),
+		}
+	}
+	defer SetExperimentWorkers(SetExperimentWorkers(1))
+	serial, err := runSweeps(subplots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetExperimentWorkers(4)
+	parallel, err := runSweeps(subplots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chartJSON(t, serial) != chartJSON(t, parallel) {
+		t.Fatal("sweep charts differ between serial and parallel runs")
+	}
+}
+
+// TestRunnerDeterminismFlightDigests is the strongest equivalence check: the
+// flight-recorder digest hashes every control-plane decision in order, so a
+// matching digest means the parallel batch made exactly the decisions the
+// serial batch did, seed by seed.
+func TestRunnerDeterminismFlightDigests(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	digests := func(workers int) []string {
+		defer SetExperimentWorkers(SetExperimentWorkers(workers))
+		specs := make([]CoordSpec, len(seeds))
+		sinks := make([]*obs.Sink, len(seeds))
+		for i, seed := range seeds {
+			sinks[i] = obs.NewSink(0)
+			specs[i] = smallSpec(dynamo.ModePriorityAware, charger.Variable{}, 220, 0.5)
+			specs[i].Seed = seed
+			specs[i].Obs = sinks[i]
+		}
+		if _, err := runCoordinatedBatch(specs); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(seeds))
+		for i := range sinks {
+			out[i] = sinks[i].Flight.Digest()
+		}
+		return out
+	}
+	serial := digests(1)
+	parallel := digests(4)
+	for i, seed := range seeds {
+		if serial[i] == "" {
+			t.Fatalf("seed %d: empty flight digest", seed)
+		}
+		if serial[i] != parallel[i] {
+			t.Fatalf("seed %d: serial digest %s != parallel digest %s", seed, serial[i], parallel[i])
+		}
+	}
+}

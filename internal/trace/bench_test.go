@@ -3,6 +3,8 @@ package trace
 import (
 	"testing"
 	"time"
+
+	"coordcharge/internal/units"
 )
 
 func BenchmarkGeneratorRack(b *testing.B) {
@@ -26,6 +28,41 @@ func BenchmarkAggregate316(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = Aggregate(g, time.Duration(i)*3*time.Second)
 	}
+}
+
+// BenchmarkTraceFrames contrasts the two ways of reading one hour of the
+// 316-rack trace at the 3 s tick: per-call Rack versus the block Frames API
+// (which hoists the per-tick swing/diurnal terms out of the rack loop).
+func BenchmarkTraceFrames(b *testing.B) {
+	g, err := NewGenerator(Spec{NumRacks: 316, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const hour = time.Hour
+	b.Run("per-call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			for t := time.Duration(0); t <= hour; t += 3 * time.Second {
+				for r := 0; r < 316; r++ {
+					sum += float64(g.Rack(r, t))
+				}
+			}
+			_ = sum
+		}
+	})
+	b.Run("frames", func(b *testing.B) {
+		var buf []units.Power
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var sum float64
+			buf = Frames(g, buf, 0, hour, 3*time.Second)
+			for _, p := range buf {
+				sum += float64(p)
+			}
+			_ = sum
+		}
+	})
 }
 
 func BenchmarkMaterializedRack(b *testing.B) {

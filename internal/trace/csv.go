@@ -71,6 +71,31 @@ func (m *Materialized) Rack(i int, t time.Duration) units.Power {
 	return units.Power(row[k])
 }
 
+// Frames implements FrameSource with the same floor-sampling and clamping
+// semantics as Rack, resolving each frame's tick index once instead of once
+// per rack.
+func (m *Materialized) Frames(dst []units.Power, from, to, step time.Duration) []units.Power {
+	n := len(m.samples)
+	dst = growFrames(dst, NumFrames(from, to, step)*n)
+	for k := 0; k*n < len(dst); k++ {
+		t := from + time.Duration(k)*step
+		idx := int((t - m.start) / m.step)
+		if idx < 0 {
+			idx = 0
+		}
+		row := dst[k*n : (k+1)*n]
+		for i := range row {
+			samples := m.samples[i]
+			j := idx
+			if j >= len(samples) {
+				j = len(samples) - 1
+			}
+			row[i] = units.Power(samples[j])
+		}
+	}
+	return dst
+}
+
 // WriteCSV writes the trace in the interchange format: a header row
 // "seconds,rack0,rack1,..." followed by one row per tick with whole-second
 // timestamps and per-rack watts.

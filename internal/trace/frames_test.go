@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+// TestGeneratorFramesMatchRack is the golden equality behind the frame API:
+// the block path must reproduce the per-call path bit for bit, or every
+// "same results, faster" claim downstream of it is void.
+func TestGeneratorFramesMatchRack(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		gen, err := NewGenerator(Spec{NumRacks: 25, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkFramesMatchRack(t, gen, seed, 0, 2*time.Hour, 3*time.Second)
+		// Off-grid start and an uneven step exercise the hoisted per-frame
+		// terms at times the generator was never probed at before.
+		checkFramesMatchRack(t, gen, seed, 11*time.Second, time.Hour, 7*time.Second)
+	}
+}
+
+// TestMaterializedFramesMatchRack covers the CSV-import path: the frame fill
+// must apply the same index clamping as per-call Rack at both ends of the
+// recorded window.
+func TestMaterializedFramesMatchRack(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		gen, err := NewGenerator(Spec{NumRacks: 10, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Materialize(gen, 0, 30*time.Minute, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Spans past both edges of the recording, so the clamps fire.
+		checkFramesMatchRack(t, m, seed, -time.Minute, 40*time.Minute, 7*time.Second)
+	}
+}
+
+// TestGenericFramesFallback drives the package-level helper over a Source
+// without a native block implementation.
+func TestGenericFramesFallback(t *testing.T) {
+	gen, err := NewGenerator(Spec{NumRacks: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type bare struct{ Source } // hides the native Frames method
+	wrapped := bare{gen}
+	native := Frames(gen, nil, 0, time.Minute, 3*time.Second)
+	generic := Frames(wrapped, nil, 0, time.Minute, 3*time.Second)
+	if len(native) != len(generic) {
+		t.Fatalf("length mismatch: native %d generic %d", len(native), len(generic))
+	}
+	for i := range native {
+		if native[i] != generic[i] {
+			t.Fatalf("sample %d: native %v generic %v", i, native[i], generic[i])
+		}
+	}
+}
+
+func checkFramesMatchRack(t *testing.T, s Source, seed int64, from, to, step time.Duration) {
+	t.Helper()
+	n := s.NumRacks()
+	got := Frames(s, nil, from, to, step)
+	frames := NumFrames(from, to, step)
+	if len(got) != frames*n {
+		t.Fatalf("seed %d: got %d samples, want %d frames x %d racks", seed, len(got), frames, n)
+	}
+	var reuse []units.Power
+	reuse = Frames(s, reuse, from, to, step)
+	for k := 0; k < frames; k++ {
+		at := from + time.Duration(k)*step
+		for i := 0; i < n; i++ {
+			want := s.Rack(i, at)
+			if got[k*n+i] != want {
+				t.Fatalf("seed %d rack %d t=%v: frame %v != per-call %v", seed, i, at, got[k*n+i], want)
+			}
+			if reuse[k*n+i] != want {
+				t.Fatalf("seed %d rack %d t=%v: reused-buffer frame %v != per-call %v", seed, i, at, reuse[k*n+i], want)
+			}
+		}
+	}
+}

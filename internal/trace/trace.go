@@ -27,6 +27,58 @@ type Source interface {
 	Rack(i int, t time.Duration) units.Power
 }
 
+// FrameSource is a Source that can materialise whole blocks of frames at
+// once, amortising per-tick work (time decomposition, coherent diurnal
+// terms) across the rack population. Implementations must produce exactly
+// the same values as per-call Rack — frame precomputation is a performance
+// path, never a semantic one.
+type FrameSource interface {
+	Source
+	// Frames fills dst with NumFrames(from, to, step)·NumRacks() samples in
+	// frame-major order: frame k's rack i lands at dst[k·NumRacks()+i],
+	// where frame k is virtual time from+k·step. dst is reused when its
+	// capacity suffices; the filled slice is returned.
+	Frames(dst []units.Power, from, to, step time.Duration) []units.Power
+}
+
+// NumFrames returns the number of ticks a [from, to] window holds at the
+// given step (both endpoints inclusive, matching `for t := from; t <= to`
+// loops). Zero when the window is empty or the step non-positive.
+func NumFrames(from, to, step time.Duration) int {
+	if step <= 0 || to < from {
+		return 0
+	}
+	return int((to-from)/step) + 1
+}
+
+// Frames materialises a block of frames from any Source, using the native
+// block implementation when the source provides one and falling back to
+// per-call Rack otherwise. Layout and reuse semantics match FrameSource.
+func Frames(s Source, dst []units.Power, from, to, step time.Duration) []units.Power {
+	if fs, ok := s.(FrameSource); ok {
+		return fs.Frames(dst, from, to, step)
+	}
+	n := s.NumRacks()
+	dst = growFrames(dst, NumFrames(from, to, step)*n)
+	for k := 0; k*n < len(dst); k++ {
+		t := from + time.Duration(k)*step
+		row := dst[k*n : (k+1)*n]
+		for i := range row {
+			row[i] = s.Rack(i, t)
+		}
+	}
+	return dst
+}
+
+// growFrames returns dst resized to n samples, reallocating only when the
+// existing capacity is too small.
+func growFrames(dst []units.Power, n int) []units.Power {
+	if cap(dst) < n {
+		return make([]units.Power, n)
+	}
+	return dst[:n]
+}
+
 // Aggregate sums all racks of a source at time t.
 func Aggregate(s Source, t time.Duration) units.Power {
 	var total units.Power
@@ -239,6 +291,41 @@ func (g *Generator) Rack(i int, t time.Duration) units.Power {
 	return units.Power(w)
 }
 
+// Frames implements FrameSource. The coherent per-tick terms — the second
+// count, the 2π·sec sinusoid argument, the weekend-damped swing, and the
+// diurnal shape — are computed once per frame and shared by every rack,
+// instead of once per rack per call. The per-rack arithmetic keeps the exact
+// expression shape of Rack (same operation order, same two Sin calls), so
+// the produced samples are bit-identical to the per-call path; the golden
+// tests in trace_test.go hold this invariant.
+func (g *Generator) Frames(dst []units.Power, from, to, step time.Duration) []units.Power {
+	n := len(g.shapes)
+	dst = growFrames(dst, NumFrames(from, to, step)*n)
+	for k := 0; k*n < len(dst); k++ {
+		t := from + time.Duration(k)*step
+		sec := t.Seconds()
+		omega := 2 * math.Pi * sec // (2π)·sec, the shared sinusoid numerator
+		sw := g.swingAt(t)
+		di := g.diurnal(t)
+		row := dst[k*n : (k+1)*n]
+		for i := range row {
+			sh := &g.shapes[i]
+			noise := sh.noiseAmplitude * 0.5 *
+				(math.Sin(omega/sh.n1Period+sh.n1Phase) +
+					math.Sin(omega/sh.n2Period+sh.n2Phase))
+			w := sh.base*(1+sw*sh.swingWeight*di) + noise
+			if w < 0 {
+				w = 0
+			}
+			if w > 12600 {
+				w = 12600
+			}
+			row[i] = units.Power(w)
+		}
+	}
+	return dst
+}
+
 // FirstPeak returns the virtual time of the maximum aggregate draw of any
 // source within [0, horizon], scanned at the given resolution (the paper
 // injects its open transitions "at the first peak in the trace" where
@@ -251,10 +338,27 @@ func FirstPeak(s Source, horizon, resolution time.Duration) time.Duration {
 	if resolution <= 0 {
 		resolution = time.Minute
 	}
+	// Scan in frame blocks: same samples, same summation order, same
+	// first-maximum tie-breaking as the per-call Aggregate loop — but the
+	// per-tick trace terms are computed once per frame.
+	n := s.NumRacks()
 	best, bestT := units.Power(-1), time.Duration(0)
-	for t := time.Duration(0); t <= horizon; t += resolution {
-		if p := Aggregate(s, t); p > best {
-			best, bestT = p, t
+	const block = 256
+	var buf []units.Power
+	for t0 := time.Duration(0); t0 <= horizon; t0 += block * resolution {
+		t1 := t0 + (block-1)*resolution
+		if t1 > horizon {
+			t1 = horizon
+		}
+		buf = Frames(s, buf, t0, t1, resolution)
+		for k := 0; k*n < len(buf); k++ {
+			var total units.Power
+			for _, p := range buf[k*n : (k+1)*n] {
+				total += p
+			}
+			if total > best {
+				best, bestT = total, t0+time.Duration(k)*resolution
+			}
 		}
 	}
 	return bestT
