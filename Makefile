@@ -38,7 +38,7 @@ bench:
 # One pass over every benchmark, archived as machine-readable JSON.
 # Override the destination per snapshot: make bench-json BENCH_OUT=BENCH_PR7.json
 bench-json:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson > $(BENCH_OUT)
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | $(GO) run ./cmd/benchjson -out $(BENCH_OUT)
 
 # Regression gate: one benchmark pass diffed against the committed baseline.
 # Fails if any benchmark is more than BENCH_TOLERANCE percent slower.
@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRead -fuzztime=30s ./internal/config/
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/faults/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/units/
+	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/ckpt/
 
 reproduce:
 	$(GO) run ./cmd/reproduce -out artifacts

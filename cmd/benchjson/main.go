@@ -32,6 +32,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"coordcharge/internal/ckpt"
 )
 
 // Result is one parsed benchmark line.
@@ -55,6 +57,7 @@ func main() {
 	compareWith := flag.String("compare", "", "baseline JSON document to diff ns/op against (regression-gate mode)")
 	tolerance := flag.Float64("tolerance", 10, "allowed ns/op regression in percent before -compare fails")
 	floor := flag.Float64("floor", 0, "baseline ns/op below which a benchmark is reported but not gated (single-iteration noise)")
+	out := flag.String("out", "", "write the JSON document to this file atomically (temp+fsync+rename) instead of stdout, so a crash mid-run cannot tear an archived baseline")
 	flag.Parse()
 
 	doc, err := parse(bufio.NewScanner(os.Stdin))
@@ -71,6 +74,17 @@ func main() {
 		report, ok := compare(old, doc, *tolerance, *floor)
 		fmt.Print(report)
 		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err == nil {
+			err = ckpt.WriteAtomic(*out, append(data, '\n'))
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
 		}
 		return

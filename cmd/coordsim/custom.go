@@ -3,6 +3,8 @@ package main
 import (
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"coordcharge/internal/charger"
@@ -32,6 +34,36 @@ type customSpec struct {
 	guard        bool
 	serve        string
 	pace         float64
+	ckpt         checkpointFlags
+}
+
+// armInterrupt wires SIGTERM (and Ctrl-C) to a graceful stop: the poll
+// function is handed to the scenario layer as Spec.Interrupt, so the run
+// writes a final checkpoint at the next tick boundary and returns a partial
+// result instead of dying mid-write.
+func armInterrupt() func() bool {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	interrupted := false
+	return func() bool {
+		if !interrupted {
+			select {
+			case <-stop:
+				interrupted = true
+			default:
+			}
+		}
+		return interrupted
+	}
+}
+
+// reportInterrupted prints the resume hint after a graceful stop.
+func reportInterrupted(ckpt checkpointFlags) {
+	if ckpt.path != "" {
+		fmt.Fprintf(os.Stderr, "coordsim: interrupted; checkpoint written to %s — resume with -resume %s\n", ckpt.path, ckpt.path)
+	} else {
+		fmt.Fprintln(os.Stderr, "coordsim: interrupted; no -checkpoint configured, run state was not saved")
+	}
 }
 
 func parseMode(s string) (dynamo.Mode, error) { return config.ParseMode(s) }
@@ -144,7 +176,7 @@ func printAnalytics(res *scenario.CoordResult) {
 
 // runEndurance executes the multi-year realized-AOR simulation and prints
 // the comparison against Table II targets.
-func runEndurance(years float64, seed int64, modeStr, policyStr string, limitMW float64, p1, p2, p3 int, csv bool) {
+func runEndurance(years float64, seed int64, modeStr, policyStr string, limitMW float64, p1, p2, p3 int, csv bool, ckpt checkpointFlags) {
 	mode, err := parseMode(modeStr)
 	check(err)
 	pol, err := charger.ByName(policyStr)
@@ -153,12 +185,20 @@ func runEndurance(years float64, seed int64, modeStr, policyStr string, limitMW 
 		Years: years, Seed: seed,
 		NumP1: p1, NumP2: p2, NumP3: p3,
 		Mode: mode, LocalPolicy: pol,
+		Checkpoint:      ckpt.path,
+		CheckpointEvery: ckpt.interval,
+		Resume:          ckpt.resume,
+		Interrupt:       armInterrupt(),
 	}
 	if limitMW > 0 {
 		spec.MSBLimit = units.Power(limitMW) * units.Megawatt
 	}
 	res, err := scenario.RunEndurance(spec)
 	check(err)
+	if res.Interrupted {
+		reportInterrupted(ckpt)
+		return
+	}
 	tbl := scenario.EnduranceTable(res)
 	if csv {
 		check(tbl.RenderCSV(os.Stdout))
@@ -212,6 +252,10 @@ func runCustom(cs customSpec) {
 		check(err)
 		spec.Trace = m
 	}
+	spec.Checkpoint = cs.ckpt.path
+	spec.CheckpointEvery = cs.ckpt.interval
+	spec.Resume = cs.ckpt.resume
+	spec.Interrupt = armInterrupt()
 	if cs.serve != "" {
 		sink := obs.NewSink(obs.DefaultFlightCap)
 		spec.Obs = sink
@@ -234,6 +278,10 @@ func runCustom(cs customSpec) {
 	}
 	res, err := scenario.RunCoordinated(spec)
 	check(err)
+	if res.Interrupted {
+		reportInterrupted(cs.ckpt)
+		return
+	}
 
 	fmt.Printf("experiment: %d racks (%d/%d/%d), %s mode, %s charger, %.2f MW limit, target DOD %.0f%%\n",
 		cs.p1+cs.p2+cs.p3, cs.p1, cs.p2, cs.p3, mode, pol.Name(), cs.limitMW, cs.dod*100)

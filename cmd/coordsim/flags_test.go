@@ -1,0 +1,75 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coordcharge/internal/ckpt"
+)
+
+func mkSet(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func TestValidateCombination(t *testing.T) {
+	// A real checkpoint file for the -resume content rules.
+	dir := t.TempDir()
+	ckptPath := filepath.Join(dir, "run.ckpt")
+	if err := ckpt.WriteFileAtomic(ckptPath, map[string]any{"kind": "coordinated", "seed": 7}); err != nil {
+		t.Fatal(err)
+	}
+	truncated := filepath.Join(dir, "torn.ckpt")
+	data := []byte("coordcharge-ckpt not json")
+	if err := ckpt.WriteAtomic(truncated, data); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		v       flagValues
+		wantErr string // substring; empty = valid
+	}{
+		{"bare", flagValues{set: mkSet()}, ""},
+		{"run alone", flagValues{set: mkSet("run")}, ""},
+		{"storm without run", flagValues{set: mkSet("storm")}, "-storm requires -run"},
+		{"run with fig", flagValues{set: mkSet("run", "fig")}, "incompatible with -fig"},
+		{"admission without storm", flagValues{set: mkSet("run", "admission")}, "-admission requires -storm"},
+		{"pace without serve", flagValues{set: mkSet("run", "pace")}, "-pace requires -serve"},
+		{"negative pace", flagValues{set: mkSet("run", "pace", "serve"), pace: -1}, "must be >= 0"},
+		{"years without endurance", flagValues{set: mkSet("years")}, "-years requires -endurance"},
+
+		{"interval without checkpoint", flagValues{set: mkSet("run", "checkpoint-interval")}, "-checkpoint-interval requires -checkpoint"},
+		{"checkpoint without run", flagValues{set: mkSet("checkpoint")}, "-checkpoint requires -run or -endurance"},
+		{"checkpoint with run", flagValues{set: mkSet("run", "checkpoint")}, ""},
+		{"checkpoint with endurance", flagValues{set: mkSet("endurance", "checkpoint", "checkpoint-interval")}, ""},
+		{"resume without run", flagValues{set: mkSet("resume"), resume: ckptPath, seed: 7}, "-resume requires -run or -endurance"},
+		{"resume with config", flagValues{set: mkSet("endurance", "resume", "config"), resume: ckptPath, seed: 7}, "-resume is incompatible with -config"},
+		{"resume seed match", flagValues{set: mkSet("run", "resume", "seed"), resume: ckptPath, seed: 7}, ""},
+		{"resume seed mismatch", flagValues{set: mkSet("run", "resume", "seed"), resume: ckptPath, seed: 8}, "checkpointed with -seed 7"},
+		{"resume default seed mismatch", flagValues{set: mkSet("run", "resume"), resume: ckptPath, seed: 1}, "checkpointed with -seed 7"},
+		{"resume missing file", flagValues{set: mkSet("run", "resume"), resume: filepath.Join(dir, "nope.ckpt"), seed: 1}, "-resume"},
+		{"resume corrupt file", flagValues{set: mkSet("run", "resume"), resume: truncated, seed: 1}, "-resume"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateCombination(tc.v)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}

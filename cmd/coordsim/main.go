@@ -58,8 +58,13 @@ func main() {
 	guard := flag.Bool("guard", false, "custom run: arm the last-line breaker guard (sheds charging current before the trip window closes)")
 	serve := flag.String("serve", "", "custom run: serve the observability surface (/metrics, /healthz, /debug/flight, pprof) on this address while the run executes, e.g. :8080")
 	pace := flag.Float64("pace", 0, "custom run: simulated seconds per wall-clock second (0 = free-running); requires -serve")
+	// Checkpoint/resume flags (custom and endurance runs).
+	checkpoint := flag.String("checkpoint", "", "write a crash-safe checkpoint to this path at -checkpoint-interval of virtual time; SIGTERM writes a final checkpoint and exits 0")
+	checkpointInterval := flag.Duration("checkpoint-interval", 0, "virtual time between checkpoint writes (default: 5m for -run, 30 days for -endurance)")
+	resume := flag.String("resume", "", "resume a checkpointed run from this file; the other flags must describe the same experiment")
 	flag.Parse()
-	validateFlags()
+	validateFlags(*pace, *seed, *resume)
+	ckf := checkpointFlags{path: *checkpoint, interval: *checkpointInterval, resume: *resume}
 
 	if *configPath != "" {
 		runConfig(*configPath, *csv)
@@ -71,12 +76,12 @@ func main() {
 			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
 			analytics: *analytics, faultsSpec: *faultsSpec, watchdog: *watchdog,
 			storm: *stormDur, admission: *admission, guard: *guard,
-			serve: *serve, pace: *pace,
+			serve: *serve, pace: *pace, ckpt: ckf,
 		})
 		return
 	}
 	if *endurance {
-		runEndurance(*years, *seed, *mode, *policy, *limitMW, *p1, *p2, *p3, *csv)
+		runEndurance(*years, *seed, *mode, *policy, *limitMW, *p1, *p2, *p3, *csv, ckf)
 		return
 	}
 
@@ -137,47 +142,14 @@ func main() {
 	}
 }
 
-// validateFlags rejects incoherent flag combinations up front, before any
-// simulation work starts, so a typo'd invocation fails fast with a clear
-// message instead of silently ignoring half the flags.
-func validateFlags() {
+// validateFlags assembles the parsed flag state and exits 2 on the first
+// combination error (see validateCombination for the rules).
+func validateFlags(pace float64, seed int64, resume string) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "coordsim: "+format+"\n", args...)
+	if err := validateCombination(flagValues{set: set, pace: pace, seed: seed, resume: resume}); err != nil {
+		fmt.Fprintf(os.Stderr, "coordsim: %v\n", err)
 		os.Exit(2)
-	}
-	// Flags that only mean something inside a custom -run experiment.
-	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard"} {
-		if set[name] && !set["run"] {
-			fail("-%s requires -run", name)
-		}
-	}
-	if set["run"] {
-		for _, name := range []string{"fig", "table", "all", "endurance", "config"} {
-			if set[name] {
-				fail("-run is incompatible with -%s", name)
-			}
-		}
-	}
-	// Storm machinery needs a storm to act on.
-	for _, name := range []string{"admission", "guard"} {
-		if set[name] && !set["storm"] {
-			fail("-%s requires -storm (there is no recharge storm without a grid event)", name)
-		}
-	}
-	if set["pace"] && !set["serve"] {
-		fail("-pace requires -serve (pacing only matters when something is scraping the run)")
-	}
-	if f := flag.Lookup("pace"); f != nil && set["pace"] {
-		if v, ok := f.Value.(flag.Getter); ok {
-			if p, ok := v.Get().(float64); ok && p < 0 {
-				fail("-pace must be >= 0 (got %v)", p)
-			}
-		}
-	}
-	if set["years"] && !set["endurance"] {
-		fail("-years requires -endurance")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"coordcharge/internal/ckpt"
 	"coordcharge/internal/report"
 	"coordcharge/internal/scenario"
 )
@@ -59,7 +60,7 @@ func main() {
 		fmt.Fprintf(&index, "%-22s %8s\n", a.name, time.Since(start).Round(time.Millisecond))
 		fmt.Printf("wrote %s (%s)\n", a.name, time.Since(start).Round(time.Millisecond))
 	}
-	if err := os.WriteFile(filepath.Join(*out, "INDEX.txt"), []byte(index.String()), 0o644); err != nil {
+	if err := ckpt.WriteAtomic(filepath.Join(*out, "INDEX.txt"), []byte(index.String())); err != nil {
 		fatal(err)
 	}
 }

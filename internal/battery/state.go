@@ -1,0 +1,39 @@
+package battery
+
+import "coordcharge/internal/units"
+
+// PackState is a RackPack's serializable mutable state. The surface and the
+// physical constants (watts per amp, CV rate, cutoff) are construction-time
+// configuration and are rebuilt from the scenario spec on restore, not
+// checkpointed.
+type PackState struct {
+	Setpoint units.Current  `json:"setpoint"`
+	QRemain  float64        `json:"q_remain"`
+	QInitial float64        `json:"q_initial"`
+	DOD0     units.Fraction `json:"dod0"`
+	Charging bool           `json:"charging"`
+	Deficit  float64        `json:"deficit"`
+}
+
+// ExportState captures the pack's mutable state.
+func (rp *RackPack) ExportState() PackState {
+	return PackState{
+		Setpoint: rp.setpoint,
+		QRemain:  rp.qRemain,
+		QInitial: rp.qInitial,
+		DOD0:     rp.dod0,
+		Charging: rp.charging,
+		Deficit:  rp.deficit,
+	}
+}
+
+// RestoreState overwrites the pack's mutable state from a checkpoint. The
+// pack keeps its constructed surface and constants.
+func (rp *RackPack) RestoreState(st PackState) {
+	rp.setpoint = st.Setpoint
+	rp.qRemain = st.QRemain
+	rp.qInitial = st.QInitial
+	rp.dod0 = st.DOD0
+	rp.charging = st.Charging
+	rp.deficit = st.Deficit
+}

@@ -1,0 +1,144 @@
+// Package ckpt is the crash-safe checkpoint codec: a versioned, digest-
+// verified envelope around a JSON payload, written atomically so a process
+// killed mid-write can never leave a torn or half-trusted checkpoint behind.
+//
+// The file format is a small JSON envelope:
+//
+//	{"magic":"coordcharge-ckpt","version":1,"digest":"<sha256 hex>","payload":{...}}
+//
+// The digest covers the payload bytes exactly as stored, so corruption of a
+// single byte — truncation, bit rot, a concurrent writer — is detected before
+// any state is restored. Version skew is detected before the digest check:
+// a file written by a newer codec is refused with a descriptive error rather
+// than misread. Decoding never panics and never half-restores: ReadFile
+// unmarshals into the caller's payload only after the envelope fully
+// verifies.
+//
+// WriteAtomic is the durability primitive (temp file in the destination
+// directory + write + fsync + rename + directory fsync) and is reused by
+// anything that must not emit torn files (benchmark archives, report
+// artifacts), not just checkpoints.
+package ckpt
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Magic identifies a coordcharge checkpoint file.
+const Magic = "coordcharge-ckpt"
+
+// Version is the current envelope version. Older versions remain readable
+// as long as their layout is understood; newer versions are refused.
+const Version = 1
+
+// File is the on-disk envelope.
+type File struct {
+	Magic   string          `json:"magic"`
+	Version int             `json:"version"`
+	Digest  string          `json:"digest"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// WriteAtomic writes data to path atomically: the bytes land in a temp file
+// in the same directory, are fsynced, and only then renamed over path. A
+// crash at any point leaves either the old file or the new one, never a
+// prefix. The containing directory is fsynced after the rename so the new
+// directory entry is durable too.
+func WriteAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	// Make the rename itself durable. Some filesystems do not support
+	// fsync on directories; a failure here is not worth failing the write
+	// over once the data file itself is synced and renamed.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// WriteFileAtomic marshals payload, wraps it in a digest-verified envelope,
+// and writes it to path atomically.
+func WriteFileAtomic(path string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("ckpt: encode payload: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	env, err := json.Marshal(File{
+		Magic:   Magic,
+		Version: Version,
+		Digest:  hex.EncodeToString(sum[:]),
+		Payload: raw,
+	})
+	if err != nil {
+		return fmt.Errorf("ckpt: encode envelope: %w", err)
+	}
+	return WriteAtomic(path, append(env, '\n'))
+}
+
+// Decode verifies an envelope's magic, version, and payload digest, then
+// unmarshals the payload. It never panics: any corrupt, truncated, or
+// version-skewed input yields an error, and payload is only written to after
+// the envelope fully verifies.
+func Decode(data []byte, payload any) error {
+	var env File
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("ckpt: not a checkpoint file: %w", err)
+	}
+	if env.Magic != Magic {
+		return fmt.Errorf("ckpt: bad magic %q (want %q)", env.Magic, Magic)
+	}
+	if env.Version > Version {
+		return fmt.Errorf("ckpt: file version %d was written by a newer version of this tool (max supported %d)", env.Version, Version)
+	}
+	if env.Version < 1 {
+		return fmt.Errorf("ckpt: invalid file version %d", env.Version)
+	}
+	sum := sha256.Sum256(env.Payload)
+	if got := hex.EncodeToString(sum[:]); got != env.Digest {
+		return fmt.Errorf("ckpt: payload digest mismatch (file corrupt): have %s, stored %s", got, env.Digest)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("ckpt: decode payload: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and verifies a checkpoint envelope from path and unmarshals
+// its payload. See Decode for the verification contract.
+func ReadFile(path string, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("ckpt: %w", err)
+	}
+	return Decode(data, payload)
+}

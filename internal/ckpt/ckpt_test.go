@@ -1,0 +1,128 @@
+package ckpt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	Name  string  `json:"name"`
+	Ticks int     `json:"ticks"`
+	Score float64 `json:"score"`
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	in := payload{Name: "storm", Ticks: 1200, Score: 97.25}
+	if err := WriteFileAtomic(path, in); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := ReadFile(path, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: wrote %+v, read %+v", in, out)
+	}
+}
+
+func TestWriteAtomicReplacesWholesale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteAtomic(path, []byte("a long first version of the file")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAtomic(path, []byte("short")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "short" {
+		t.Fatalf("second write not wholesale: %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp files left behind: %v", entries)
+	}
+}
+
+func TestReadFileRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if err := WriteFileAtomic(path, payload{Name: "x", Ticks: 7}); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantSub string
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }, "not a checkpoint"},
+		{"empty", func(b []byte) []byte { return nil }, "not a checkpoint"},
+		{"flipped payload byte", func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			i := strings.Index(string(c), `"ticks":7`)
+			if i < 0 {
+				t.Fatal("payload byte not found")
+			}
+			c[i+len(`"ticks":`)] = '8'
+			return c
+		}, "digest mismatch"},
+		{"bad magic", func(b []byte) []byte {
+			return []byte(strings.Replace(string(b), Magic, "other-tool", 1))
+		}, "bad magic"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(dir, tc.name+".ckpt")
+			if err := os.WriteFile(bad, tc.mutate(append([]byte(nil), good...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var out payload
+			err := ReadFile(bad, &out)
+			if err == nil {
+				t.Fatal("corrupt file accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+			if out != (payload{}) {
+				t.Fatalf("payload half-restored from corrupt file: %+v", out)
+			}
+		})
+	}
+}
+
+func TestReadFileRejectsNewerVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	raw, _ := json.Marshal(payload{Name: "future"})
+	env, _ := json.Marshal(File{Magic: Magic, Version: Version + 1, Digest: "unused", Payload: raw})
+	if err := os.WriteFile(path, env, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	err := ReadFile(path, &out)
+	if err == nil || !strings.Contains(err.Error(), "newer version") {
+		t.Fatalf("version skew not refused: %v", err)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	var out payload
+	if err := ReadFile(filepath.Join(t.TempDir(), "nope.ckpt"), &out); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

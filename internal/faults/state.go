@@ -1,0 +1,62 @@
+package faults
+
+import (
+	"sort"
+	"time"
+
+	"coordcharge/internal/rng"
+)
+
+// CompState is one component's crash-schedule state: the boundaries already
+// generated and the position of the stream that generates them.
+type CompState struct {
+	Name       string          `json:"name"`
+	Boundaries []time.Duration `json:"boundaries,omitempty"`
+	Src        rng.State       `json:"src"`
+}
+
+// InjectorState is the injector's serializable state: the fault totals, the
+// position of the per-decision Bernoulli stream, and every per-component
+// crash schedule (sorted by name for deterministic encoding). The
+// configuration is construction-time and rebuilt from the spec.
+type InjectorState struct {
+	Counters Counters    `json:"counters"`
+	Draws    rng.State   `json:"draws"`
+	Comps    []CompState `json:"comps,omitempty"`
+}
+
+// ExportState captures the injector's stream positions, schedules, and
+// counters.
+func (in *Injector) ExportState() InjectorState {
+	st := InjectorState{Counters: in.counters, Draws: in.draws.State()}
+	for name, s := range in.comps {
+		st.Comps = append(st.Comps, CompState{
+			Name:       name,
+			Boundaries: append([]time.Duration(nil), s.boundaries...),
+			Src:        s.src.State(),
+		})
+	}
+	sort.Slice(st.Comps, func(i, j int) bool { return st.Comps[i].Name < st.Comps[j].Name })
+	return st
+}
+
+// RestoreState overwrites the injector's stream positions, schedules, and
+// counters from a checkpoint. Schedules are rebuilt with the injector's own
+// configuration parameters; components absent from the state start fresh
+// (deterministically, from their name-derived seed) exactly as they would
+// have in the original run.
+func (in *Injector) RestoreState(st InjectorState) {
+	in.counters = st.Counters
+	in.draws = rng.FromState(st.Draws)
+	in.comps = make(map[string]*schedule, len(st.Comps))
+	for _, cs := range st.Comps {
+		mtbf, mttr, agent := in.paramsFor(cs.Name)
+		in.comps[cs.Name] = &schedule{
+			src:        rng.FromState(cs.Src),
+			agent:      agent,
+			boundaries: append([]time.Duration(nil), cs.Boundaries...),
+			mtbf:       mtbf,
+			mttr:       mttr,
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+// RecorderState is a flight recorder's serializable state: the retained
+// events (oldest first), the lifetime sequence counter, the running digest,
+// and the eviction count. Restoring it makes the digest chain continue
+// exactly where the checkpointed run left it, which is what lets a resumed
+// run's final digest match an uninterrupted run byte for byte.
+type RecorderState struct {
+	Events []Event `json:"events,omitempty"`
+	Seq    uint64  `json:"seq"`
+	Hash   uint64  `json:"hash"`
+	Drops  uint64  `json:"drops"`
+}
+
+// ExportState captures the recorder's retained events and digest chain
+// (zero-value state on nil).
+func (r *Recorder) ExportState() RecorderState {
+	if r == nil {
+		return RecorderState{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RecorderState{Seq: r.seq, Hash: r.hash, Drops: r.drops}
+	if r.n > 0 {
+		st.Events = make([]Event, r.n)
+		start := r.next - r.n
+		if start < 0 {
+			start += len(r.ring)
+		}
+		for i := 0; i < r.n; i++ {
+			st.Events[i] = r.ring[(start+i)%len(r.ring)]
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the recorder's ring and digest chain from a
+// checkpoint (no-op on nil). The recorder keeps its constructed capacity: if
+// the checkpoint retains more events than fit, only the newest are kept and
+// the overflow counts as dropped — the digest chain is unaffected either
+// way, since it covers all events ever recorded.
+func (r *Recorder) RestoreState(st RecorderState) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	events := st.Events
+	drops := st.Drops
+	if len(events) > len(r.ring) {
+		drops += uint64(len(events) - len(r.ring))
+		events = events[len(events)-len(r.ring):]
+	}
+	for i := range r.ring {
+		r.ring[i] = Event{}
+	}
+	copy(r.ring, events)
+	r.n = len(events)
+	r.next = len(events) % len(r.ring)
+	r.seq = st.Seq
+	r.hash = st.Hash
+	r.drops = drops
+}

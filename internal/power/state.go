@@ -1,0 +1,45 @@
+package power
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeState is one breaker's serializable mutable state. Topology (parents,
+// children, loads), limits, and trip rules are construction-time
+// configuration rebuilt from the scenario spec; only the protection latches
+// are checkpointed. Input-path state (which racks see power) is restored
+// verbatim on the rack side, so restoring these flags needs no input
+// propagation.
+type NodeState struct {
+	Name        string        `json:"name"`
+	OverSince   time.Duration `json:"over_since"`
+	Overdrawn   bool          `json:"overdrawn"`
+	Tripped     bool          `json:"tripped"`
+	Deenergized bool          `json:"deenergized"`
+}
+
+// ExportState captures the breaker's protection latches.
+func (n *Node) ExportState() NodeState {
+	return NodeState{
+		Name:        n.name,
+		OverSince:   n.overSince,
+		Overdrawn:   n.overdrawn,
+		Tripped:     n.tripped,
+		Deenergized: n.deenergized,
+	}
+}
+
+// RestoreState overwrites the breaker's protection latches from a
+// checkpoint. The node must be the one the state was exported from (matched
+// by name).
+func (n *Node) RestoreState(st NodeState) error {
+	if st.Name != n.name {
+		return fmt.Errorf("power: checkpoint state for %q restored into %q", st.Name, n.name)
+	}
+	n.overSince = st.OverSince
+	n.overdrawn = st.Overdrawn
+	n.tripped = st.Tripped
+	n.deenergized = st.Deenergized
+	return nil
+}

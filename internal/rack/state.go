@@ -1,0 +1,92 @@
+package rack
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/battery"
+	"coordcharge/internal/units"
+)
+
+// State is a rack's serializable mutable state: everything a checkpoint must
+// carry to continue the rack bit-exactly. Construction-time configuration —
+// name, priority, charger policy, battery surface, watchdog TTL and safe
+// current, observability wiring — is rebuilt from the scenario spec on
+// restore and deliberately absent here.
+type State struct {
+	Name           string                 `json:"name"`
+	Demand         units.Power            `json:"demand"`
+	Caps           map[string]units.Power `json:"caps,omitempty"`
+	InputUp        bool                   `json:"input_up"`
+	Version        uint64                 `json:"version"`
+	UnservedEnergy units.Energy           `json:"unserved_energy"`
+	LoadDrops      int                    `json:"load_drops"`
+	ChargeStart    time.Duration          `json:"charge_start"`
+	ChargeEnd      time.Duration          `json:"charge_end"`
+	LastDOD        units.Fraction         `json:"last_dod"`
+	PendingDOD     units.Fraction         `json:"pending_dod"`
+	LastContact    time.Duration          `json:"last_contact"`
+	HaveContact    bool                   `json:"have_contact"`
+	FailSafe       bool                   `json:"fail_safe"`
+	FailSafeCount  int                    `json:"fail_safe_count"`
+	Pack           battery.PackState      `json:"pack"`
+}
+
+// ExportState captures the rack's mutable state. The caps map is copied so
+// later mutations cannot alias into the checkpoint.
+func (r *Rack) ExportState() State {
+	st := State{
+		Name:           r.name,
+		Demand:         r.demand,
+		InputUp:        r.inputUp,
+		Version:        r.version,
+		UnservedEnergy: r.unservedEnergy,
+		LoadDrops:      r.loadDrops,
+		ChargeStart:    r.chargeStart,
+		ChargeEnd:      r.chargeEnd,
+		LastDOD:        r.lastDOD,
+		PendingDOD:     r.pendingDOD,
+		LastContact:    r.lastContact,
+		HaveContact:    r.haveContact,
+		FailSafe:       r.failSafe,
+		FailSafeCount:  r.failSafeCount,
+		Pack:           r.pack.ExportState(),
+	}
+	if len(r.caps) > 0 {
+		st.Caps = make(map[string]units.Power, len(r.caps))
+		for k, v := range r.caps {
+			st.Caps[k] = v
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the rack's mutable state from a checkpoint. The
+// rack must be the one the state was exported from (matched by name); its
+// constructed policy, surface, watchdog configuration, and observability
+// wiring are kept.
+func (r *Rack) RestoreState(st State) error {
+	if st.Name != r.name {
+		return fmt.Errorf("rack: checkpoint state for %q restored into %q", st.Name, r.name)
+	}
+	r.demand = st.Demand
+	r.caps = make(map[string]units.Power, len(st.Caps))
+	for k, v := range st.Caps {
+		r.caps[k] = v
+	}
+	r.refreshCapMin()
+	r.inputUp = st.InputUp
+	r.unservedEnergy = st.UnservedEnergy
+	r.loadDrops = st.LoadDrops
+	r.chargeStart = st.ChargeStart
+	r.chargeEnd = st.ChargeEnd
+	r.lastDOD = st.LastDOD
+	r.pendingDOD = st.PendingDOD
+	r.lastContact = st.LastContact
+	r.haveContact = st.HaveContact
+	r.failSafe = st.FailSafe
+	r.failSafeCount = st.FailSafeCount
+	r.pack.RestoreState(st.Pack)
+	r.version = st.Version
+	return nil
+}

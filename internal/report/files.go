@@ -1,9 +1,10 @@
 package report
 
 import (
-	"os"
 	"path/filepath"
 	"strings"
+
+	"coordcharge/internal/ckpt"
 )
 
 // SaveChart writes a chart to dir as an ASCII rendering (name.txt), a
@@ -13,21 +14,21 @@ func SaveChart(dir, name string, c *Chart) error {
 	if err := c.RenderASCII(&ascii, 100, 24); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(ascii.String()), 0o644); err != nil {
+	if err := ckpt.WriteAtomic(filepath.Join(dir, name+".txt"), []byte(ascii.String())); err != nil {
 		return err
 	}
 	var csv strings.Builder
 	if err := c.RenderCSV(&csv); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644); err != nil {
+	if err := ckpt.WriteAtomic(filepath.Join(dir, name+".csv"), []byte(csv.String())); err != nil {
 		return err
 	}
 	var svg strings.Builder
 	if err := c.RenderSVG(&svg, 720, 420); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, name+".svg"), []byte(svg.String()), 0o644)
+	return ckpt.WriteAtomic(filepath.Join(dir, name+".svg"), []byte(svg.String()))
 }
 
 // SaveTable writes a table to dir as aligned text (name.txt) and CSV
@@ -37,12 +38,12 @@ func SaveTable(dir, name string, t *Table) error {
 	if err := t.Render(&txt); err != nil {
 		return err
 	}
-	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(txt.String()), 0o644); err != nil {
+	if err := ckpt.WriteAtomic(filepath.Join(dir, name+".txt"), []byte(txt.String())); err != nil {
 		return err
 	}
 	var csv strings.Builder
 	if err := t.RenderCSV(&csv); err != nil {
 		return err
 	}
-	return os.WriteFile(filepath.Join(dir, name+".csv"), []byte(csv.String()), 0o644)
+	return ckpt.WriteAtomic(filepath.Join(dir, name+".csv"), []byte(csv.String()))
 }

@@ -1,0 +1,376 @@
+package scenario
+
+// Checkpoint/restore for coordinated runs. Two strategies, chosen by how the
+// run is built:
+//
+//   - direct: engine-free runs (no command latency, synchronous plane) are
+//     plain data — the checkpoint carries the full live state (racks, nodes,
+//     control plane, injector streams, flight journal, result progress) and
+//     restore copies it back in place.
+//
+//   - replay: engine-backed runs hold in-flight work as event closures in
+//     the engine queue, which cannot be serialized. The checkpoint carries
+//     only a verification block (engine progress counters, fleet state hash,
+//     flight digest); restore rebuilds the run from the spec and re-executes
+//     every tick up to the checkpoint cursor — the simulation is
+//     deterministic, so this reconstructs the identical state — then checks
+//     the recomputed values against the stored block so any nondeterminism
+//     fails loudly instead of silently forking the timeline.
+//
+// Either way the spec fingerprint and seed are checked first: a checkpoint
+// only resumes the experiment it was written from.
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"coordcharge/internal/ckpt"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
+	"coordcharge/internal/obs"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// coordKind tags coordinated-run checkpoints so an endurance checkpoint (or
+// anything else in a ckpt envelope) cannot be restored into the wrong runner.
+const coordKind = "coordinated"
+
+// checkpoint strategies.
+const (
+	strategyDirect = "direct"
+	strategyReplay = "replay"
+)
+
+// coordCheckpoint is the payload inside the ckpt envelope for one
+// coordinated run.
+type coordCheckpoint struct {
+	Kind        string `json:"kind"`
+	Fingerprint uint64 `json:"fingerprint"`
+	Seed        int64  `json:"seed"`
+	Strategy    string `json:"strategy"`
+	// Now is the resume cursor: the virtual time of the next tick to run.
+	Now time.Duration `json:"now"`
+
+	// Verification block, present for both strategies: replay proves itself
+	// against these, direct restore sanity-checks its round trip.
+	StateHash      uint64        `json:"state_hash"`
+	FlightDigest   string        `json:"flight_digest,omitempty"`
+	FlightTotal    uint64        `json:"flight_total,omitempty"`
+	EngineNow      time.Duration `json:"engine_now,omitempty"`
+	EngineSeq      uint64        `json:"engine_seq,omitempty"`
+	EngineExecuted uint64        `json:"engine_executed,omitempty"`
+
+	// Full state, direct strategy only.
+	Racks    []rack.State           `json:"racks,omitempty"`
+	Nodes    []power.NodeState      `json:"nodes,omitempty"`
+	Hier     *dynamo.HierarchyState `json:"hier,omitempty"`
+	Injector *faults.InjectorState  `json:"injector,omitempty"`
+	Flight   *obs.RecorderState     `json:"flight,omitempty"`
+
+	// Result progress, direct strategy only (replay recomputes it). The
+	// scalars carry no omitempty: LastSample's fresh-run value is a large
+	// negative sentinel and zero is meaningful for the others.
+	Samples        []Sample       `json:"samples,omitempty"`
+	PeakPower      units.Power    `json:"peak_power"`
+	AvgDOD         units.Fraction `json:"avg_dod"`
+	DODs           []float64      `json:"dods,omitempty"`
+	LastChargeDone time.Duration  `json:"last_charge_done"`
+	Tripped        []string       `json:"tripped,omitempty"`
+	LastSample     time.Duration  `json:"last_sample"`
+	OutageFired    bool           `json:"outage_fired"`
+	RestoreFired   bool           `json:"restore_fired"`
+}
+
+// specFingerprint hashes every spec field that shapes the simulation, plus a
+// sampled fingerprint of the trace, so a checkpoint refuses to resume under
+// a different experiment. Hooks, observability wiring, and the checkpoint
+// fields themselves are excluded: they do not affect simulated state. The
+// seed is hashed here too but also stored separately, so a seed mismatch can
+// say so specifically.
+func specFingerprint(spec *CoordSpec, gen trace.Source) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "p1=%d|p2=%d|p3=%d|seed=%d|limit=%g|mode=%d|policy=%s|dod=%g|step=%d|preroll=%d|maxcharge=%d|sample=%d|cmdlat=%d|relax=%t|dist=%t|netlat=%d|stale=%d|wdttl=%d|outage=%d",
+		spec.NumP1, spec.NumP2, spec.NumP3, spec.Seed, float64(spec.MSBLimit),
+		spec.Mode, spec.LocalPolicy.Name(), float64(spec.AvgDOD), spec.Step,
+		spec.PreRoll, spec.MaxChargeDuration, spec.SampleEvery,
+		spec.CommandLatency, *spec.RelaxLowerLevels, spec.Distributed,
+		spec.NetworkLatency, spec.StaleAfter, spec.WatchdogTTL, spec.OutageLen)
+	fmt.Fprintf(h, "|faults=%+v|retry=%+v", spec.Faults, spec.Retry)
+	if spec.Storm != nil {
+		fmt.Fprintf(h, "|storm=%+v", *spec.Storm)
+	}
+	if spec.Guard != nil {
+		fmt.Fprintf(h, "|guard=%+v", *spec.Guard)
+	}
+	if spec.TripRule != nil {
+		fmt.Fprintf(h, "|trip=%+v", *spec.TripRule)
+	}
+	fmt.Fprintf(h, "|trace=%016x", trace.Fingerprint(gen))
+	return h.Sum64()
+}
+
+// stateHash digests the whole fleet — every rack (including its battery
+// pack) and every breaker node — as the checkpoint's nondeterminism
+// tripwire. JSON encoding is deterministic here: the structs are plain and
+// encoding/json sorts map keys.
+func (cr *coordRun) stateHash() (uint64, error) {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	for _, r := range cr.racks {
+		if err := enc.Encode(r.ExportState()); err != nil {
+			return 0, err
+		}
+	}
+	for _, nd := range cr.nodes {
+		if err := enc.Encode(nd.ExportState()); err != nil {
+			return 0, err
+		}
+	}
+	return h.Sum64(), nil
+}
+
+// exportCheckpoint captures the run's state as of resumeAt: every tick
+// before resumeAt has executed, none at or after it. Checkpoint export emits
+// no flight-recorder events — recording the act of checkpointing would make
+// the resumed digest diverge from an uninterrupted run's.
+func (cr *coordRun) exportCheckpoint(resumeAt time.Duration) (*coordCheckpoint, error) {
+	ck := &coordCheckpoint{
+		Kind:        coordKind,
+		Fingerprint: specFingerprint(&cr.spec, cr.gen),
+		Seed:        cr.spec.Seed,
+		Now:         resumeAt,
+	}
+	sh, err := cr.stateHash()
+	if err != nil {
+		return nil, err
+	}
+	ck.StateHash = sh
+	if cr.spec.Obs != nil && cr.spec.Obs.Flight != nil {
+		ck.FlightDigest = cr.spec.Obs.Flight.Digest()
+		ck.FlightTotal = cr.spec.Obs.Flight.Total()
+	}
+	if cr.engine != nil {
+		ck.Strategy = strategyReplay
+		ck.EngineNow = cr.engine.Now()
+		ck.EngineSeq = cr.engine.Seq()
+		ck.EngineExecuted = cr.engine.Executed()
+		return ck, nil
+	}
+	ck.Strategy = strategyDirect
+	ck.Racks = make([]rack.State, 0, cr.n)
+	for _, r := range cr.racks {
+		ck.Racks = append(ck.Racks, r.ExportState())
+	}
+	ck.Nodes = make([]power.NodeState, 0, len(cr.nodes))
+	for _, nd := range cr.nodes {
+		ck.Nodes = append(ck.Nodes, nd.ExportState())
+	}
+	if cr.hier != nil {
+		hs, err := cr.hier.ExportState()
+		if err != nil {
+			return nil, err
+		}
+		ck.Hier = &hs
+	}
+	if cr.inj != nil {
+		is := cr.inj.ExportState()
+		ck.Injector = &is
+	}
+	if cr.spec.Obs != nil && cr.spec.Obs.Flight != nil {
+		fs := cr.spec.Obs.Flight.ExportState()
+		ck.Flight = &fs
+	}
+	res := cr.res
+	ck.Samples = res.Samples
+	ck.PeakPower = res.PeakPower
+	ck.AvgDOD = res.AvgDOD
+	ck.DODs = res.DODs
+	ck.LastChargeDone = res.LastChargeDone
+	ck.Tripped = res.Tripped
+	ck.LastSample = cr.lastSample
+	ck.OutageFired = cr.outageFired
+	ck.RestoreFired = cr.restoreFired
+	return ck, nil
+}
+
+// writeCheckpoint atomically writes the run's checkpoint file for a resume
+// at resumeAt.
+func (cr *coordRun) writeCheckpoint(resumeAt time.Duration) error {
+	ck, err := cr.exportCheckpoint(resumeAt)
+	if err != nil {
+		return fmt.Errorf("scenario: checkpoint export: %w", err)
+	}
+	if err := ckpt.WriteFileAtomic(cr.spec.Checkpoint, ck); err != nil {
+		return fmt.Errorf("scenario: checkpoint write: %w", err)
+	}
+	return nil
+}
+
+// restore loads a checkpoint into a freshly built run and positions the
+// cursor at its resume point, by direct state restore or verified replay
+// depending on how the run is built.
+func (cr *coordRun) restore(path string) error {
+	var ck coordCheckpoint
+	if err := ckpt.ReadFile(path, &ck); err != nil {
+		return err
+	}
+	if ck.Kind != coordKind {
+		return fmt.Errorf("scenario: %s is a %q checkpoint, not a coordinated-run checkpoint", path, ck.Kind)
+	}
+	if ck.Seed != cr.spec.Seed {
+		return fmt.Errorf("scenario: checkpoint %s was written with seed %d, this run uses seed %d", path, ck.Seed, cr.spec.Seed)
+	}
+	if fp := specFingerprint(&cr.spec, cr.gen); ck.Fingerprint != fp {
+		return fmt.Errorf("scenario: checkpoint %s describes a different experiment (fingerprint %016x, spec is %016x)", path, ck.Fingerprint, fp)
+	}
+	if ck.Now < cr.start || ck.Now > cr.horizon+cr.spec.Step {
+		return fmt.Errorf("scenario: checkpoint cursor %v outside run window [%v, %v]", ck.Now, cr.start, cr.horizon)
+	}
+	want := strategyDirect
+	if cr.engine != nil {
+		want = strategyReplay
+	}
+	if ck.Strategy != want {
+		return fmt.Errorf("scenario: checkpoint %s uses strategy %q, this run needs %q", path, ck.Strategy, want)
+	}
+	var err error
+	if cr.engine == nil {
+		err = cr.restoreDirect(&ck)
+	} else {
+		err = cr.restoreReplay(&ck)
+	}
+	if err != nil {
+		return err
+	}
+	cr.cursor = ck.Now
+	cr.nextCkpt = ck.Now + cr.spec.CheckpointEvery
+	// Force a demand-block refill on the first resumed tick.
+	cr.blockStart, cr.blockEnd = ck.Now, ck.Now-cr.spec.Step
+	return nil
+}
+
+// restoreDirect copies the checkpoint's full state back into the freshly
+// built run, then recomputes the derived caches (outstanding set, trip scan
+// latches) and verifies the fleet hash round-tripped.
+func (cr *coordRun) restoreDirect(ck *coordCheckpoint) error {
+	if len(ck.Racks) != cr.n {
+		return fmt.Errorf("scenario: checkpoint has %d racks, run has %d", len(ck.Racks), cr.n)
+	}
+	if len(ck.Nodes) != len(cr.nodes) {
+		return fmt.Errorf("scenario: checkpoint has %d breaker nodes, run has %d", len(ck.Nodes), len(cr.nodes))
+	}
+	for i, st := range ck.Racks {
+		if err := cr.racks[i].RestoreState(st); err != nil {
+			return err
+		}
+	}
+	for i, st := range ck.Nodes {
+		if err := cr.nodes[i].RestoreState(st); err != nil {
+			return err
+		}
+	}
+	if ck.Hier != nil {
+		if cr.hier == nil {
+			return fmt.Errorf("scenario: checkpoint carries control-plane state but the run has no hierarchy")
+		}
+		if err := cr.hier.RestoreState(*ck.Hier); err != nil {
+			return err
+		}
+	}
+	if ck.Injector != nil {
+		if cr.inj == nil {
+			return fmt.Errorf("scenario: checkpoint carries fault-injector state but the run has no injector")
+		}
+		cr.inj.RestoreState(*ck.Injector)
+	}
+	if ck.Flight != nil {
+		if cr.spec.Obs == nil || cr.spec.Obs.Flight == nil {
+			return fmt.Errorf("scenario: checkpoint carries a flight journal but the run has no recorder; attach a fresh Obs sink to resume")
+		}
+		cr.spec.Obs.Flight.RestoreState(*ck.Flight)
+	}
+
+	res := cr.res
+	res.Samples = append(res.Samples[:0], ck.Samples...)
+	res.PeakPower = ck.PeakPower
+	res.AvgDOD = ck.AvgDOD
+	res.DODs = append(res.DODs[:0], ck.DODs...)
+	res.LastChargeDone = ck.LastChargeDone
+	res.Tripped = append([]string(nil), ck.Tripped...)
+	cr.lastSample = ck.LastSample
+	cr.outageFired = ck.OutageFired
+	cr.restoreFired = ck.RestoreFired
+
+	// Derived caches rebuild from the restored state: the outstanding set
+	// from observable rack state, the trip-scan latches from the recorded
+	// trip list (not Tripped() — a breaker reset after recording must not
+	// be recorded again).
+	cr.numOutstanding = 0
+	for i, r := range cr.racks {
+		out := r.Charging() || r.PendingDOD() > 0
+		cr.outstanding[i] = out
+		if out {
+			cr.numOutstanding++
+		}
+	}
+	tripped := make(map[string]bool, len(ck.Tripped))
+	for _, name := range ck.Tripped {
+		tripped[name] = true
+	}
+	for i, nd := range cr.nodes {
+		cr.trippedSeen[i] = tripped[nd.Name()]
+	}
+
+	sh, err := cr.stateHash()
+	if err != nil {
+		return err
+	}
+	if sh != ck.StateHash {
+		return fmt.Errorf("scenario: restored fleet hash %016x does not match checkpoint %016x (restore bug or corrupt state)", sh, ck.StateHash)
+	}
+	return nil
+}
+
+// restoreReplay re-executes every tick from the run start up to (excluding)
+// the checkpoint cursor with the hooks suppressed, then verifies the
+// reconstruction against the checkpoint's engine counters, fleet hash, and
+// flight digest. Observability events are deliberately re-recorded during
+// replay: that is what rebuilds the digest chain the verification (and the
+// resumed run's continuing journal) depends on.
+func (cr *coordRun) restoreReplay(ck *coordCheckpoint) error {
+	cr.replaying = true
+	for now := cr.start; now < ck.Now; now += cr.spec.Step {
+		if done := cr.tick(now); done {
+			cr.replaying = false
+			return fmt.Errorf("scenario: replay finished early at %v, before checkpoint cursor %v — the run is not deterministic or the checkpoint is stale", now, ck.Now)
+		}
+	}
+	cr.replaying = false
+
+	if cr.engine.Now() != ck.EngineNow || cr.engine.Seq() != ck.EngineSeq || cr.engine.Executed() != ck.EngineExecuted {
+		return fmt.Errorf("scenario: replay diverged: engine at now=%v seq=%d executed=%d, checkpoint recorded now=%v seq=%d executed=%d",
+			cr.engine.Now(), cr.engine.Seq(), cr.engine.Executed(),
+			ck.EngineNow, ck.EngineSeq, ck.EngineExecuted)
+	}
+	sh, err := cr.stateHash()
+	if err != nil {
+		return err
+	}
+	if sh != ck.StateHash {
+		return fmt.Errorf("scenario: replay diverged: fleet hash %016x, checkpoint recorded %016x", sh, ck.StateHash)
+	}
+	if ck.FlightDigest != "" && cr.spec.Obs != nil && cr.spec.Obs.Flight != nil {
+		if d := cr.spec.Obs.Flight.Digest(); d != ck.FlightDigest {
+			return fmt.Errorf("scenario: replay diverged: flight digest %s, checkpoint recorded %s", d, ck.FlightDigest)
+		}
+		if n := cr.spec.Obs.Flight.Total(); n != ck.FlightTotal {
+			return fmt.Errorf("scenario: replay diverged: %d flight events, checkpoint recorded %d", n, ck.FlightTotal)
+		}
+	}
+	return nil
+}

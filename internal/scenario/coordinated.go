@@ -7,6 +7,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -117,8 +118,31 @@ type CoordSpec struct {
 	// StepHook, when non-nil, is called at the end of every simulation tick
 	// with the current virtual time — after controllers, guards, and gauge
 	// updates. coordsim's -serve mode uses it for wall-clock pacing; tests
-	// use it to scrape the HTTP surface mid-run.
+	// use it to scrape the HTTP surface mid-run. It is suppressed while a
+	// resume is replaying ticks it already ran.
 	StepHook func(now time.Duration)
+	// Checkpoint, when non-empty, writes a crash-safe checkpoint of the run
+	// to this path (atomically: temp file + fsync + rename) every
+	// CheckpointEvery of virtual time, so a killed process can resume
+	// bit-exactly with Resume.
+	Checkpoint string
+	// CheckpointEvery is the virtual-time interval between checkpoint
+	// writes. Defaults to 5 minutes when Checkpoint is set.
+	CheckpointEvery time.Duration
+	// Resume, when non-empty, restores the run from this checkpoint file
+	// instead of starting fresh. The spec must describe the same experiment
+	// the checkpoint was written from (verified by fingerprint); to get a
+	// byte-identical flight digest the caller must supply a fresh Obs sink.
+	Resume string
+	// Interrupt, when non-nil, is polled before every tick; returning true
+	// stops the run gracefully — a final checkpoint is written (when
+	// Checkpoint is set) and the partial result returns with Interrupted
+	// set. coordsim wires SIGTERM to this.
+	Interrupt func() bool
+	// HardStop, when non-nil, is polled before every tick; returning true
+	// aborts the run abruptly — no final checkpoint, ErrAborted returned —
+	// simulating a SIGKILL for the kill-and-resume chaos harness.
+	HardStop func(now time.Duration) bool
 }
 
 func (s *CoordSpec) fillDefaults() error {
@@ -170,6 +194,15 @@ func (s *CoordSpec) fillDefaults() error {
 	}
 	if s.StaleAfter < 0 || s.WatchdogTTL < 0 {
 		return fmt.Errorf("scenario: negative StaleAfter or WatchdogTTL")
+	}
+	if s.CheckpointEvery < 0 {
+		return fmt.Errorf("scenario: negative CheckpointEvery")
+	}
+	if s.CheckpointEvery > 0 && s.Checkpoint == "" {
+		return fmt.Errorf("scenario: CheckpointEvery set without Checkpoint")
+	}
+	if s.Checkpoint != "" && s.CheckpointEvery == 0 {
+		s.CheckpointEvery = 5 * time.Minute
 	}
 	return nil
 }
@@ -225,13 +258,90 @@ type CoordResult struct {
 	Storm storm.Metrics
 	// Guard reports breaker-guard activity (zero unless Spec.Guard).
 	Guard storm.GuardMetrics
+	// Interrupted marks a run stopped early by Spec.Interrupt: the fields
+	// above are partial, and a final checkpoint (when configured) holds the
+	// state to resume from.
+	Interrupted bool
 }
 
-// RunCoordinated executes one MSB-level experiment.
+// ErrAborted is returned by RunCoordinated when Spec.HardStop fires: the run
+// stopped mid-tick-loop without writing a final checkpoint, exactly as a
+// killed process would.
+var ErrAborted = errors.New("scenario: run aborted")
+
+// RunCoordinated executes one MSB-level experiment. With Spec.Resume set it
+// restores a checkpointed run and continues it bit-exactly instead of
+// starting fresh.
 func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	if err := spec.fillDefaults(); err != nil {
 		return nil, err
 	}
+	cr, err := newCoordRun(spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Resume != "" {
+		if err := cr.restore(spec.Resume); err != nil {
+			return nil, err
+		}
+	}
+	return cr.run()
+}
+
+// coordRun is one coordinated run's full live state: the fleet and control
+// plane built from the spec, the schedule, the tick loop's working buffers,
+// and the in-progress result. Splitting construction (newCoordRun), the tick
+// body (tick), and the result tail (finish) out of one function is what lets
+// a checkpoint restore drop into the middle of the run — either by restoring
+// state directly (engine-free runs) or by deterministically replaying ticks
+// up to the checkpoint (engine-backed runs, whose event closures cannot be
+// serialized).
+type coordRun struct {
+	spec CoordSpec
+	n    int
+	gen  trace.Source
+
+	racks  []*rack.Rack
+	msb    *power.Node
+	engine *sim.Engine
+	inj    *faults.Injector
+	cfg    core.Config
+
+	hier        *dynamo.Hierarchy
+	asyncLeaves []*dynamo.AsyncLeaf
+	asyncUpper  *dynamo.AsyncUpper
+	guards      []*storm.Guard // async plane only; the Hierarchy owns its own
+
+	transLen                          time.Duration
+	start, loseAt, restoreAt, horizon time.Duration
+	deadlines                         map[rack.Priority]time.Duration
+
+	res    *CoordResult
+	gauges *runGauges
+
+	nodes          []*power.Node
+	trippedSeen    []bool
+	outstanding    []bool
+	numOutstanding int
+
+	demand               []units.Power
+	blockStart, blockEnd time.Duration
+	lastSample           time.Duration
+
+	outageFired, restoreFired bool
+
+	// cursor is the virtual time of the next tick to execute; a restore
+	// moves it to the checkpoint's resume point. nextCkpt is the next
+	// checkpoint-write time; replaying suppresses StepHook, the run hooks,
+	// and checkpoint writes while a resume re-executes ticks it already ran.
+	cursor    time.Duration
+	nextCkpt  time.Duration
+	replaying bool
+}
+
+// newCoordRun builds the fleet, power hierarchy, and control plane from the
+// spec (which must have defaults filled) and computes the event schedule.
+func newCoordRun(spec CoordSpec) (*coordRun, error) {
 	n := spec.NumP1 + spec.NumP2 + spec.NumP3
 	var gen trace.Source
 	if spec.Trace != nil {
@@ -407,168 +517,229 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 	}
 
 	start := peakT - spec.PreRoll
-	loseAt := peakT
-	restoreAt := peakT + transLen
-	horizon := restoreAt + spec.MaxChargeDuration
-	deadlines := core.DefaultDeadlines()
 	if engine != nil && start > 0 {
 		// Pre-advance the engine clock to the window start.
 		engine.ScheduleAt(start, "start", func(time.Duration) {})
 		engine.Run(start)
 	}
 
-	var gauges *runGauges
+	cr := &coordRun{
+		spec:        spec,
+		n:           n,
+		gen:         gen,
+		racks:       racks,
+		msb:         msb,
+		engine:      engine,
+		inj:         inj,
+		cfg:         cfg,
+		hier:        hier,
+		asyncLeaves: asyncLeaves,
+		asyncUpper:  asyncUpper,
+		guards:      guards,
+		transLen:    transLen,
+		start:       start,
+		loseAt:      peakT,
+		restoreAt:   peakT + transLen,
+		horizon:     peakT + transLen + spec.MaxChargeDuration,
+		deadlines:   core.DefaultDeadlines(),
+		res:         res,
+	}
 	if spec.Obs != nil {
-		gauges = newRunGauges(spec.Obs)
+		cr.gauges = newRunGauges(spec.Obs)
 	}
 	// Steady-state buffers, sized once: the output series gets its full
 	// capacity up front, the per-rack DOD sink is reused on (re)fill, and the
 	// trip scan walks a prebuilt node slice instead of re-walking the tree
 	// (and allocating a closure plus a seen-map) every tick.
-	res.Samples = make([]Sample, 0, trace.NumFrames(start, horizon, spec.SampleEvery)+1)
+	res.Samples = make([]Sample, 0, trace.NumFrames(start, cr.horizon, spec.SampleEvery)+1)
 	res.DODs = make([]float64, 0, n)
-	var nodes []*power.Node
-	msb.Walk(func(nd *power.Node) { nodes = append(nodes, nd) })
-	trippedSeen := make([]bool, len(nodes))
+	msb.Walk(func(nd *power.Node) { cr.nodes = append(cr.nodes, nd) })
+	cr.trippedSeen = make([]bool, len(cr.nodes))
 	// Outstanding-charge tracking for the end-of-run check: a per-rack bit
 	// plus a running count, updated on observed state transitions instead of
 	// re-scanning the fleet from scratch. A postponed or storm-queued charge
 	// (pending DOD) is still outstanding work: the run must not end while
 	// the admission queue drains.
-	outstanding := make([]bool, n)
-	numOutstanding := 0
+	cr.outstanding = make([]bool, n)
 	// Demand frames are precomputed in blocks: each refill amortises the
 	// trace's per-tick work (time decomposition, diurnal/swing terms) across
 	// the whole rack population, and the slab is reused block over block.
-	const demandBlock = 256
-	var demand []units.Power
-	blockStart, blockEnd := start, start-spec.Step // before start: refill on first tick
-	lastSample := time.Duration(-1 << 62)
-	outageFired, restoreFired := false, false
-	for now := start; now <= horizon; now += spec.Step {
-		if now > blockEnd {
-			to := now + (demandBlock-1)*spec.Step
-			if to > horizon {
-				to = horizon
-			}
-			demand = trace.Frames(gen, demand, now, to, spec.Step)
-			blockStart, blockEnd = now, to
-		}
-		frame := demand[int((now-blockStart)/spec.Step)*n:]
-		for i, r := range racks {
-			r.SetDemand(frame[i])
-		}
-		// The transition fires on the first tick at or past its scheduled
-		// time (latched, not ==): a Step that does not divide PreRoll walks
-		// right past the exact loseAt instant. transLen is Step-aligned, so
-		// the restore keeps the full outage length on the same grid.
-		if !outageFired && now >= loseAt {
-			outageFired = true
-			// An MSB-level open transition: the breaker leaves the critical
-			// power path and every rack beneath falls back to batteries.
-			msb.Deenergize(now)
-			if spec.Obs != nil {
-				spec.Obs.Event(now, "scenario", "outage")
-			}
-		}
-		if outageFired && !restoreFired && now >= restoreAt {
-			restoreFired = true
-			msb.Reenergize(now)
-			var sum float64
-			res.DODs = res.DODs[:0]
-			for _, r := range racks {
-				sum += float64(r.LastDOD())
-				res.DODs = append(res.DODs, float64(r.LastDOD()))
-			}
-			res.AvgDOD = units.Fraction(sum / float64(n))
-			if spec.Obs != nil {
-				spec.Obs.Event(now, "scenario", "restore",
-					"avg_dod", fmt.Sprintf("%.3f", float64(res.AvgDOD)))
-			}
-		}
-		for _, r := range racks {
-			r.Step(now, spec.Step)
-		}
-		if engine != nil {
-			engine.Run(now)
-		}
-		if hier != nil {
-			hier.Tick(now)
-		}
-		for _, g := range guards {
-			g.Tick(now)
-		}
-		for i, nd := range nodes {
-			if nd.Tripped() && !trippedSeen[i] {
-				trippedSeen[i] = true
-				res.Tripped = append(res.Tripped, nd.Name())
-				if spec.Obs != nil {
-					spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
-				}
-			}
-		}
-		// One bookkeeping pass over the fleet: maintain the outstanding set
-		// by transition, and accumulate the sample sums only on sample ticks.
-		sampling := now-lastSample >= spec.SampleEvery
-		var it, rech, capped units.Power
-		for i, r := range racks {
-			if out := r.Charging() || r.PendingDOD() > 0; out != outstanding[i] {
-				outstanding[i] = out
-				if out {
-					numOutstanding++
-				} else {
-					numOutstanding--
-				}
-			}
-			if sampling {
-				if r.InputUp() {
-					it += r.ITLoad()
-					rech += r.RechargePower()
-				}
-				capped += r.CappedPower()
-			}
-		}
-		if gauges != nil {
-			gauges.update(now, msb, racks)
-		}
-		if sampling {
-			lastSample = now
-			res.Samples = append(res.Samples, Sample{
-				T: now - loseAt, Total: it + rech, IT: it, Recharge: rech, Capped: capped,
-			})
-		}
-		if now > restoreAt {
-			if p := msb.Power(); p > res.PeakPower {
-				res.PeakPower = p
-			}
-		}
-		if spec.StepHook != nil {
-			spec.StepHook(now)
-		}
+	cr.blockStart, cr.blockEnd = start, start-spec.Step // before start: refill on first tick
+	cr.lastSample = time.Duration(-1 << 62)
+	cr.cursor = start
+	cr.nextCkpt = start + spec.CheckpointEvery
+	return cr, nil
+}
 
-		if now > restoreAt {
-			if numOutstanding == 0 {
-				if res.LastChargeDone == 0 {
-					res.LastChargeDone = now - loseAt
-				}
-				if now >= restoreAt+5*time.Minute && now-loseAt >= res.LastChargeDone+2*time.Minute {
-					break
-				}
-			} else {
-				res.LastChargeDone = 0
+// tick executes one simulation step at virtual time now and reports whether
+// the run's early-exit condition was reached. It is the loop body of both a
+// live run and a resume's deterministic replay.
+func (cr *coordRun) tick(now time.Duration) (done bool) {
+	spec, res := &cr.spec, cr.res
+	if now > cr.blockEnd {
+		const demandBlock = 256
+		to := now + (demandBlock-1)*spec.Step
+		if to > cr.horizon {
+			to = cr.horizon
+		}
+		cr.demand = trace.Frames(cr.gen, cr.demand, now, to, spec.Step)
+		cr.blockStart, cr.blockEnd = now, to
+	}
+	frame := cr.demand[int((now-cr.blockStart)/spec.Step)*cr.n:]
+	for i, r := range cr.racks {
+		r.SetDemand(frame[i])
+	}
+	// The transition fires on the first tick at or past its scheduled
+	// time (latched, not ==): a Step that does not divide PreRoll walks
+	// right past the exact loseAt instant. transLen is Step-aligned, so
+	// the restore keeps the full outage length on the same grid.
+	if !cr.outageFired && now >= cr.loseAt {
+		cr.outageFired = true
+		// An MSB-level open transition: the breaker leaves the critical
+		// power path and every rack beneath falls back to batteries.
+		cr.msb.Deenergize(now)
+		if spec.Obs != nil {
+			spec.Obs.Event(now, "scenario", "outage")
+		}
+	}
+	if cr.outageFired && !cr.restoreFired && now >= cr.restoreAt {
+		cr.restoreFired = true
+		cr.msb.Reenergize(now)
+		var sum float64
+		res.DODs = res.DODs[:0]
+		for _, r := range cr.racks {
+			sum += float64(r.LastDOD())
+			res.DODs = append(res.DODs, float64(r.LastDOD()))
+		}
+		res.AvgDOD = units.Fraction(sum / float64(cr.n))
+		if spec.Obs != nil {
+			spec.Obs.Event(now, "scenario", "restore",
+				"avg_dod", fmt.Sprintf("%.3f", float64(res.AvgDOD)))
+		}
+	}
+	for _, r := range cr.racks {
+		r.Step(now, spec.Step)
+	}
+	if cr.engine != nil {
+		cr.engine.Run(now)
+	}
+	if cr.hier != nil {
+		cr.hier.Tick(now)
+	}
+	for _, g := range cr.guards {
+		g.Tick(now)
+	}
+	for i, nd := range cr.nodes {
+		if nd.Tripped() && !cr.trippedSeen[i] {
+			cr.trippedSeen[i] = true
+			res.Tripped = append(res.Tripped, nd.Name())
+			if spec.Obs != nil {
+				spec.Obs.Event(now, "scenario", "trip", "node", nd.Name())
 			}
 		}
 	}
+	// One bookkeeping pass over the fleet: maintain the outstanding set
+	// by transition, and accumulate the sample sums only on sample ticks.
+	sampling := now-cr.lastSample >= spec.SampleEvery
+	var it, rech, capped units.Power
+	for i, r := range cr.racks {
+		if out := r.Charging() || r.PendingDOD() > 0; out != cr.outstanding[i] {
+			cr.outstanding[i] = out
+			if out {
+				cr.numOutstanding++
+			} else {
+				cr.numOutstanding--
+			}
+		}
+		if sampling {
+			if r.InputUp() {
+				it += r.ITLoad()
+				rech += r.RechargePower()
+			}
+			capped += r.CappedPower()
+		}
+	}
+	if cr.gauges != nil {
+		cr.gauges.update(now, cr.msb, cr.racks)
+	}
+	if sampling {
+		cr.lastSample = now
+		res.Samples = append(res.Samples, Sample{
+			T: now - cr.loseAt, Total: it + rech, IT: it, Recharge: rech, Capped: capped,
+		})
+	}
+	if now > cr.restoreAt {
+		if p := cr.msb.Power(); p > res.PeakPower {
+			res.PeakPower = p
+		}
+	}
+	if spec.StepHook != nil && !cr.replaying {
+		spec.StepHook(now)
+	}
 
-	if hier != nil {
-		res.Metrics = hier.TotalMetrics()
-		if q := hier.StormQueue(); q != nil {
+	if now > cr.restoreAt {
+		if cr.numOutstanding == 0 {
+			if res.LastChargeDone == 0 {
+				res.LastChargeDone = now - cr.loseAt
+			}
+			if now >= cr.restoreAt+5*time.Minute && now-cr.loseAt >= res.LastChargeDone+2*time.Minute {
+				return true
+			}
+		} else {
+			res.LastChargeDone = 0
+		}
+	}
+	return false
+}
+
+// run drives the tick loop from the cursor to completion, servicing the
+// Interrupt/HardStop hooks and the checkpoint cadence between ticks, then
+// computes the result tail.
+func (cr *coordRun) run() (*CoordResult, error) {
+	spec := &cr.spec
+	for now := cr.cursor; now <= cr.horizon; now += spec.Step {
+		if spec.HardStop != nil && spec.HardStop(now) {
+			return nil, ErrAborted
+		}
+		if spec.Interrupt != nil && spec.Interrupt() {
+			if spec.Checkpoint != "" {
+				// The tick at now has not run yet; the resume re-enters the
+				// loop exactly here.
+				if err := cr.writeCheckpoint(now); err != nil {
+					return nil, err
+				}
+			}
+			cr.res.Interrupted = true
+			return cr.res, nil
+		}
+		done := cr.tick(now)
+		if done {
+			break
+		}
+		if spec.Checkpoint != "" && now >= cr.nextCkpt {
+			if err := cr.writeCheckpoint(now + spec.Step); err != nil {
+				return nil, err
+			}
+			cr.nextCkpt = now + spec.CheckpointEvery
+		}
+	}
+	cr.finish()
+	return cr.res, nil
+}
+
+// finish aggregates the control-plane metrics and per-rack SLA accounting
+// into the result.
+func (cr *coordRun) finish() {
+	res := cr.res
+	if cr.hier != nil {
+		res.Metrics = cr.hier.TotalMetrics()
+		if q := cr.hier.StormQueue(); q != nil {
 			res.Storm = q.Metrics()
 		}
-		res.Guard = hier.TotalGuardMetrics()
+		res.Guard = cr.hier.TotalGuardMetrics()
 	} else {
-		m := asyncUpper.Metrics()
-		for _, l := range asyncLeaves {
+		m := cr.asyncUpper.Metrics()
+		for _, l := range cr.asyncLeaves {
 			lm := l.Metrics()
 			if lm.MaxCapping > m.MaxCapping {
 				m.MaxCapping = lm.MaxCapping
@@ -583,26 +754,26 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			m.Restarts += lm.Restarts
 		}
 		res.Metrics = m
-		if q := asyncUpper.StormQueue(); q != nil {
+		if q := cr.asyncUpper.StormQueue(); q != nil {
 			res.Storm = q.Metrics()
 		}
-		res.Guard = storm.TotalGuardMetrics(guards)
+		res.Guard = storm.TotalGuardMetrics(cr.guards)
 	}
-	if inj != nil {
-		res.FaultCounters = inj.Counters()
+	if cr.inj != nil {
+		res.FaultCounters = cr.inj.Counters()
 	}
-	for _, r := range racks {
+	for _, r := range cr.racks {
 		res.FailSafeActivations += r.FailSafeActivations()
 		res.UnservedEnergy += r.UnservedEnergy()
 		res.LoadDropEvents += r.LoadDropEvents()
 	}
-	endNow := horizon
-	for _, r := range racks {
+	endNow := cr.horizon
+	for _, r := range cr.racks {
 		d, done := r.ChargeDuration(endNow)
 		met := false
 		if r.LastDOD() <= 0 {
 			met = true // nothing to charge
-		} else if done && d <= deadlines[r.Priority()] {
+		} else if done && d <= cr.deadlines[r.Priority()] {
 			met = true
 		}
 		if done {
@@ -612,7 +783,6 @@ func RunCoordinated(spec CoordSpec) (*CoordResult, error) {
 			res.SLAMet[r.Priority()]++
 		}
 	}
-	return res, nil
 }
 
 // ProductionDistribution returns the paper's evaluation MSB rack counts.

@@ -1,0 +1,54 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"coordcharge/internal/rack"
+)
+
+// Summary renders the result as a deterministic multi-line string: every
+// aggregate the acceptance tests care about, map fields walked in fixed
+// priority order, and the full time series folded into a digest. Two runs of
+// the same experiment — including a run interrupted and resumed from a
+// checkpoint — must produce byte-identical summaries; the kill-and-resume
+// chaos harness compares them with ==.
+func (r *CoordResult) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "transition=%v peak=%.3f avg_dod=%.6f last_charge_done=%v interrupted=%t\n",
+		r.TransitionLength, float64(r.PeakPower), float64(r.AvgDOD), r.LastChargeDone, r.Interrupted)
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		durs := r.ChargeDurations[p]
+		var sum time.Duration
+		for _, d := range durs {
+			sum += d
+		}
+		var mean time.Duration
+		if len(durs) > 0 {
+			mean = sum / time.Duration(len(durs))
+		}
+		fmt.Fprintf(&b, "%s: racks=%d sla_met=%d completed=%d mean_charge=%v\n",
+			p, r.Racks[p], r.SLAMet[p], len(durs), mean)
+	}
+	fmt.Fprintf(&b, "metrics=%+v\n", r.Metrics)
+	fmt.Fprintf(&b, "storm=%+v\n", r.Storm)
+	fmt.Fprintf(&b, "guard=%+v\n", r.Guard)
+	fmt.Fprintf(&b, "faults=%+v\n", r.FaultCounters)
+	fmt.Fprintf(&b, "failsafe=%d unserved=%.3f load_drops=%d tripped=%v\n",
+		r.FailSafeActivations, float64(r.UnservedEnergy), r.LoadDropEvents, r.Tripped)
+	fmt.Fprintf(&b, "samples=%d dods=%d series=%016x\n", len(r.Samples), len(r.DODs), r.seriesHash())
+	return b.String()
+}
+
+// seriesHash folds the sample series and per-rack DOD list into one value so
+// the summary covers every data point without printing thousands of lines.
+func (r *CoordResult) seriesHash() uint64 {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	_ = enc.Encode(r.Samples) // hash.Hash.Write never fails
+	_ = enc.Encode(r.DODs)    // hash.Hash.Write never fails
+	return h.Sum64()
+}

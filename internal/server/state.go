@@ -1,0 +1,32 @@
+package server
+
+import "fmt"
+
+// PoolState is a pool's serializable state: every server with its demand and
+// cap, in pool order. Server structs are plain data, so the state is the
+// servers themselves.
+type PoolState struct {
+	Servers []Server `json:"servers"`
+}
+
+// ExportState captures the pool's servers.
+func (p *Pool) ExportState() PoolState {
+	return PoolState{Servers: p.Servers()}
+}
+
+// RestoreState overwrites the pool's servers from a checkpoint. The state
+// must describe the same pool: the server count and names (in order) must
+// match, so a checkpoint can never be restored into a different capping
+// domain.
+func (p *Pool) RestoreState(st PoolState) error {
+	if len(st.Servers) != len(p.servers) {
+		return fmt.Errorf("server: checkpoint has %d servers, pool has %d", len(st.Servers), len(p.servers))
+	}
+	for i, s := range st.Servers {
+		if s.Name != p.servers[i].Name {
+			return fmt.Errorf("server: checkpoint server %d is %q, pool has %q", i, s.Name, p.servers[i].Name)
+		}
+	}
+	copy(p.servers, st.Servers)
+	return nil
+}

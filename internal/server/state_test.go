@@ -1,0 +1,39 @@
+package server
+
+import (
+	"testing"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func TestPoolStateRoundTrip(t *testing.T) {
+	p := Uniform("web", 8, rack.P3, 200*units.Watt)
+	p.Shed(500*units.Watt, 0.5)
+	st := p.ExportState()
+
+	q := Uniform("web", 8, rack.P3, 200*units.Watt)
+	if err := q.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if q.Draw() != p.Draw() || q.CappedCount() != p.CappedCount() {
+		t.Fatalf("restored pool draw %v (%d capped), want %v (%d capped)",
+			q.Draw(), q.CappedCount(), p.Draw(), p.CappedCount())
+	}
+	// Further shedding must behave identically.
+	a := p.Shed(300*units.Watt, 0.5)
+	b := q.Shed(300*units.Watt, 0.5)
+	if a != b {
+		t.Fatalf("post-restore shed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestPoolStateRejectsMismatch(t *testing.T) {
+	p := Uniform("web", 4, rack.P3, 200*units.Watt)
+	if err := p.RestoreState(Uniform("web", 5, rack.P3, 200*units.Watt).ExportState()); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if err := p.RestoreState(Uniform("db", 4, rack.P1, 200*units.Watt).ExportState()); err == nil {
+		t.Fatal("name mismatch accepted")
+	}
+}

@@ -89,6 +89,12 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Executed returns the number of events executed so far.
 func (e *Engine) Executed() uint64 { return e.count }
 
+// Seq returns the number of events ever scheduled (the schedule-order
+// counter). Together with Now and Executed it pins the engine's progress, so
+// a checkpoint resume can verify that a deterministic replay reconstructed
+// the event timeline exactly.
+func (e *Engine) Seq() uint64 { return e.seq }
+
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 

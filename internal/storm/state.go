@@ -1,0 +1,123 @@
+package storm
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"coordcharge/internal/rack"
+)
+
+// WaiterState is one queued admission request plus when it enqueued.
+type WaiterState struct {
+	Request
+	Since time.Duration `json:"since"`
+}
+
+// QueueState is the admission queue's serializable state: the waiting
+// requests in queue order plus the accumulated counters. The membership set
+// is derived (rebuilt from the waiting list on restore).
+type QueueState struct {
+	Waiting []WaiterState `json:"waiting,omitempty"`
+	Metrics Metrics       `json:"metrics"`
+}
+
+// ExportState captures the queue's waiting list (in order) and counters.
+func (q *Queue) ExportState() QueueState {
+	st := QueueState{Metrics: q.metrics}
+	for _, w := range q.waiting {
+		st.Waiting = append(st.Waiting, WaiterState{Request: w.Request, Since: w.since})
+	}
+	return st
+}
+
+// RestoreState overwrites the queue's waiting list and counters from a
+// checkpoint. The queue keeps its constructed configuration and
+// observability wiring; the depth gauge is resynchronised.
+func (q *Queue) RestoreState(st QueueState) {
+	q.waiting = q.waiting[:0]
+	q.member = make(map[string]bool, len(st.Waiting))
+	for _, w := range st.Waiting {
+		q.waiting = append(q.waiting, waiter{Request: w.Request, since: w.Since})
+		q.member[w.Name] = true
+	}
+	q.metrics = st.Metrics
+	q.gDepth.Set(float64(len(q.waiting)))
+}
+
+// GuardState is a breaker guard's serializable state: the overdraw/quiet
+// latches, the shed sets (paused charges in FIFO order, capped racks by
+// name), and the counters. Configuration and the rack/node/queue wiring are
+// construction-time and rebuilt from the spec.
+type GuardState struct {
+	Node       string        `json:"node"`
+	Over       bool          `json:"over"`
+	OverSince  time.Duration `json:"over_since"`
+	Fired      bool          `json:"fired"`
+	QuietSince time.Duration `json:"quiet_since"`
+	Quiet      bool          `json:"quiet"`
+	Paused     []string      `json:"paused,omitempty"`
+	Capped     []string      `json:"capped,omitempty"`
+	Metrics    GuardMetrics  `json:"metrics"`
+}
+
+// ExportState captures the guard's latches, shed sets, and counters. Paused
+// racks keep their FIFO order; capped racks are sorted by name (the cap
+// release is order-independent).
+func (g *Guard) ExportState() GuardState {
+	st := GuardState{
+		Node:       g.node.Name(),
+		Over:       g.over,
+		OverSince:  g.overSince,
+		Fired:      g.fired,
+		QuietSince: g.quietSince,
+		Quiet:      g.quiet,
+		Metrics:    g.metrics,
+	}
+	for _, r := range g.paused {
+		st.Paused = append(st.Paused, r.Name())
+	}
+	for r := range g.capped {
+		st.Capped = append(st.Capped, r.Name())
+	}
+	sort.Strings(st.Capped)
+	return st
+}
+
+// RestoreState overwrites the guard's latches, shed sets, and counters from
+// a checkpoint, resolving rack names against the guard's constructed rack
+// set.
+func (g *Guard) RestoreState(st GuardState) error {
+	if st.Node != g.node.Name() {
+		return fmt.Errorf("storm: guard state for node %q restored into %q", st.Node, g.node.Name())
+	}
+	byName := make(map[string]*rack.Rack, len(g.racks))
+	for _, r := range g.racks {
+		byName[r.Name()] = r
+	}
+	paused := make([]*rack.Rack, 0, len(st.Paused))
+	for _, name := range st.Paused {
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("storm: guard state names unknown paused rack %q", name)
+		}
+		paused = append(paused, r)
+	}
+	capped := make(map[*rack.Rack]bool, len(st.Capped))
+	for _, name := range st.Capped {
+		r, ok := byName[name]
+		if !ok {
+			return fmt.Errorf("storm: guard state names unknown capped rack %q", name)
+		}
+		capped[r] = true
+	}
+	g.over = st.Over
+	g.overSince = st.OverSince
+	g.fired = st.Fired
+	g.quietSince = st.QuietSince
+	g.quiet = st.Quiet
+	g.paused = paused
+	g.capped = capped
+	g.metrics = st.Metrics
+	return nil
+}

@@ -1,0 +1,29 @@
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Fingerprint hashes a source's identity — its rack count plus a sparse grid
+// of sampled frames — so a resume can cheaply verify that a checkpoint was
+// produced against the same trace. It is a tripwire, not a proof: two traces
+// that agree on every sampled frame hash alike, but any seed, scale, or
+// shape change perturbs sampled values and is caught.
+func Fingerprint(s Source) uint64 {
+	h := fnv.New64a()
+	n := s.NumRacks()
+	fmt.Fprintf(h, "racks=%d", n)
+	if n == 0 {
+		return h.Sum64()
+	}
+	racks := []int{0, n / 2, n - 1}
+	times := []time.Duration{0, time.Hour, 7*time.Hour + 13*time.Minute, 25 * time.Hour, 6 * 24 * time.Hour}
+	for _, t := range times {
+		for _, i := range racks {
+			fmt.Fprintf(h, "|%d:%d:%x", i, int64(t), float64(s.Rack(i, t)))
+		}
+	}
+	return h.Sum64()
+}
