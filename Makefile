@@ -62,6 +62,8 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=30s ./internal/faults/
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/units/
 	$(GO) test -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/ckpt/
+	$(GO) test -fuzz=FuzzAdvisorRequest -fuzztime=30s ./internal/svc/
+	$(GO) test -fuzz=FuzzTraceFrame -fuzztime=30s ./internal/svc/
 
 reproduce:
 	$(GO) run ./cmd/reproduce -out artifacts

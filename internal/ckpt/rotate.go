@@ -1,0 +1,62 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// Checkpoint rotation: cadence writers keep the last two generations of a
+// checkpoint — the file itself plus a ".prev" sibling holding the previous
+// good envelope — so a reader can fall back when the newest generation fails
+// digest verification. Torn writes are already impossible (WriteAtomic), but
+// rotation additionally survives post-rename corruption of the latest file:
+// bit rot, a truncating copy, an operator editing the wrong file. The
+// previous generation is only ever produced by renaming a file that was
+// itself written atomically, so it is always a complete verified envelope
+// from one cadence earlier.
+
+// PrevPath returns the previous-generation sibling of a rotated checkpoint
+// path.
+func PrevPath(path string) string { return path + ".prev" }
+
+// WriteFileRotated writes payload to path like WriteFileAtomic, first
+// rotating an existing file at path to PrevPath(path). The rotation itself
+// is a rename, so a crash at any point leaves at least one complete
+// generation on disk: before the rotation both files are the old pair, after
+// it the previous-good envelope is at PrevPath(path), and only the final
+// atomic rename publishes the new generation.
+func WriteFileRotated(path string, payload any) error {
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, PrevPath(path)); err != nil {
+			return fmt.Errorf("ckpt: rotate %s: %w", path, err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("ckpt: rotate %s: %w", path, err)
+	}
+	return WriteFileAtomic(path, payload)
+}
+
+// ReadFileFallback reads a rotated checkpoint: it verifies and decodes path,
+// and when that fails — missing file, torn or corrupted envelope, version
+// skew — falls back to the previous generation at PrevPath(path). It returns
+// the path actually restored from. Both generations failing returns the
+// newest generation's error wrapped with the fallback's, so the caller sees
+// why each was rejected.
+//
+// Fallback is deliberately limited to envelope-level failures: a payload
+// that verifies but describes the wrong experiment (fingerprint or seed
+// mismatch) is an operator error the caller must surface, not mask by
+// silently resuming older state.
+func ReadFileFallback(path string, payload any) (string, error) {
+	errNew := ReadFile(path, payload)
+	if errNew == nil {
+		return path, nil
+	}
+	prev := PrevPath(path)
+	if errPrev := ReadFile(prev, payload); errPrev != nil {
+		return "", fmt.Errorf("%w (fallback %s: %v)", errNew, prev, errPrev)
+	}
+	return prev, nil
+}

@@ -1,0 +1,115 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type rotatePayload struct {
+	Gen int `json:"gen"`
+}
+
+func TestWriteFileRotatedKeepsPreviousGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+
+	// First write: no previous generation exists.
+	if err := WriteFileRotated(path, rotatePayload{Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(PrevPath(path)); err == nil {
+		t.Fatalf("%s exists after the first write", PrevPath(path))
+	}
+
+	// Second and third writes rotate: .prev always trails by one generation.
+	for gen := 2; gen <= 3; gen++ {
+		if err := WriteFileRotated(path, rotatePayload{Gen: gen}); err != nil {
+			t.Fatal(err)
+		}
+		var latest, prev rotatePayload
+		if err := ReadFile(path, &latest); err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadFile(PrevPath(path), &prev); err != nil {
+			t.Fatal(err)
+		}
+		if latest.Gen != gen || prev.Gen != gen-1 {
+			t.Fatalf("after write %d: latest gen %d, prev gen %d", gen, latest.Gen, prev.Gen)
+		}
+	}
+}
+
+func TestReadFileFallbackRecoversFromCorruptedLatest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := WriteFileRotated(path, rotatePayload{Gen: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileRotated(path, rotatePayload{Gen: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The clean path restores the newest generation.
+	var got rotatePayload
+	used, err := ReadFileFallback(path, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != path || got.Gen != 2 {
+		t.Fatalf("clean read restored gen %d from %s", got.Gen, used)
+	}
+
+	// Corrupt the newest generation: one flipped byte inside the payload
+	// breaks the sha256 digest, and the reader must fall back to .prev.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := strings.Index(string(data), `"gen"`)
+	if idx < 0 {
+		t.Fatal("payload marker not found")
+	}
+	data[idx+1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got = rotatePayload{}
+	used, err = ReadFileFallback(path, &got)
+	if err != nil {
+		t.Fatalf("fallback read failed: %v", err)
+	}
+	if used != PrevPath(path) || got.Gen != 1 {
+		t.Fatalf("fallback restored gen %d from %s, want gen 1 from %s", got.Gen, used, PrevPath(path))
+	}
+}
+
+func TestReadFileFallbackMissingLatestUsesPrev(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := WriteFileAtomic(PrevPath(path), rotatePayload{Gen: 7}); err != nil {
+		t.Fatal(err)
+	}
+	var got rotatePayload
+	used, err := ReadFileFallback(path, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != PrevPath(path) || got.Gen != 7 {
+		t.Fatalf("restored gen %d from %s", got.Gen, used)
+	}
+}
+
+func TestReadFileFallbackBothCorruptReportsBoth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(PrevPath(path), []byte("also garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got rotatePayload
+	if _, err := ReadFileFallback(path, &got); err == nil {
+		t.Fatal("both generations corrupt, read succeeded")
+	} else if !strings.Contains(err.Error(), "fallback") {
+		t.Fatalf("error does not mention the fallback attempt: %v", err)
+	}
+}

@@ -51,6 +51,12 @@ func determinismAllowedPkg(path string) bool {
 // function names.
 var determinismAllowedFunc = map[string]map[string]bool{
 	"internal/obs": {"Serve": true},
+	// The service plane is a deliberate wall-clock boundary: request
+	// deadlines, queue aging, breaker cooldowns, and the resident-run stall
+	// watchdog are wall-clock concepts. All of internal/svc reads time
+	// through these two injected taps (see svc.Clock), so the hosted
+	// simulations stay on virtual tick time.
+	"internal/svc": {"wallNow": true, "wallSleep": true},
 }
 
 func runDeterminism(p *Pass) {

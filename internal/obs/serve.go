@@ -84,6 +84,41 @@ func Handler(s *Sink, health HealthFunc) http.Handler {
 	return mux
 }
 
+// Server I/O bounds. Every timeout is set so a slow-loris client — one that
+// dribbles header or body bytes, or never drains its response — occupies a
+// connection for a bounded time instead of pinning the obs plane forever.
+// WriteTimeout must accommodate the slowest legitimate response: a 30-second
+// /debug/pprof/profile capture plus its transfer.
+const (
+	// ServeReadHeaderTimeout bounds how long a client may take to finish
+	// sending request headers.
+	ServeReadHeaderTimeout = 5 * time.Second
+	// ServeReadTimeout bounds the whole request read (headers + body; obs
+	// requests carry no meaningful bodies).
+	ServeReadTimeout = 30 * time.Second
+	// ServeWriteTimeout bounds the response write, from the end of the
+	// request read. pprof CPU profiles default to 30 s of sampling before a
+	// byte is written, so this must stay comfortably above that.
+	ServeWriteTimeout = 2 * time.Minute
+	// ServeIdleTimeout bounds how long a keep-alive connection may sit
+	// between requests.
+	ServeIdleTimeout = 2 * time.Minute
+)
+
+// NewServer builds the obs-plane http.Server with every I/O timeout bounded
+// (see the Serve* constants). Serve and anything else exposing an obs
+// handler on a real listener should build its server here so a slow or
+// hostile client can never hold a connection unboundedly.
+func NewServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ServeReadHeaderTimeout,
+		ReadTimeout:       ServeReadTimeout,
+		WriteTimeout:      ServeWriteTimeout,
+		IdleTimeout:       ServeIdleTimeout,
+	}
+}
+
 // Serve listens on addr and serves Handler(s, health) in a background
 // goroutine. It returns the server (for Shutdown/Close) and the bound
 // listener address — useful when addr ends in ":0". Startup errors (bad
@@ -93,10 +128,7 @@ func Serve(addr string, s *Sink, health HealthFunc) (*http.Server, net.Addr, err
 	if err != nil {
 		return nil, nil, err
 	}
-	srv := &http.Server{
-		Handler:           Handler(s, health),
-		ReadHeaderTimeout: 5 * time.Second,
-	}
+	srv := NewServer(Handler(s, health))
 	go srv.Serve(ln)
 	return srv, ln.Addr(), nil
 }

@@ -84,6 +84,37 @@ func TestHTTPSurfaceNilSink(t *testing.T) {
 	}
 }
 
+// TestServeTimeoutsBounded is the slow-loris regression test: every I/O
+// timeout on the served http.Server must be bounded, and the write timeout
+// must still leave room for a default 30-second pprof CPU profile.
+func TestServeTimeoutsBounded(t *testing.T) {
+	srv, _, err := Serve("127.0.0.1:0", NewSink(16), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	checks := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"ReadHeaderTimeout", srv.ReadHeaderTimeout},
+		{"ReadTimeout", srv.ReadTimeout},
+		{"WriteTimeout", srv.WriteTimeout},
+		{"IdleTimeout", srv.IdleTimeout},
+	}
+	for _, c := range checks {
+		if c.d <= 0 {
+			t.Errorf("%s unbounded: a slow-loris client can pin the obs plane", c.name)
+		}
+		if c.d > 10*time.Minute {
+			t.Errorf("%s = %v: effectively unbounded", c.name, c.d)
+		}
+	}
+	if srv.WriteTimeout <= 30*time.Second {
+		t.Errorf("WriteTimeout %v cannot serve a default 30s pprof profile", srv.WriteTimeout)
+	}
+}
+
 func TestServeBindsAndShutsDown(t *testing.T) {
 	s := NewSink(16)
 	srv, addr, err := Serve("127.0.0.1:0", s, nil)

@@ -35,6 +35,12 @@ type AdvisorSpec struct {
 	Seed int64
 	// Resolution is the limit-search grid (default 10 kW).
 	Resolution units.Power
+	// HardStop, when non-nil, is polled before every tick of every probe
+	// simulation; returning true aborts the sizing with ErrAborted. The
+	// service layer wires a request deadline here as the advisor
+	// run-watchdog, so an abandoned or stuck query stops consuming CPU at
+	// the next tick boundary instead of bisecting to completion.
+	HardStop func() bool
 }
 
 func (s *AdvisorSpec) fillDefaults() error {
@@ -94,14 +100,18 @@ type Advice struct {
 
 // advisorProbe runs one experiment at a candidate limit.
 func advisorProbe(spec AdvisorSpec, limit units.Power) (*CoordResult, error) {
-	return RunCoordinated(CoordSpec{
+	cs := CoordSpec{
 		NumP1: spec.NumP1, NumP2: spec.NumP2, NumP3: spec.NumP3,
 		Seed:        spec.Seed,
 		MSBLimit:    limit,
 		Mode:        spec.Mode,
 		LocalPolicy: spec.LocalPolicy,
 		AvgDOD:      spec.AvgDOD,
-	})
+	}
+	if spec.HardStop != nil {
+		cs.HardStop = func(time.Duration) bool { return spec.HardStop() }
+	}
+	return RunCoordinated(cs)
 }
 
 // Advise sizes the breaker for the population and strategy. It bisects the

@@ -199,13 +199,14 @@ func (cr *coordRun) exportCheckpoint(resumeAt time.Duration) (*coordCheckpoint, 
 }
 
 // writeCheckpoint atomically writes the run's checkpoint file for a resume
-// at resumeAt.
+// at resumeAt, rotating the previous cadence write to its ".prev" sibling so
+// a corrupted latest generation still has a verified fallback.
 func (cr *coordRun) writeCheckpoint(resumeAt time.Duration) error {
 	ck, err := cr.exportCheckpoint(resumeAt)
 	if err != nil {
 		return fmt.Errorf("scenario: checkpoint export: %w", err)
 	}
-	if err := ckpt.WriteFileAtomic(cr.spec.Checkpoint, ck); err != nil {
+	if err := ckpt.WriteFileRotated(cr.spec.Checkpoint, ck); err != nil {
 		return fmt.Errorf("scenario: checkpoint write: %w", err)
 	}
 	return nil
@@ -216,7 +217,10 @@ func (cr *coordRun) writeCheckpoint(resumeAt time.Duration) error {
 // depending on how the run is built.
 func (cr *coordRun) restore(path string) error {
 	var ck coordCheckpoint
-	if err := ckpt.ReadFile(path, &ck); err != nil {
+	// A latest generation that fails envelope verification falls back to the
+	// previous-good cadence write; path reports what was actually restored.
+	path, err := ckpt.ReadFileFallback(path, &ck)
+	if err != nil {
 		return err
 	}
 	if ck.Kind != coordKind {
@@ -238,7 +242,6 @@ func (cr *coordRun) restore(path string) error {
 	if ck.Strategy != want {
 		return fmt.Errorf("scenario: checkpoint %s uses strategy %q, this run needs %q", path, ck.Strategy, want)
 	}
-	var err error
 	if cr.engine == nil {
 		err = cr.restoreDirect(&ck)
 	} else {

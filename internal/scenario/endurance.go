@@ -494,7 +494,7 @@ func (st *enduranceState) writeCheckpoint() error {
 		return fmt.Errorf("scenario: endurance checkpoint export: %w", err)
 	}
 	ck.Hier = hs
-	if err := ckpt.WriteFileAtomic(st.spec.Checkpoint, ck); err != nil {
+	if err := ckpt.WriteFileRotated(st.spec.Checkpoint, ck); err != nil {
 		return fmt.Errorf("scenario: endurance checkpoint write: %w", err)
 	}
 	return nil
@@ -503,7 +503,10 @@ func (st *enduranceState) writeCheckpoint() error {
 // restore loads an endurance checkpoint into a freshly built run.
 func (st *enduranceState) restore(path string) error {
 	var ck enduranceCheckpoint
-	if err := ckpt.ReadFile(path, &ck); err != nil {
+	// Fall back to the previous-good cadence write when the latest fails
+	// envelope verification; path reports what was actually restored.
+	path, err := ckpt.ReadFileFallback(path, &ck)
+	if err != nil {
 		return err
 	}
 	if ck.Kind != enduranceKind {

@@ -1,0 +1,237 @@
+package svc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"coordcharge/internal/obs"
+)
+
+// ErrSaturated rejects a request because both the worker pool and its wait
+// queue are full: the service sheds load (HTTP 429 + Retry-After) instead of
+// queueing without bound and eventually OOMing.
+var ErrSaturated = errors.New("svc: worker pool and wait queue full")
+
+// PoolConfig parameterises request admission.
+type PoolConfig struct {
+	// Workers is the number of requests computed concurrently. Zero selects
+	// the default (4).
+	Workers int
+	// QueueCap bounds the wait queue; an arrival finding it full is shed
+	// with ErrSaturated. Zero selects the default (4 × Workers); negative
+	// disables queueing entirely (admit-or-shed).
+	QueueCap int
+	// AgeBoost is the queue wait that promotes a waiting request one
+	// priority class toward P1 — the deficit-aging idiom of
+	// internal/storm.Queue, applied to API requests so a burst of P1 work
+	// cannot starve queued P3 queries. Zero selects the default (5 s);
+	// negative disables aging.
+	AgeBoost time.Duration
+}
+
+// withDefaults resolves zero fields.
+func (c PoolConfig) withDefaults() PoolConfig {
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4 * c.Workers
+	}
+	if c.QueueCap < 0 {
+		c.QueueCap = 0
+	}
+	if c.AgeBoost == 0 {
+		c.AgeBoost = 5 * time.Second
+	}
+	return c
+}
+
+// poolWaiter is one queued request.
+type poolWaiter struct {
+	prio    int // nominal class, 1 (highest) .. 3
+	seq     uint64
+	since   time.Time
+	ready   chan struct{}
+	granted bool // guarded by mu (the owning pool's)
+}
+
+// pool is the admission layer: a bounded worker pool fronted by a bounded,
+// deficit-aged wait queue. Admission order is effective priority (nominal
+// class promoted one step per AgeBoost of wait, clamped at 1 — the
+// internal/storm aging idiom), then nominal class, then arrival order. It is
+// safe for concurrent use.
+type pool struct {
+	cfg   PoolConfig
+	clock Clock
+	sink  *obs.Sink
+	now   func() time.Duration // service-journal timestamp (elapsed wall time)
+
+	mu      sync.Mutex
+	running int           // guarded by mu
+	waiting []*poolWaiter // guarded by mu
+	seq     uint64        // guarded by mu
+	shed    int           // guarded by mu
+
+	cAdmitted, cShed, cTimeouts *obs.Counter
+	gBusy, gDepth               *obs.Gauge
+	hWait                       *obs.Histogram
+}
+
+// newPool builds an idle pool. sink/now attach the service journal (both may
+// be nil/zero for detached use).
+func newPool(cfg PoolConfig, clock Clock, sink *obs.Sink, now func() time.Duration) *pool {
+	p := &pool{cfg: cfg.withDefaults(), clock: clock.withDefaults(), sink: sink, now: now}
+	p.cAdmitted = sink.Counter("svc.admitted")
+	p.cShed = sink.Counter("svc.shed")
+	p.cTimeouts = sink.Counter("svc.queue_timeouts")
+	p.gBusy = sink.Gauge("svc.pool_busy")
+	p.gDepth = sink.Gauge("svc.queue_depth")
+	p.hWait = sink.Histogram("svc.queue_wait_ms", 0)
+	return p
+}
+
+// Acquire admits one request of nominal priority class prio (1 highest, 3
+// lowest; out-of-range values clamp). It returns nil with a worker slot
+// held, ErrSaturated when the queue is full (shed), or the context's error
+// when the caller's deadline expires or it disconnects while queued. Every
+// nil return must be paired with Release.
+func (p *pool) Acquire(ctx context.Context, prio int) error {
+	if prio < 1 {
+		prio = 1
+	}
+	if prio > 3 {
+		prio = 3
+	}
+	p.mu.Lock()
+	if p.running < p.cfg.Workers && len(p.waiting) == 0 {
+		p.running++
+		p.gBusy.Set(float64(p.running))
+		p.cAdmitted.Inc()
+		p.mu.Unlock()
+		return nil
+	}
+	if len(p.waiting) >= p.cfg.QueueCap {
+		p.shed++
+		p.cShed.Inc()
+		p.mu.Unlock()
+		return ErrSaturated
+	}
+	w := &poolWaiter{prio: prio, seq: p.seq, since: p.clock.Now(), ready: make(chan struct{})}
+	p.seq++
+	p.waiting = append(p.waiting, w)
+	p.gDepth.Set(float64(len(p.waiting)))
+	p.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		p.mu.Lock()
+		if w.granted {
+			// The grant raced the deadline and won: the slot is ours, so
+			// hand it to the caller anyway — it will observe ctx itself.
+			p.mu.Unlock()
+			return nil
+		}
+		for i, q := range p.waiting {
+			if q == w {
+				p.waiting = append(p.waiting[:i], p.waiting[i+1:]...)
+				break
+			}
+		}
+		p.gDepth.Set(float64(len(p.waiting)))
+		p.cTimeouts.Inc()
+		p.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a worker slot and admits the best-placed waiter, if any.
+func (p *pool) Release() {
+	p.mu.Lock()
+	p.running--
+	p.admitNextLocked()
+	p.gBusy.Set(float64(p.running))
+	p.gDepth.Set(float64(len(p.waiting)))
+	p.mu.Unlock()
+}
+
+// effectivePriority applies deficit aging: every AgeBoost of waiting
+// promotes a request one class, clamped at 1 (see storm.Queue).
+func (p *pool) effectivePriority(w *poolWaiter, now time.Time) int {
+	prio := w.prio
+	if p.cfg.AgeBoost > 0 {
+		prio -= int(now.Sub(w.since) / p.cfg.AgeBoost)
+	}
+	if prio < 1 {
+		prio = 1
+	}
+	return prio
+}
+
+// admitNextLocked grants a freed slot to the waiter with the best
+// (effective, nominal, arrival) order; the caller holds mu.
+func (p *pool) admitNextLocked() {
+	if p.running >= p.cfg.Workers || len(p.waiting) == 0 {
+		return
+	}
+	now := p.clock.Now()
+	best := 0
+	for i := 1; i < len(p.waiting); i++ {
+		a, b := p.waiting[i], p.waiting[best]
+		ea, eb := p.effectivePriority(a, now), p.effectivePriority(b, now)
+		if ea != eb {
+			if ea < eb {
+				best = i
+			}
+			continue
+		}
+		if a.prio != b.prio {
+			if a.prio < b.prio {
+				best = i
+			}
+			continue
+		}
+		if a.seq < b.seq {
+			best = i
+		}
+	}
+	w := p.waiting[best]
+	p.waiting = append(p.waiting[:best], p.waiting[best+1:]...)
+	p.running++
+	p.cAdmitted.Inc()
+	w.granted = true
+	p.hWait.Observe(float64(now.Sub(w.since).Milliseconds()))
+	if p.sink != nil && p.now != nil {
+		p.sink.Event(p.now(), "svc/pool", "admit",
+			"priority", fmt.Sprintf("%d", w.prio),
+			"effective", fmt.Sprintf("%d", p.effectivePriority(w, now)),
+			"wait_ms", fmt.Sprintf("%d", now.Sub(w.since).Milliseconds()))
+	}
+	close(w.ready)
+}
+
+// Depth reports the pool's occupancy: running workers, queued waiters, and
+// requests shed so far.
+func (p *pool) Depth() (running, queued, shed int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.running, len(p.waiting), p.shed
+}
+
+// RetryAfter estimates how long a shed client should wait before retrying:
+// one full queue drain at the configured worker parallelism, floored at one
+// second.
+func (p *pool) RetryAfter() time.Duration {
+	p.mu.Lock()
+	queued := len(p.waiting)
+	p.mu.Unlock()
+	est := time.Duration(queued/p.cfg.Workers+1) * time.Second
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}

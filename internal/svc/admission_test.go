@@ -1,0 +1,172 @@
+package svc
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for the supervision machinery.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (f *fakeClock) Clock() Clock {
+	return Clock{
+		Now: func() time.Time {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return f.now
+		},
+		Sleep: func(d time.Duration) { f.Advance(d) },
+	}
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// waitDepth polls until the pool reports the wanted queue depth.
+func waitDepth(t *testing.T, p *pool, queued int) {
+	t.Helper()
+	for i := 0; i < 2000; i++ {
+		if _, q, _ := p.Depth(); q == queued {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached depth %d", queued)
+}
+
+func TestPoolFastPathThenShed(t *testing.T) {
+	fc := newFakeClock()
+	p := newPool(PoolConfig{Workers: 1, QueueCap: -1}, fc.Clock(), nil, nil)
+	if err := p.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("fast path: %v", err)
+	}
+	// Worker busy and queueing disabled: the next arrival must shed.
+	if err := p.Acquire(context.Background(), 1); err != ErrSaturated {
+		t.Fatalf("overload: err = %v, want ErrSaturated", err)
+	}
+	if _, _, shed := p.Depth(); shed != 1 {
+		t.Fatalf("shed count = %d, want 1", shed)
+	}
+	p.Release()
+	if err := p.Acquire(context.Background(), 2); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+}
+
+// TestPoolAgingPromotesStarvedWaiter pins the deficit-aging contract: a P3
+// request that has waited past AgeBoost outranks a fresher P2, exactly like
+// storm.Queue's aged recharge admissions.
+func TestPoolAgingPromotesStarvedWaiter(t *testing.T) {
+	fc := newFakeClock()
+	p := newPool(PoolConfig{Workers: 1, QueueCap: 8, AgeBoost: 5 * time.Second}, fc.Clock(), nil, nil)
+	if err := p.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	admitted := make(chan int, 2)
+	enqueue := func(prio int) {
+		go func() {
+			if err := p.Acquire(context.Background(), prio); err == nil {
+				admitted <- prio
+			}
+		}()
+	}
+	enqueue(3)
+	waitDepth(t, p, 1)
+	fc.Advance(12 * time.Second) // P3 ages two classes: effective priority 1
+	enqueue(2)
+	waitDepth(t, p, 2)
+
+	p.Release()
+	if got := <-admitted; got != 3 {
+		t.Fatalf("first admitted priority = %d, want the aged 3", got)
+	}
+	p.Release()
+	if got := <-admitted; got != 2 {
+		t.Fatalf("second admitted priority = %d, want 2", got)
+	}
+}
+
+// TestPoolFreshHighPriorityBeatsAgedLow pins the tiebreak: aging promotes at
+// most to class 1, where nominal priority then wins.
+func TestPoolFreshHighPriorityBeatsAgedLow(t *testing.T) {
+	fc := newFakeClock()
+	p := newPool(PoolConfig{Workers: 1, QueueCap: 8, AgeBoost: 5 * time.Second}, fc.Clock(), nil, nil)
+	if err := p.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan int, 2)
+	acq := func(prio int) {
+		go func() {
+			if err := p.Acquire(context.Background(), prio); err == nil {
+				admitted <- prio
+			}
+		}()
+	}
+	acq(3)
+	waitDepth(t, p, 1)
+	fc.Advance(time.Minute) // far past any boost: effective 1, nominal 3
+	acq(1)
+	waitDepth(t, p, 2)
+	p.Release()
+	if got := <-admitted; got != 1 {
+		t.Fatalf("first admitted priority = %d, want nominal 1", got)
+	}
+	p.Release()
+}
+
+func TestPoolCancelWhileQueued(t *testing.T) {
+	fc := newFakeClock()
+	p := newPool(PoolConfig{Workers: 1, QueueCap: 4}, fc.Clock(), nil, nil)
+	if err := p.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- p.Acquire(ctx, 2) }()
+	waitDepth(t, p, 1)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, queued, _ := p.Depth(); queued != 0 {
+		t.Fatalf("canceled waiter still queued (depth %d)", queued)
+	}
+	// The slot was never granted away: releasing and re-acquiring works.
+	p.Release()
+	if err := p.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRetryAfterScalesWithQueue(t *testing.T) {
+	fc := newFakeClock()
+	p := newPool(PoolConfig{Workers: 2, QueueCap: 16}, fc.Clock(), nil, nil)
+	if got := p.RetryAfter(); got != time.Second {
+		t.Fatalf("empty queue Retry-After = %v, want 1s", got)
+	}
+	for i := 0; i < 2; i++ {
+		if err := p.Acquire(context.Background(), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		go p.Acquire(context.Background(), 2) //nolint — intentionally left queued
+	}
+	waitDepth(t, p, 6)
+	if got := p.RetryAfter(); got != 4*time.Second {
+		t.Fatalf("Retry-After with 6 queued over 2 workers = %v, want 4s", got)
+	}
+}

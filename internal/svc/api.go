@@ -1,0 +1,361 @@
+// Request decoding and validation. Everything arriving over the wire passes
+// through this file before it can touch a simulation: decoders are strict
+// (unknown fields rejected, single JSON value, bounded size — the HTTP layer
+// additionally wraps bodies in MaxBytesReader), and validation is
+// physics-aware — rack counts bounded, fractions in range, NaN/Inf rejected
+// — so malformed or hostile input becomes a 4xx and a counter, never a panic
+// or an absurd resident workload.
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"coordcharge/internal/charger"
+	"coordcharge/internal/config"
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/faults"
+	"coordcharge/internal/scenario"
+	"coordcharge/internal/storm"
+	"coordcharge/internal/units"
+)
+
+// Input-plane bounds. They cap what one request may ask of the service, not
+// what the simulator could theoretically run.
+const (
+	// MaxRequestBytes bounds an advisor/run request body.
+	MaxRequestBytes = 1 << 20
+	// MaxIngestBytes bounds a streamed trace upload.
+	MaxIngestBytes = 64 << 20
+	// MaxRacks bounds the rack population a single API request may simulate.
+	MaxRacks = 1024
+	// MaxOutage bounds a requested grid-event length.
+	MaxOutage = 24 * time.Hour
+	// MaxHorizon bounds a requested post-restore charge horizon.
+	MaxHorizon = 48 * time.Hour
+	// MaxLimitMW bounds a requested MSB breaker limit.
+	MaxLimitMW = 1000.0
+)
+
+// decodeStrict unmarshals exactly one JSON value from r into v, rejecting
+// unknown fields and trailing garbage.
+func decodeStrict(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("svc: decode: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("svc: trailing data after request body")
+	}
+	return nil
+}
+
+// finite rejects the float specials JSON itself cannot express but a buggy
+// or hostile encoder might smuggle through scientific notation overflow.
+func finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("svc: %s is not finite", name)
+	}
+	return nil
+}
+
+// AdvisorRequest is a what-if capacity query: size the breaker for this
+// population and strategy. Zero-valued fields take the resident baseline's
+// population (when a resident sim is configured) or the documented defaults.
+type AdvisorRequest struct {
+	P1           int     `json:"p1"`
+	P2           int     `json:"p2"`
+	P3           int     `json:"p3"`
+	AvgDOD       float64 `json:"avg_dod"`
+	Mode         string  `json:"mode"`
+	Policy       string  `json:"policy"`
+	Seed         int64   `json:"seed"`
+	ResolutionKW float64 `json:"resolution_kw"`
+	// Priority is the admission class (1 highest .. 3 lowest, default 2):
+	// under load the wait queue orders and ages requests by it.
+	Priority int `json:"priority"`
+}
+
+// DecodeAdvisorRequest strictly decodes and validates one advisor request.
+func DecodeAdvisorRequest(r io.Reader) (*AdvisorRequest, error) {
+	var q AdvisorRequest
+	if err := decodeStrict(r, &q); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// Validate bounds- and physics-checks the request.
+func (q *AdvisorRequest) Validate() error {
+	if q.P1 < 0 || q.P2 < 0 || q.P3 < 0 {
+		return fmt.Errorf("svc: negative rack count")
+	}
+	if n := q.P1 + q.P2 + q.P3; n > MaxRacks {
+		return fmt.Errorf("svc: %d racks exceeds the per-request cap of %d", n, MaxRacks)
+	}
+	if err := finite("avg_dod", q.AvgDOD); err != nil {
+		return err
+	}
+	if q.AvgDOD < 0 || q.AvgDOD > 1 {
+		return fmt.Errorf("svc: avg_dod %g out of (0, 1]", q.AvgDOD)
+	}
+	if err := finite("resolution_kw", q.ResolutionKW); err != nil {
+		return err
+	}
+	if q.ResolutionKW < 0 || q.ResolutionKW > 1000 {
+		return fmt.Errorf("svc: resolution_kw %g out of (0, 1000]", q.ResolutionKW)
+	}
+	if q.Mode != "" {
+		if _, err := config.ParseMode(q.Mode); err != nil {
+			return err
+		}
+	}
+	if q.Policy != "" {
+		if _, err := charger.ByName(q.Policy); err != nil {
+			return err
+		}
+	}
+	if q.Priority < 0 || q.Priority > 3 {
+		return fmt.Errorf("svc: priority %d out of [1, 3]", q.Priority)
+	}
+	return nil
+}
+
+// Spec lowers the validated request onto an AdvisorSpec. The caller fills
+// population defaults (from the resident baseline) before lowering.
+func (q *AdvisorRequest) Spec() (scenario.AdvisorSpec, error) {
+	spec := scenario.AdvisorSpec{
+		NumP1: q.P1, NumP2: q.P2, NumP3: q.P3,
+		AvgDOD:     units.Fraction(q.AvgDOD),
+		Seed:       q.Seed,
+		Resolution: units.Power(q.ResolutionKW) * units.Kilowatt,
+	}
+	var err error
+	if q.Mode != "" {
+		if spec.Mode, err = config.ParseMode(q.Mode); err != nil {
+			return spec, err
+		}
+	} else {
+		spec.Mode = dynamo.ModePriorityAware
+	}
+	if q.Policy != "" {
+		if spec.LocalPolicy, err = charger.ByName(q.Policy); err != nil {
+			return spec, err
+		}
+	}
+	return spec, nil
+}
+
+// RunRequest launches one coordinated run on demand. It mirrors coordsim
+// -run, with every knob bounded.
+type RunRequest struct {
+	P1        int     `json:"p1"`
+	P2        int     `json:"p2"`
+	P3        int     `json:"p3"`
+	Seed      int64   `json:"seed"`
+	LimitMW   float64 `json:"limit_mw"`
+	AvgDOD    float64 `json:"avg_dod"`
+	Mode      string  `json:"mode"`
+	Policy    string  `json:"policy"`
+	OutageS   float64 `json:"outage_s"`
+	Admission bool    `json:"admission"`
+	Guard     bool    `json:"guard"`
+	WatchdogS float64 `json:"watchdog_s"`
+	// Faults is a faults.ParseSpec string ("", "off", "default", or k=v
+	// overrides).
+	Faults string `json:"faults"`
+	// Trace names a previously ingested trace to replay instead of the
+	// synthetic generator; its rack count must equal p1+p2+p3.
+	Trace      string  `json:"trace"`
+	StepS      float64 `json:"step_s"`
+	MaxChargeS float64 `json:"max_charge_s"`
+	SampleS    float64 `json:"sample_s"`
+	Priority   int     `json:"priority"`
+}
+
+// DecodeRunRequest strictly decodes and validates one run request.
+func DecodeRunRequest(r io.Reader) (*RunRequest, error) {
+	var q RunRequest
+	if err := decodeStrict(r, &q); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &q, nil
+}
+
+// Validate bounds- and physics-checks the request.
+func (q *RunRequest) Validate() error {
+	if q.P1 < 0 || q.P2 < 0 || q.P3 < 0 {
+		return fmt.Errorf("svc: negative rack count")
+	}
+	n := q.P1 + q.P2 + q.P3
+	if n <= 0 {
+		return fmt.Errorf("svc: no racks in run request")
+	}
+	if n > MaxRacks {
+		return fmt.Errorf("svc: %d racks exceeds the per-request cap of %d", n, MaxRacks)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"limit_mw", q.LimitMW}, {"avg_dod", q.AvgDOD}, {"outage_s", q.OutageS},
+		{"watchdog_s", q.WatchdogS}, {"step_s", q.StepS},
+		{"max_charge_s", q.MaxChargeS}, {"sample_s", q.SampleS},
+	} {
+		if err := finite(f.name, f.v); err != nil {
+			return err
+		}
+		if f.v < 0 {
+			return fmt.Errorf("svc: negative %s", f.name)
+		}
+	}
+	if q.LimitMW > MaxLimitMW {
+		return fmt.Errorf("svc: limit_mw %g exceeds %g", q.LimitMW, MaxLimitMW)
+	}
+	if q.AvgDOD > 1 {
+		return fmt.Errorf("svc: avg_dod %g out of (0, 1]", q.AvgDOD)
+	}
+	if q.OutageS == 0 && q.AvgDOD == 0 {
+		return fmt.Errorf("svc: one of avg_dod or outage_s is required")
+	}
+	if d := time.Duration(q.OutageS * float64(time.Second)); d > MaxOutage {
+		return fmt.Errorf("svc: outage_s %g exceeds %v", q.OutageS, MaxOutage)
+	}
+	if d := time.Duration(q.MaxChargeS * float64(time.Second)); d > MaxHorizon {
+		return fmt.Errorf("svc: max_charge_s %g exceeds %v", q.MaxChargeS, MaxHorizon)
+	}
+	if q.StepS > 3600 {
+		return fmt.Errorf("svc: step_s %g exceeds one hour", q.StepS)
+	}
+	if q.Mode != "" {
+		if _, err := config.ParseMode(q.Mode); err != nil {
+			return err
+		}
+	}
+	if q.Policy != "" {
+		if _, err := charger.ByName(q.Policy); err != nil {
+			return err
+		}
+	}
+	if q.Faults != "" {
+		if _, err := faults.ParseSpec(q.Faults); err != nil {
+			return err
+		}
+	}
+	if q.Priority < 0 || q.Priority > 3 {
+		return fmt.Errorf("svc: priority %d out of [1, 3]", q.Priority)
+	}
+	return nil
+}
+
+// Spec lowers the validated request onto a CoordSpec (trace resolution is
+// the caller's: the named trace store lives on the Service).
+func (q *RunRequest) Spec() (scenario.CoordSpec, error) {
+	spec := scenario.CoordSpec{
+		NumP1: q.P1, NumP2: q.P2, NumP3: q.P3,
+		Seed:              q.Seed,
+		MSBLimit:          units.Power(q.LimitMW) * units.Megawatt,
+		AvgDOD:            units.Fraction(q.AvgDOD),
+		OutageLen:         time.Duration(q.OutageS * float64(time.Second)),
+		WatchdogTTL:       time.Duration(q.WatchdogS * float64(time.Second)),
+		Step:              time.Duration(q.StepS * float64(time.Second)),
+		MaxChargeDuration: time.Duration(q.MaxChargeS * float64(time.Second)),
+		SampleEvery:       time.Duration(q.SampleS * float64(time.Second)),
+	}
+	var err error
+	if q.Mode != "" {
+		if spec.Mode, err = config.ParseMode(q.Mode); err != nil {
+			return spec, err
+		}
+	} else {
+		spec.Mode = dynamo.ModePriorityAware
+	}
+	if q.Policy != "" {
+		if spec.LocalPolicy, err = charger.ByName(q.Policy); err != nil {
+			return spec, err
+		}
+	}
+	if q.Faults != "" {
+		if spec.Faults, err = faults.ParseSpec(q.Faults); err != nil {
+			return spec, err
+		}
+	}
+	if q.Admission {
+		c := storm.Default()
+		spec.Storm = &c
+	}
+	if q.Guard {
+		g := storm.DefaultGuardConfig()
+		spec.Guard = &g
+	}
+	if spec.Faults.Enabled() || spec.WatchdogTTL > 0 {
+		// A lossy control plane needs the degraded-mode machinery armed
+		// (mirrors coordsim -run).
+		spec.StaleAfter = 10 * time.Second
+		spec.Retry = dynamo.DefaultRetryPolicy()
+	}
+	return spec, nil
+}
+
+// RunSummary condenses a CoordResult for the wire.
+type RunSummary struct {
+	TransitionS    float64        `json:"transition_s"`
+	AvgDOD         float64        `json:"avg_dod"`
+	PeakPowerW     float64        `json:"peak_power_w"`
+	MaxCappingW    float64        `json:"max_capping_w"`
+	SLAMet         map[string]int `json:"sla_met"`
+	Racks          map[string]int `json:"racks"`
+	LastChargeS    float64        `json:"last_charge_done_s"`
+	Tripped        []string       `json:"tripped,omitempty"`
+	UnservedWh     float64        `json:"unserved_wh"`
+	StormAdmitted  int            `json:"storm_admitted,omitempty"`
+	StormMaxQueue  int            `json:"storm_max_queue,omitempty"`
+	GuardFires     int            `json:"guard_fires,omitempty"`
+	FailSafeEvents int            `json:"fail_safe_events,omitempty"`
+	Interrupted    bool           `json:"interrupted,omitempty"`
+}
+
+// Summarize flattens a coordinated result into its wire form.
+func Summarize(res *scenario.CoordResult) *RunSummary {
+	s := &RunSummary{
+		TransitionS: res.TransitionLength.Seconds(),
+		AvgDOD:      float64(res.AvgDOD),
+		PeakPowerW:  float64(res.PeakPower),
+		MaxCappingW: float64(res.Metrics.MaxCapping),
+		SLAMet:      map[string]int{},
+		Racks:       map[string]int{},
+		LastChargeS: res.LastChargeDone.Seconds(),
+		Tripped:     res.Tripped,
+		UnservedWh:  float64(res.UnservedEnergy) / 3600,
+		Interrupted: res.Interrupted,
+	}
+	for p, c := range res.SLAMet {
+		s.SLAMet[p.String()] = c
+	}
+	for p, c := range res.Racks {
+		s.Racks[p.String()] = c
+	}
+	s.StormAdmitted = res.Storm.Admitted
+	s.StormMaxQueue = res.Storm.MaxQueue
+	s.GuardFires = res.Guard.Fires
+	s.FailSafeEvents = res.FailSafeActivations
+	return s
+}
+
+// errorBody renders the uniform error payload.
+func errorBody(status int, err error) []byte {
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(map[string]any{"error": err.Error(), "status": status})
+	return buf.Bytes()
+}

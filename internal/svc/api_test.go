@@ -1,0 +1,111 @@
+package svc
+
+import (
+	"strings"
+	"testing"
+
+	"coordcharge/internal/dynamo"
+)
+
+func TestDecodeAdvisorRequestStrict(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+		ok         bool
+	}{
+		{"valid", `{"p1":1,"p2":2,"p3":3,"avg_dod":0.5}`, true},
+		{"unknown field", `{"p1":1,"bogus":true}`, false},
+		{"trailing data", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5} {"again":1}`, false},
+		{"not json", `p1=1`, false},
+		{"negative racks", `{"p1":-1,"p2":1,"p3":1}`, false},
+		{"too many racks", `{"p1":2000,"p2":0,"p3":0}`, false},
+		{"dod over one", `{"p1":1,"p2":1,"p3":1,"avg_dod":1.5}`, false},
+		{"huge dod literal", `{"p1":1,"p2":1,"p3":1,"avg_dod":1e400}`, false},
+		{"bad mode", `{"p1":1,"p2":1,"p3":1,"mode":"warp"}`, false},
+		{"bad policy", `{"p1":1,"p2":1,"p3":1,"policy":"yolo"}`, false},
+		{"bad priority", `{"p1":1,"p2":1,"p3":1,"priority":7}`, false},
+		{"resolution over", `{"p1":1,"p2":1,"p3":1,"resolution_kw":5000}`, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeAdvisorRequest(strings.NewReader(tc.body))
+			if (err == nil) != tc.ok {
+				t.Fatalf("err = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestDecodeRunRequestStrict(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+		ok         bool
+	}{
+		{"valid", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.3,"limit_mw":0.2}`, true},
+		{"outage only", `{"p1":1,"p2":1,"p3":1,"outage_s":60}`, true},
+		{"no racks", `{"avg_dod":0.5}`, false},
+		{"no dod or outage", `{"p1":1,"p2":1,"p3":1}`, false},
+		{"negative outage", `{"p1":1,"p2":1,"p3":1,"outage_s":-5}`, false},
+		{"outage over cap", `{"p1":1,"p2":1,"p3":1,"outage_s":1e6}`, false},
+		{"limit over cap", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5,"limit_mw":5000}`, false},
+		{"step over hour", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5,"step_s":7200}`, false},
+		{"bad faults", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5,"faults":"nope=1"}`, false},
+		{"good faults", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5,"faults":"default"}`, true},
+		{"unknown field", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5,"zap":1}`, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeRunRequest(strings.NewReader(tc.body))
+			if (err == nil) != tc.ok {
+				t.Fatalf("err = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestRunRequestSpecLowering checks the spec builder mirrors coordsim -run:
+// defaults, storm/guard arming, and degraded-mode machinery under faults.
+func TestRunRequestSpecLowering(t *testing.T) {
+	q, err := DecodeRunRequest(strings.NewReader(
+		`{"p1":2,"p2":3,"p3":4,"avg_dod":0.4,"limit_mw":1.5,"admission":true,"guard":true,"faults":"default"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := q.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != dynamo.ModePriorityAware {
+		t.Errorf("default mode = %v, want priority-aware", spec.Mode)
+	}
+	if spec.Storm == nil || spec.Guard == nil {
+		t.Errorf("storm/guard not armed: %v %v", spec.Storm, spec.Guard)
+	}
+	if !spec.Faults.Enabled() {
+		t.Error("faults not enabled")
+	}
+	if spec.StaleAfter == 0 || spec.Retry.MaxAttempts == 0 {
+		t.Error("degraded-mode machinery not armed alongside faults")
+	}
+	if spec.NumP1 != 2 || spec.NumP2 != 3 || spec.NumP3 != 4 {
+		t.Errorf("population = %d/%d/%d", spec.NumP1, spec.NumP2, spec.NumP3)
+	}
+}
+
+func TestAdvisorSpecLowering(t *testing.T) {
+	q, err := DecodeAdvisorRequest(strings.NewReader(
+		`{"p1":1,"p2":1,"p3":1,"avg_dod":0.7,"mode":"postpone","policy":"original","resolution_kw":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := q.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Mode != dynamo.ModePostpone {
+		t.Errorf("mode = %v, want postpone", spec.Mode)
+	}
+	if spec.LocalPolicy == nil || spec.LocalPolicy.Name() != "original" {
+		t.Errorf("policy = %v, want original", spec.LocalPolicy)
+	}
+	if float64(spec.Resolution) != 50_000 {
+		t.Errorf("resolution = %v W, want 50000", float64(spec.Resolution))
+	}
+}

@@ -1,0 +1,181 @@
+package svc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"coordcharge/internal/obs"
+)
+
+// ErrBreakerOpen rejects a request because the planner/advisor path has
+// failed repeatedly and the circuit breaker is cooling down.
+var ErrBreakerOpen = errors.New("svc: circuit breaker open")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through (the healthy state).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects every request until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits one probe request; its outcome closes or
+	// re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String renders the state for status payloads and flight events.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// BreakerConfig parameterises the compute-path circuit breaker.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker.
+	// Zero selects the default (5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before half-opening for a
+	// probe. Zero selects the default (15 s).
+	Cooldown time.Duration
+}
+
+// withDefaults resolves zero fields.
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 5
+	}
+	if c.Cooldown == 0 {
+		c.Cooldown = 15 * time.Second
+	}
+	return c
+}
+
+// breaker is a consecutive-failure circuit breaker around the
+// planner/advisor compute path. A run of Threshold failures trips it open;
+// requests are then rejected with ErrBreakerOpen (the HTTP layer maps this
+// to 503 + Retry-After) until Cooldown elapses, after which exactly one
+// probe request is admitted half-open. The probe's outcome closes the
+// breaker or re-opens it for another cooldown. It is safe for concurrent
+// use.
+type breaker struct {
+	cfg   BreakerConfig
+	clock Clock
+	sink  *obs.Sink
+	now   func() time.Duration // service-journal timestamp (elapsed wall time)
+
+	mu       sync.Mutex
+	state    BreakerState // guarded by mu
+	failures int          // guarded by mu
+	openedAt time.Time    // guarded by mu
+	probing  bool         // guarded by mu
+	trips    int          // guarded by mu
+
+	cTrips, cRejected *obs.Counter
+}
+
+// newBreaker builds a closed breaker. sink/now attach the service journal
+// (both may be nil/zero for detached use).
+func newBreaker(cfg BreakerConfig, clock Clock, sink *obs.Sink, now func() time.Duration) *breaker {
+	b := &breaker{cfg: cfg.withDefaults(), clock: clock.withDefaults(), sink: sink, now: now}
+	b.cTrips = sink.Counter("svc.breaker_trips")
+	b.cRejected = sink.Counter("svc.breaker_rejected")
+	return b
+}
+
+// Allow asks to pass one request through. It returns ErrBreakerOpen with the
+// remaining cooldown when the breaker is open (or a half-open probe is
+// already in flight); the caller surfaces the wait as Retry-After.
+func (b *breaker) Allow() (retryAfter time.Duration, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return 0, nil
+	case BreakerOpen:
+		elapsed := b.clock.Now().Sub(b.openedAt)
+		if elapsed < b.cfg.Cooldown {
+			b.cRejected.Inc()
+			return b.cfg.Cooldown - elapsed, ErrBreakerOpen
+		}
+		// Cooldown over: half-open and admit this request as the probe.
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.journalLocked("half-open")
+		return 0, nil
+	default: // BreakerHalfOpen
+		if b.probing {
+			b.cRejected.Inc()
+			return b.cfg.Cooldown, ErrBreakerOpen
+		}
+		b.probing = true
+		return 0, nil
+	}
+}
+
+// Success reports a request that completed cleanly: any state resets to
+// closed.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.journalLocked("close")
+	}
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure reports a compute-path failure. Closed breakers count toward the
+// trip threshold; a failed half-open probe re-opens immediately.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.tripLocked()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.tripLocked()
+		}
+	}
+}
+
+// tripLocked opens the breaker; the caller holds mu.
+func (b *breaker) tripLocked() {
+	b.state = BreakerOpen
+	b.openedAt = b.clock.Now()
+	b.failures = 0
+	b.probing = false
+	b.trips++
+	b.cTrips.Inc()
+	b.journalLocked("trip")
+}
+
+// journalLocked records a state transition in the service journal; the
+// caller holds mu.
+func (b *breaker) journalLocked(kind string) {
+	if b.sink != nil && b.now != nil {
+		b.sink.Event(b.now(), "svc/breaker", kind,
+			"state", b.state.String(),
+			"trips", fmt.Sprintf("%d", b.trips))
+	}
+}
+
+// State returns the current position (resolving an expired open cooldown as
+// open until the next Allow observes it) and the total trip count.
+func (b *breaker) State() (BreakerState, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

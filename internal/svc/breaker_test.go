@@ -1,0 +1,93 @@
+package svc
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBreakerTripCooldownProbe(t *testing.T) {
+	fc := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second}, fc.Clock(), nil, nil)
+
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	b.Failure() // third consecutive failure trips it
+	if st, trips := b.State(); st != BreakerOpen || trips != 1 {
+		t.Fatalf("state = %v trips = %d, want open/1", st, trips)
+	}
+	wait, err := b.Allow()
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a request (err = %v)", err)
+	}
+	if wait <= 0 || wait > 10*time.Second {
+		t.Fatalf("retry-after = %v, want within the cooldown", wait)
+	}
+
+	fc.Advance(11 * time.Second)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("post-cooldown probe rejected: %v", err)
+	}
+	if st, _ := b.State(); st != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", st)
+	}
+	// Only one probe at a time.
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted (err = %v)", err)
+	}
+	b.Success()
+	if st, _ := b.State(); st != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", st)
+	}
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker rejected: %v", err)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	fc := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Second}, fc.Clock(), nil, nil)
+	b.Failure()
+	fc.Advance(6 * time.Second)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("probe rejected: %v", err)
+	}
+	b.Failure()
+	if st, trips := b.State(); st != BreakerOpen || trips != 2 {
+		t.Fatalf("state = %v trips = %d, want reopened/2", st, trips)
+	}
+	// The new cooldown starts from the re-trip.
+	fc.Advance(4 * time.Second)
+	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("reopened breaker admitted early (err = %v)", err)
+	}
+	fc.Advance(2 * time.Second)
+	if _, err := b.Allow(); err != nil {
+		t.Fatalf("second probe rejected: %v", err)
+	}
+	b.Success()
+	if st, _ := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerSuccessResetsConsecutiveCount pins "consecutive": a success
+// between failures restarts the count.
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	fc := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Second}, fc.Clock(), nil, nil)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if st, _ := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed (count was reset)", st)
+	}
+	b.Failure()
+	if st, _ := b.State(); st != BreakerOpen {
+		t.Fatalf("state = %v, want open", st)
+	}
+}

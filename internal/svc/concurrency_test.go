@@ -1,0 +1,74 @@
+package svc
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentAdvisorQueriesMatchSerial pins the determinism boundary under
+// contention: advisor queries served concurrently against one resident
+// service must produce byte-identical responses to the same queries served
+// one at a time, and the resident flight digest must be untouched by the API
+// load. Run under -race this also exercises the pool, breaker, and shared
+// trace-store locking.
+func TestConcurrentAdvisorQueriesMatchSerial(t *testing.T) {
+	// A queue deep enough to hold the whole burst: this test is about
+	// determinism under contention, not shedding, so no request may 429.
+	s := newTestService(t, Options{
+		Resident: smallResident(),
+		Pool:     PoolConfig{Workers: 4, QueueCap: 64},
+	})
+	waitState(t, s, StateIdle, 30*time.Second)
+	residentDigest := s.SimSink().Flight.Digest()
+	h := s.Handler()
+
+	queries := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		queries = append(queries, fmt.Sprintf(
+			`{"p1":%d,"p2":%d,"p3":%d,"avg_dod":0.%d,"seed":%d}`,
+			1+i%3, 2+i%2, 1+i%4, 3+i%5, 1+i))
+	}
+
+	serial := make([]string, len(queries))
+	for i, q := range queries {
+		w := do(h, http.MethodPost, "/api/v1/advise", q)
+		if w.Code != http.StatusOK {
+			t.Fatalf("serial query %d: %d %s", i, w.Code, w.Body)
+		}
+		serial[i] = w.Body.String()
+	}
+
+	const rounds = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(queries))
+	for r := 0; r < rounds; r++ {
+		for i, q := range queries {
+			wg.Add(1)
+			go func(i int, q string) {
+				defer wg.Done()
+				w := do(h, http.MethodPost, "/api/v1/advise", q)
+				if w.Code != http.StatusOK {
+					errs <- fmt.Errorf("concurrent query %d: %d %s", i, w.Code, w.Body)
+					return
+				}
+				if got := w.Body.String(); got != serial[i] {
+					errs <- fmt.Errorf("query %d diverged under concurrency:\nserial     %s\nconcurrent %s", i, serial[i], got)
+				}
+			}(i, q)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// The resident recorder is a determinism artifact; API traffic must not
+	// perturb its digest.
+	if got := s.SimSink().Flight.Digest(); got != residentDigest {
+		t.Errorf("resident digest changed under API load: %s -> %s", residentDigest, got)
+	}
+}

@@ -1,0 +1,87 @@
+package svc
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"coordcharge/internal/rack"
+)
+
+// FuzzAdvisorRequest hammers the strict decoder with arbitrary bytes. The
+// invariant is the validation contract itself: whatever survives
+// DecodeAdvisorRequest must satisfy every bound Validate promises, and must
+// lower onto an AdvisorSpec without error — the compute path may assume a
+// decoded request is physically sane.
+func FuzzAdvisorRequest(f *testing.F) {
+	f.Add([]byte(`{"p1":1,"p2":2,"p3":3,"avg_dod":0.5}`))
+	f.Add([]byte(`{"p1":0,"p2":0,"p3":0,"avg_dod":0.7,"mode":"postpone","policy":"original"}`))
+	f.Add([]byte(`{"avg_dod":1e308,"resolution_kw":-0}`))
+	f.Add([]byte(`{"p1":1024,"priority":3,"seed":-9223372036854775808}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"p1":1}{"p1":2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeAdvisorRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if q.P1 < 0 || q.P2 < 0 || q.P3 < 0 || q.P1+q.P2+q.P3 > MaxRacks {
+			t.Fatalf("decoder admitted population %d/%d/%d", q.P1, q.P2, q.P3)
+		}
+		if math.IsNaN(q.AvgDOD) || q.AvgDOD < 0 || q.AvgDOD > 1 {
+			t.Fatalf("decoder admitted avg_dod %v", q.AvgDOD)
+		}
+		if math.IsNaN(q.ResolutionKW) || q.ResolutionKW < 0 || q.ResolutionKW > 1000 {
+			t.Fatalf("decoder admitted resolution_kw %v", q.ResolutionKW)
+		}
+		if _, err := q.Spec(); err != nil {
+			t.Fatalf("validated request failed to lower: %v", err)
+		}
+	})
+}
+
+// FuzzTraceFrame hammers the ingestion plane: an arbitrary header line plus
+// an arbitrary frame line. Whatever passes ParseIngestHeader + ValidateFrame
+// must be physically plausible — finite wattages within the rack's rated IT
+// load, on the declared grid — because the trace store feeds simulations
+// directly.
+func FuzzTraceFrame(f *testing.F) {
+	f.Add([]byte(`{"name":"t","racks":2,"step_s":10}`), []byte(`{"t_s":0,"w":[100,200]}`))
+	f.Add([]byte(`{"name":"t","racks":1,"step_s":0.5}`), []byte(`{"t_s":1e308,"w":[1e308]}`))
+	f.Add([]byte(`{"name":"../../etc","racks":1,"step_s":10}`), []byte(`{"t_s":0,"w":[-0]}`))
+	f.Add([]byte(`{"name":"t","racks":3,"step_s":3600}`), []byte(`{"t_s":0,"w":[12600,0,1.5]}`))
+	f.Fuzz(func(t *testing.T, header, frame []byte) {
+		h, err := ParseIngestHeader(header)
+		if err != nil {
+			return
+		}
+		if h.Racks <= 0 || h.Racks > MaxIngestRacks || h.StepS <= 0 || h.StepS > 3600 {
+			t.Fatalf("header validation admitted %+v", h)
+		}
+		var fr TraceFrame
+		if json.Unmarshal(frame, &fr) != nil {
+			return
+		}
+		if ValidateFrame(h, &fr, -1, 0) != nil {
+			return
+		}
+		if len(fr.W) != h.Racks {
+			t.Fatalf("frame width %d admitted against %d racks", len(fr.W), h.Racks)
+		}
+		for i, w := range fr.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 || w > float64(rack.MaxITLoad) {
+				t.Fatalf("frame value %d admitted: %v", i, w)
+			}
+		}
+		// A frame accepted as a successor must sit exactly one declared step
+		// after its predecessor.
+		next := fr
+		next.TS = fr.TS + h.StepS
+		if err := ValidateFrame(h, &next, fr.TS, 1); err != nil {
+			// Float growth can push TS out of the finite range; reject is
+			// fine, admitting a wrong grid is not.
+			return
+		}
+	})
+}

@@ -1,0 +1,175 @@
+// Streamed trace ingestion. Clients POST an NDJSON stream — one header line
+// naming the trace and declaring its rack count, then one frame line per
+// sample step — and the service validates every frame against the physics of
+// the plant before any of it can reach a simulation: timestamps must be
+// strictly monotone on a uniform grid, powers must be finite, non-negative,
+// and at or below a rack's rated IT load. A stream that fails any check is
+// quarantined — counted, journaled, and discarded whole — so one malformed
+// upload can neither poison the trace store nor crash the daemon.
+package svc
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/trace"
+)
+
+// Ingest stream bounds.
+const (
+	// MaxIngestRacks bounds the per-frame rack width.
+	MaxIngestRacks = MaxRacks
+	// MaxIngestFrames bounds the stream length (at the default 10 s step,
+	// about two weeks of trace).
+	MaxIngestFrames = 1 << 17
+	// MaxIngestLineBytes bounds one NDJSON line.
+	MaxIngestLineBytes = 1 << 20
+	// maxTraceNames bounds the named-trace store; uploads beyond it are
+	// rejected until the operator restarts (the store is in-memory only).
+	maxTraceNames = 64
+)
+
+// IngestHeader is the first NDJSON line of a trace upload.
+type IngestHeader struct {
+	// Name keys the trace in the store; run requests reference it.
+	Name string `json:"name"`
+	// Racks declares the per-frame width; every frame must match.
+	Racks int `json:"racks"`
+	// StepS declares the uniform sample step in seconds.
+	StepS float64 `json:"step_s"`
+}
+
+// TraceFrame is one sample step: a timestamp and one wattage per rack.
+type TraceFrame struct {
+	TS float64   `json:"t_s"`
+	W  []float64 `json:"w"`
+}
+
+// IngestResult reports one accepted upload.
+type IngestResult struct {
+	Name   string  `json:"name"`
+	Racks  int     `json:"racks"`
+	Frames int     `json:"frames"`
+	StepS  float64 `json:"step_s"`
+	SpanS  float64 `json:"span_s"`
+}
+
+// ParseIngestHeader strictly decodes and validates the header line.
+func ParseIngestHeader(line []byte) (*IngestHeader, error) {
+	var h IngestHeader
+	if err := decodeStrict(bytes.NewReader(line), &h); err != nil {
+		return nil, err
+	}
+	if h.Name == "" || len(h.Name) > 128 {
+		return nil, fmt.Errorf("svc: trace name empty or over 128 bytes")
+	}
+	for _, r := range h.Name {
+		if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' ||
+			r == '-' || r == '_' || r == '.') {
+			return nil, fmt.Errorf("svc: trace name contains %q; use [A-Za-z0-9._-]", r)
+		}
+	}
+	if h.Racks <= 0 || h.Racks > MaxIngestRacks {
+		return nil, fmt.Errorf("svc: header racks %d out of [1, %d]", h.Racks, MaxIngestRacks)
+	}
+	if err := finite("step_s", h.StepS); err != nil {
+		return nil, err
+	}
+	if h.StepS <= 0 || h.StepS > 3600 {
+		return nil, fmt.Errorf("svc: header step_s %g out of (0, 3600]", h.StepS)
+	}
+	return &h, nil
+}
+
+// ValidateFrame physics-checks one frame against the header and its
+// predecessor's timestamp (prev < 0 marks the first frame). idx is the
+// zero-based frame index, used only for error text.
+func ValidateFrame(h *IngestHeader, f *TraceFrame, prev float64, idx int) error {
+	if err := finite("t_s", f.TS); err != nil {
+		return fmt.Errorf("svc: frame %d: %w", idx, err)
+	}
+	if f.TS < 0 {
+		return fmt.Errorf("svc: frame %d: negative timestamp %g", idx, f.TS)
+	}
+	if prev >= 0 {
+		// Strictly monotone on the declared uniform grid, with float slack.
+		if f.TS <= prev {
+			return fmt.Errorf("svc: frame %d: timestamp %g not after %g", idx, f.TS, prev)
+		}
+		if d := f.TS - prev; math.Abs(d-h.StepS) > 1e-6*h.StepS {
+			return fmt.Errorf("svc: frame %d: step %g differs from declared %g", idx, d, h.StepS)
+		}
+	}
+	if len(f.W) != h.Racks {
+		return fmt.Errorf("svc: frame %d: %d powers, header declared %d racks", idx, len(f.W), h.Racks)
+	}
+	maxW := float64(rack.MaxITLoad)
+	for r, w := range f.W {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("svc: frame %d rack %d: non-finite power", idx, r)
+		}
+		if w < 0 {
+			return fmt.Errorf("svc: frame %d rack %d: negative power %g", idx, r, w)
+		}
+		if w > maxW {
+			return fmt.Errorf("svc: frame %d rack %d: power %g W exceeds rated IT load %g W", idx, r, w, maxW)
+		}
+	}
+	return nil
+}
+
+// ingestStream reads, validates, and materializes one NDJSON upload. Any
+// failure discards the whole stream — partial traces never enter the store.
+func ingestStream(r io.Reader) (*IngestHeader, *trace.Materialized, int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxIngestLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, nil, 0, fmt.Errorf("svc: read header: %w", err)
+		}
+		return nil, nil, 0, fmt.Errorf("svc: empty upload")
+	}
+	h, err := ParseIngestHeader(sc.Bytes())
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	samples := make([][]float64, h.Racks)
+	prev := -1.0
+	frames := 0
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if frames >= MaxIngestFrames {
+			return h, nil, frames, fmt.Errorf("svc: stream exceeds %d frames", MaxIngestFrames)
+		}
+		var f TraceFrame
+		if err := json.Unmarshal(line, &f); err != nil {
+			return h, nil, frames, fmt.Errorf("svc: frame %d: %w", frames, err)
+		}
+		if err := ValidateFrame(h, &f, prev, frames); err != nil {
+			return h, nil, frames, err
+		}
+		prev = f.TS
+		for r := 0; r < h.Racks; r++ {
+			samples[r] = append(samples[r], f.W[r])
+		}
+		frames++
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, frames, fmt.Errorf("svc: read stream: %w", err)
+	}
+	step := time.Duration(h.StepS * float64(time.Second))
+	m, err := trace.FromSamples(0, step, samples)
+	if err != nil {
+		return h, nil, frames, err
+	}
+	return h, m, frames, nil
+}

@@ -1,0 +1,96 @@
+package svc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseIngestHeader(t *testing.T) {
+	for _, tc := range []struct {
+		name, line string
+		ok         bool
+	}{
+		{"valid", `{"name":"prod-week","racks":4,"step_s":10}`, true},
+		{"empty name", `{"name":"","racks":4,"step_s":10}`, false},
+		{"bad rune in name", `{"name":"a/b","racks":4,"step_s":10}`, false},
+		{"zero racks", `{"name":"t","racks":0,"step_s":10}`, false},
+		{"too many racks", `{"name":"t","racks":9999,"step_s":10}`, false},
+		{"zero step", `{"name":"t","racks":1,"step_s":0}`, false},
+		{"step over hour", `{"name":"t","racks":1,"step_s":7200}`, false},
+		{"unknown field", `{"name":"t","racks":1,"step_s":10,"x":1}`, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseIngestHeader([]byte(tc.line))
+			if (err == nil) != tc.ok {
+				t.Fatalf("err = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestValidateFrame(t *testing.T) {
+	h := &IngestHeader{Name: "t", Racks: 2, StepS: 10}
+	for _, tc := range []struct {
+		name string
+		f    TraceFrame
+		prev float64
+		ok   bool
+	}{
+		{"first frame", TraceFrame{TS: 0, W: []float64{100, 200}}, -1, true},
+		{"next on grid", TraceFrame{TS: 10, W: []float64{100, 200}}, 0, true},
+		{"non-monotone", TraceFrame{TS: 10, W: []float64{1, 2}}, 10, false},
+		{"backwards", TraceFrame{TS: 5, W: []float64{1, 2}}, 10, false},
+		{"off grid", TraceFrame{TS: 17, W: []float64{1, 2}}, 0, false},
+		{"width mismatch", TraceFrame{TS: 0, W: []float64{1}}, -1, false},
+		{"negative power", TraceFrame{TS: 0, W: []float64{-1, 2}}, -1, false},
+		{"over rated load", TraceFrame{TS: 0, W: []float64{1, 99999}}, -1, false},
+		{"negative timestamp", TraceFrame{TS: -1, W: []float64{1, 2}}, -1, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateFrame(h, &tc.f, tc.prev, 1)
+			if (err == nil) != tc.ok {
+				t.Fatalf("err = %v, want ok=%t", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestIngestStreamHappyPath(t *testing.T) {
+	var b strings.Builder
+	b.WriteString(`{"name":"t","racks":2,"step_s":10}` + "\n")
+	for i := 0; i < 5; i++ {
+		fmt.Fprintf(&b, `{"t_s":%d,"w":[%d,%d]}`+"\n", i*10, 100+i, 200+i)
+	}
+	h, m, frames, err := ingestStream(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Name != "t" || frames != 5 {
+		t.Fatalf("header %+v frames %d", h, frames)
+	}
+	if m.NumRacks() != 2 || m.Samples() != 5 {
+		t.Fatalf("materialized %d racks × %d samples", m.NumRacks(), m.Samples())
+	}
+	if got := float64(m.Rack(1, 0)); got != 200 {
+		t.Fatalf("rack 1 tick 0 = %v, want 200", got)
+	}
+}
+
+func TestIngestStreamRejectsWholeStream(t *testing.T) {
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"empty", ""},
+		{"header only", `{"name":"t","racks":2,"step_s":10}` + "\n"},
+		{"bad frame json", "{\"name\":\"t\",\"racks\":2,\"step_s\":10}\n{\"t_s\":0,\"w\":[1,2]}\nnot-json\n"},
+		{"physics violation mid-stream", "{\"name\":\"t\",\"racks\":2,\"step_s\":10}\n{\"t_s\":0,\"w\":[1,2]}\n{\"t_s\":10,\"w\":[1,-2]}\n{\"t_s\":20,\"w\":[1,2]}\n"},
+		{"too few frames", "{\"name\":\"t\",\"racks\":2,\"step_s\":10}\n{\"t_s\":0,\"w\":[1,2]}\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, _, err := ingestStream(strings.NewReader(tc.body)); err == nil {
+				t.Fatal("stream accepted, want rejection")
+			}
+		})
+	}
+}

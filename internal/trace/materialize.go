@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// FromSamples builds a Materialized trace directly from per-rack sample rows
+// (samples[rack][tick], watts). It is the constructor behind streamed-trace
+// ingestion: a validated frame stream lands here instead of round-tripping
+// through CSV. Every row must have the same length, and every value must be
+// a finite, non-negative wattage — the same physics checks ReadCSV applies.
+func FromSamples(start, step time.Duration, samples [][]float64) (*Materialized, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("trace: non-positive step %v", step)
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace: no racks")
+	}
+	n := len(samples[0])
+	if n < 2 {
+		return nil, fmt.Errorf("trace: need ≥2 samples per rack, got %d", n)
+	}
+	copied := make([][]float64, len(samples))
+	for r, row := range samples {
+		if len(row) != n {
+			return nil, fmt.Errorf("trace: rack %d has %d samples, rack 0 has %d", r, len(row), n)
+		}
+		for k, w := range row {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("trace: non-finite power at rack %d tick %d", r, k)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("trace: negative power at rack %d tick %d", r, k)
+			}
+		}
+		copied[r] = append([]float64(nil), row...)
+	}
+	return &Materialized{step: step, start: start, samples: copied}, nil
+}
