@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"reflect"
 )
 
 // Checkpoint rotation: cadence writers keep the last two generations of a
@@ -55,8 +56,21 @@ func ReadFileFallback(path string, payload any) (string, error) {
 		return path, nil
 	}
 	prev := PrevPath(path)
-	if errPrev := ReadFile(prev, payload); errPrev != nil {
+	// The failed newest-generation decode may have partially populated
+	// payload (an envelope can verify and still unmarshal only part-way), so
+	// decode the fallback into a fresh value and copy it over only on
+	// success — no corrupt-generation field may survive the merge.
+	target := payload
+	var fresh reflect.Value
+	if rv := reflect.ValueOf(payload); rv.Kind() == reflect.Pointer && !rv.IsNil() {
+		fresh = reflect.New(rv.Type().Elem())
+		target = fresh.Interface()
+	}
+	if errPrev := ReadFile(prev, target); errPrev != nil {
 		return "", fmt.Errorf("%w (fallback %s: %v)", errNew, prev, errPrev)
+	}
+	if fresh.IsValid() {
+		reflect.ValueOf(payload).Elem().Set(fresh.Elem())
 	}
 	return prev, nil
 }

@@ -1,6 +1,7 @@
 package ckpt
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -95,6 +96,37 @@ func TestReadFileFallbackMissingLatestUsesPrev(t *testing.T) {
 	}
 	if used != PrevPath(path) || got.Gen != 7 {
 		t.Fatalf("restored gen %d from %s", got.Gen, used)
+	}
+}
+
+// TestReadFileFallbackDoesNotLeakCorruptFields: when the newest generation's
+// envelope verifies but its payload only partially unmarshals, fields the
+// corrupt decode populated must not survive into the fallback result.
+func TestReadFileFallbackDoesNotLeakCorruptFields(t *testing.T) {
+	type wide struct {
+		Gen   int `json:"gen"`
+		Extra int `json:"extra,omitempty"`
+	}
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := WriteFileAtomic(PrevPath(path), wide{Gen: 7}); err != nil {
+		t.Fatal(err)
+	}
+	// The newest generation is a fully verified envelope whose payload
+	// unmarshals only part-way: "extra" lands before "gen" fails its type
+	// check, and the previous generation carries no "extra" at all.
+	if err := WriteFileAtomic(path, json.RawMessage(`{"extra":9,"gen":"boom"}`)); err != nil {
+		t.Fatal(err)
+	}
+	var got wide
+	used, err := ReadFileFallback(path, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != PrevPath(path) {
+		t.Fatalf("restored from %s, want %s", used, PrevPath(path))
+	}
+	if got.Gen != 7 || got.Extra != 0 {
+		t.Fatalf("payload = %+v, want gen 7 with no leaked extra field", got)
 	}
 }
 

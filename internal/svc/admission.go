@@ -17,8 +17,9 @@ var ErrSaturated = errors.New("svc: worker pool and wait queue full")
 
 // PoolConfig parameterises request admission.
 type PoolConfig struct {
-	// Workers is the number of requests computed concurrently. Zero selects
-	// the default (4).
+	// Workers is the number of requests computed concurrently. Zero or
+	// negative selects the default (4) — a pool with no workers would shed
+	// every compute request, which is never a useful configuration.
 	Workers int
 	// QueueCap bounds the wait queue; an arrival finding it full is shed
 	// with ErrSaturated. Zero selects the default (4 × Workers); negative
@@ -34,7 +35,7 @@ type PoolConfig struct {
 
 // withDefaults resolves zero fields.
 func (c PoolConfig) withDefaults() PoolConfig {
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 4
 	}
 	if c.QueueCap == 0 {

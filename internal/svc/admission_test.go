@@ -46,6 +46,16 @@ func waitDepth(t *testing.T, p *pool, queued int) {
 	t.Fatalf("queue never reached depth %d", queued)
 }
 
+// TestPoolConfigNegativeWorkersDefaults: a negative worker count is a
+// misconfiguration (e.g. coordd -workers -1), not a request to shed 100% of
+// compute traffic; like zero it resolves to the default.
+func TestPoolConfigNegativeWorkersDefaults(t *testing.T) {
+	cfg := PoolConfig{Workers: -1}.withDefaults()
+	if cfg.Workers != 4 || cfg.QueueCap != 16 {
+		t.Fatalf("cfg = %+v, want Workers 4, QueueCap 16", cfg)
+	}
+}
+
 func TestPoolFastPathThenShed(t *testing.T) {
 	fc := newFakeClock()
 	p := newPool(PoolConfig{Workers: 1, QueueCap: -1}, fc.Clock(), nil, nil)

@@ -76,8 +76,10 @@ type AdvisorRequest struct {
 	Policy       string  `json:"policy"`
 	Seed         int64   `json:"seed"`
 	ResolutionKW float64 `json:"resolution_kw"`
-	// Priority is the admission class (1 highest .. 3 lowest, default 2):
-	// under load the wait queue orders and ages requests by it.
+	// Priority mirrors the X-Priority admission header (1 highest .. 3
+	// lowest). Admission happens before the body is decoded, so only the
+	// header orders the wait queue; this field is validated so malformed
+	// values fail fast, but it does not affect admission.
 	Priority int `json:"priority"`
 }
 
@@ -178,7 +180,9 @@ type RunRequest struct {
 	StepS      float64 `json:"step_s"`
 	MaxChargeS float64 `json:"max_charge_s"`
 	SampleS    float64 `json:"sample_s"`
-	Priority   int     `json:"priority"`
+	// Priority: see AdvisorRequest.Priority — validated, admission uses the
+	// X-Priority header only.
+	Priority int `json:"priority"`
 }
 
 // DecodeRunRequest strictly decodes and validates one run request.

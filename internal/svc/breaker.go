@@ -78,6 +78,7 @@ type breaker struct {
 	failures int          // guarded by mu
 	openedAt time.Time    // guarded by mu
 	probing  bool         // guarded by mu
+	probeSeq uint64       // guarded by mu; token of the probe in flight
 	trips    int          // guarded by mu
 
 	cTrips, cRejected *obs.Counter
@@ -94,31 +95,61 @@ func newBreaker(cfg BreakerConfig, clock Clock, sink *obs.Sink, now func() time.
 
 // Allow asks to pass one request through. It returns ErrBreakerOpen with the
 // remaining cooldown when the breaker is open (or a half-open probe is
-// already in flight); the caller surfaces the wait as Retry-After.
-func (b *breaker) Allow() (retryAfter time.Duration, err error) {
+// already in flight); the caller surfaces the wait as Retry-After. When the
+// admitted request is the half-open probe, probe is its nonzero token and the
+// caller MUST eventually hand it to releaseProbe (deferring it on every exit
+// path), or a probe that never reaches a verdict wedges the breaker.
+func (b *breaker) Allow() (retryAfter time.Duration, probe uint64, err error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return 0, nil
+		return 0, 0, nil
 	case BreakerOpen:
 		elapsed := b.clock.Now().Sub(b.openedAt)
 		if elapsed < b.cfg.Cooldown {
 			b.cRejected.Inc()
-			return b.cfg.Cooldown - elapsed, ErrBreakerOpen
+			return b.cfg.Cooldown - elapsed, 0, ErrBreakerOpen
 		}
 		// Cooldown over: half-open and admit this request as the probe.
 		b.state = BreakerHalfOpen
-		b.probing = true
 		b.journalLocked("half-open")
-		return 0, nil
+		return 0, b.startProbeLocked(), nil
 	default: // BreakerHalfOpen
 		if b.probing {
 			b.cRejected.Inc()
-			return b.cfg.Cooldown, ErrBreakerOpen
+			return b.cfg.Cooldown, 0, ErrBreakerOpen
 		}
-		b.probing = true
-		return 0, nil
+		return 0, b.startProbeLocked(), nil
+	}
+}
+
+// startProbeLocked marks a probe in flight and mints its token; the caller
+// holds mu.
+func (b *breaker) startProbeLocked() uint64 {
+	b.probing = true
+	b.probeSeq++
+	return b.probeSeq
+}
+
+// releaseProbe guarantees a half-open probe cannot wedge the breaker. If the
+// probe reached a verdict (Success/Failure already cleared probing and moved
+// the state) this is a no-op; if it ended without one — the handler bailed
+// before compute (wrong method, bad JSON, unknown trace) or the run was
+// deadline-aborted, which is the client's doing and therefore inconclusive —
+// the probe slot is returned so the breaker stays half-open and the next
+// request probes again. The token keys the release to its own probe: a stale
+// deferred release cannot clear a newer probe admitted after this one's
+// verdict.
+func (b *breaker) releaseProbe(token uint64) {
+	if token == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing && b.probeSeq == token {
+		b.probing = false
+		b.journalLocked("probe-release")
 	}
 }
 

@@ -13,14 +13,14 @@ func TestBreakerTripCooldownProbe(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		b.Failure()
 	}
-	if _, err := b.Allow(); err != nil {
+	if _, _, err := b.Allow(); err != nil {
 		t.Fatalf("below threshold: %v", err)
 	}
 	b.Failure() // third consecutive failure trips it
 	if st, trips := b.State(); st != BreakerOpen || trips != 1 {
 		t.Fatalf("state = %v trips = %d, want open/1", st, trips)
 	}
-	wait, err := b.Allow()
+	wait, _, err := b.Allow()
 	if !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("open breaker admitted a request (err = %v)", err)
 	}
@@ -29,21 +29,21 @@ func TestBreakerTripCooldownProbe(t *testing.T) {
 	}
 
 	fc.Advance(11 * time.Second)
-	if _, err := b.Allow(); err != nil {
+	if _, _, err := b.Allow(); err != nil {
 		t.Fatalf("post-cooldown probe rejected: %v", err)
 	}
 	if st, _ := b.State(); st != BreakerHalfOpen {
 		t.Fatalf("state = %v, want half-open", st)
 	}
 	// Only one probe at a time.
-	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("second concurrent probe admitted (err = %v)", err)
 	}
 	b.Success()
 	if st, _ := b.State(); st != BreakerClosed {
 		t.Fatalf("state after probe success = %v, want closed", st)
 	}
-	if _, err := b.Allow(); err != nil {
+	if _, _, err := b.Allow(); err != nil {
 		t.Fatalf("closed breaker rejected: %v", err)
 	}
 }
@@ -53,7 +53,7 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Second}, fc.Clock(), nil, nil)
 	b.Failure()
 	fc.Advance(6 * time.Second)
-	if _, err := b.Allow(); err != nil {
+	if _, _, err := b.Allow(); err != nil {
 		t.Fatalf("probe rejected: %v", err)
 	}
 	b.Failure()
@@ -62,16 +62,68 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	}
 	// The new cooldown starts from the re-trip.
 	fc.Advance(4 * time.Second)
-	if _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+	if _, _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
 		t.Fatalf("reopened breaker admitted early (err = %v)", err)
 	}
 	fc.Advance(2 * time.Second)
-	if _, err := b.Allow(); err != nil {
+	if _, _, err := b.Allow(); err != nil {
 		t.Fatalf("second probe rejected: %v", err)
 	}
 	b.Success()
 	if st, _ := b.State(); st != BreakerClosed {
 		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerProbeReleaseUnwedges pins the no-verdict probe path: a probe
+// request that exits before compute (wrong method, bad JSON, unknown trace)
+// or is deadline-aborted must return its probe slot instead of wedging the
+// breaker half-open forever.
+func TestBreakerProbeReleaseUnwedges(t *testing.T) {
+	fc := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Second}, fc.Clock(), nil, nil)
+	b.Failure()
+	fc.Advance(6 * time.Second)
+	_, probe, err := b.Allow()
+	if err != nil || probe == 0 {
+		t.Fatalf("probe = %d, err = %v; want a probe token", probe, err)
+	}
+	// While the probe is pending every other request is rejected...
+	if _, _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second concurrent probe admitted (err = %v)", err)
+	}
+	// ...but a probe that ends without a verdict releases its slot, so the
+	// next request is admitted as a fresh probe.
+	b.releaseProbe(probe)
+	_, probe2, err := b.Allow()
+	if err != nil || probe2 == 0 {
+		t.Fatalf("breaker wedged after verdict-less probe: probe = %d, err = %v", probe2, err)
+	}
+	b.Success()
+	if st, _ := b.State(); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+// TestBreakerStaleProbeReleaseIgnored: a release deferred past its own
+// probe's verdict must not clear a newer probe admitted afterwards.
+func TestBreakerStaleProbeReleaseIgnored(t *testing.T) {
+	fc := newFakeClock()
+	b := newBreaker(BreakerConfig{Threshold: 1, Cooldown: 5 * time.Second}, fc.Clock(), nil, nil)
+	b.Failure()
+	fc.Advance(6 * time.Second)
+	_, probe1, err := b.Allow()
+	if err != nil || probe1 == 0 {
+		t.Fatalf("first probe: token = %d, err = %v", probe1, err)
+	}
+	b.Failure() // probe verdict: re-open
+	fc.Advance(6 * time.Second)
+	if _, probe2, err := b.Allow(); err != nil || probe2 == 0 {
+		t.Fatalf("second probe: token = %d, err = %v", probe2, err)
+	}
+	b.releaseProbe(probe1) // stale deferred release from the first probe
+	if _, _, err := b.Allow(); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("stale release cleared a live probe (err = %v)", err)
 	}
 }
 

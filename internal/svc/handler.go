@@ -96,19 +96,25 @@ func (s *Service) supervised(compute bool, h http.HandlerFunc) http.Handler {
 			return
 		}
 		defer s.pool.Release()
-		if wait, err := s.brk.Allow(); err != nil {
+		wait, probe, err := s.brk.Allow()
+		if err != nil {
 			w.Header().Set("Retry-After", retryAfterValue(wait))
 			apiError(w, http.StatusServiceUnavailable, err)
 			return
 		}
+		// A half-open probe must resolve on every exit path: compute delivers
+		// the verdict when it runs, and the deferred release returns the probe
+		// slot when the handler exits without one (pre-compute validation
+		// failure or a deadline abort) so the breaker cannot wedge half-open.
+		defer s.brk.releaseProbe(probe)
 		h(w, r)
 	})
 }
 
 // requestPriority reads the request's admission class from the X-Priority
-// header (1 highest .. 3 lowest; default 2). The JSON body's priority field,
-// when set, wins — but the header lets the queue order requests without
-// decoding bodies.
+// header (1 highest .. 3 lowest; default 2). Admission happens before the
+// body is read, so the header is the only signal the wait queue orders on;
+// the JSON body's priority field is validated but does not affect admission.
 func requestPriority(r *http.Request) int {
 	if v := r.Header.Get("X-Priority"); v != "" {
 		if p, err := strconv.Atoi(v); err == nil && p >= 1 && p <= 3 {
@@ -129,7 +135,10 @@ func retryAfterValue(d time.Duration) string {
 
 // compute runs fn under the circuit breaker's accounting: recovered panics
 // and internal failures count toward the trip threshold, while deadline
-// aborts (the client's doing, not the compute path's) do not.
+// aborts (the client's doing, not the compute path's) do not. An aborted
+// half-open probe is therefore inconclusive — it delivers no verdict, and
+// supervised's deferred releaseProbe keeps the breaker half-open so the next
+// request probes again.
 func (s *Service) compute(fn func() (any, error)) (out any, err error) {
 	defer func() {
 		if v := recover(); v != nil {

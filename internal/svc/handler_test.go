@@ -156,6 +156,39 @@ func TestComputePanicTripsBreaker(t *testing.T) {
 	}
 }
 
+// TestProbeEarlyExitDoesNotWedgeBreaker drives the probe-wedge regression end
+// to end: the half-open probe request 405s before reaching compute (no
+// verdict), and the next valid request must still be admitted as a fresh
+// probe and close the breaker — not be rejected with 503 forever.
+func TestProbeEarlyExitDoesNotWedgeBreaker(t *testing.T) {
+	fc := newFakeClock()
+	s := newTestService(t, Options{
+		Clock:   fc.Clock(),
+		Breaker: BreakerConfig{Threshold: 1, Cooldown: time.Second},
+	})
+	h := s.Handler()
+	if _, err := s.compute(func() (any, error) { return nil, fmt.Errorf("planner down") }); err == nil {
+		t.Fatal("compute failure not surfaced")
+	}
+	if st, _ := s.brk.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+	fc.Advance(2 * time.Second)
+	// The probe request exits the handler before compute: method not allowed.
+	if w := do(h, http.MethodGet, "/api/v1/advise", ""); w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("probe status = %d, want 405", w.Code)
+	}
+	// The verdict-less probe released its slot: a valid request is admitted
+	// as the next probe and its success closes the breaker.
+	w := do(h, http.MethodPost, "/api/v1/advise", `{"p1":1,"p2":1,"p3":1,"avg_dod":0.5}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-probe status = %d: %s, want 200 (breaker wedged?)", w.Code, w.Body)
+	}
+	if st, _ := s.brk.State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v, want closed", st)
+	}
+}
+
 // TestRequestDeadlineAborts504: the run-watchdog (the request deadline wired
 // into HardStop) aborts a query that cannot finish in time.
 func TestRequestDeadlineAborts504(t *testing.T) {
