@@ -547,3 +547,31 @@ func BenchmarkAblationPostpone(b *testing.B) {
 	}
 	b.ReportMetric(p1Gain, "P1-gain")
 }
+
+// BenchmarkGridShave runs the grid signal plane's peak-shave experiment: the
+// storm fleet rides out the outage, recovers, and then holds a 190 kW
+// demand-response target by deliberately discharging batteries. The custom
+// metrics report the energy the grid did not deliver at the peak and that the
+// shave cost no recharge SLA.
+func BenchmarkGridShave(b *testing.B) {
+	b.ReportAllocs()
+	var shavedWh, slaMisses float64
+	for i := 0; i < b.N; i++ {
+		spec, err := scenario.GridShaveSpec(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := scenario.RunCoordinated(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Grid.ShaveStarts == 0 || res.Grid.ViolationTicks != 0 {
+			b.Fatalf("shave did not hold: %+v", res.Grid)
+		}
+		shavedWh = res.Grid.ShavedEnergy.Wh()
+		slaMisses = float64(res.Racks[rack.P1] + res.Racks[rack.P2] + res.Racks[rack.P3] -
+			res.SLAMet[rack.P1] - res.SLAMet[rack.P2] - res.SLAMet[rack.P3])
+	}
+	b.ReportMetric(shavedWh, "shaved-Wh")
+	b.ReportMetric(slaMisses, "SLA-misses")
+}

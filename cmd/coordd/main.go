@@ -63,6 +63,7 @@ func main() {
 	admission := flag.Bool("admission", false, "resident fleet: arm recharge-storm admission control")
 	guard := flag.Bool("guard", false, "resident fleet: arm the last-line breaker guard")
 	faultsSpec := flag.String("faults", "", "resident fleet: control-plane fault injection (off, default, or k=v list)")
+	gridSpec := flag.String("grid", "", "resident fleet: grid signal plane (off, on, or semicolon key=value elements — see coordsim -grid)")
 	watchdog := flag.Duration("watchdog", 0, "resident fleet: rack fail-safe watchdog TTL (0 disables)")
 	pace := flag.Float64("pace", 0, "resident fleet: simulated seconds per wall-clock second (0 = free-running)")
 	// Service plane.
@@ -106,6 +107,7 @@ func main() {
 			Guard:     *guard,
 			WatchdogS: watchdog.Seconds(),
 			Faults:    *faultsSpec,
+			Grid:      *gridSpec,
 		}
 	}
 	if *ckptDir != "" {

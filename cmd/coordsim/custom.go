@@ -11,6 +11,7 @@ import (
 	"coordcharge/internal/config"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/rack"
 	"coordcharge/internal/scenario"
@@ -21,20 +22,58 @@ import (
 
 // customSpec collects the -run flags.
 type customSpec struct {
-	mode, policy string
-	limitMW, dod float64
-	p1, p2, p3   int
-	seed         int64
-	tracePath    string
-	analytics    bool
-	faultsSpec   string
-	watchdog     time.Duration
-	storm        time.Duration
-	admission    bool
-	guard        bool
-	serve        string
-	pace         float64
-	ckpt         checkpointFlags
+	mode, policy  string
+	limitMW, dod  float64
+	p1, p2, p3    int
+	seed          int64
+	tracePath     string
+	analytics     bool
+	faultsSpec    string
+	watchdog      time.Duration
+	storm         time.Duration
+	admission     bool
+	guard         bool
+	grid          string
+	gridCapCSV    string
+	gridPriceCSV  string
+	gridCarbonCSV string
+	serve         string
+	pace          float64
+	ckpt          checkpointFlags
+}
+
+// buildGridSpec lowers the -grid flag family onto a grid.Spec: the inline
+// spec string plus any CSV-loaded signal series, attached before validation
+// so thresholds referencing a file-loaded series parse.
+func buildGridSpec(cs customSpec) (*grid.Spec, error) {
+	loadCSV := func(path string) (*grid.Series, error) {
+		if path == "" {
+			return nil, nil
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		s, err := grid.ParseSeriesCSV(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", path, err)
+		}
+		return s, nil
+	}
+	cap, err := loadCSV(cs.gridCapCSV)
+	if err != nil {
+		return nil, err
+	}
+	price, err := loadCSV(cs.gridPriceCSV)
+	if err != nil {
+		return nil, err
+	}
+	carbon, err := loadCSV(cs.gridCarbonCSV)
+	if err != nil {
+		return nil, err
+	}
+	return grid.ParseSpecWith(cs.grid, cap, price, carbon)
 }
 
 // armInterrupt wires SIGTERM (and Ctrl-C) to a graceful stop: the poll
@@ -125,6 +164,7 @@ func printCoordSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
 	printStormSummary(spec, res)
+	printGridSummary(spec, res)
 	printFaultSummary(spec, res)
 }
 
@@ -146,6 +186,32 @@ func printStormSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
 			res.Guard.Fires, res.Guard.Demoted, res.Guard.Paused,
 			res.Guard.ITCapped, res.Guard.MaxITCut, res.Guard.Resumed)
 	}
+}
+
+// printGridSummary reports what the grid signal plane did: event and defer
+// activity, cap enforcement, peak shaving, and the run's grid-facing
+// integrals. Silent when the grid plane is off.
+func printGridSummary(spec scenario.CoordSpec, res *scenario.CoordResult) {
+	if spec.Grid == nil {
+		return
+	}
+	g := res.Grid
+	fmt.Printf("  grid signals:             cap changes %d, droop %d, DR windows %d, defer ticks %d (valve lifts %d)\n",
+		g.CapChanges, g.DroopEvents, g.DRWindows, g.DeferTicks, g.DeferLifts)
+	fmt.Printf("  grid cap enforcement:     demoted %d, paused %d, SLA repairs %d; violations %d ticks (max over %v)\n",
+		g.CapDemotions, g.CapPauses, g.SLARepairs, g.ViolationTicks, g.MaxOverCap)
+	if g.ShaveStarts > 0 {
+		fmt.Printf("  grid peak shaving:        %d starts (%d rotations), %v carried by batteries\n",
+			g.ShaveStarts, g.ShaveRotations, g.ShavedEnergy)
+	}
+	line := fmt.Sprintf("  grid draw:                peak %v, %v total", g.PeakDraw, g.GridEnergy)
+	if spec.Grid.Price != nil {
+		line += fmt.Sprintf(", $%.2f energy cost", g.EnergyCost)
+	}
+	if spec.Grid.Carbon != nil {
+		line += fmt.Sprintf(", %.1f kg CO2", g.CarbonKg)
+	}
+	fmt.Println(line)
 }
 
 // printFaultSummary reports what the injector did to the control plane and how
@@ -238,6 +304,9 @@ func runCustom(cs customSpec) {
 		g := storm.DefaultGuardConfig()
 		spec.Guard = &g
 	}
+	gs, err := buildGridSpec(cs)
+	check(err)
+	spec.Grid = gs
 	if spec.Faults.Enabled() || spec.WatchdogTTL > 0 {
 		// A lossy control plane needs the degraded-mode machinery armed:
 		// staleness detection and override retransmission.
@@ -303,6 +372,7 @@ func runCustom(cs customSpec) {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
 	}
 	printStormSummary(spec, res)
+	printGridSummary(spec, res)
 	printFaultSummary(spec, res)
 	if cs.analytics {
 		printAnalytics(res)

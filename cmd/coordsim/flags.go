@@ -13,10 +13,11 @@ import (
 // the validation pure and table-testable; main assembles it from the flag
 // package and exits 2 on the first error.
 type flagValues struct {
-	set    map[string]bool
-	pace   float64
-	seed   int64
-	resume string
+	set     map[string]bool
+	pace    float64
+	seed    int64
+	resume  string
+	gridFig string
 }
 
 // validateCombination rejects incoherent flag combinations up front, before
@@ -26,13 +27,13 @@ type flagValues struct {
 func validateCombination(v flagValues) error {
 	set := v.set
 	// Flags that only mean something inside a custom -run experiment.
-	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard"} {
+	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard", "grid"} {
 		if set[name] && !set["run"] {
 			return fmt.Errorf("-%s requires -run", name)
 		}
 	}
 	if set["run"] {
-		for _, name := range []string{"fig", "table", "all", "endurance", "config"} {
+		for _, name := range []string{"fig", "table", "all", "endurance", "config", "grid-fig"} {
 			if set[name] {
 				return fmt.Errorf("-run is incompatible with -%s", name)
 			}
@@ -42,6 +43,25 @@ func validateCombination(v flagValues) error {
 	for _, name := range []string{"admission", "guard"} {
 		if set[name] && !set["storm"] {
 			return fmt.Errorf("-%s requires -storm (there is no recharge storm without a grid event)", name)
+		}
+	}
+	// Series files attach to a grid spec; without -grid they would be read
+	// and silently dropped.
+	for _, name := range []string{"grid-cap-csv", "grid-price-csv", "grid-carbon-csv"} {
+		if set[name] && !set["grid"] {
+			return fmt.Errorf("-%s requires -grid (the series attaches to the grid signal plane)", name)
+		}
+	}
+	if set["grid-fig"] {
+		switch v.gridFig {
+		case "shrink", "shave":
+		default:
+			return fmt.Errorf(`-grid-fig must be "shrink" or "shave" (got %q)`, v.gridFig)
+		}
+		for _, name := range []string{"endurance", "config"} {
+			if set[name] {
+				return fmt.Errorf("-grid-fig is incompatible with -%s", name)
+			}
 		}
 	}
 	if set["pace"] && !set["serve"] {

@@ -43,6 +43,17 @@ func TestValidateCombination(t *testing.T) {
 		{"negative pace", flagValues{set: mkSet("run", "pace", "serve"), pace: -1}, "must be >= 0"},
 		{"years without endurance", flagValues{set: mkSet("years")}, "-years requires -endurance"},
 
+		{"grid without run", flagValues{set: mkSet("grid")}, "-grid requires -run"},
+		{"grid with run", flagValues{set: mkSet("run", "grid")}, ""},
+		{"grid cap csv without grid", flagValues{set: mkSet("run", "grid-cap-csv")}, "-grid-cap-csv requires -grid"},
+		{"grid price csv without grid", flagValues{set: mkSet("run", "grid-price-csv")}, "-grid-price-csv requires -grid"},
+		{"grid carbon csv with grid", flagValues{set: mkSet("run", "grid", "grid-carbon-csv")}, ""},
+		{"grid-fig shrink", flagValues{set: mkSet("grid-fig"), gridFig: "shrink"}, ""},
+		{"grid-fig shave", flagValues{set: mkSet("grid-fig"), gridFig: "shave"}, ""},
+		{"grid-fig bogus", flagValues{set: mkSet("grid-fig"), gridFig: "blackout"}, `-grid-fig must be "shrink" or "shave"`},
+		{"grid-fig with run", flagValues{set: mkSet("run", "grid-fig"), gridFig: "shave"}, "incompatible with -grid-fig"},
+		{"grid-fig with endurance", flagValues{set: mkSet("endurance", "grid-fig"), gridFig: "shrink"}, "-grid-fig is incompatible with -endurance"},
+
 		{"interval without checkpoint", flagValues{set: mkSet("run", "checkpoint-interval")}, "-checkpoint-interval requires -checkpoint"},
 		{"checkpoint without run", flagValues{set: mkSet("checkpoint")}, "-checkpoint requires -run or -endurance"},
 		{"checkpoint with run", flagValues{set: mkSet("run", "checkpoint")}, ""},

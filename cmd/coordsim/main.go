@@ -17,6 +17,9 @@
 //	coordsim -run -faults default -watchdog 30s    # degraded control plane
 //	coordsim -run -faults cmdloss=0.2,ctlmtbf=10m,ctlmttr=8s
 //	coordsim -run -storm 90s -admission -guard     # grid event + storm survival
+//	coordsim -run -storm 90s -admission -guard -grid "capshrink=3h+2h(0.3)"
+//	coordsim -grid-fig shrink                      # cap-shrink storm sweep
+//	coordsim -grid-fig shave                       # peak-shave (VPP) figure
 //	coordsim -endurance -years 50                  # realized AOR vs Table II
 //	coordsim -config exp.json                      # experiments from a file
 package main
@@ -56,6 +59,11 @@ func main() {
 	stormDur := flag.Duration("storm", 0, "custom run: site-wide outage duration (grid-event storm; replaces the -dod-derived transition length)")
 	admission := flag.Bool("admission", false, "custom run: arm recharge-storm admission control (priority-aware waves under measured headroom)")
 	guard := flag.Bool("guard", false, "custom run: arm the last-line breaker guard (sheds charging current before the trip window closes)")
+	gridSpec := flag.String("grid", "", "custom run: grid signal plane — off, on, or semicolon-separated key=value elements (cap=205kW@0,143.5kW@10m; price=40@0,95@6h; synthprice=seed:step:horizon:base:swing; droop/dr/capshrink events as at+dur(frac); deferprice/defercarbon/maxdefer; shave/shaveprice/shavedod/shaveprio)")
+	gridCapCSV := flag.String("grid-cap-csv", "", "custom run: interconnection-cap series CSV (offset,value rows; watts) attached to -grid")
+	gridPriceCSV := flag.String("grid-price-csv", "", "custom run: energy-price series CSV ($/MWh) attached to -grid")
+	gridCarbonCSV := flag.String("grid-carbon-csv", "", "custom run: carbon-intensity series CSV (gCO2/kWh) attached to -grid")
+	gridFig := flag.String("grid-fig", "", "grid experiment to regenerate: shrink (storm recovery under a shrinking cap) or shave (peak shaving, the BBU fleet as a virtual power plant)")
 	serve := flag.String("serve", "", "custom run: serve the observability surface (/metrics, /healthz, /debug/flight, pprof) on this address while the run executes, e.g. :8080")
 	pace := flag.Float64("pace", 0, "custom run: simulated seconds per wall-clock second (0 = free-running); requires -serve")
 	// Checkpoint/resume flags (custom and endurance runs).
@@ -63,7 +71,7 @@ func main() {
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "virtual time between checkpoint writes (default: 5m for -run, 30 days for -endurance)")
 	resume := flag.String("resume", "", "resume a checkpointed run from this file; the other flags must describe the same experiment")
 	flag.Parse()
-	validateFlags(*pace, *seed, *resume)
+	validateFlags(*pace, *seed, *resume, *gridFig)
 	ckf := checkpointFlags{path: *checkpoint, interval: *checkpointInterval, resume: *resume}
 
 	if *configPath != "" {
@@ -76,6 +84,8 @@ func main() {
 			p1: *p1, p2: *p2, p3: *p3, seed: *seed, tracePath: *tracePath,
 			analytics: *analytics, faultsSpec: *faultsSpec, watchdog: *watchdog,
 			storm: *stormDur, admission: *admission, guard: *guard,
+			grid: *gridSpec, gridCapCSV: *gridCapCSV,
+			gridPriceCSV: *gridPriceCSV, gridCarbonCSV: *gridCarbonCSV,
 			serve: *serve, pace: *pace, ckpt: ckf,
 		})
 		return
@@ -97,6 +107,27 @@ func main() {
 	}
 
 	ran := false
+	switch *gridFig {
+	case "shrink":
+		res, err := scenario.RunGridShrink(*seed)
+		check(err)
+		emitChart(res.Chart)
+		if *csv {
+			check(res.Table.RenderCSV(os.Stdout))
+		} else {
+			check(res.Table.Render(os.Stdout))
+		}
+		fmt.Println()
+		ran = true
+	case "shave":
+		res, err := scenario.RunGridShave(*seed)
+		check(err)
+		emitChart(res.Chart)
+		g := res.Run.Grid
+		fmt.Printf("shave: %d starts (%d rotations), %v carried by batteries; cap violations %d; peak draw %v\n",
+			g.ShaveStarts, g.ShaveRotations, g.ShavedEnergy, g.ViolationTicks, g.PeakDraw)
+		ran = true
+	}
 	if *all || *fig == 12 {
 		c, err := scenario.Fig12Chart(*seed)
 		check(err)
@@ -136,7 +167,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		fmt.Fprintln(os.Stderr, "coordsim: pass -fig 12|13|14|15, -table 3, or -all")
+		fmt.Fprintln(os.Stderr, "coordsim: pass -fig 12|13|14|15, -table 3, -grid-fig shrink|shave, or -all")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -144,10 +175,10 @@ func main() {
 
 // validateFlags assembles the parsed flag state and exits 2 on the first
 // combination error (see validateCombination for the rules).
-func validateFlags(pace float64, seed int64, resume string) {
+func validateFlags(pace float64, seed int64, resume, gridFig string) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateCombination(flagValues{set: set, pace: pace, seed: seed, resume: resume}); err != nil {
+	if err := validateCombination(flagValues{set: set, pace: pace, seed: seed, resume: resume, gridFig: gridFig}); err != nil {
 		fmt.Fprintf(os.Stderr, "coordsim: %v\n", err)
 		os.Exit(2)
 	}

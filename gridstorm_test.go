@@ -1,0 +1,221 @@
+package coordcharge
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coordcharge/internal/obs"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/scenario"
+)
+
+// Grid signal plane acceptance: the BBU fleet as a virtual power plant. A
+// 90 s outage at peak load drains every battery, and 35 % of the
+// interconnection cap is withdrawn five minutes into the recharge — a
+// connect-and-manage grid connection shrinking mid-storm. 35 % leaves
+// ~221 kW against a ~200 kW IT peak, under the fleet's unconstrained
+// recharge draw: the cap genuinely binds. The fleet must
+// recover with zero breaker trips AND zero cap violations at any tick, in
+// strict priority order, on both control planes; a separate run must show
+// deliberate battery discharge shaving the grid peak without missing a
+// single recharge SLA; and the whole grid plane must be deterministic —
+// identical flight digests across repeat runs and across kill-and-resume.
+
+// checkGridShrinkRun asserts the cap-shrink survival bar on one result.
+func checkGridShrinkRun(t *testing.T, res *scenario.CoordResult) {
+	t.Helper()
+	if len(res.Tripped) != 0 {
+		t.Fatalf("breakers tripped under the shrunk cap: %v", res.Tripped)
+	}
+	if res.Guard.ITCapped != 0 || res.Guard.MaxITCut != 0 {
+		t.Fatalf("guard capped IT load (%d racks, %v max cut); cap compliance must come from charge shedding",
+			res.Guard.ITCapped, res.Guard.MaxITCut)
+	}
+	if res.Grid.ViolationTicks != 0 || res.Grid.MaxOverCap != 0 {
+		t.Fatalf("interconnection cap violated: %d ticks, %v max over",
+			res.Grid.ViolationTicks, res.Grid.MaxOverCap)
+	}
+	if res.Grid.CapChanges < 2 {
+		t.Fatalf("cap changes = %d, want the shrink and the restore to register", res.Grid.CapChanges)
+	}
+	if res.LastChargeDone == 0 {
+		t.Fatal("recharges still outstanding at the horizon; the squeezed queue must drain")
+	}
+	n := res.Racks[rack.P1] + res.Racks[rack.P2] + res.Racks[rack.P3]
+	if res.Storm.Storms == 0 || res.Storm.Admitted < n {
+		t.Fatalf("storm metrics = %+v, want every rack admitted through the queue", res.Storm)
+	}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if got := len(res.ChargeDurations[p]); got != res.Racks[p] {
+			t.Fatalf("%v: only %d/%d racks completed their recharge", p, got, res.Racks[p])
+		}
+	}
+	p1 := meanDuration(res.ChargeDurations[rack.P1])
+	p2 := meanDuration(res.ChargeDurations[rack.P2])
+	p3 := meanDuration(res.ChargeDurations[rack.P3])
+	if !(p1 < p2 && p2 < p3) {
+		t.Fatalf("completion means not priority-ordered: P1 %v, P2 %v, P3 %v", p1, p2, p3)
+	}
+}
+
+// TestGridStormShrinkSurvival: 8 seeds on the synchronous plane. Admission
+// headroom must re-derive from the shrunk effective cap on every wave —
+// grants sized against the breaker limit alone would blow straight through
+// the 221 kW cap.
+func TestGridStormShrinkSurvival(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec, err := scenario.GridStormSpec(seed, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGridShrinkRun(t, res)
+		})
+	}
+}
+
+// TestGridStormShrinkSurvivalDistributed: the same bar over the message
+// bus. Cap enforcement still acts within the tick — the grid policy holds
+// direct rack handles (the server-management plane), so bus latency cannot
+// open a violation window.
+func TestGridStormShrinkSurvivalDistributed(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec, err := scenario.GridStormSpec(seed, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Distributed = true
+			res, err := scenario.RunCoordinated(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGridShrinkRun(t, res)
+		})
+	}
+}
+
+// TestGridPeakShave: during the demand-response window the measured grid
+// draw must sit at or below the 190 kW target while batteries carry the
+// difference, and every recharge — including the shaving racks' own — must
+// still meet its SLA deadline.
+func TestGridPeakShave(t *testing.T) {
+	spec, err := scenario.GridShaveSpec(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scenario.RunCoordinated(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tripped) != 0 {
+		t.Fatalf("breakers tripped: %v", res.Tripped)
+	}
+	if res.Grid.ShaveStarts == 0 || res.Grid.ShavedEnergy <= 0 {
+		t.Fatalf("no shaving happened: %+v", res.Grid)
+	}
+	// Window bounds relative to the transition: the DR event opens two
+	// hours after the peak (== loseAt) and runs 10 minutes.
+	winStart, winEnd := 2*time.Hour, 2*time.Hour+10*time.Minute
+	target := spec.Grid.Policy.ShaveTarget
+	shavedSamples := 0
+	var peakIn, peakWould float64
+	for _, sm := range res.Samples {
+		if sm.T < winStart || sm.T >= winEnd {
+			continue
+		}
+		if sm.Shaved > 0 {
+			shavedSamples++
+		}
+		if v := float64(sm.Total); v > peakIn {
+			peakIn = v
+		}
+		if v := float64(sm.Total + sm.Shaved); v > peakWould {
+			peakWould = v
+		}
+		// One tick of slack for the recruit that answers a load wiggle; a
+		// rack's worth of sustained overshoot means the policy stopped
+		// holding the target.
+		if float64(sm.Total) > float64(target)+1 && sm.Shaved == 0 {
+			t.Fatalf("draw %v over target %v at %v with nothing shaving", sm.Total, target, sm.T)
+		}
+	}
+	if shavedSamples == 0 {
+		t.Fatal("no in-window sample shows batteries carrying load")
+	}
+	if peakIn >= peakWould {
+		t.Fatalf("measured peak %.0f W not below would-be unshaved peak %.0f W", peakIn, peakWould)
+	}
+	if peakIn > float64(target)*1.05 {
+		t.Fatalf("measured in-window peak %.0f W, want near target %v", peakIn, target)
+	}
+	for _, p := range []rack.Priority{rack.P1, rack.P2, rack.P3} {
+		if res.SLAMet[p] != res.Racks[p] {
+			t.Fatalf("%v: %d/%d SLAs met; shaving must not cost a recharge deadline",
+				p, res.SLAMet[p], res.Racks[p])
+		}
+	}
+}
+
+// TestGridStormDigestReproducible: the grid plane introduces no
+// nondeterminism — two fresh runs of the same seed produce byte-identical
+// flight digests.
+func TestGridStormDigestReproducible(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			spec, err := scenario.GridStormSpec(seed, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			digest := func() string {
+				run := spec
+				run.Obs = obs.NewSink(0)
+				if _, err := scenario.RunCoordinated(run); err != nil {
+					t.Fatal(err)
+				}
+				return run.Obs.Flight.Digest()
+			}
+			if a, b := digest(), digest(); a != b {
+				t.Fatalf("flight digests diverged across identical runs:\n  first  %s\n  second %s", a, b)
+			}
+		})
+	}
+}
+
+// TestGridCrashResume: kill-and-resume through the shrink window. The grid
+// cursor (event position, defer/shave state, integrals) must restore
+// bit-exactly — the resumed run's summary and flight digest must match an
+// uninterrupted run's. Sync restores state directly; distributed restores
+// by verified deterministic replay.
+func TestGridCrashResume(t *testing.T) {
+	for _, tc := range []struct {
+		name        string
+		distributed bool
+	}{
+		{"sync", false},
+		{"distributed", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := scenario.GridStormSpec(1, 0.35)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec.Distributed = tc.distributed
+
+			wantSummary, wantDigest := runUninterrupted(t, spec)
+			gotSummary, gotDigest := runWithKills(t, spec, chaosKills(1))
+
+			if gotDigest != wantDigest {
+				t.Errorf("flight digest diverged after kill-and-resume:\n  resumed       %s\n  uninterrupted %s", gotDigest, wantDigest)
+			}
+			if gotSummary != wantSummary {
+				t.Errorf("summary diverged after kill-and-resume:\n--- resumed ---\n%s--- uninterrupted ---\n%s", gotSummary, wantSummary)
+			}
+		})
+	}
+}

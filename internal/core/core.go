@@ -172,6 +172,23 @@ func (c Config) SLACurrent(p rack.Priority, dod units.Fraction) (units.Current, 
 	return c.Surface.RequiredCurrent(dod, c.Deadlines[p], c.Resolution)
 }
 
+// SLACurrentWithin is SLACurrent with part of the deadline already spent:
+// it returns the charging current required to finish within the remaining
+// budget. A rack's SLA clock starts when its charge starts, not when an
+// admission queue finally grants it, so time spent waiting — storm
+// admission, a deferred window, a demand-response shave — must come out of
+// the current the grant is sized with. With the full budget remaining it
+// resolves through the memoized SLA curve, bit-identically to SLACurrent.
+func (c Config) SLACurrentWithin(p rack.Priority, dod units.Fraction, remaining time.Duration) (units.Current, bool) {
+	if remaining >= c.Deadlines[p] {
+		return c.SLACurrent(p, dod)
+	}
+	if remaining <= 0 {
+		return c.Surface.MaxCurrent(), false
+	}
+	return c.Surface.RequiredCurrent(dod, remaining, c.Resolution)
+}
+
 // RackInfo is the controller's view of one rack at the start of a charging
 // sequence.
 type RackInfo struct {

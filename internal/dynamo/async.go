@@ -10,6 +10,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
@@ -67,6 +68,10 @@ type Snapshot struct {
 	Charging   bool
 	InputUp    bool
 	Setpoint   units.Current
+	// ChargeStart is the virtual time the rack's current charge episode
+	// began; admission grants size charging currents against the SLA time
+	// already spent since it.
+	ChargeStart time.Duration
 }
 
 // CapRequest asks an agent to cap its rack's servers on behalf of a
@@ -109,6 +114,13 @@ type AsyncOptions struct {
 	// controller acts on it (leaves forward its pause/resume directives);
 	// the option is ignored elsewhere.
 	Storm *storm.Config
+	// Grid attaches the grid signal plane to the planning upper controller:
+	// planning, admission, and protection budgets derive from the effective
+	// feed limit (min of breaker limit and interconnection cap), and fresh
+	// starts defer into the admission queue while the policy says
+	// price/carbon is over threshold. Ignored on leaves — the
+	// interconnection cap constrains the site feed, not RPP breakers.
+	Grid *grid.Policy
 	// Obs attaches an observability sink: protective actions are counted
 	// under dynamo.* metrics and control decisions are journaled to the
 	// flight recorder. Nil disables instrumentation at zero cost.
@@ -717,6 +729,7 @@ type AsyncUpper struct {
 	// so a lost resume message degrades a rack's charge start, never loses it.
 	stormQ  *storm.Queue
 	resumed map[string]time.Duration
+	grid    *grid.Policy // nil unless the grid signal plane is attached
 
 	obsHandles
 }
@@ -751,6 +764,7 @@ func NewAsyncUpperOpts(b *bus.Bus, engine *sim.Engine, node *power.Node, leaves 
 		evalAfter:  opts.evalAfter(poll),
 	}
 	u.obsHandles = newObsHandles(opts.Obs, node.Name())
+	u.grid = opts.Grid
 	if opts.Storm != nil {
 		u.stormQ = storm.NewQueue(*opts.Storm)
 		u.resumed = make(map[string]time.Duration)
@@ -891,7 +905,7 @@ func (u *AsyncUpper) evaluate(now time.Duration) {
 			// Rebuild the admission queue a crash wiped: any paused charge
 			// still owed re-enters admission from its rack-local pending DOD.
 			if u.stormQ != nil && u.fresh(s, now) && !s.Charging && s.PendingDOD > 0 {
-				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD, Since: s.ChargeStart})
 			}
 		}
 		u.resync = false
@@ -938,7 +952,7 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 			if !s.Charging && s.PendingDOD > 0 && !u.stormQ.Contains(s.Name) {
 				// Paused charge nobody is tracking (a guard paused it while
 				// detached, or an enqueue was lost to a crash): adopt it.
-				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD, Since: s.ChargeStart})
 			}
 		}
 		if s.Charging && !u.was[s.Name] {
@@ -949,10 +963,12 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 	if len(fresh) == 0 {
 		return false
 	}
-	if u.stormQ != nil && (len(fresh) >= u.stormQ.Config().MinRacks || u.stormQ.Len() > 0) {
-		// Correlated start (or a storm already in progress): pause the fresh
-		// starts into the admission queue instead of planning them. The racks
-		// keep charging until the pause lands; leaving was=false means a rack
+	deferred := u.grid != nil && u.grid.DeferCharging(now)
+	if u.stormQ != nil && (deferred || len(fresh) >= u.stormQ.Config().MinRacks || u.stormQ.Len() > 0) {
+		// Correlated start (or a storm already in progress, or the grid
+		// policy deferring charge admission): pause the fresh starts into
+		// the admission queue instead of planning them. The racks keep
+		// charging until the pause lands; leaving was=false means a rack
 		// whose pause message is lost shows up fresh again next generation
 		// and is re-paused.
 		if len(fresh) >= u.stormQ.Config().MinRacks {
@@ -960,11 +976,12 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		}
 		if u.sink != nil {
 			u.sink.Event(now, u.name, "storm-pause",
-				"starts", strconv.Itoa(len(fresh)))
+				"starts", strconv.Itoa(len(fresh)),
+				"deferred", strconv.FormatBool(deferred))
 		}
 		byLeaf := map[string][]string{}
 		for _, ri := range fresh {
-			u.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: snaps[ri.ID].DOD})
+			u.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: snaps[ri.ID].DOD, Since: snaps[ri.ID].ChargeStart})
 			u.was[ri.Name] = false
 			if leaf := u.leafOf(ri.Name); leaf != "" {
 				byLeaf[leaf] = append(byLeaf[leaf], ri.Name)
@@ -975,7 +992,7 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 		}
 		return true
 	}
-	available := u.node.Limit() - it
+	available := u.effLimit(now) - it
 	var plan []core.Assignment
 	switch u.mode {
 	case ModeGlobal:
@@ -1020,6 +1037,16 @@ func (u *AsyncUpper) planFresh(now time.Duration, snaps []Snapshot) bool {
 // short enough that a lost grant costs queue time, not the charge.
 func (u *AsyncUpper) resumeTimeout() time.Duration { return 4 * u.pollPeriod }
 
+// effLimit is the feed limit planning and admission budget against: the
+// breaker limit, further clamped by the interconnection cap when the grid
+// signal plane is attached.
+func (u *AsyncUpper) effLimit(now time.Duration) units.Power {
+	if u.grid != nil {
+		return u.grid.EffectiveLimit(now)
+	}
+	return u.node.Limit()
+}
+
 // admitStorm reconciles in-flight resume grants against telemetry, then
 // admits the next wave of paused recharges under the breaker's measured
 // headroom net of the configured reserve.
@@ -1042,23 +1069,30 @@ func (u *AsyncUpper) admitStorm(now time.Duration, snaps []Snapshot) {
 			// which case fresh-start detection owns the rack again).
 			delete(u.resumed, s.Name)
 			if s.PendingDOD > 0 {
-				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD})
+				u.stormQ.Enqueue(now, storm.Request{Name: s.Name, Priority: s.Priority, DOD: s.PendingDOD, Since: s.ChargeStart})
 			}
 		}
 	}
 	if u.stormQ.Len() == 0 {
 		return
 	}
+	if u.grid != nil && u.grid.DeferCharging(now) {
+		// Grid policy says hold: queued recharges wait out the price/carbon
+		// spike (the SLA valve in the policy bounds how long).
+		return
+	}
 	// Headroom from the same conservative view protection uses: stale racks
 	// are assumed charging at worst case, so staleness under-admits rather
-	// than over-admits.
+	// than over-admits. The budget derives from the effective feed limit so
+	// a shrinking interconnection cap re-scopes every admission wave.
 	var wouldBe units.Power
 	for _, s := range snaps {
 		if s.InputUp {
 			wouldBe += s.ITLoad + s.Recharge
 		}
 	}
-	budget := u.node.Limit() - wouldBe - u.stormQ.Config().Margin(u.node.Limit())
+	limit := u.effLimit(now)
+	budget := limit - wouldBe - u.stormQ.Config().Margin(limit)
 	grants := u.stormQ.Admit(now, budget, u.cfg)
 	byLeaf := map[string]map[string]units.Current{}
 	for _, g := range grants {
@@ -1089,7 +1123,7 @@ func (u *AsyncUpper) protect(now time.Duration, snaps []Snapshot) {
 			wouldBe += s.Demand + s.Recharge
 		}
 	}
-	excess := wouldBe - u.node.Limit()
+	excess := wouldBe - u.effLimit(now)
 	if excess <= 0 {
 		for _, ep := range u.leaves {
 			var names []string

@@ -34,6 +34,7 @@ import (
 	"coordcharge/internal/charger"
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
@@ -122,17 +123,18 @@ func (a *Agent) Latency() time.Duration { return a.latency }
 // snapshotRack builds a timestamped telemetry snapshot of a rack.
 func snapshotRack(r *rack.Rack, now time.Duration) Snapshot {
 	return Snapshot{
-		Taken:      now,
-		Name:       r.Name(),
-		Priority:   r.Priority(),
-		Demand:     r.Demand(),
-		ITLoad:     r.ITLoad(),
-		Recharge:   r.RechargePower(),
-		DOD:        r.LastDOD(),
-		PendingDOD: r.PendingDOD(),
-		Charging:   r.Charging(),
-		InputUp:    r.InputUp(),
-		Setpoint:   r.Pack().Setpoint(),
+		Taken:       now,
+		Name:        r.Name(),
+		Priority:    r.Priority(),
+		Demand:      r.Demand(),
+		ITLoad:      r.ITLoad(),
+		Recharge:    r.RechargePower(),
+		DOD:         r.LastDOD(),
+		PendingDOD:  r.PendingDOD(),
+		Charging:    r.Charging(),
+		InputUp:     r.InputUp(),
+		Setpoint:    r.Pack().Setpoint(),
+		ChargeStart: r.ChargeStart(),
 	}
 }
 
@@ -332,6 +334,12 @@ type ControllerOptions struct {
 	// being planned (and floored) all at once. Ignored on non-planning
 	// controllers.
 	Storm *storm.Config
+	// Grid attaches the grid signal plane to a planning controller: planning
+	// and admission budgets derive from the effective feed limit (the
+	// minimum of the breaker limit and the interconnection cap) instead of
+	// the breaker rating, and fresh charge starts defer into the admission
+	// queue while the grid policy says price/carbon is over threshold.
+	Grid *grid.Policy
 	// Obs attaches an observability sink: protective actions are counted
 	// under dynamo.* metrics and every control decision is journaled to the
 	// flight recorder. Nil disables instrumentation at zero cost.
@@ -397,6 +405,7 @@ type Controller struct {
 	lastTick    time.Duration
 
 	stormQ *storm.Queue   // nil unless storm admission is armed
+	grid   *grid.Policy   // nil unless the grid signal plane is attached
 	byName map[string]int // rack name → agent index
 
 	engine     *sim.Engine
@@ -472,6 +481,9 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 	}
 	if opts.Storm != nil && plans {
 		c.stormQ = storm.NewQueue(*opts.Storm)
+	}
+	if opts.Grid != nil && plans {
+		c.grid = opts.Grid
 	}
 	c.obsHandles = newObsHandles(opts.Obs, node.Name())
 	if c.stormQ != nil && opts.Obs != nil {
@@ -556,7 +568,7 @@ func (c *Controller) restart(now time.Duration) {
 		c.wasCharging[i] = c.tel[i].Charging
 		switch {
 		case c.stormQ != nil && c.tel[i].PendingDOD > 0:
-			c.stormQ.Enqueue(now, storm.Request{Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD})
+			c.stormQ.Enqueue(now, storm.Request{Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD, Since: c.tel[i].ChargeStart})
 		case c.mode == ModePostpone && c.tel[i].PendingDOD > 0:
 			c.postponed[r] = core.RackInfo{ID: i, Name: c.tel[i].Name, Priority: c.tel[i].Priority, DOD: c.tel[i].PendingDOD}
 		}
@@ -824,8 +836,10 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 	if len(freshStarts) == 0 || !c.coordinates() {
 		return
 	}
-	if c.stormQ != nil && (len(freshStarts) >= c.stormQ.Config().MinRacks || c.stormQ.Len() > 0) {
-		// Recharge storm (or a queue already draining): pause the fresh
+	deferred := c.grid != nil && c.grid.DeferCharging(now)
+	if c.stormQ != nil && (deferred || len(freshStarts) >= c.stormQ.Config().MinRacks || c.stormQ.Len() > 0) {
+		// Recharge storm (or a queue already draining, or the grid policy
+		// deferring while price/carbon is over threshold): pause the fresh
 		// starts into the admission queue instead of planning — and flooring
 		// — them all at once. Pause rides the direct server-management path,
 		// like capping, so the correlated spike ends within this tick.
@@ -834,7 +848,8 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 		}
 		if c.sink != nil {
 			c.sink.Event(now, c.comp, "storm-pause",
-				"starts", strconv.Itoa(len(freshStarts)))
+				"starts", strconv.Itoa(len(freshStarts)),
+				"deferred", strconv.FormatBool(deferred))
 		}
 		c.mutated = true
 		for _, ri := range freshStarts {
@@ -844,13 +859,13 @@ func (c *Controller) detectChargingStart(now time.Duration) {
 			// A re-outage of an already-queued rack supersedes its stale
 			// entry with the fresh DOD.
 			c.stormQ.Remove(ri.Name)
-			c.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: r.PendingDOD()})
+			c.stormQ.Enqueue(now, storm.Request{Name: ri.Name, Priority: ri.Priority, DOD: r.PendingDOD(), Since: r.ChargeStart()})
 		}
 		return
 	}
-	// Available power for recharge: the breaker's headroom over the IT load
-	// (recharge power excluded — the plan decides it).
-	available := c.node.Limit() - c.itLoad(c.views(now))
+	// Available power for recharge: the effective feed limit's headroom over
+	// the IT load (recharge power excluded — the plan decides it).
+	available := c.effLimit(now) - c.itLoad(c.views(now))
 	cfg := c.cfg
 	var plan []core.Assignment
 	switch c.mode {
@@ -950,7 +965,15 @@ func (c *Controller) admitStorm(now time.Duration) {
 	if c.stormQ == nil || c.stormQ.Len() == 0 {
 		return
 	}
-	budget := c.node.Headroom() - c.stormQ.Config().Margin(c.node.Limit())
+	if c.grid != nil && c.grid.DeferCharging(now) {
+		// Price/carbon over threshold (or a droop in force): hold the wave.
+		// The grid policy's MaxDefer valve bounds how long this can last.
+		return
+	}
+	// Headroom and reserve derive from the effective feed limit, so a
+	// shrunken interconnection cap shrinks every admission wave with it.
+	limit := c.effLimit(now)
+	budget := limit - c.node.Power() - c.stormQ.Config().Margin(limit)
 	for _, g := range c.stormQ.Admit(now, budget, c.cfg) {
 		idx, ok := c.byName[g.Name]
 		if !ok {
@@ -982,7 +1005,7 @@ func (c *Controller) itLoad(views []Snapshot) units.Power {
 // as the last resort. When the breaker is not overloaded, caps are released.
 func (c *Controller) protect(now time.Duration, dt time.Duration) {
 	views := c.views(now)
-	excess := -c.headroomUncapped(views)
+	excess := -c.headroomUncapped(now, views)
 	if excess <= 0 {
 		c.releaseCaps()
 		return
@@ -999,9 +1022,10 @@ func (c *Controller) protect(now time.Duration, dt time.Duration) {
 	c.applyCaps(views, excess, dt)
 }
 
-// headroomUncapped is limit minus the draw the breaker would see with all
-// caps released: capping decisions are recomputed from scratch each tick.
-func (c *Controller) headroomUncapped(views []Snapshot) units.Power {
+// headroomUncapped is the effective limit minus the draw the breaker would
+// see with all caps released: capping decisions are recomputed from scratch
+// each tick.
+func (c *Controller) headroomUncapped(now time.Duration, views []Snapshot) units.Power {
 	var uncapped units.Power
 	for i := range views {
 		s := &views[i]
@@ -1012,7 +1036,17 @@ func (c *Controller) headroomUncapped(views []Snapshot) units.Power {
 	}
 	// Include draw from loads not managed by this controller (none in the
 	// standard topologies, but a child breaker may have foreign loads).
-	return c.node.Limit() - uncapped
+	return c.effLimit(now) - uncapped
+}
+
+// effLimit is the feed limit planning and protection enforce at now: the
+// breaker limit, tightened to the interconnection cap when the grid signal
+// plane is attached.
+func (c *Controller) effLimit(now time.Duration) units.Power {
+	if c.grid != nil {
+		return c.grid.EffectiveLimit(now)
+	}
+	return c.node.Limit()
 }
 
 // throttleBatteries sets charging currents to the minimum in reverse order
@@ -1075,7 +1109,7 @@ func (c *Controller) lowerGlobalRate(now time.Duration, views []Snapshot) units.
 	if len(charging) == 0 {
 		return 0
 	}
-	available := c.node.Limit() - c.itLoad(views)
+	available := c.effLimit(now) - c.itLoad(views)
 	plan := core.PlanGlobal(available, charging, c.cfg)
 	var after units.Power
 	for _, asg := range plan {

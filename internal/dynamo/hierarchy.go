@@ -7,6 +7,7 @@ import (
 
 	"coordcharge/internal/core"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
@@ -61,6 +62,11 @@ type HierarchyOptions struct {
 	// Obs attaches an observability sink to every controller, guard, and
 	// rack fail-safe watchdog in the hierarchy. Nil disables instrumentation.
 	Obs *obs.Sink
+	// Grid attaches the grid signal plane to the planning (root) controller
+	// — planning and admission budgets derive from the effective feed limit
+	// (min of breaker limit and interconnection cap) — and clamps the root
+	// guard's charge-shedding level to the same cap.
+	Grid *grid.Policy
 }
 
 // BuildHierarchy walks the power tree rooted at root and creates a
@@ -115,6 +121,7 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 			Heartbeat:  opts.WatchdogTTL > 0,
 			Storm:      opts.Storm,
 			Obs:        opts.Obs,
+			Grid:       opts.Grid,
 		})
 		h.controllers = append(h.controllers, ctl)
 		h.byNode[n] = ctl
@@ -129,6 +136,11 @@ func BuildHierarchyOpts(root *power.Node, mode Mode, cfg core.Config, opts Hiera
 			g := storm.NewGuard(n, racks, cfg, *opts.Guard)
 			if queue != nil {
 				g.AttachQueue(queue)
+			}
+			if opts.Grid != nil && n == root {
+				// The interconnection cap constrains the site feed: only
+				// the root (MSB) guard sheds against it.
+				g.SetCapacity(opts.Grid.CapAt)
 			}
 			if opts.Obs != nil {
 				g.SetObs(opts.Obs)

@@ -1,0 +1,178 @@
+package grid
+
+import (
+	"testing"
+	"time"
+
+	"coordcharge/internal/rack"
+	"coordcharge/internal/units"
+)
+
+func TestParseSpecFull(t *testing.T) {
+	spec, err := ParseSpec("cap=205kW@0,143.5kW@10m;price=40@0,95@6h;carbon=450;" +
+		"droop=15m+40s;dr=2h+30m(0.15);capshrink=1h+2h(0.3);" +
+		"deferprice=80;defercarbon=400;maxdefer=20m;shave=180kW;shaveprice=90;shavedod=30%;shaveprio=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := spec.Cap.At(10 * time.Minute); got != 143500 {
+		t.Fatalf("cap at 10m = %v, want 143500", got)
+	}
+	if got := spec.Price.At(7 * time.Hour); got != 95 {
+		t.Fatalf("price at 7h = %v", got)
+	}
+	if len(spec.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(spec.Events))
+	}
+	// Validate sorts by start: droop(15m), capshrink(1h), dr(2h).
+	if spec.Events[0].Kind != FreqDroop || spec.Events[1].Kind != CapShrink || spec.Events[2].Kind != DemandResponse {
+		t.Fatalf("event order wrong: %+v", spec.Events)
+	}
+	if spec.Events[2].Frac != 0.15 {
+		t.Fatalf("dr frac = %v", spec.Events[2].Frac)
+	}
+	p := spec.Policy
+	if p.DeferPrice != 80 || p.DeferCarbon != 400 || p.MaxDefer != 20*time.Minute {
+		t.Fatalf("defer config wrong: %+v", p)
+	}
+	if p.ShaveTarget != 180*units.Kilowatt || p.ShavePrice != 90 || p.MaxShaveDOD != 0.3 || p.ShavePriority != rack.P2 {
+		t.Fatalf("shave config wrong: %+v", p)
+	}
+}
+
+func TestParseSpecOffAndOn(t *testing.T) {
+	for _, s := range []string{"", "off", "none"} {
+		spec, err := ParseSpec(s)
+		if err != nil || spec != nil {
+			t.Fatalf("ParseSpec(%q) = %v, %v; want nil, nil", s, spec, err)
+		}
+	}
+	spec, err := ParseSpec("on")
+	if err != nil || spec == nil {
+		t.Fatalf("ParseSpec(on) = %v, %v", spec, err)
+	}
+}
+
+func TestParseSpecSynth(t *testing.T) {
+	spec, err := ParseSpec("synthprice=7:15m:24h:60:40;synthcarbon=7:30m:24h:400:300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Price.Len() == 0 || spec.Carbon.Len() == 0 {
+		t.Fatal("synthetic series empty")
+	}
+	again, err := ParseSpec("synthprice=7:15m:24h:60:40;synthcarbon=7:30m:24h:400:300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Fingerprint() != again.Fingerprint() {
+		t.Fatal("synthetic spec not reproducible")
+	}
+}
+
+func TestParseSpecWithLoadedSeries(t *testing.T) {
+	price, err := NewSeries([]Point{{T: 0, V: 40}, {T: 6 * time.Hour, V: 95}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A threshold referencing a file-loaded series must parse: the series
+	// attaches before validation.
+	spec, err := ParseSpecWith("deferprice=80", nil, price, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Price != price || spec.Policy.DeferPrice != 80 {
+		t.Fatalf("loaded price series not attached: %+v", spec)
+	}
+	// Loaded series alone enable the plane, even with an empty spec string.
+	spec, err = ParseSpecWith("", price, nil, nil)
+	if err != nil || spec == nil || spec.Cap != price {
+		t.Fatalf("ParseSpecWith(\"\", cap) = %v, %v; want enabled spec", spec, err)
+	}
+	// "on" composes with loaded series too.
+	spec, err = ParseSpecWith("on", nil, nil, price)
+	if err != nil || spec.Carbon != price {
+		t.Fatalf("ParseSpecWith(on, carbon) = %v, %v", spec, err)
+	}
+	// Conflicts and contradictions are errors, not silent overrides.
+	if _, err := ParseSpecWith("price=40", nil, price, nil); err == nil {
+		t.Fatal("accepted price series given both inline and as a file")
+	}
+	if _, err := ParseSpecWith("off", nil, price, nil); err == nil {
+		t.Fatal("accepted series files with the grid plane off")
+	}
+	// Loaded series still pass through validation: a non-positive cap is
+	// rejected no matter where it came from.
+	bad, err := NewSeries([]Point{{T: 0, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseSpecWith("on", bad, nil, nil); err == nil {
+		t.Fatal("accepted non-positive file-loaded cap series")
+	}
+}
+
+func TestParseSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown-key":       "frob=1",
+		"not-kv":            "cap",
+		"nan-price":         "price=NaN",
+		"bad-shrink-frac":   "capshrink=1h+1h(1.5)",
+		"shrink-no-frac":    "capshrink=1h+1h",
+		"droop-with-frac":   "droop=1h+1m(0.5)",
+		"dr-no-depth":       "dr=1h+30m", // no frac and no shave target
+		"defer-no-price":    "deferprice=80",
+		"shaveprice-no-tgt": "price=40;shaveprice=90",
+		"neg-cap":           "cap=-5kW",
+		"bad-prio":          "shaveprio=9",
+		"neg-dur":           "droop=1h+-1m",
+		"bad-synth":         "synthprice=1:2:3",
+	}
+	for name, in := range cases {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
+
+func TestSpecFingerprintSensitivity(t *testing.T) {
+	base := func() *Spec {
+		s, err := ParseSpec("cap=205kW;price=40;deferprice=80")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := base(), base()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical specs fingerprint differently")
+	}
+	b.Policy.DeferPrice = 81
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("policy change not reflected in fingerprint")
+	}
+	c := base()
+	c.Events = append(c.Events, Event{Kind: FreqDroop, At: time.Hour, Dur: time.Minute})
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("event change not reflected in fingerprint")
+	}
+	var nilSpec *Spec
+	if nilSpec.Fingerprint() == a.Fingerprint() {
+		t.Fatal("nil spec collides with a real spec")
+	}
+}
+
+func TestValidateRejectsOverlapRules(t *testing.T) {
+	s := &Spec{Events: []Event{{Kind: EventKind(99), At: 0, Dur: time.Minute}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted unknown event kind")
+	}
+	s = &Spec{Events: []Event{{Kind: FreqDroop, At: -time.Second, Dur: time.Minute}}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted negative event start")
+	}
+	s = &Spec{Policy: PolicyConfig{MaxShaveDOD: 1.5}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted MaxShaveDOD > 1")
+	}
+}

@@ -335,6 +335,12 @@ func (r *Rack) RestoreInput(now time.Duration) {
 	r.chargeEnd = 0
 }
 
+// ChargeStart returns the virtual time the current charge episode began —
+// the instant of the input restore that started it, which is where the
+// charging-time SLA clock starts. Meaningful only while a charge is in
+// progress or postponed.
+func (r *Rack) ChargeStart() time.Duration { return r.chargeStart }
+
 // LastDOD returns the depth of discharge reported at the most recent input
 // restore.
 func (r *Rack) LastDOD() units.Fraction { return r.lastDOD }

@@ -29,6 +29,7 @@ import (
 	"coordcharge/internal/ckpt"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
@@ -71,6 +72,7 @@ type coordCheckpoint struct {
 	Hier     *dynamo.HierarchyState `json:"hier,omitempty"`
 	Injector *faults.InjectorState  `json:"injector,omitempty"`
 	Flight   *obs.RecorderState     `json:"flight,omitempty"`
+	Grid     *grid.PolicyState      `json:"grid,omitempty"`
 
 	// Result progress, direct strategy only (replay recomputes it). The
 	// scalars carry no omitempty: LastSample's fresh-run value is a large
@@ -110,6 +112,9 @@ func specFingerprint(spec *CoordSpec, gen trace.Source) uint64 {
 	if spec.TripRule != nil {
 		fmt.Fprintf(h, "|trip=%+v", *spec.TripRule)
 	}
+	if spec.Grid != nil {
+		fmt.Fprintf(h, "|grid=%016x", spec.Grid.Fingerprint())
+	}
 	fmt.Fprintf(h, "|trace=%016x", trace.Fingerprint(gen))
 	return h.Sum64()
 }
@@ -128,6 +133,14 @@ func (cr *coordRun) stateHash() (uint64, error) {
 	}
 	for _, nd := range cr.nodes {
 		if err := enc.Encode(nd.ExportState()); err != nil {
+			return 0, err
+		}
+	}
+	if cr.gridPol != nil {
+		// The grid cursor (event position, defer/shave state, integrals)
+		// shapes future evolution: fold it into the tripwire so a restore
+		// that forks it fails loudly.
+		if err := enc.Encode(cr.gridPol.ExportState()); err != nil {
 			return 0, err
 		}
 	}
@@ -180,6 +193,10 @@ func (cr *coordRun) exportCheckpoint(resumeAt time.Duration) (*coordCheckpoint, 
 	if cr.inj != nil {
 		is := cr.inj.ExportState()
 		ck.Injector = &is
+	}
+	if cr.gridPol != nil {
+		gs := cr.gridPol.ExportState()
+		ck.Grid = &gs
 	}
 	if cr.spec.Obs != nil && cr.spec.Obs.Flight != nil {
 		fs := cr.spec.Obs.Flight.ExportState()
@@ -290,6 +307,14 @@ func (cr *coordRun) restoreDirect(ck *coordCheckpoint) error {
 			return fmt.Errorf("scenario: checkpoint carries fault-injector state but the run has no injector")
 		}
 		cr.inj.RestoreState(*ck.Injector)
+	}
+	if ck.Grid != nil {
+		if cr.gridPol == nil {
+			return fmt.Errorf("scenario: checkpoint carries grid-policy state but the run has no grid plane")
+		}
+		if err := cr.gridPol.RestoreState(*ck.Grid); err != nil {
+			return err
+		}
 	}
 	if ck.Flight != nil {
 		if cr.spec.Obs == nil || cr.spec.Obs.Flight == nil {

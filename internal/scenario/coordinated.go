@@ -17,6 +17,7 @@ import (
 	"coordcharge/internal/core"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/obs"
 	"coordcharge/internal/power"
 	"coordcharge/internal/rack"
@@ -109,6 +110,15 @@ type CoordSpec struct {
 	// power package's 30%-over-for-30s rule). Storm experiments tighten it
 	// to make the trip hazard reachable at realistic rack loads.
 	TripRule *power.TripRule
+	// Grid attaches the grid signal plane: an interconnection-cap /
+	// price / carbon schedule with droop, demand-response, and cap-shrink
+	// events. The planning controller budgets against the effective feed
+	// limit (min of breaker limit and cap), charge admission defers into
+	// the storm queue while price/carbon is over threshold, and eligible
+	// racks discharge deliberately to shave grid peaks. Arming Grid
+	// auto-arms Storm with defaults when Storm is nil — grid deferral
+	// needs the admission queue.
+	Grid *grid.Spec
 	// Obs attaches an observability sink to the whole run: controllers,
 	// guards, admission queue, rack watchdogs, and the fault injector count
 	// into its registry and journal to its flight recorder, and the run
@@ -204,6 +214,17 @@ func (s *CoordSpec) fillDefaults() error {
 	if s.Checkpoint != "" && s.CheckpointEvery == 0 {
 		s.CheckpointEvery = 5 * time.Minute
 	}
+	if s.Grid != nil {
+		if err := s.Grid.Validate(); err != nil {
+			return err
+		}
+		if s.Storm == nil {
+			// Grid deferral and shave-recovery pacing route through storm
+			// admission; arm it with defaults when the caller didn't.
+			def := storm.Default()
+			s.Storm = &def
+		}
+	}
 	return nil
 }
 
@@ -215,6 +236,12 @@ type Sample struct {
 	Total, IT, Recharge units.Power
 	// Capped is the server power being capped away at this instant.
 	Capped units.Power
+	// Shaved is IT load being served from batteries instead of the grid by
+	// the grid policy's peak shaving (zero unless Grid is armed).
+	Shaved units.Power
+	// GridCap is the interconnection cap in force at this instant (zero
+	// when Grid is off or the spec sets no cap).
+	GridCap units.Power
 }
 
 // CoordResult is the outcome of one coordinated run.
@@ -258,6 +285,10 @@ type CoordResult struct {
 	Storm storm.Metrics
 	// Guard reports breaker-guard activity (zero unless Spec.Guard).
 	Guard storm.GuardMetrics
+	// Grid reports grid-policy activity and the run's grid-facing
+	// integrals — energy drawn, cost, carbon, shave accounting, and the
+	// interconnection-cap violation score (zero unless Spec.Grid).
+	Grid grid.Metrics
 	// Interrupted marks a run stopped early by Spec.Interrupt: the fields
 	// above are partial, and a final checkpoint (when configured) holds the
 	// state to resume from.
@@ -311,6 +342,7 @@ type coordRun struct {
 	asyncLeaves []*dynamo.AsyncLeaf
 	asyncUpper  *dynamo.AsyncUpper
 	guards      []*storm.Guard // async plane only; the Hierarchy owns its own
+	gridPol     *grid.Policy   // nil unless Spec.Grid
 
 	transLen                          time.Duration
 	start, loseAt, restoreAt, horizon time.Duration
@@ -339,31 +371,38 @@ type coordRun struct {
 	replaying bool
 }
 
-// newCoordRun builds the fleet, power hierarchy, and control plane from the
-// spec (which must have defaults filled) and computes the event schedule.
-func newCoordRun(spec CoordSpec) (*coordRun, error) {
-	n := spec.NumP1 + spec.NumP2 + spec.NumP3
-	var gen trace.Source
+// traceSource builds the run's per-rack demand source: the spec's external
+// trace when one is set, otherwise the scaled synthetic generator.
+func traceSource(spec *CoordSpec, n int) (trace.Source, error) {
 	if spec.Trace != nil {
 		if spec.Trace.NumRacks() != n {
 			return nil, fmt.Errorf("scenario: trace has %d racks, spec needs %d", spec.Trace.NumRacks(), n)
 		}
-		gen = spec.Trace
-	} else {
-		// The Fig 12 envelope (1.9-2.1 MW) describes the 316-rack production
-		// MSB; smaller test populations scale it proportionally so per-rack
-		// loads stay realistic.
-		scale := float64(n) / 316
-		g, err := trace.NewGenerator(trace.Spec{
-			NumRacks:    n,
-			Seed:        spec.Seed,
-			TroughPower: units.Power(1.9e6 * scale),
-			PeakPower:   units.Power(2.1e6 * scale),
-		})
-		if err != nil {
-			return nil, err
-		}
-		gen = g
+		return spec.Trace, nil
+	}
+	// The Fig 12 envelope (1.9-2.1 MW) describes the 316-rack production
+	// MSB; smaller test populations scale it proportionally so per-rack
+	// loads stay realistic.
+	scale := float64(n) / 316
+	g, err := trace.NewGenerator(trace.Spec{
+		NumRacks:    n,
+		Seed:        spec.Seed,
+		TroughPower: units.Power(1.9e6 * scale),
+		PeakPower:   units.Power(2.1e6 * scale),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// newCoordRun builds the fleet, power hierarchy, and control plane from the
+// spec (which must have defaults filled) and computes the event schedule.
+func newCoordRun(spec CoordSpec) (*coordRun, error) {
+	n := spec.NumP1 + spec.NumP2 + spec.NumP3
+	gen, err := traceSource(&spec, n)
+	if err != nil {
+		return nil, err
 	}
 	surface := battery.Fig5Surface()
 	racks := make([]*rack.Rack, n)
@@ -408,6 +447,16 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 		}
 	}
 	cfg := core.DefaultConfig()
+	var gridPol *grid.Policy
+	if spec.Grid != nil {
+		gridPol, err = grid.NewPolicy(spec.Grid)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Obs != nil {
+			gridPol.SetObs(spec.Obs)
+		}
+	}
 	var hier *dynamo.Hierarchy
 	var asyncLeaves []*dynamo.AsyncLeaf
 	var asyncUpper *dynamo.AsyncUpper
@@ -440,6 +489,7 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 			Heartbeat:  spec.WatchdogTTL > 0,
 			Storm:      spec.Storm,
 			Obs:        spec.Obs,
+			Grid:       gridPol,
 		}
 		msb.Walk(func(nd *power.Node) {
 			if nd.Level() != power.LevelRPP {
@@ -468,6 +518,11 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 				if queue != nil {
 					g.AttachQueue(queue)
 				}
+				if gridPol != nil && nd == msb {
+					// The interconnection cap constrains the site feed:
+					// only the MSB guard sheds against it.
+					g.SetCapacity(gridPol.CapAt)
+				}
 				if spec.Obs != nil {
 					g.SetObs(spec.Obs)
 				}
@@ -485,8 +540,20 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 			Storm:       spec.Storm,
 			Guard:       spec.Guard,
 			Obs:         spec.Obs,
+			Grid:        gridPol,
 		})
 		if err != nil {
+			return nil, err
+		}
+	}
+	if gridPol != nil {
+		var queue *storm.Queue
+		if hier != nil {
+			queue = hier.StormQueue()
+		} else {
+			queue = asyncUpper.StormQueue()
+		}
+		if err := gridPol.Bind(msb, racks, queue, cfg); err != nil {
 			return nil, err
 		}
 	}
@@ -536,6 +603,7 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 		asyncLeaves: asyncLeaves,
 		asyncUpper:  asyncUpper,
 		guards:      guards,
+		gridPol:     gridPol,
 		transLen:    transLen,
 		start:       start,
 		loseAt:      peakT,
@@ -623,11 +691,23 @@ func (cr *coordRun) tick(now time.Duration) (done bool) {
 	if cr.engine != nil {
 		cr.engine.Run(now)
 	}
+	// The grid policy ticks after the engine (so it re-measures draw the
+	// async plane's just-landed commands produced, and its cap enforcement
+	// acts within the tick) and before the sync hierarchy (whose planning
+	// budgets already derive from the effective limit).
+	if cr.gridPol != nil {
+		cr.gridPol.Tick(now)
+	}
 	if cr.hier != nil {
 		cr.hier.Tick(now)
 	}
 	for _, g := range cr.guards {
 		g.Tick(now)
+	}
+	if cr.gridPol != nil {
+		// Score and integrate after every actor has moved: violation ticks
+		// mean no control loop kept the feed under the cap this tick.
+		cr.gridPol.Account(now, spec.Step)
 	}
 	for i, nd := range cr.nodes {
 		if nd.Tripped() && !cr.trippedSeen[i] {
@@ -664,9 +744,14 @@ func (cr *coordRun) tick(now time.Duration) (done bool) {
 	}
 	if sampling {
 		cr.lastSample = now
-		res.Samples = append(res.Samples, Sample{
+		s := Sample{
 			T: now - cr.loseAt, Total: it + rech, IT: it, Recharge: rech, Capped: capped,
-		})
+		}
+		if cr.gridPol != nil {
+			s.Shaved = cr.gridPol.ShavedPower()
+			s.GridCap = cr.gridPol.CapAt(now)
+		}
+		res.Samples = append(res.Samples, s)
 	}
 	if now > cr.restoreAt {
 		if p := cr.msb.Power(); p > res.PeakPower {
@@ -679,10 +764,16 @@ func (cr *coordRun) tick(now time.Duration) (done bool) {
 
 	if now > cr.restoreAt {
 		if cr.numOutstanding == 0 {
+			// Latch the completion time as soon as the fleet drains; a
+			// still-pending grid schedule (an unfired event, an open shave
+			// window) only delays *termination*, so a recharge that drains
+			// before a later cap-restore edge reports its true finish, not
+			// the edge.
 			if res.LastChargeDone == 0 {
 				res.LastChargeDone = now - cr.loseAt
 			}
-			if now >= cr.restoreAt+5*time.Minute && now-cr.loseAt >= res.LastChargeDone+2*time.Minute {
+			if (cr.gridPol == nil || !cr.gridPol.Busy(now)) &&
+				now >= cr.restoreAt+5*time.Minute && now-cr.loseAt >= res.LastChargeDone+2*time.Minute {
 				return true
 			}
 		} else {
@@ -758,6 +849,9 @@ func (cr *coordRun) finish() {
 			res.Storm = q.Metrics()
 		}
 		res.Guard = storm.TotalGuardMetrics(cr.guards)
+	}
+	if cr.gridPol != nil {
+		res.Grid = cr.gridPol.Metrics()
 	}
 	if cr.inj != nil {
 		res.FaultCounters = cr.inj.Counters()

@@ -1,0 +1,232 @@
+package scenario
+
+// Grid signal plane experiments: the connect-and-manage cap-shrink figure
+// (storm survival and SLA attainment while the interconnection cap shrinks
+// mid-recharge) and the peak-shave figure (grid draw held below a
+// demand-response target by deliberate battery discharge, with the recharge
+// SLAs still met). Both build on the storm acceptance scenario's 30-rack
+// MSB with a hair-trigger protection curve.
+
+import (
+	"fmt"
+	"time"
+
+	"coordcharge/internal/dynamo"
+	"coordcharge/internal/grid"
+	"coordcharge/internal/power"
+	"coordcharge/internal/rack"
+	"coordcharge/internal/report"
+	"coordcharge/internal/storm"
+	"coordcharge/internal/trace"
+	"coordcharge/internal/units"
+)
+
+// FirstPeakOf reports when the coordinated run described by spec schedules
+// its grid event: the first peak of the trace the spec would build. Grid
+// experiments use it to align cap-shrink and demand-response windows with
+// the outage and the recharge that follows.
+func FirstPeakOf(spec CoordSpec) (time.Duration, error) {
+	if err := spec.fillDefaults(); err != nil {
+		return 0, err
+	}
+	gen, err := traceSource(&spec, spec.NumP1+spec.NumP2+spec.NumP3)
+	if err != nil {
+		return 0, err
+	}
+	return trace.FirstPeak(gen, 24*time.Hour, time.Minute), nil
+}
+
+// gridStormBase is the shared grid-experiment fleet: the storm acceptance
+// scenario's 30 racks under a 5 %/30 s protection curve with a 340 kW MSB
+// limit. The IT trace peaks near 200 kW and the fleet's unconstrained
+// recharge draw adds up to ~37 kW on top, so an interconnection cap only
+// binds once it dips below ~237 kW — shrinks through 30 % (238 kW) ride
+// free, 35 % (221 kW) squeezes the recharge into a feasible trickle
+// through which the admission queue can still express priority, and ~38 %
+// starves it past the point where priority ordering survives. The
+// cap-shrink experiments probe exactly that knee.
+func gridStormBase(seed int64) CoordSpec {
+	spec := CoordSpec{
+		NumP1: 10, NumP2: 10, NumP3: 10,
+		Seed:              seed,
+		MSBLimit:          340 * units.Kilowatt,
+		Mode:              dynamo.ModePriorityAware,
+		OutageLen:         90 * time.Second,
+		TripRule:          &power.TripRule{Fraction: 0.05, Sustain: 30 * time.Second},
+		MaxChargeDuration: 6 * time.Hour,
+	}
+	sc := storm.Default()
+	sc.Reserve = 0.01
+	spec.Storm = &sc
+	g := storm.DefaultGuardConfig()
+	spec.Guard = &g
+	return spec
+}
+
+// GridStormSpec builds the canonical cap-shrink storm experiment: a 90 s
+// site outage at the first trace peak drains every BBU, and shrink (a
+// fraction in [0, 1)) of the interconnection cap is withdrawn five minutes
+// into the recharge — mid-storm — for two hours. Admission headroom must
+// re-derive from the shrunk effective cap each wave.
+func GridStormSpec(seed int64, shrink float64) (CoordSpec, error) {
+	spec := gridStormBase(seed)
+	peak, err := FirstPeakOf(spec)
+	if err != nil {
+		return CoordSpec{}, err
+	}
+	gs := &grid.Spec{Cap: grid.StepSeries(time.Duration(0), spec.MSBLimit)}
+	if shrink > 0 {
+		gs.Events = []grid.Event{{
+			Kind: grid.CapShrink,
+			At:   peak + 5*time.Minute,
+			Dur:  2 * time.Hour,
+			Frac: shrink,
+		}}
+	}
+	spec.Grid = gs
+	return spec, nil
+}
+
+// GridShaveSpec builds the canonical peak-shave experiment: the same fleet
+// rides through the outage, recovers (the storm drain takes ~1.5 h), and
+// then a 10-minute demand-response window opens two hours after the peak
+// with a 190 kW grid-draw target — below the fleet's ~198 kW IT load, so
+// holding it requires discharging batteries on purpose. P2/P3 racks rotate
+// through the discharge under a 50 % depth budget (each pack carries its
+// rack for ~90 s, so the rotation cycles through most of the eligible
+// fleet) and their recharges re-enter the normal admission path once the
+// window closes, so the SLA accounting covers the shave exactly as it
+// covers the outage. The outage is 60 s here, not the shrink experiments'
+// 90 s: the shave must prove that deliberate discharge costs no SLA, and
+// the deepest rack's 90 s-outage recharge already overruns its deadline at
+// the battery's maximum charge current — with no grid plane at all.
+func GridShaveSpec(seed int64) (CoordSpec, error) {
+	spec := gridStormBase(seed)
+	spec.OutageLen = 60 * time.Second
+	peak, err := FirstPeakOf(spec)
+	if err != nil {
+		return CoordSpec{}, err
+	}
+	spec.Grid = &grid.Spec{
+		Cap: grid.StepSeries(time.Duration(0), spec.MSBLimit),
+		Events: []grid.Event{{
+			Kind: grid.DemandResponse,
+			At:   peak + 2*time.Hour,
+			Dur:  10 * time.Minute,
+		}},
+		Policy: grid.PolicyConfig{
+			ShaveTarget: 190 * units.Kilowatt,
+			MaxShaveDOD: 0.5,
+		},
+	}
+	return spec, nil
+}
+
+// GridShrinkFigure bundles the cap-shrink sweep's chart with its summary
+// table.
+type GridShrinkFigure struct {
+	// Chart plots mean recharge completion time per priority against the
+	// cap shrink fraction: the squeeze slows everyone, in priority order.
+	Chart *report.Chart
+	// Table summarises each run: SLA attainment, trips, cap violations,
+	// the admission queue's wave count, and how many running charges the
+	// policy had to demote to hold the shrunk cap — the direct measure of
+	// where the cap starts to bind.
+	Table *report.Table
+}
+
+// RunGridShrink sweeps the mid-recharge interconnection-cap shrink across
+// the binding knee (see gridStormBase): completion times hold flat while
+// the shrunk cap still clears the fleet's draw, then stretch — in priority
+// order, P1 least — once the cap bites, while trips and cap violations
+// stay at zero throughout.
+func RunGridShrink(seed int64) (*GridShrinkFigure, error) {
+	shrinks := []float64{0, 0.2, 0.33, 0.35}
+	specs := make([]CoordSpec, len(shrinks))
+	for i, f := range shrinks {
+		spec, err := GridStormSpec(seed, f)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = spec
+	}
+	runs, err := runCoordinatedBatch(specs)
+	if err != nil {
+		return nil, err
+	}
+	fig := &GridShrinkFigure{
+		Chart: report.NewChart("Storm recovery under a shrinking connect-and-manage cap",
+			"cap shrink (%)", "mean recharge completion (min)"),
+		Table: report.NewTable("Cap-shrink storm survival",
+			"Shrink", "SLA met", "Trips", "Violation ticks", "Waves", "Cap demotions"),
+	}
+	series := map[rack.Priority]*report.Series{
+		rack.P1: fig.Chart.AddSeries("P1"),
+		rack.P2: fig.Chart.AddSeries("P2"),
+		rack.P3: fig.Chart.AddSeries("P3"),
+	}
+	for i, run := range runs {
+		for p, s := range series {
+			s.Append(shrinks[i]*100, meanOf(run.ChargeDurations[p]).Minutes())
+		}
+		sla := run.SLAMet[rack.P1] + run.SLAMet[rack.P2] + run.SLAMet[rack.P3]
+		fig.Table.Add(
+			fmt.Sprintf("%.0f%%", shrinks[i]*100),
+			fmt.Sprintf("%d/%d", sla, run.Racks[rack.P1]+run.Racks[rack.P2]+run.Racks[rack.P3]),
+			fmt.Sprintf("%d", len(run.Tripped)),
+			fmt.Sprintf("%d", run.Grid.ViolationTicks),
+			fmt.Sprintf("%d", run.Storm.Waves),
+			fmt.Sprintf("%d", run.Grid.CapDemotions),
+		)
+	}
+	return fig, nil
+}
+
+// GridShaveFigure bundles the peak-shave run's chart with its outcome.
+type GridShaveFigure struct {
+	// Chart plots measured grid draw against the would-be unshaved draw
+	// (measured plus the IT load batteries carried) across the run, with
+	// the demand-response target overlaid — the gap is the shave.
+	Chart *report.Chart
+	// Run is the underlying result, for SLA and energy accounting.
+	Run *CoordResult
+}
+
+// RunGridShave executes the peak-shave experiment and renders the shave:
+// during the demand-response window the measured draw must sit at the
+// target while the would-be draw sits above it, and every recharge —
+// including the shaving racks' own — must still meet its SLA deadline.
+func RunGridShave(seed int64) (*GridShaveFigure, error) {
+	spec, err := GridShaveSpec(seed)
+	if err != nil {
+		return nil, err
+	}
+	run, err := RunCoordinated(spec)
+	if err != nil {
+		return nil, err
+	}
+	chart := report.NewChart("Peak shaving: BBU fleet as a virtual power plant",
+		"minutes from transition", "kW")
+	measured := chart.AddSeries("grid draw")
+	unshaved := chart.AddSeries("unshaved (would-be)")
+	target := chart.AddSeries("shave target")
+	tgt := spec.Grid.Policy.ShaveTarget
+	for _, sm := range run.Samples {
+		measured.Append(sm.T.Minutes(), sm.Total.KW())
+		unshaved.Append(sm.T.Minutes(), (sm.Total + sm.Shaved).KW())
+		target.Append(sm.T.Minutes(), tgt.KW())
+	}
+	return &GridShaveFigure{Chart: chart, Run: run}, nil
+}
+
+// meanOf averages a duration slice; zero when empty.
+func meanOf(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}

@@ -66,11 +66,12 @@ type GuardMetrics struct {
 // charger-override command channel's latency or faults. That is what makes
 // it a credible last line when the coordination plane is degraded.
 type Guard struct {
-	node  *power.Node
-	racks []*rack.Rack
-	ccfg  core.Config
-	cfg   GuardConfig
-	queue *Queue // optional: paused charges handed to storm admission
+	node     *power.Node
+	racks    []*rack.Rack
+	ccfg     core.Config
+	cfg      GuardConfig
+	queue    *Queue                          // optional: paused charges handed to storm admission
+	capacity func(time.Duration) units.Power // optional: external feed capacity (interconnection cap)
 
 	over       bool
 	overSince  time.Duration
@@ -112,6 +113,26 @@ func NewGuard(node *power.Node, racks []*rack.Rack, ccfg core.Config, cfg GuardC
 // AttachQueue hands the guard's paused charges to a storm admission queue
 // instead of the guard's own quiet-time resume.
 func (g *Guard) AttachQueue(q *Queue) { g.queue = q }
+
+// SetCapacity clamps the draw level the guard defends with charge shedding
+// (demote and pause) to an externally supplied feed capacity — the
+// interconnection cap from the grid signal plane. The escalation to server
+// power capping keeps its breaker-based trip threshold: IT capping defends
+// trip physics, not grid compliance. A nil fn, or a capacity at or above
+// the breaker limit, leaves the breaker limit in force.
+func (g *Guard) SetCapacity(fn func(now time.Duration) units.Power) { g.capacity = fn }
+
+// limitAt is the draw level the guard defends at time now: the breaker
+// limit, clamped down by the attached capacity hook when one is set.
+func (g *Guard) limitAt(now time.Duration) units.Power {
+	limit := g.node.Limit()
+	if g.capacity != nil {
+		if c := g.capacity(now); c > 0 && c < limit {
+			return c
+		}
+	}
+	return limit
+}
 
 // SetObs attaches an observability sink: shed/release activity is counted
 // under guard.* metrics, a per-node trip-proximity gauge tracks how far into
@@ -179,7 +200,7 @@ func (g *Guard) Tick(now time.Duration) {
 		return
 	}
 	p := g.node.Power()
-	limit := g.node.Limit()
+	limit := g.limitAt(now)
 	if p > limit {
 		g.quiet = false
 		if !g.over {
@@ -248,10 +269,10 @@ func (g *Guard) shed(now time.Duration) {
 		if g.sink != nil {
 			g.sink.Event(now, g.comp(), "guard-fire",
 				"power_w", fmt.Sprintf("%.0f", float64(g.node.Power())),
-				"limit_w", fmt.Sprintf("%.0f", float64(g.node.Limit())))
+				"limit_w", fmt.Sprintf("%.0f", float64(g.limitAt(now))))
 		}
 	}
-	limit := g.node.Limit()
+	limit := g.limitAt(now)
 	safe := g.ccfg.SafeCurrent()
 	order := g.shedOrder()
 
@@ -286,21 +307,25 @@ func (g *Guard) shed(now time.Duration) {
 			g.sink.Event(now, g.comp(), "guard-pause", "rack", r.Name())
 		}
 		if g.queue != nil {
-			g.queue.Enqueue(now, Request{Name: r.Name(), Priority: r.Priority(), DOD: r.PendingDOD()})
+			g.queue.Enqueue(now, Request{Name: r.Name(), Priority: r.Priority(), DOD: r.PendingDOD(), Since: r.ChargeStart()})
 		} else {
 			g.paused = append(g.paused, r)
 		}
 	}
 	// Rung 3 (final resort): charge shedding was not enough. Cap servers
-	// only when the draw still sits beyond the trip threshold.
+	// only when the draw still sits beyond the trip threshold. Both the
+	// threshold and the cut target are the breaker's own limit, never an
+	// interconnection cap: servers are capped to keep the breaker up, not
+	// to honour a grid signal (availability over compliance).
+	breaker := g.node.Limit()
 	rule := g.node.Rule()
-	threshold := units.Power(float64(limit) * (1 + float64(rule.Fraction)))
+	threshold := units.Power(float64(breaker) * (1 + float64(rule.Fraction)))
 	if g.node.Power() <= threshold {
 		return
 	}
 	var cut units.Power
 	for _, r := range order {
-		over := g.node.Power() - limit
+		over := g.node.Power() - breaker
 		if over <= 0 {
 			break
 		}

@@ -83,6 +83,11 @@ type Request struct {
 	Name     string
 	Priority rack.Priority
 	DOD      units.Fraction
+	// Since is the virtual time the rack's charge episode began — the SLA
+	// clock admission grants are sized against. A charge paused mid-flight
+	// and re-enqueued keeps its original clock this way; zero means the
+	// episode begins at enqueue time.
+	Since time.Duration
 }
 
 // Grant is an admitted recharge and the charging current it may start at.
@@ -274,7 +279,15 @@ func (q *Queue) Admit(now time.Duration, budget units.Power, cfg core.Config) []
 		if q.cfg.MaxWave > 0 && len(grants) >= q.cfg.MaxWave {
 			break
 		}
-		want, _ := cfg.SLACurrent(w.Priority, w.DOD)
+		// The rack's SLA clock has been running since its charge episode
+		// began — before it enqueued, for a charge paused mid-flight — so
+		// size the grant against the deadline budget it has left, not the
+		// full one.
+		start := w.since
+		if w.Since > 0 && w.Since < start {
+			start = w.Since
+		}
+		want, _ := cfg.SLACurrentWithin(w.Priority, w.DOD, cfg.Deadlines[w.Priority]-(now-start))
 		if want < min {
 			want = min
 		}

@@ -19,6 +19,7 @@ import (
 	"coordcharge/internal/config"
 	"coordcharge/internal/dynamo"
 	"coordcharge/internal/faults"
+	"coordcharge/internal/grid"
 	"coordcharge/internal/scenario"
 	"coordcharge/internal/storm"
 	"coordcharge/internal/units"
@@ -174,6 +175,10 @@ type RunRequest struct {
 	// Faults is a faults.ParseSpec string ("", "off", "default", or k=v
 	// overrides).
 	Faults string `json:"faults"`
+	// Grid is a grid.ParseSpec string arming the grid signal plane ("" or
+	// "off" disables; "on", or semicolon key=value elements — cap/price/
+	// carbon series, droop/dr/capshrink events, defer and shave thresholds).
+	Grid string `json:"grid"`
 	// Trace names a previously ingested trace to replay instead of the
 	// synthetic generator; its rack count must equal p1+p2+p3.
 	Trace      string  `json:"trace"`
@@ -257,6 +262,11 @@ func (q *RunRequest) Validate() error {
 			return err
 		}
 	}
+	if q.Grid != "" {
+		if _, err := grid.ParseSpec(q.Grid); err != nil {
+			return err
+		}
+	}
 	if q.Priority < 0 || q.Priority > 3 {
 		return fmt.Errorf("svc: priority %d out of [1, 3]", q.Priority)
 	}
@@ -295,6 +305,11 @@ func (q *RunRequest) Spec() (scenario.CoordSpec, error) {
 			return spec, err
 		}
 	}
+	if q.Grid != "" {
+		if spec.Grid, err = grid.ParseSpec(q.Grid); err != nil {
+			return spec, err
+		}
+	}
 	if q.Admission {
 		c := storm.Default()
 		spec.Storm = &c
@@ -327,7 +342,13 @@ type RunSummary struct {
 	StormMaxQueue  int            `json:"storm_max_queue,omitempty"`
 	GuardFires     int            `json:"guard_fires,omitempty"`
 	FailSafeEvents int            `json:"fail_safe_events,omitempty"`
-	Interrupted    bool           `json:"interrupted,omitempty"`
+	// Grid-plane activity (zero-valued and omitted when the grid plane is
+	// off).
+	GridCapChanges int     `json:"grid_cap_changes,omitempty"`
+	GridDeferTicks int     `json:"grid_defer_ticks,omitempty"`
+	GridShavedWh   float64 `json:"grid_shaved_wh,omitempty"`
+	GridViolations int     `json:"grid_violation_ticks,omitempty"`
+	Interrupted    bool    `json:"interrupted,omitempty"`
 }
 
 // Summarize flattens a coordinated result into its wire form.
@@ -354,6 +375,10 @@ func Summarize(res *scenario.CoordResult) *RunSummary {
 	s.StormMaxQueue = res.Storm.MaxQueue
 	s.GuardFires = res.Guard.Fires
 	s.FailSafeEvents = res.FailSafeActivations
+	s.GridCapChanges = res.Grid.CapChanges
+	s.GridDeferTicks = res.Grid.DeferTicks
+	s.GridShavedWh = float64(res.Grid.ShavedEnergy) / 3600
+	s.GridViolations = res.Grid.ViolationTicks
 	return s
 }
 
