@@ -129,7 +129,7 @@ func main() {
 		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fatal(err)
 		}
-	}()
+	}() //coordvet:detached process-lifetime server; exits only via fatal or process end
 	// The address line is machine-read by the chaos harness; keep its shape.
 	fmt.Printf("coordd: listening on http://%s\n", ln.Addr())
 

@@ -342,7 +342,7 @@ func runCustom(cs customSpec) {
 				step = 3 * time.Second // RunCoordinated's default tick
 			}
 			wait := time.Duration(float64(step) / cs.pace)
-			spec.StepHook = func(time.Duration) { time.Sleep(wait) } //coordvet:ignore determinism -pace deliberately slaves virtual time to the wall clock for live scraping
+			spec.StepHook = func(time.Duration) { wallSleep(wait) }
 		}
 	}
 	res, err := scenario.RunCoordinated(spec)

@@ -1,0 +1,11 @@
+package main
+
+import "time"
+
+// wallSleep is coordsim's only wall-clock tap, following the svc.Clock
+// pattern: the -pace hook deliberately slaves virtual time to the wall clock
+// so a live scraper can watch a run unfold in real time. Funnelling the
+// sleep through this one allowlisted function (see coordvet's determinism
+// analyzer) keeps the rest of the command under the no-wall-clock contract —
+// a stray time.Sleep anywhere else in coordsim is still a finding.
+func wallSleep(d time.Duration) { time.Sleep(d) }

@@ -89,7 +89,7 @@ type Agent struct {
 	engine  *sim.Engine
 	latency time.Duration
 
-	inj      *faults.Injector
+	inj      *faults.Injector //coordvet:transient wiring: SetFaults re-attaches the injector before resume
 	comp     string
 	last     Snapshot
 	lastVer  uint64 // rack.Version() when last was taken (fault-free path)
@@ -423,9 +423,9 @@ type Controller struct {
 	// entry was taken at, so re-sampling an unchanged rack skips the copy.
 	tel        []Snapshot
 	telOK      []bool
-	telOKCount int
+	telOKCount int //coordvet:transient derived: RestoreState recounts it from telOK
 	telVer     []uint64
-	viewBuf    []Snapshot
+	viewBuf    []Snapshot //coordvet:transient scratch: per-call view buffer, rebuilt by views
 	pending    map[int]*pendingOverride
 
 	// mutated records whether this tick's planning/admission phase touched
@@ -434,8 +434,8 @@ type Controller struct {
 	// re-sample can be skipped: with no mutations and no injectors it is a
 	// pure no-op, but injected reads draw randomness per call and must keep
 	// their historical draw order.
-	mutated bool
-	anyInj  bool
+	mutated bool //coordvet:transient scratch: per-tick flag, reset by Tick
+	anyInj  bool //coordvet:transient derived: recomputed by every sample
 
 	obsHandles
 }

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the committed debt ledger that lets a new analyzer land
+// strict: every finding present when the analyzer was introduced is
+// recorded here, `coordvet -baseline` subtracts the ledger from its output,
+// and CI fails only on findings that are not in it. Entries are keyed by
+// (file, analyzer, message) — never by line number — so unrelated edits
+// that shift code do not invalidate the ledger, while fixing a finding
+// (or changing the code enough to alter its message) retires the entry.
+// Retired entries do not fail the run; `-write-baseline` prunes them, so
+// the ledger only ever shrinks.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one suppressed legacy finding. Count collapses duplicate
+// (file, analyzer, message) triples: a file with three identical findings
+// baselines as one entry with Count 3, and a fourth appearance is new.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count,omitempty"`
+}
+
+// baselineVersion is the current ledger schema.
+const baselineVersion = 1
+
+func (e BaselineEntry) key() string { return e.File + "\x00" + e.Analyzer + "\x00" + e.Message }
+
+// entryFor normalizes a diagnostic into its ledger key form, with the file
+// path made module-relative (and slash-separated) so the ledger is portable
+// across checkouts.
+func entryFor(modRoot string, d Diagnostic) BaselineEntry {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	return BaselineEntry{File: filepath.ToSlash(file), Analyzer: d.Analyzer, Message: d.Message, Count: 1}
+}
+
+// ReadBaseline loads a ledger from path. A missing file is an empty
+// baseline, not an error — the flag can be wired into CI before the first
+// ledger is committed.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Version: baselineVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline %s has version %d, want %d", path, b.Version, baselineVersion)
+	}
+	return &b, nil
+}
+
+// Filter subtracts the baseline from diags: it returns the findings not
+// covered by the ledger (the ones that must fail the run) and the ledger
+// entries that matched nothing (retired debt, safe to prune).
+func (b *Baseline) Filter(modRoot string, diags []Diagnostic) (fresh []Diagnostic, retired []BaselineEntry) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		n := e.Count
+		if n <= 0 {
+			n = 1
+		}
+		budget[e.key()] += n
+	}
+	used := map[string]int{}
+	for _, d := range diags {
+		k := entryFor(modRoot, d).key()
+		if used[k] < budget[k] {
+			used[k]++
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		if used[e.key()] == 0 {
+			retired = append(retired, e)
+		}
+	}
+	return fresh, retired
+}
+
+// NewBaseline builds a pruned ledger covering exactly the given findings,
+// sorted and deduplicated, ready to be written with WriteBaseline.
+func NewBaseline(modRoot string, diags []Diagnostic) *Baseline {
+	counts := map[string]BaselineEntry{}
+	for _, d := range diags {
+		e := entryFor(modRoot, d)
+		if prev, ok := counts[e.key()]; ok {
+			prev.Count++
+			counts[e.key()] = prev
+		} else {
+			counts[e.key()] = e
+		}
+	}
+	b := &Baseline{Version: baselineVersion, Findings: []BaselineEntry{}}
+	for _, e := range counts {
+		if e.Count == 1 {
+			e.Count = 0 // omitempty: 1 is the implied default
+		}
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the ledger as stable, diff-friendly JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

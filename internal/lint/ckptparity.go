@@ -1,0 +1,397 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CkptParity proves checkpoint field coverage for every type that
+// participates in crash-safe resume (DESIGN.md §9): a type with an
+// ExportState/RestoreState pair (or the rng-style State/FromState pair)
+// promises that restoring an exported state reproduces the live value
+// bit-exactly. The invariant that keeps that promise is *parity*: every
+// mutable field of the live type — one some method other than RestoreState
+// assigns to — must be read by ExportState and written by RestoreState, or
+// resume silently diverges the first time the field's value matters. The
+// runtime kill-and-resume chaos suites only catch that drift on seeds that
+// happen to exercise the field; this check catches it at review time, on
+// the field declaration.
+//
+// Mechanics. For each pair type the analyzer computes three sets over the
+// package's AST:
+//
+//   - mutable: fields assigned (including op=, ++/--, element and nested
+//     writes) in any method of the type except RestoreState itself;
+//   - exported: fields referenced anywhere in ExportState's body or in
+//     same-type methods it (transitively) calls;
+//   - restored: the same closure over RestoreState (or FromState).
+//
+// A mutable field outside exported∩restored is a finding. The only escape
+// hatch is an explicit per-field annotation in the field's doc or trailing
+// comment:
+//
+//	shaveSet map[string]bool //coordvet:transient derived: rebuilt from shaving on restore
+//
+// The justification is mandatory, and the annotation is itself checked: a
+// //coordvet:transient on a field that round-trips (or is never mutated, or
+// sits on a type with no pair) is stale and reported, so annotations cannot
+// outlive the code they excuse. A type with only one half of the
+// ExportState/RestoreState pair is also reported.
+//
+// Limits, so the contract is honest: mutability is receiver-method
+// assignment analysis — mutations through copy(), taken addresses, or
+// functions outside the declaring type are not seen; reads/writes are
+// "field is referenced in the closure", not dataflow. Both err toward
+// silence, never toward false alarms.
+var CkptParity = &Analyzer{
+	Name: "ckptparity",
+	Doc:  "every mutable field of an ExportState/RestoreState type must round-trip through its *State struct or carry //coordvet:transient",
+	Run:  runCkptParity,
+}
+
+// TransientMarker opens a checkpoint-exemption annotation on a struct
+// field: //coordvet:transient <why>.
+const TransientMarker = "coordvet:transient"
+
+// transientFixText is the placeholder annotation -fix inserts.
+const transientFixText = " //" + TransientMarker + " TODO(coordvet): justify why this field need not round-trip through the checkpoint"
+
+// transientAnnot is one parsed //coordvet:transient annotation.
+type transientAnnot struct {
+	pos   token.Pos
+	why   string
+	used  bool
+	field *ast.Field
+}
+
+func runCkptParity(p *Pass) {
+	// Index the package's declarations: struct types in declaration order,
+	// methods by receiver type, package-level functions by name.
+	type typeDecl struct {
+		name string
+		st   *ast.StructType
+	}
+	var typeOrder []typeDecl
+	methods := map[string]map[string]*ast.FuncDecl{}
+	funcs := map[string]*ast.FuncDecl{}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.TYPE {
+					continue
+				}
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if st, ok := ts.Type.(*ast.StructType); ok {
+						typeOrder = append(typeOrder, typeDecl{ts.Name.Name, st})
+					}
+				}
+			case *ast.FuncDecl:
+				if d.Recv == nil {
+					if _, ok := funcs[d.Name.Name]; !ok {
+						funcs[d.Name.Name] = d
+					}
+					continue
+				}
+				recv := recvTypeName(d)
+				if recv == "" {
+					continue
+				}
+				if methods[recv] == nil {
+					methods[recv] = map[string]*ast.FuncDecl{}
+				}
+				methods[recv][d.Name.Name] = d
+			}
+		}
+	}
+
+	for _, td := range typeOrder {
+		m := methods[td.name]
+		export, restore := m["ExportState"], m["RestoreState"]
+		restoreName := "RestoreState"
+		if export == nil && restore == nil {
+			// rng-style pair: a State() method plus a package-level
+			// FromState constructor returning the type.
+			if st, ff := m["State"], funcs["FromState"]; st != nil && ff != nil && returnsType(ff, td.name) {
+				export, restore, restoreName = st, ff, "FromState"
+			}
+		}
+		annots := transientAnnots(td.st)
+		switch {
+		case export == nil && restore == nil:
+			// Not a checkpoint type: any transient annotation is stale.
+			for _, a := range annots {
+				p.Reportf(a.pos, "//%s on %s.%s, but %s has no ExportState/RestoreState pair",
+					TransientMarker, td.name, fieldNames(a.field), td.name)
+			}
+			continue
+		case export == nil:
+			p.Reportf(restore.Name.Pos(), "%s has RestoreState but no ExportState; a checkpoint can never capture it", td.name)
+			continue
+		case restore == nil:
+			p.Reportf(export.Name.Pos(), "%s has ExportState but no RestoreState; a checkpoint of it can never be resumed", td.name)
+			continue
+		}
+
+		fieldset := map[types.Object]*ast.Field{}
+		var fieldOrder []*ast.Field
+		for _, field := range td.st.Fields.List {
+			if len(field.Names) == 0 {
+				continue // embedded fields cannot be annotated by name; out of scope
+			}
+			fieldOrder = append(fieldOrder, field)
+			for _, name := range field.Names {
+				if obj := p.Pkg.Info.Defs[name]; obj != nil {
+					fieldset[obj] = field
+				}
+			}
+		}
+
+		// Sorted method order so a field mutated by several methods gets a
+		// stable attribution (baseline keys include the message).
+		mnames := make([]string, 0, len(m))
+		for mname := range m {
+			mnames = append(mnames, mname)
+		}
+		sort.Strings(mnames)
+		mutatedBy := map[types.Object]string{}
+		for _, mname := range mnames {
+			fd := m[mname]
+			if mname == restore.Name.Name && fd == restore {
+				continue
+			}
+			collectFieldWrites(p, fd.Body, fieldset, "(*"+td.name+")."+mname, mutatedBy)
+		}
+		exported := fieldMentions(p, export, methods[td.name])
+		restored := fieldMentions(p, restore, methods[td.name])
+
+		annotByField := map[*ast.Field]*transientAnnot{}
+		for _, a := range annots {
+			annotByField[a.field] = a
+			if a.why == "" {
+				p.Reportf(a.pos, "//%s needs a justification after the marker", TransientMarker)
+			}
+		}
+
+		for _, field := range fieldOrder {
+			fixed := false
+			for _, name := range field.Names {
+				obj := p.Pkg.Info.Defs[name]
+				by, mutable := mutatedBy[obj]
+				if !mutable {
+					continue
+				}
+				missEx, missRe := !exported[obj], !restored[obj]
+				if !missEx && !missRe {
+					continue
+				}
+				if a := annotByField[field]; a != nil {
+					a.used = true
+					continue
+				}
+				var miss string
+				switch {
+				case missEx && missRe:
+					miss = "not read by ExportState and not written by " + restoreName
+				case missEx:
+					miss = "not read by ExportState"
+				default:
+					miss = "not written by " + restoreName + "; resume would keep the stale pre-checkpoint value"
+				}
+				d := Diagnostic{
+					Analyzer: p.Analyzer.Name,
+					Pos:      p.Prog.Fset.Position(name.Pos()),
+					Message: td.name + "." + name.Name + " is mutated by " + by + " but " + miss +
+						"; round-trip it through the state struct or annotate //" + TransientMarker + " <why>",
+				}
+				if !fixed {
+					d.Fix = &SuggestedFix{
+						Message: "annotate " + td.name + "." + name.Name + " as checkpoint-transient",
+						Edits:   []TextEdit{{Pos: transientInsertPos(field), End: transientInsertPos(field), NewText: transientFixText}},
+					}
+					fixed = true
+				}
+				*p.diags = append(*p.diags, d)
+			}
+		}
+		for _, a := range annots {
+			if a.used {
+				continue
+			}
+			p.Reportf(a.pos, "stale //%s on %s.%s: the field round-trips (or is never mutated); drop the annotation",
+				TransientMarker, td.name, fieldNames(a.field))
+		}
+	}
+}
+
+// recvTypeName extracts a method's receiver base type name ("T" from *T,
+// T, or generic T[P]).
+func recvTypeName(fd *ast.FuncDecl) string {
+	if len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// returnsType reports whether fd's result list includes the named type
+// (possibly behind a pointer).
+func returnsType(fd *ast.FuncDecl, name string) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		t := r.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// transientAnnots parses the //coordvet:transient annotations on a struct's
+// fields (doc or trailing comment; the marker may sit mid-comment so it can
+// share the line with e.g. a `guarded by` annotation).
+func transientAnnots(st *ast.StructType) []*transientAnnot {
+	var out []*transientAnnot
+	for _, field := range st.Fields.List {
+		for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				if _, rest, ok := strings.Cut(c.Text, TransientMarker); ok {
+					out = append(out, &transientAnnot{pos: c.Pos(), why: strings.TrimSpace(rest), field: field})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// transientInsertPos is where -fix inserts a transient annotation: before
+// the field's existing trailing comment, else at the end of the field.
+func transientInsertPos(field *ast.Field) token.Pos {
+	if field.Comment != nil && len(field.Comment.List) > 0 {
+		return field.Comment.List[0].Pos()
+	}
+	return field.End()
+}
+
+// fieldNames joins a field's declared names for diagnostics.
+func fieldNames(field *ast.Field) string {
+	names := make([]string, len(field.Names))
+	for i, n := range field.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ",")
+}
+
+// collectFieldWrites records fields of the live type assigned in body
+// (plain/compound assignment and ++/--, through element, pointer, and
+// nested-struct spines), attributing each to the method named by label.
+func collectFieldWrites(p *Pass, body *ast.BlockStmt, fieldset map[types.Object]*ast.Field, label string, out map[types.Object]string) {
+	if body == nil {
+		return
+	}
+	mark := func(lhs ast.Expr) {
+		for {
+			switch x := lhs.(type) {
+			case *ast.ParenExpr:
+				lhs = x.X
+			case *ast.IndexExpr:
+				lhs = x.X
+			case *ast.StarExpr:
+				lhs = x.X
+			case *ast.SelectorExpr:
+				if obj := p.Pkg.Info.Uses[x.Sel]; obj != nil {
+					if _, ok := fieldset[obj]; ok {
+						if _, seen := out[obj]; !seen {
+							out[obj] = label
+						}
+						return
+					}
+				}
+				lhs = x.X
+			default:
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if s.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(s.X)
+		}
+		return true
+	})
+}
+
+// fieldMentions computes the set of live-type fields referenced in fn's
+// body or in same-type methods it transitively calls.
+func fieldMentions(p *Pass, fn *ast.FuncDecl, typeMethods map[string]*ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	visited := map[*ast.FuncDecl]bool{}
+	var walk func(fd *ast.FuncDecl)
+	walk = func(fd *ast.FuncDecl) {
+		if fd == nil || fd.Body == nil || visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.Ident:
+				if obj := p.Pkg.Info.Uses[x]; obj != nil {
+					out[obj] = true
+				}
+			case *ast.CallExpr:
+				if callee := p.Callee(x); callee != nil {
+					if next, ok := typeMethods[callee.Name()]; ok && sameReceiverType(p, callee, next) {
+						walk(next)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(fn)
+	return out
+}
+
+// sameReceiverType guards the closure walk: the resolved callee must be the
+// method decl we indexed (same package, same receiver type), not a
+// same-named method of another type.
+func sameReceiverType(p *Pass, callee *types.Func, decl *ast.FuncDecl) bool {
+	obj := p.Pkg.Info.Defs[decl.Name]
+	return obj == callee
+}

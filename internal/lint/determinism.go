@@ -14,10 +14,11 @@ import (
 // seeded *rand.Rand (internal/rng).
 //
 // Scope: packages under internal/ and cmd/. Allowlist: cmd/reproduce (its
-// artifact index is wall-clock stamped by design) and obs.Serve (the live
-// HTTP surface is the one deliberate wall-clock boundary). The coordsim
-// -pace hook carries an inline //coordvet:ignore instead, so the rest of
-// that command stays checked.
+// artifact index is wall-clock stamped by design) and named tap functions —
+// obs.Serve (the live HTTP surface), svc's wallNow/wallSleep (the service
+// plane's injected clock), and coordsim's wallSleep (the -pace hook) — so
+// each deliberate wall-clock boundary is one grep-able function and the
+// rest of its package stays checked.
 var Determinism = &Analyzer{
 	Name: "determinism",
 	Doc:  "forbid wall-clock reads, sleeps, and global math/rand in sim/control packages",
@@ -57,6 +58,9 @@ var determinismAllowedFunc = map[string]map[string]bool{
 	// through these two injected taps (see svc.Clock), so the hosted
 	// simulations stay on virtual tick time.
 	"internal/svc": {"wallNow": true, "wallSleep": true},
+	// coordsim's -pace hook deliberately slaves virtual time to the wall
+	// clock for live scraping; the sleep is funnelled through one tap.
+	"cmd/coordsim": {"wallSleep": true},
 }
 
 func runDeterminism(p *Pass) {

@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ApplyFixes applies every suggested fix in diags to the source files they
+// touch and returns the new file contents, keyed by filename. Nothing is
+// written to disk — the caller (the driver's -fix mode) owns that, so tests
+// can exercise fixing without mutating the tree.
+//
+// Edits are applied per file in descending offset order so earlier spans
+// stay valid. Overlapping edits are a conflict: the first (lowest-position)
+// fix wins and the overlapped one is skipped and reported in skipped, never
+// half-applied.
+func ApplyFixes(prog *Program, diags []Diagnostic) (fixed map[string][]byte, applied int, skipped []Diagnostic, err error) {
+	type edit struct {
+		start, end int
+		text       string
+		diag       int // index into fixers, to attribute conflicts
+	}
+	perFile := map[string][]edit{}
+	var fixers []Diagnostic
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		idx := len(fixers)
+		fixers = append(fixers, d)
+		for _, e := range d.Fix.Edits {
+			start := prog.Fset.Position(e.Pos)
+			end := start
+			if e.End.IsValid() {
+				end = prog.Fset.Position(e.End)
+			}
+			if start.Filename == "" || end.Filename != start.Filename || end.Offset < start.Offset {
+				return nil, 0, nil, fmt.Errorf("lint: fix for %s has an invalid edit span", d)
+			}
+			perFile[start.Filename] = append(perFile[start.Filename], edit{start.Offset, end.Offset, e.NewText, idx})
+		}
+	}
+	if len(perFile) == 0 {
+		return nil, 0, nil, nil
+	}
+
+	fixed = map[string][]byte{}
+	conflicted := map[int]bool{}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		edits := perFile[name]
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		// Mark every edit that overlaps an earlier-starting one; all edits
+		// of a conflicted diagnostic are dropped together.
+		prevEnd := -1
+		for _, e := range edits {
+			if e.start < prevEnd || e.start > len(src) || e.end > len(src) {
+				conflicted[e.diag] = true
+				continue
+			}
+			if e.end > prevEnd {
+				prevEnd = e.end
+			}
+		}
+		out := src
+		for i := len(edits) - 1; i >= 0; i-- {
+			e := edits[i]
+			if conflicted[e.diag] {
+				continue
+			}
+			out = append(out[:e.start:e.start], append([]byte(e.text), out[e.end:]...)...)
+		}
+		fixed[name] = out
+	}
+	for i, d := range fixers {
+		if conflicted[i] {
+			skipped = append(skipped, d)
+		} else {
+			applied++
+		}
+	}
+	return fixed, applied, skipped, nil
+}

@@ -24,6 +24,14 @@ type Loader struct {
 	// ModRoot is the module root directory; ModPath its module path.
 	ModRoot string
 	ModPath string
+	// GoVersion is the language version the type-checker enforces
+	// ("go1.22"), read from the module's go directive. Without it go/types
+	// accepts any language feature the toolchain knows — including ones
+	// `go build` would reject under the module's declared version — and,
+	// conversely, a future toolchain could start rejecting constructs the
+	// directive permits. Pinning it keeps coordvet's accept set identical
+	// to the compiler's, generics included.
+	GoVersion string
 	// OverlayRoot, when set, is a GOPATH-style source tree
 	// (OverlayRoot/<import/path>/*.go) consulted before the module —
 	// the golden-fixture convention.
@@ -57,11 +65,13 @@ func NewLoader(dir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	modPath := ""
+	modPath, goVersion := "", ""
 	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
 			modPath = strings.TrimSpace(rest)
-			break
+		} else if rest, ok := strings.CutPrefix(line, "go "); ok {
+			goVersion = "go" + strings.TrimSpace(rest)
 		}
 	}
 	if modPath == "" {
@@ -73,12 +83,13 @@ func NewLoader(dir string) (*Loader, error) {
 	build.Default.CgoEnabled = false
 	fset := token.NewFileSet()
 	return &Loader{
-		Fset:    fset,
-		ModRoot: root,
-		ModPath: modPath,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
+		Fset:      fset,
+		ModRoot:   root,
+		ModPath:   modPath,
+		GoVersion: goVersion,
+		std:       importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:      map[string]*Package{},
+		loading:   map[string]bool{},
 	}, nil
 }
 
@@ -140,7 +151,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Instances:  map[*ast.Ident]types.Instance{},
 		Scopes:     map[ast.Node]*types.Scope{},
 	}
-	cfg := types.Config{Importer: l}
+	cfg := types.Config{Importer: l, GoVersion: l.GoVersion}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)

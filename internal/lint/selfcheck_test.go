@@ -1,12 +1,17 @@
 package lint
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
-// TestRepoIsClean runs the full suite over the whole module, the same
-// invocation CI uses (`go run ./cmd/coordvet ./...`): the tree must stay
-// burned down — every contract violation either fixed or explicitly
-// suppressed with a justification. A failure here is a new finding; run
-// coordvet locally for positions.
+// TestRepoIsClean runs the full suite over the whole module and subtracts
+// the committed baseline — the same gate CI uses (`go run ./cmd/coordvet
+// -baseline coordvet_baseline.json ./...`): the tree must stay burned down,
+// every contract violation fixed, explicitly annotated with a justification,
+// or recorded in the ledger. A failure here is a new finding; run coordvet
+// locally for positions. Retired ledger entries also fail, so the baseline
+// can only ever shrink in step with the code.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short")
@@ -22,7 +27,17 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 30 {
 		t.Fatalf("suspiciously few packages scanned: %d", len(pkgs))
 	}
-	for _, d := range Run(loader.Program(pkgs), All()) {
+	diags := Run(loader.Program(pkgs), All())
+
+	baseline, err := ReadBaseline(filepath.Join(loader.ModRoot, "coordvet_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, retired := baseline.Filter(loader.ModRoot, diags)
+	for _, d := range fresh {
 		t.Errorf("%s", d)
+	}
+	for _, e := range retired {
+		t.Errorf("retired baseline entry (prune with -write-baseline): %s [%s] %s", e.File, e.Analyzer, e.Message)
 	}
 }

@@ -1,0 +1,18 @@
+// Package ckptannot holds the ckptparity annotation cases whose finding
+// lands on the annotation comment itself, so a same-line `want` expectation
+// would change the case under test (it would become the justification).
+// The driver test asserts on the diagnostics directly.
+package ckptannot
+
+// Bare carries a marker with no justification.
+type Bare struct {
+	scratch int //coordvet:transient
+}
+
+type BareState struct{}
+
+func (b *Bare) Poke() { b.scratch++ }
+
+func (b *Bare) ExportState() BareState { return BareState{} }
+
+func (b *Bare) RestoreState(st BareState) { _ = st }

@@ -1,0 +1,152 @@
+// Package ckptfix is the ckptparity golden fixture: checkpoint-capable
+// types with full, partial, and annotated field coverage.
+package ckptfix
+
+// Good round-trips every mutable field: no findings.
+type Good struct {
+	count int
+	total float64
+}
+
+type GoodState struct {
+	Count int
+	Total float64
+}
+
+func (g *Good) Tick() {
+	g.count++
+	g.total += 0.5
+}
+
+func (g *Good) ExportState() GoodState {
+	return GoodState{Count: g.count, Total: g.total}
+}
+
+func (g *Good) RestoreState(st GoodState) {
+	g.count = st.Count
+	g.total = st.Total
+}
+
+// Leaky mutates a field that neither direction of the checkpoint touches.
+type Leaky struct {
+	kept int
+	lost int // want "Leaky\\.lost is mutated by \\(\\*Leaky\\)\\.Tick but not read by ExportState and not written by RestoreState"
+}
+
+type LeakyState struct{ Kept int }
+
+func (l *Leaky) Tick() {
+	l.kept++
+	l.lost++
+}
+
+func (l *Leaky) ExportState() LeakyState { return LeakyState{Kept: l.kept} }
+
+func (l *Leaky) RestoreState(st LeakyState) { l.kept = st.Kept }
+
+// HalfExported restores a field the export side forgot.
+type HalfExported struct {
+	seen int // want "HalfExported\\.seen is mutated by \\(\\*HalfExported\\)\\.Mark but not read by ExportState; round-trip"
+}
+
+type HalfExportedState struct{ Seen int }
+
+func (h *HalfExported) Mark() { h.seen++ }
+
+func (h *HalfExported) ExportState() HalfExportedState { return HalfExportedState{} }
+
+func (h *HalfExported) RestoreState(st HalfExportedState) { h.seen = st.Seen }
+
+// HalfRestored exports a field the restore side drops on the floor.
+type HalfRestored struct {
+	depth int // want "HalfRestored\\.depth is mutated by \\(\\*HalfRestored\\)\\.Push but not written by RestoreState; resume would keep the stale pre-checkpoint value"
+}
+
+type HalfRestoredState struct{ Depth int }
+
+func (h *HalfRestored) Push() { h.depth++ }
+
+func (h *HalfRestored) ExportState() HalfRestoredState { return HalfRestoredState{Depth: h.depth} }
+
+func (h *HalfRestored) RestoreState(st HalfRestoredState) { _ = st }
+
+// Annotated shows the escape hatch and its stale detection.
+type Annotated struct {
+	live    int
+	derived int //coordvet:transient derived: recomputed from live on restore
+	idle    int //coordvet:transient bogus: the field is never mutated // want "stale //coordvet:transient on Annotated\\.idle"
+}
+
+type AnnotatedState struct{ Live int }
+
+func (a *Annotated) Bump() {
+	a.live++
+	a.derived = a.live * 2
+}
+
+func (a *Annotated) ExportState() AnnotatedState { return AnnotatedState{Live: a.live} }
+
+func (a *Annotated) RestoreState(st AnnotatedState) {
+	a.live = st.Live
+	a.derived = a.live * 2
+}
+
+// NoPair has a transient annotation but nothing to be transient from.
+type NoPair struct {
+	x int //coordvet:transient bogus: no checkpoint here // want "//coordvet:transient on NoPair\\.x, but NoPair has no ExportState/RestoreState pair"
+}
+
+func (n *NoPair) Set(v int) { n.x = v }
+
+// ExportOnly is half a checkpoint type.
+type ExportOnly struct{ n int }
+
+func (e *ExportOnly) ExportState() int { return e.n } // want "ExportOnly has ExportState but no RestoreState; a checkpoint of it can never be resumed"
+
+// RestoreOnly is the other half.
+type RestoreOnly struct{ n int }
+
+func (r *RestoreOnly) RestoreState(n int) { r.n = n } // want "RestoreOnly has RestoreState but no ExportState; a checkpoint can never capture it"
+
+// Counter uses the rng-style State/FromState pair.
+type Counter struct{ n int }
+
+type CounterState struct{ N int }
+
+func (c *Counter) Inc() { c.n++ }
+
+func (c *Counter) State() CounterState { return CounterState{N: c.n} }
+
+func FromState(st CounterState) *Counter {
+	c := &Counter{}
+	c.n = st.N
+	return c
+}
+
+// Deep covers the transitive same-type method closure: the entry points
+// delegate per-field work to helpers.
+type Deep struct {
+	a int
+	b int
+}
+
+type DeepState struct {
+	A int
+	B int
+}
+
+func (d *Deep) Bump() {
+	d.a++
+	d.b++
+}
+
+func (d *Deep) ExportState() DeepState { return DeepState{A: d.a, B: d.readB()} }
+
+func (d *Deep) readB() int { return d.b }
+
+func (d *Deep) RestoreState(st DeepState) {
+	d.a = st.A
+	d.restoreB(st)
+}
+
+func (d *Deep) restoreB(st DeepState) { d.b = st.B }

@@ -1,0 +1,32 @@
+// Package genfix is a loader regression fixture: generic declarations,
+// instantiations, and the go1.21 min/max builtins must type-check under the
+// loader exactly as they do under `go build` — the loader feeds the go.mod
+// language version into types.Config.GoVersion, so its accept set tracks
+// the compiler's instead of silently allowing everything.
+package genfix
+
+// Pair is a generic container.
+type Pair[K comparable, V any] struct {
+	Key K
+	Val V
+}
+
+// Collect folds a slice of pairs into a map, instantiating Pair.
+func Collect[K comparable, V any](ps []Pair[K, V]) map[K]V {
+	m := make(map[K]V, len(ps))
+	for _, p := range ps {
+		m[p.Key] = p.Val
+	}
+	return m
+}
+
+// Clamp uses the go1.21 min/max builtins.
+func Clamp(v, lo, hi int) int { return max(lo, min(v, hi)) }
+
+// Named instantiation at package scope.
+type Row = Pair[string, float64]
+
+// Lookup exercises a generic function call with inferred type arguments.
+func Lookup(rows []Row, key string) float64 {
+	return Collect(rows)[key]
+}

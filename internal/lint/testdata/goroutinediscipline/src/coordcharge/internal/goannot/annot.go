@@ -1,0 +1,17 @@
+// Package goannot holds the goroutinediscipline annotation case whose
+// finding lands on the annotation comment itself — a same-line `want` would
+// become the justification and change the case under test. The driver test
+// asserts on the diagnostics directly.
+package goannot
+
+func spin() {
+	for i := 0; i < 1e6; i++ {
+		_ = i
+	}
+}
+
+// Bare launches a detached goroutine with a reasonless marker: the
+// annotation suppresses the no-join finding but earns a missing-why one.
+func Bare() {
+	go spin() //coordvet:detached
+}

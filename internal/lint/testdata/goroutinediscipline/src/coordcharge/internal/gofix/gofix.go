@@ -1,0 +1,106 @@
+// Package gofix is the goroutinediscipline golden fixture: joined and
+// unjoined goroutines, detached annotations and their stale detection,
+// ticker Stop reachability, and context cancel hygiene.
+package gofix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// joined goroutines: WaitGroup, close, and channel send all count.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+
+	res := make(chan int, 1)
+	go func() { res <- 1 }()
+	<-res
+}
+
+func unjoined() {
+	go func() {}() // want "goroutine has no provable join \\(WaitGroup Done, channel send, or close\\) and no //coordvet:detached annotation"
+}
+
+// worker signals completion by sending; a goroutine spawning it by name is
+// provably joined through the resolved declaration.
+func worker(ch chan int) { ch <- 1 }
+
+func namedJoined() {
+	ch := make(chan int)
+	go worker(ch)
+	<-ch
+}
+
+func pump() {
+	for i := 0; i < 1e9; i++ {
+		_ = i
+	}
+}
+
+func namedUnjoined() {
+	go pump() // want "goroutine has no provable join"
+}
+
+func detachedOK() {
+	go pump() //coordvet:detached metrics pump runs for the process lifetime
+}
+
+func staleDetachedOnJoined() {
+	done := make(chan struct{})
+	go func() { close(done) }() //coordvet:detached bogus: this one is joined // want "stale //coordvet:detached: this goroutine has a provable join; drop the annotation"
+	<-done
+}
+
+//coordvet:detached bogus: nothing spawns here // want "stale //coordvet:detached: no go statement on this or the adjacent line"
+func noGoroutineHere() {}
+
+// tickers: a reachable Stop, or an escape that hands the obligation on.
+func tickerStopped() {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	<-t.C
+}
+
+func tickerDropped() {
+	time.NewTicker(time.Second) // want "time.NewTicker result is dropped; nothing can ever Stop it"
+}
+
+func tickerDiscarded() {
+	_ = time.NewTicker(time.Second) // want "time.NewTicker result is discarded; nothing can ever Stop it"
+}
+
+func tickerLeaked() {
+	t := time.NewTicker(time.Second) // want "time.NewTicker result t has no reachable Stop in tickerLeaked and does not escape; defer t.Stop\\(\\)"
+	<-t.C
+}
+
+func tickerEscapes() *time.Ticker {
+	t := time.NewTicker(time.Second)
+	return t
+}
+
+func timerStopped() {
+	t := time.NewTimer(time.Minute)
+	defer t.Stop()
+	<-t.C
+}
+
+// contexts: the cancel func must be used.
+func cancelDiscarded(ctx context.Context) context.Context {
+	ctx, _ = context.WithTimeout(ctx, time.Second) // want "context.WithTimeout cancel func is discarded; the context can never be released"
+	return ctx
+}
+
+func cancelDeferred(ctx context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	<-ctx.Done()
+}

@@ -1,0 +1,63 @@
+// Package unitfix is the unitsafety golden fixture: dimension drift,
+// cross-dimension arithmetic and assignment, reinterpreting conversions,
+// and bare literals flowing into unit-named parameters.
+package unitfix
+
+import (
+	"time"
+
+	"coordcharge/internal/units"
+)
+
+// Spec mixes properly-typed quantities, convention-named bare numerics,
+// json-tagged fields, and one naming drift.
+type Spec struct {
+	Limit    units.Power
+	CapKWh   float64
+	Step     float64       `json:"step_s"`
+	BudgetMW float64       `json:"budget_mw"`
+	Skew     units.Current // untagged, unsuffixed: carries its own type
+	Drift_W  units.Current // want "Drift_W is named as a power \\(W\\) but typed .*Current \\(a current \\(A\\)\\); rename it or fix the type"
+}
+
+// compare exercises cross-dimension comparison between convention-named
+// bare numerics. Multiplication and division legitimately change dimension
+// and stay silent.
+func compare(capKW, budgetKWh, window_s float64) float64 {
+	if capKW > budgetKWh { // want "> mixes a power \\(W\\) and an energy \\(Wh\\); convert through internal/units first"
+		return 0
+	}
+	return budgetKWh / capKW * window_s // mult/div are dimension-changing: ok
+}
+
+// assign exercises cross-dimension assignment, including :=.
+func assign(s *Spec) {
+	var total_Wh float64
+	hold_s := 5.0
+	total_Wh = hold_s // want "assigning a time \\(s\\) to an energy \\(Wh\\); convert through internal/units first"
+	total_Wh = s.CapKWh
+	cap_W := s.CapKWh // want "assigning an energy \\(Wh\\) to a power \\(W\\); convert through internal/units first"
+	_, _ = total_Wh, cap_W
+}
+
+// convert exercises dimensioned-to-dimensioned conversions. Going through
+// float64 is the sanctioned spelling and stays silent.
+func convert(e units.Energy, d time.Duration) (units.Power, units.Energy) {
+	bad := units.Power(e) // want "conversion reinterprets an energy \\(Wh\\) as a power \\(W\\)"
+	ok := units.Energy(float64(e) * 0.5)
+	_ = time.Duration(d)
+	return bad, ok
+}
+
+// SetLimit takes a convention-named bare numeric parameter.
+func SetLimit(limit_W float64) float64 { return limit_W }
+
+const defaultLimit_W = 5500.0
+
+func callers(s *Spec) {
+	SetLimit(5000)           // want "bare literal flows into parameter limit_W \\(a power \\(W\\)\\) of SetLimit; pass a named constant or convert through internal/units"
+	SetLimit(0)              // zero is dimensionless enough
+	SetLimit(defaultLimit_W) // named constant carries the unit in its name
+	SetLimit(s.CapKWh)       // want "argument is an energy \\(Wh\\) but parameter limit_W of SetLimit is a power \\(W\\)"
+	SetLimit(float64(s.Limit))
+}

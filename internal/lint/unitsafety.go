@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitSafety is a conventions-based dimensional checker. Go's type system
+// already separates the internal/units quantities (adding a units.Power to
+// a units.Energy does not compile), but two holes remain, and both are
+// exactly where the connect-and-manage cap math lives:
+//
+//   - explicit conversions: units.Power(e) compiles for any units.Energy e,
+//     silently reinterpreting joules as watts — dimensioned-to-dimensioned
+//     conversions must go through float64 (or a helper like
+//     units.EnergyOver) so the scale factor is spelled out;
+//   - bare float64/int plumbing named by convention: fields and parameters
+//     carrying their unit in the name (snake suffixes `_A _W _V _s _Wh
+//     _kWh _MW ...`, camel tails `LimitMW`, `FullKWh`, or a json tag like
+//     `json:"step_s"`) are dimensioned in the author's head only.
+//
+// The analyzer assigns every expression a dimension — from its type when it
+// is a units quantity or time.Duration, else from the declared name/tag
+// convention — and reports:
+//
+//   - addition, subtraction, or comparison of operands with different
+//     dimensions (multiplication and division legitimately change
+//     dimension and are exempt);
+//   - assignment (including := and op=) across dimensions;
+//   - conversion from one dimensioned type directly to another;
+//   - a declaration whose unit-suffixed name contradicts its units type
+//     (naming drift: `limit_W units.Current`);
+//   - a bare non-zero numeric literal passed for a unit-named bare-numeric
+//     parameter — route it through internal/units or a named constant so
+//     the unit is checked or at least greppable.
+//
+// Dimensions are compared as base dimensions (watts, watt-hours, amps,
+// volts, seconds, ampere-hours, hertz), so `cap_kW` vs `limit_MW` agree
+// (both power) while `cap_kW` vs `budget_kWh` collide. Suppress a
+// deliberate violation with //coordvet:ignore unitsafety <why>.
+var UnitSafety = &Analyzer{
+	Name: "unitsafety",
+	Doc:  "flag cross-dimension unit arithmetic, conversions, naming drift, and bare literals into unit-named parameters",
+	Run:  runUnitSafety,
+}
+
+// unitsPkgSuffix identifies the quantity package by import-path suffix, so
+// fixtures shadowing the module resolve too.
+const unitsPkgSuffix = "internal/units"
+
+// unitsTypeDims maps internal/units type names to base dimensions.
+var unitsTypeDims = map[string]string{
+	"Power":    "W",
+	"Energy":   "Wh",
+	"Current":  "A",
+	"Voltage":  "V",
+	"Charge":   "Ah",
+	"Fraction": "ratio",
+}
+
+// suffixDims maps lower-cased name suffixes (snake tail after the last
+// underscore) to base dimensions.
+var suffixDims = map[string]string{
+	"a": "A", "ma": "A",
+	"w": "W", "kw": "W", "mw": "W", "gw": "W",
+	"v": "V", "mv": "V", "kv": "V",
+	"s": "s", "ms": "s", "sec": "s",
+	"wh": "Wh", "kwh": "Wh", "mwh": "Wh", "gwh": "Wh",
+	"ah": "Ah", "mah": "Ah",
+	"hz": "Hz", "mhz": "Hz",
+}
+
+// camelTails are the multi-character camel-case tails recognized on
+// identifiers (`LimitMW`, `FullKWh`). Single capital letters are
+// deliberately not matched — `optionA` is not a current — which is why the
+// snake/tag spelling is the convention for one-letter units.
+var camelTails = []string{"KWh", "MWh", "GWh", "Wh", "KW", "MW", "GW", "KV", "MV", "Ah", "Hz"}
+
+// nameDim extracts the dimension a declared name carries by convention.
+func nameDim(name string) string {
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		if d, ok := suffixDims[strings.ToLower(name[i+1:])]; ok {
+			return d
+		}
+		return ""
+	}
+	for _, tail := range camelTails {
+		if rest, ok := strings.CutSuffix(name, tail); ok && rest != "" {
+			r := rest[len(rest)-1]
+			if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' {
+				return suffixDims[strings.ToLower(tail)]
+			}
+		}
+	}
+	return ""
+}
+
+// typeDim extracts the dimension a type carries: a units quantity, or
+// time.Duration (seconds).
+func typeDim(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return ""
+	}
+	switch {
+	case strings.HasSuffix(obj.Pkg().Path(), unitsPkgSuffix):
+		return unitsTypeDims[obj.Name()]
+	case obj.Pkg().Path() == "time" && obj.Name() == "Duration":
+		return "s"
+	}
+	return ""
+}
+
+// isNumeric reports whether t's underlying type is an integer or float —
+// the only types the naming convention can meaningfully dimension.
+func isNumeric(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsFloat) != 0
+}
+
+func runUnitSafety(p *Pass) {
+	// Field dimensions from declarations: json-tag suffix first (the
+	// repo's serialized structs carry the unit there), else the name.
+	fieldDim := map[types.Object]string{}
+	declCheck := func(name *ast.Ident, tag string) {
+		obj := p.Pkg.Info.Defs[name]
+		if obj == nil {
+			return
+		}
+		nd := ""
+		if tag != "" {
+			nd = tagDim(tag)
+		}
+		if nd == "" {
+			nd = nameDim(name.Name)
+		}
+		if nd == "" {
+			return
+		}
+		td := typeDim(obj.Type())
+		if td != "" && td != "ratio" && td != nd {
+			p.Reportf(name.Pos(), "%s is named as %s but typed %s (%s); rename it or fix the type",
+				name.Name, dimNoun(nd), obj.Type(), dimNoun(td))
+			return
+		}
+		if td == "" && isNumeric(obj.Type()) {
+			fieldDim[obj] = nd
+		}
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.StructType:
+				for _, field := range d.Fields.List {
+					tag := ""
+					if field.Tag != nil {
+						tag = field.Tag.Value
+					}
+					for _, name := range field.Names {
+						declCheck(name, tag)
+					}
+				}
+			case *ast.FuncType:
+				for _, list := range []*ast.FieldList{d.Params, d.Results} {
+					if list == nil {
+						continue
+					}
+					for _, field := range list.List {
+						for _, name := range field.Names {
+							declCheck(name, "")
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	dimOf := func(e ast.Expr) string {
+		e = ast.Unparen(e)
+		if tv, ok := p.Pkg.Info.Types[e]; ok {
+			if d := typeDim(tv.Type); d != "" {
+				return d
+			}
+			if !isNumeric(tv.Type) {
+				return ""
+			}
+		}
+		var id *ast.Ident
+		switch x := e.(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return ""
+		}
+		if obj := p.Pkg.Info.Uses[id]; obj != nil {
+			if d, ok := fieldDim[obj]; ok {
+				return d
+			}
+			if !isNumeric(obj.Type()) {
+				return ""
+			}
+		}
+		return nameDim(id.Name)
+	}
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				switch x.Op {
+				case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+					dx, dy := dimOf(x.X), dimOf(x.Y)
+					if dx != "" && dy != "" && dx != dy {
+						p.Reportf(x.OpPos, "%s mixes %s and %s; convert through internal/units first",
+							x.Op, dimNoun(dx), dimNoun(dy))
+					}
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				switch x.Tok {
+				case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+				default:
+					return true
+				}
+				for i := range x.Lhs {
+					dl := dimOf(x.Lhs[i])
+					if dl == "" && x.Tok == token.DEFINE {
+						if id, ok := x.Lhs[i].(*ast.Ident); ok {
+							dl = nameDim(id.Name)
+						}
+					}
+					dr := dimOf(x.Rhs[i])
+					if dl != "" && dr != "" && dl != dr {
+						p.Reportf(x.TokPos, "assigning %s to %s; convert through internal/units first",
+							dimNoun(dr), dimNoun(dl))
+					}
+				}
+			case *ast.CallExpr:
+				if p.IsConversion(x) && len(x.Args) == 1 {
+					tv := p.Pkg.Info.Types[x.Fun]
+					dst := typeDim(tv.Type)
+					argTV, ok := p.Pkg.Info.Types[ast.Unparen(x.Args[0])]
+					if dst == "" || !ok {
+						return true
+					}
+					src := typeDim(argTV.Type)
+					if src != "" && dst != src {
+						p.Reportf(x.Pos(), "conversion reinterprets %s as %s; go through float64 or a units helper (PowerOf, EnergyOver, ...) so the physics is explicit",
+							dimNoun(src), dimNoun(dst))
+					}
+					return true
+				}
+				checkCallArgs(p, x, dimOf)
+			}
+			return true
+		})
+	}
+}
+
+// checkCallArgs checks argument dimensions against the callee's declared
+// parameter names: cross-dimension passing, and bare numeric literals
+// flowing into unit-named bare-numeric parameters.
+func checkCallArgs(p *Pass, call *ast.CallExpr, dimOf func(ast.Expr) string) {
+	fn := p.Callee(call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		param := params.At(pi)
+		pd := nameDim(param.Name())
+		if pd == "" || typeDim(param.Type()) != "" || !isNumeric(param.Type()) {
+			continue
+		}
+		if lit := bareLiteral(arg); lit != nil {
+			if v, ok := p.Pkg.Info.Types[lit]; ok && v.Value != nil {
+				if c := constant.ToFloat(v.Value); c.Kind() == constant.Float {
+					if f, _ := constant.Float64Val(c); f == 0 {
+						continue // zero is dimensionless enough
+					}
+				}
+			}
+			p.Reportf(arg.Pos(), "bare literal flows into parameter %s (%s) of %s; pass a named constant or convert through internal/units",
+				param.Name(), dimNoun(pd), fn.Name())
+			continue
+		}
+		if ad := dimOf(arg); ad != "" && ad != pd {
+			p.Reportf(arg.Pos(), "argument is %s but parameter %s of %s is %s",
+				dimNoun(ad), param.Name(), fn.Name(), dimNoun(pd))
+		}
+	}
+}
+
+// bareLiteral unwraps an argument to a numeric literal (allowing a sign),
+// or nil.
+func bareLiteral(e ast.Expr) ast.Expr {
+	e = ast.Unparen(e)
+	if u, ok := e.(*ast.UnaryExpr); ok && (u.Op == token.SUB || u.Op == token.ADD) {
+		e = ast.Unparen(u.X)
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && (lit.Kind == token.INT || lit.Kind == token.FLOAT) {
+		return lit
+	}
+	return nil
+}
+
+// tagDim extracts a dimension from a struct tag's json name suffix
+// (`json:"step_s"` → seconds).
+func tagDim(tag string) string {
+	tag = strings.Trim(tag, "`")
+	_, rest, ok := strings.Cut(tag, `json:"`)
+	if !ok {
+		return ""
+	}
+	name, _, ok := strings.Cut(rest, `"`)
+	if !ok {
+		return ""
+	}
+	name, _, _ = strings.Cut(name, ",")
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		return suffixDims[strings.ToLower(name[i+1:])]
+	}
+	return ""
+}
+
+// dimNoun names a base dimension for humans.
+func dimNoun(d string) string {
+	switch d {
+	case "W":
+		return "a power (W)"
+	case "Wh":
+		return "an energy (Wh)"
+	case "A":
+		return "a current (A)"
+	case "V":
+		return "a voltage (V)"
+	case "s":
+		return "a time (s)"
+	case "Ah":
+		return "a charge (Ah)"
+	case "Hz":
+		return "a frequency (Hz)"
+	case "ratio":
+		return "a dimensionless ratio"
+	}
+	return d
+}

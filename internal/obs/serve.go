@@ -129,6 +129,6 @@ func Serve(addr string, s *Sink, health HealthFunc) (*http.Server, net.Addr, err
 		return nil, nil, err
 	}
 	srv := NewServer(Handler(s, health))
-	go srv.Serve(ln)
+	go srv.Serve(ln) //coordvet:detached lifecycle bounded by the returned *http.Server (Shutdown/Close joins it)
 	return srv, ln.Addr(), nil
 }

@@ -215,7 +215,7 @@ func New(opt Options) (*Service, error) {
 	spec.StepHook = s.residentStepHook(spec.Step)
 	go s.runResident(spec)
 	if opt.WatchdogTTL > 0 {
-		go s.stallWatchdog(opt.WatchdogTTL)
+		go s.stallWatchdog(opt.WatchdogTTL) //coordvet:detached process-lifetime watchdog; exits with the daemon
 	}
 	return s, nil
 }
