@@ -5,11 +5,15 @@ BENCH_OUT ?= BENCH_latest.json
 # The committed baseline the regression gate compares against; refresh with
 # `make bench-json BENCH_OUT=BENCH_PR<N>.json` when a PR changes performance
 # on purpose.
-BENCH_BASELINE ?= BENCH_PR8.json
+BENCH_BASELINE ?= BENCH_PR10.json
 BENCH_TOLERANCE ?= 25
 # Benchmarks cheaper than this (ns/op in the baseline) are reported but not
 # gated: at one measured iteration their timing is scheduler noise.
 BENCH_FLOOR ?= 10000000
+# Absolute floor on the event kernel: every X/event benchmark must run at
+# least this many times faster than its X/dense sibling. Unlike the relative
+# tolerance, this cannot drift across baseline refreshes.
+BENCH_MIN_SPEEDUP ?= 5
 
 # The committed coordvet debt ledger: `make lint` fails only on findings not
 # recorded here. Capture/prune it with `make lint-baseline` after paying down
@@ -69,7 +73,8 @@ bench-json:
 bench-compare:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./... | \
 		$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) \
-			-tolerance $(BENCH_TOLERANCE) -floor $(BENCH_FLOOR)
+			-tolerance $(BENCH_TOLERANCE) -floor $(BENCH_FLOOR) \
+			-min-speedup $(BENCH_MIN_SPEEDUP)
 
 # CPU + heap profiles of the heaviest benchmark, for pprof inspection:
 #   go tool pprof cpu.pprof

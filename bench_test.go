@@ -575,3 +575,91 @@ func BenchmarkGridShave(b *testing.B) {
 	b.ReportMetric(shavedWh, "shaved-Wh")
 	b.ReportMetric(slaMisses, "SLA-misses")
 }
+
+// benchKernelPair runs the same scenario family under the dense loop and the
+// event kernel as twin sub-benchmarks. Committing both measurements to the
+// benchmark baseline locks the kernel's speedup ratio: a kernel regression
+// blows the event arm's tolerance, a dense regression blows the other.
+func benchKernelPair(b *testing.B, run func(b *testing.B, kernel string) *scenario.CoordResult) {
+	for _, kernel := range []string{scenario.KernelDense, scenario.KernelEvent} {
+		b.Run(kernel, func(b *testing.B) {
+			b.ReportAllocs()
+			var skipped, executed float64
+			for i := 0; i < b.N; i++ {
+				res := run(b, kernel)
+				skipped = float64(res.KernelTicksSkipped)
+				executed = float64(res.KernelTicksExecuted)
+			}
+			if kernel == scenario.KernelEvent {
+				if skipped == 0 {
+					b.Fatal("event kernel never engaged (zero skipped ticks)")
+				}
+				b.ReportMetric(skipped, "ticks-skipped")
+				b.ReportMetric(executed, "ticks-executed")
+			}
+		})
+	}
+}
+
+// BenchmarkFig13Kernel: the hardest Fig 13 cell — (f) high discharge at the
+// 2.3 MW low limit under priority-aware charging — on both kernels.
+func BenchmarkFig13Kernel(b *testing.B) {
+	benchKernelPair(b, func(b *testing.B, kernel string) *scenario.CoordResult {
+		res, err := scenario.RunCoordinated(scenario.CoordSpec{
+			NumP1: 89, NumP2: 142, NumP3: 85, Seed: 1,
+			MSBLimit: 2.3 * units.Megawatt, Mode: dynamo.ModePriorityAware,
+			LocalPolicy: charger.Variable{}, AvgDOD: 0.7,
+			Kernel: kernel,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res
+	})
+}
+
+// BenchmarkTable3Kernel: the full priority-aware Table III row — six
+// production-scale cells (two limits by three discharge depths) per iteration
+// — on both kernels.
+func BenchmarkTable3Kernel(b *testing.B) {
+	benchKernelPair(b, func(b *testing.B, kernel string) *scenario.CoordResult {
+		var last *scenario.CoordResult
+		for _, limit := range []units.Power{2.8 * units.Megawatt, 2.3 * units.Megawatt} {
+			for _, dod := range []units.Fraction{0.3, 0.5, 0.7} {
+				res, err := scenario.RunCoordinated(scenario.CoordSpec{
+					NumP1: 89, NumP2: 142, NumP3: 85, Seed: 1,
+					MSBLimit: limit, Mode: dynamo.ModePriorityAware,
+					LocalPolicy: charger.Variable{}, AvgDOD: dod,
+					Kernel: kernel,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+		}
+		return last
+	})
+}
+
+// BenchmarkStormRecoveryKernel: the recharge-storm survival scenario
+// (BenchmarkStormRecovery's exact spec) on both kernels. The storm is the
+// kernel's adversarial case — admission waves and guard activity force dense
+// spans — so this pair bounds the speedup from below.
+func BenchmarkStormRecoveryKernel(b *testing.B) {
+	benchKernelPair(b, func(b *testing.B, kernel string) *scenario.CoordResult {
+		spec := obsOverheadSpec(nil)
+		spec.Kernel = kernel
+		res, err := scenario.RunCoordinated(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Tripped) > 0 {
+			b.Fatalf("breaker tripped during storm recovery: %v", res.Tripped)
+		}
+		if res.LastChargeDone == 0 {
+			b.Fatal("recharges still outstanding at the horizon")
+		}
+		return res
+	})
+}

@@ -20,6 +20,12 @@
 // diffed against the archived document. Any benchmark slower than the
 // baseline by more than -tolerance percent — or present in the baseline but
 // missing from stdin — fails the run (exit 1). See `make bench-compare`.
+//
+// -min-speedup N adds an absolute floor on the event kernel: every new-run
+// benchmark named X/event must have an X/dense sibling at least N times
+// slower. Unlike the relative tolerance gate, this floor cannot drift — a
+// sequence of sub-tolerance regressions still fails once the measured
+// speedup crosses under N.
 package main
 
 import (
@@ -57,6 +63,7 @@ func main() {
 	compareWith := flag.String("compare", "", "baseline JSON document to diff ns/op against (regression-gate mode)")
 	tolerance := flag.Float64("tolerance", 10, "allowed ns/op regression in percent before -compare fails")
 	floor := flag.Float64("floor", 0, "baseline ns/op below which a benchmark is reported but not gated (single-iteration noise)")
+	minSpeedup := flag.Float64("min-speedup", 0, "with -compare: minimum dense/event ns/op ratio for every X/event benchmark in the new run (0 disables)")
 	out := flag.String("out", "", "write the JSON document to this file atomically (temp+fsync+rename) instead of stdout, so a crash mid-run cannot tear an archived baseline")
 	flag.Parse()
 
@@ -73,6 +80,11 @@ func main() {
 		}
 		report, ok := compare(old, doc, *tolerance, *floor)
 		fmt.Print(report)
+		if *minSpeedup > 0 {
+			spReport, spOK := speedupGate(doc, *minSpeedup, *floor)
+			fmt.Print(spReport)
+			ok = ok && spOK
+		}
 		if !ok {
 			os.Exit(1)
 		}
@@ -173,6 +185,63 @@ func compare(old, new *Doc, tolerance, floor float64) (string, bool) {
 		fmt.Fprintf(&b, "benchjson: gate passed (tolerance %.0f%%)\n", tolerance)
 	} else {
 		fmt.Fprintf(&b, "benchjson: gate FAILED (tolerance %.0f%%)\n", tolerance)
+	}
+	return b.String(), ok
+}
+
+// speedupGate enforces the event kernel's absolute performance floor on the
+// new run: for every benchmark named X/event there must be an X/dense
+// sibling, and dense must cost at least min times event's ns/op. Finding no
+// pairs at all fails too — losing the kernel benchmarks entirely must not
+// read as a pass. An event arm under the noise floor is reported but not
+// gated — its single-iteration ratio is scheduler noise — and a regression
+// severe enough to push it over the floor re-arms the gate automatically.
+func speedupGate(doc *Doc, min, floor float64) (string, bool) {
+	byName := map[string]Result{}
+	var events []string
+	for _, r := range doc.Benchmarks {
+		byName[r.Name] = r
+		if strings.HasSuffix(r.Name, "/event") {
+			events = append(events, r.Name)
+		}
+	}
+	sort.Strings(events)
+	var b strings.Builder
+	ok := true
+	for _, name := range events {
+		base := strings.TrimSuffix(name, "/event")
+		dense, found := byName[base+"/dense"]
+		if !found {
+			fmt.Fprintf(&b, "FAIL %-40s has no %s/dense sibling\n", name, base)
+			ok = false
+			continue
+		}
+		eventNs := byName[name].Metrics["ns/op"]
+		denseNs := dense.Metrics["ns/op"]
+		if eventNs <= 0 || denseNs <= 0 {
+			fmt.Fprintf(&b, "FAIL %-40s missing ns/op for the speedup ratio\n", name)
+			ok = false
+			continue
+		}
+		ratio := denseNs / eventNs
+		verdict := " ok "
+		switch {
+		case eventNs < floor:
+			verdict = "  - " // under the noise floor: informational only
+		case ratio < min:
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "%s %-40s %6.1fx over dense (floor %.1fx)\n", verdict, name, ratio, min)
+	}
+	if len(events) == 0 {
+		fmt.Fprintf(&b, "FAIL no */event benchmarks found to gate\n")
+		ok = false
+	}
+	if ok {
+		fmt.Fprintf(&b, "benchjson: speedup floor passed (>= %.1fx)\n", min)
+	} else {
+		fmt.Fprintf(&b, "benchjson: speedup floor FAILED (>= %.1fx)\n", min)
 	}
 	return b.String(), ok
 }

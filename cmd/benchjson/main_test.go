@@ -115,6 +115,54 @@ func TestCompareNewBenchmarkReportedNotFatal(t *testing.T) {
 	}
 }
 
+func TestSpeedupGate(t *testing.T) {
+	cur := docFromText(t, `BenchmarkFig13Kernel/dense 1 100000000 ns/op
+BenchmarkFig13Kernel/event 1 10000000 ns/op
+BenchmarkStormKernel/dense 1 25000000 ns/op
+BenchmarkStormKernel/event 1 4000000 ns/op`)
+	if report, ok := speedupGate(cur, 5, 0); !ok {
+		t.Fatalf("10x and 6.25x speedups failed a 5x floor:\n%s", report)
+	}
+	if report, ok := speedupGate(cur, 8, 0); ok {
+		t.Fatalf("6.25x speedup passed an 8x floor:\n%s", report)
+	} else if !strings.Contains(report, "StormKernel/event") {
+		t.Fatalf("report does not name the failing pair:\n%s", report)
+	}
+}
+
+func TestSpeedupGateNoiseFloorExemptsCheapEventArm(t *testing.T) {
+	// The event arm sits under the noise floor: its 3x ratio is reported,
+	// not gated. A regression pushing it over the floor re-arms the gate.
+	cur := docFromText(t, `BenchmarkStormKernel/dense 1 24000000 ns/op
+BenchmarkStormKernel/event 1 8000000 ns/op`)
+	if report, ok := speedupGate(cur, 5, 10_000_000); !ok {
+		t.Fatalf("under-floor event arm failed the gate:\n%s", report)
+	}
+	cur = docFromText(t, `BenchmarkStormKernel/dense 1 24000000 ns/op
+BenchmarkStormKernel/event 1 12000000 ns/op`)
+	if report, ok := speedupGate(cur, 5, 10_000_000); ok {
+		t.Fatalf("over-floor 2x ratio passed a 5x gate:\n%s", report)
+	}
+}
+
+func TestSpeedupGateMissingDenseSiblingFails(t *testing.T) {
+	cur := docFromText(t, "BenchmarkFig13Kernel/event 1 10000000 ns/op")
+	report, ok := speedupGate(cur, 5, 0)
+	if ok {
+		t.Fatalf("orphan event benchmark passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "no") || !strings.Contains(report, "dense sibling") {
+		t.Fatalf("report missing the orphan marker:\n%s", report)
+	}
+}
+
+func TestSpeedupGateNoPairsFails(t *testing.T) {
+	cur := docFromText(t, "BenchmarkA 1 1000 ns/op")
+	if report, ok := speedupGate(cur, 5, 0); ok {
+		t.Fatalf("a run with no kernel benchmarks passed the speedup gate:\n%s", report)
+	}
+}
+
 func TestCompareFloorExemptsNoisyMicrobenchmarks(t *testing.T) {
 	old := docFromText(t, "BenchmarkMicro 1 1000 ns/op\nBenchmarkBig 1 50000000 ns/op")
 	cur := docFromText(t, "BenchmarkMicro 1 9000 ns/op\nBenchmarkBig 1 50000000 ns/op")

@@ -40,6 +40,7 @@ type customSpec struct {
 	serve         string
 	pace          float64
 	ckpt          checkpointFlags
+	kernel        string
 }
 
 // buildGridSpec lowers the -grid flag family onto a grid.Spec: the inline
@@ -321,6 +322,7 @@ func runCustom(cs customSpec) {
 		check(err)
 		spec.Trace = m
 	}
+	spec.Kernel = cs.kernel
 	spec.Checkpoint = cs.ckpt.path
 	spec.CheckpointEvery = cs.ckpt.interval
 	spec.Resume = cs.ckpt.resume
@@ -370,6 +372,10 @@ func runCustom(cs customSpec) {
 		res.LastChargeDone.Round(time.Second))
 	if len(res.Tripped) > 0 {
 		fmt.Printf("  BREAKERS TRIPPED:         %v\n", res.Tripped)
+	}
+	if n := res.KernelTicksExecuted + res.KernelTicksSkipped; n > 0 {
+		fmt.Printf("  event kernel:             %d/%d ticks executed densely (%d skipped)\n",
+			res.KernelTicksExecuted, n, res.KernelTicksSkipped)
 	}
 	printStormSummary(spec, res)
 	printGridSummary(spec, res)

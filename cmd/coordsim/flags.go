@@ -18,6 +18,7 @@ type flagValues struct {
 	seed    int64
 	resume  string
 	gridFig string
+	kernel  string
 }
 
 // validateCombination rejects incoherent flag combinations up front, before
@@ -27,9 +28,16 @@ type flagValues struct {
 func validateCombination(v flagValues) error {
 	set := v.set
 	// Flags that only mean something inside a custom -run experiment.
-	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard", "grid"} {
+	for _, name := range []string{"storm", "faults", "watchdog", "trace", "analytics", "serve", "pace", "admission", "guard", "grid", "kernel"} {
 		if set[name] && !set["run"] {
 			return fmt.Errorf("-%s requires -run", name)
+		}
+	}
+	if set["kernel"] {
+		switch v.kernel {
+		case "dense", "event":
+		default:
+			return fmt.Errorf(`-kernel must be "dense" or "event" (got %q)`, v.kernel)
 		}
 	}
 	if set["run"] {

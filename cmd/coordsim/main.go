@@ -64,6 +64,7 @@ func main() {
 	gridPriceCSV := flag.String("grid-price-csv", "", "custom run: energy-price series CSV ($/MWh) attached to -grid")
 	gridCarbonCSV := flag.String("grid-carbon-csv", "", "custom run: carbon-intensity series CSV (gCO2/kWh) attached to -grid")
 	gridFig := flag.String("grid-fig", "", "grid experiment to regenerate: shrink (storm recovery under a shrinking cap) or shave (peak shaving, the BBU fleet as a virtual power plant)")
+	kernel := flag.String("kernel", scenario.KernelDense, "custom run: tick-loop kernel — dense (every tick) or event (analytic advance between state-change events; bit-identical results)")
 	serve := flag.String("serve", "", "custom run: serve the observability surface (/metrics, /healthz, /debug/flight, pprof) on this address while the run executes, e.g. :8080")
 	pace := flag.Float64("pace", 0, "custom run: simulated seconds per wall-clock second (0 = free-running); requires -serve")
 	// Checkpoint/resume flags (custom and endurance runs).
@@ -71,7 +72,7 @@ func main() {
 	checkpointInterval := flag.Duration("checkpoint-interval", 0, "virtual time between checkpoint writes (default: 5m for -run, 30 days for -endurance)")
 	resume := flag.String("resume", "", "resume a checkpointed run from this file; the other flags must describe the same experiment")
 	flag.Parse()
-	validateFlags(*pace, *seed, *resume, *gridFig)
+	validateFlags(*pace, *seed, *resume, *gridFig, *kernel)
 	ckf := checkpointFlags{path: *checkpoint, interval: *checkpointInterval, resume: *resume}
 
 	if *configPath != "" {
@@ -86,7 +87,7 @@ func main() {
 			storm: *stormDur, admission: *admission, guard: *guard,
 			grid: *gridSpec, gridCapCSV: *gridCapCSV,
 			gridPriceCSV: *gridPriceCSV, gridCarbonCSV: *gridCarbonCSV,
-			serve: *serve, pace: *pace, ckpt: ckf,
+			serve: *serve, pace: *pace, ckpt: ckf, kernel: *kernel,
 		})
 		return
 	}
@@ -175,10 +176,10 @@ func main() {
 
 // validateFlags assembles the parsed flag state and exits 2 on the first
 // combination error (see validateCombination for the rules).
-func validateFlags(pace float64, seed int64, resume, gridFig string) {
+func validateFlags(pace float64, seed int64, resume, gridFig, kernel string) {
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if err := validateCombination(flagValues{set: set, pace: pace, seed: seed, resume: resume, gridFig: gridFig}); err != nil {
+	if err := validateCombination(flagValues{set: set, pace: pace, seed: seed, resume: resume, gridFig: gridFig, kernel: kernel}); err != nil {
 		fmt.Fprintf(os.Stderr, "coordsim: %v\n", err)
 		os.Exit(2)
 	}

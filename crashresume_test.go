@@ -56,11 +56,22 @@ func runUninterrupted(t *testing.T, spec scenario.CoordSpec) (summary, digest st
 // sink), then lets the last resume run to completion.
 func runWithKills(t *testing.T, spec scenario.CoordSpec, kills []time.Duration) (summary, digest string) {
 	t.Helper()
+	return runWithKillsVariant(t, spec, kills, nil)
+}
+
+// runWithKillsVariant is runWithKills with an optional per-attempt kernel
+// override, letting the parity suite resume a checkpoint on a different
+// kernel than the one that wrote it.
+func runWithKillsVariant(t *testing.T, spec scenario.CoordSpec, kills []time.Duration, kernelAt func(attempt int) string) (summary, digest string) {
+	t.Helper()
 	path := filepath.Join(t.TempDir(), "run.ckpt")
 	var start time.Duration
 	haveStart := false
 	for attempt := 0; ; attempt++ {
 		run := spec
+		if kernelAt != nil {
+			run.Kernel = kernelAt(attempt)
+		}
 		run.Obs = obs.NewSink(0)
 		run.Checkpoint = path
 		run.CheckpointEvery = 30 * time.Second

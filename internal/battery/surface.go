@@ -554,6 +554,31 @@ func (rp *RackPack) Remaining() time.Duration {
 	return time.Duration(min * float64(time.Minute))
 }
 
+// PowerLowerBound returns a power the pack is guaranteed to still draw at
+// every instant within the next win of charging (assuming no setpoint change,
+// suspension, or completion): a floor under Power() over the window. The
+// bound assumes the fastest possible drain — the full-CV exponential decay
+// from the present remaining charge — which dominates the CC phase because
+// inside the CC region the natural tail current exceeds the setpoint. The
+// event kernel subtracts this from the breaker limit to prove that storm
+// admission and postponed restarts stay no-ops across a skipped span. Idle
+// packs bound at zero; so do packs that could complete within the window.
+func (rp *RackPack) PowerLowerBound(win time.Duration) units.Power {
+	if !rp.charging || win < 0 {
+		return 0
+	}
+	shift := rp.cutoff / rp.cvRate
+	qLB := (rp.qRemain+shift)*math.Exp(-rp.cvRate*win.Minutes()) - shift
+	if qLB <= 0 {
+		return 0
+	}
+	i := rp.cutoff + rp.cvRate*qLB
+	if i > float64(rp.setpoint) {
+		i = float64(rp.setpoint)
+	}
+	return units.Power(rp.wattsPerAmp * i)
+}
+
 // Step advances the charge by dt, returning the rack-input energy absorbed
 // during the step (WattsPerAmp times the charge delivered, the exact
 // integral of Power over the step).
@@ -592,4 +617,81 @@ func (rp *RackPack) Step(dt time.Duration) units.Energy {
 	// delivered is in ampere-minutes at the rack conversion ratio:
 	// energy = WattsPerAmp [W/A] × delivered [A·min] × 60 [s/min].
 	return units.Energy(rp.wattsPerAmp * delivered * 60)
+}
+
+// AdvanceTicks advances the charge by up to n ticks of dt each,
+// bit-identically to calling Step(dt) n times, and returns how many ticks it
+// executed. It never executes a tick on which the charge would complete:
+// when tick t (0-based) would finish the charge it returns t with the pack
+// still charging, so the caller can run that tick through the full rack step
+// (which owns completion bookkeeping) at the tick's exact virtual time.
+//
+// Bit-exactness argument, tick by tick against Step:
+//
+//   - Pure-CC tick (qRemain > tailBoundary and the boundary is at least a
+//     full tick away): Step picks step = min(remainMin, tCC) = remainMin and
+//     computes qRemain -= setpoint·remainMin; the subtrahend is constant
+//     across ticks, so hoisting it is the identical float operation. The
+//     leftover remainMin−step is exactly 0.0, so Step's tail branch is dead.
+//   - Crossing tick (the boundary falls inside the tick): delegated to the
+//     real Step — at most one such tick per charge, so the delegation cannot
+//     cost more than O(1) per charge. Completion inside the crossing tick is
+//     detected first with a non-mutating replay of Step's arithmetic.
+//   - Pure-CV tick (qRemain ≤ tailBoundary): Step computes
+//     (qRemain+shift)·exp(−rate·remainMin) − shift with remainMin constant
+//     across ticks, so the exp factor is hoisted; math.Exp is a pure
+//     function of its bits, making the hoisted product identical.
+func (rp *RackPack) AdvanceTicks(dt time.Duration, n int) int {
+	if !rp.charging || dt <= 0 {
+		return n
+	}
+	stepMin := dt.Minutes()
+	spf := float64(rp.setpoint)
+	qb := rp.tailBoundary(rp.setpoint)
+	shift := rp.cutoff / rp.cvRate
+	dqCC := spf * stepMin
+	expCV := math.Exp(-rp.cvRate * stepMin)
+	for t := 0; t < n; t++ {
+		if rp.qRemain > qb {
+			tCC := (rp.qRemain - qb) / spf
+			if tCC >= stepMin {
+				// Pure CC: the whole tick at the setpoint.
+				q1 := rp.qRemain - dqCC
+				if q1 <= 1e-12 {
+					return t // Step would finish; let the caller run it
+				}
+				rp.qRemain = q1
+				continue
+			}
+			// Crossing tick: peek completion, then delegate the mutation.
+			dq := spf * tCC
+			qcc := rp.qRemain - dq
+			rem := stepMin - tCC
+			completes := false
+			if rem > 1e-12 && qcc > 0 {
+				if rem >= rp.tailTime(qcc) {
+					completes = true
+				} else if (qcc+shift)*math.Exp(-rp.cvRate*rem)-shift <= 1e-12 {
+					completes = true
+				}
+			} else if qcc <= 1e-12 {
+				completes = true
+			}
+			if completes {
+				return t
+			}
+			rp.Step(dt)
+			continue
+		}
+		// Pure CV: exponential tail decay.
+		if stepMin >= rp.tailTime(rp.qRemain) {
+			return t
+		}
+		q1 := (rp.qRemain+shift)*expCV - shift
+		if q1 <= 1e-12 {
+			return t
+		}
+		rp.qRemain = q1
+	}
+	return n
 }

@@ -437,6 +437,14 @@ type Controller struct {
 	mutated bool //coordvet:transient scratch: per-tick flag, reset by Tick
 	anyInj  bool //coordvet:transient derived: recomputed by every sample
 
+	// lastFresh and telSummaried gate the planning tick's telemetry summary:
+	// one is journalled only when something changed (a mutation, a freshness
+	// change, or the first tick after construction or restart). Both are real
+	// state, not caches — a resumed run must keep suppressing exactly where
+	// the uninterrupted run would — so ExportState/RestoreState carry them.
+	lastFresh    int
+	telSummaried bool
+
 	obsHandles
 }
 
@@ -475,6 +483,7 @@ func NewControllerOpts(node *power.Node, agents []*Agent, mode Mode, cfg core.Co
 		telVer:      make([]uint64, len(agents)),
 		viewBuf:     make([]Snapshot, len(agents)),
 		pending:     make(map[int]*pendingOverride),
+		lastFresh:   -1,
 	}
 	for i, a := range agents {
 		c.byName[a.Rack().Name()] = i
@@ -500,6 +509,25 @@ func (c *Controller) Metrics() Metrics { return c.metrics }
 
 // Down reports whether the controller is currently crashed.
 func (c *Controller) Down() bool { return c.down }
+
+// Mutated reports whether the last completed Tick's planning, admission, or
+// protection phase touched any rack. The event kernel reads it as the
+// quiescence signal: a tick that mutated nothing and left no pending work
+// behind would be a verbatim no-op if repeated on unchanged inputs.
+func (c *Controller) Mutated() bool { return c.mutated }
+
+// PendingCount returns the number of issued overrides still awaiting
+// confirmation or retry.
+func (c *Controller) PendingCount() int { return len(c.pending) }
+
+// PostponedCount returns the number of charges deferred by ModePostpone.
+func (c *Controller) PostponedCount() int { return len(c.postponed) }
+
+// SyncClock moves the controller's tick clock to now without running a tick.
+// A time-skipping caller sets it to the previous tick instant before
+// re-entering the dense loop, so the next Tick computes the same dt a
+// never-skipped controller would.
+func (c *Controller) SyncClock(now time.Duration) { c.lastTick = now }
 
 // Crash takes the controller down, losing all in-memory state — exactly what
 // a process crash does. While down, ticks only advance the breaker's trip
@@ -547,6 +575,10 @@ func (c *Controller) crash() {
 		}
 	}
 	c.pending = make(map[int]*pendingOverride)
+	// The next surviving tick must journal a fresh telemetry summary: the
+	// restarted process has no memory of what it last reported.
+	c.telSummaried = false
+	c.lastFresh = -1
 }
 
 // restart reconstructs the controller's state from agent reads: racks
@@ -622,18 +654,26 @@ func (c *Controller) Tick(now time.Duration) {
 	if c.sink != nil {
 		c.gHeadroom.Set(float64(c.node.Headroom()))
 		if c.plans {
-			// One telemetry summary per planning tick (per-rack events would
-			// flood the flight recorder at fleet scale).
+			// One telemetry summary per planning tick that changed something
+			// (per-rack — or per-quiescent-tick — events would flood the
+			// flight recorder at fleet scale). The gate is what lets the event
+			// kernel skip quiescent ticks without losing digest parity: a tick
+			// that mutated nothing and saw no freshness change journals
+			// nothing, so not running it at all is observationally identical.
 			fresh := 0
 			for i := range c.agents {
 				if c.fresh(i, now) {
 					fresh++
 				}
 			}
-			c.sink.Event(now, c.comp, "telemetry",
-				"fresh", strconv.Itoa(fresh),
-				"stale", strconv.Itoa(len(c.agents)-fresh),
-				"headroom_w", strconv.FormatFloat(float64(c.node.Headroom()), 'f', 0, 64))
+			if c.mutated || fresh != c.lastFresh || !c.telSummaried {
+				c.lastFresh = fresh
+				c.telSummaried = true
+				c.sink.Event(now, c.comp, "telemetry",
+					"fresh", strconv.Itoa(fresh),
+					"stale", strconv.Itoa(len(c.agents)-fresh),
+					"headroom_w", strconv.FormatFloat(float64(c.node.Headroom()), 'f', 0, 64))
+			}
 		}
 	}
 	c.node.Observe(now)

@@ -59,17 +59,22 @@ type PendingState struct {
 // Construction-time configuration (mode, core config, retry policy,
 // staleness bound, observability wiring) is rebuilt from the spec.
 type ControllerState struct {
-	Node        string            `json:"node"`
-	Metrics     Metrics           `json:"metrics"`
-	Down        bool              `json:"down"`
-	LastTick    time.Duration     `json:"last_tick"`
-	WasCharging []bool            `json:"was_charging"`
-	Postponed   []core.RackInfo   `json:"postponed,omitempty"`
-	Pending     []PendingState    `json:"pending,omitempty"`
-	Tel         []Snapshot        `json:"tel"`
-	TelOK       []bool            `json:"tel_ok"`
-	TelVer      []uint64          `json:"tel_ver"`
-	Storm       *storm.QueueState `json:"storm,omitempty"`
+	Node        string          `json:"node"`
+	Metrics     Metrics         `json:"metrics"`
+	Down        bool            `json:"down"`
+	LastTick    time.Duration   `json:"last_tick"`
+	WasCharging []bool          `json:"was_charging"`
+	Postponed   []core.RackInfo `json:"postponed,omitempty"`
+	Pending     []PendingState  `json:"pending,omitempty"`
+	Tel         []Snapshot      `json:"tel"`
+	TelOK       []bool          `json:"tel_ok"`
+	TelVer      []uint64        `json:"tel_ver"`
+	// LastFresh/TelSummaried carry the telemetry-summary gate. Dropping them
+	// would make a resumed run journal a summary the uninterrupted run
+	// suppressed, breaking flight-digest parity across a kill.
+	LastFresh    int               `json:"last_fresh"`
+	TelSummaried bool              `json:"tel_summaried"`
+	Storm        *storm.QueueState `json:"storm,omitempty"`
 }
 
 // ExportState captures the controller's mutable state. Postponed charges are
@@ -81,14 +86,16 @@ func (c *Controller) ExportState() (ControllerState, error) {
 		return ControllerState{}, fmt.Errorf("dynamo: controller %s is engine-backed; checkpoint it by replay, not state export", c.comp)
 	}
 	st := ControllerState{
-		Node:        c.node.Name(),
-		Metrics:     c.metrics,
-		Down:        c.down,
-		LastTick:    c.lastTick,
-		WasCharging: append([]bool(nil), c.wasCharging...),
-		Tel:         append([]Snapshot(nil), c.tel...),
-		TelOK:       append([]bool(nil), c.telOK...),
-		TelVer:      append([]uint64(nil), c.telVer...),
+		Node:         c.node.Name(),
+		Metrics:      c.metrics,
+		Down:         c.down,
+		LastTick:     c.lastTick,
+		WasCharging:  append([]bool(nil), c.wasCharging...),
+		Tel:          append([]Snapshot(nil), c.tel...),
+		TelOK:        append([]bool(nil), c.telOK...),
+		TelVer:       append([]uint64(nil), c.telVer...),
+		LastFresh:    c.lastFresh,
+		TelSummaried: c.telSummaried,
 	}
 	for _, ri := range c.postponed {
 		st.Postponed = append(st.Postponed, ri)
@@ -129,6 +136,8 @@ func (c *Controller) RestoreState(st ControllerState) error {
 	copy(c.tel, st.Tel)
 	copy(c.telOK, st.TelOK)
 	copy(c.telVer, st.TelVer)
+	c.lastFresh = st.LastFresh
+	c.telSummaried = st.TelSummaried
 	c.telOKCount = 0
 	for _, ok := range c.telOK {
 		if ok {

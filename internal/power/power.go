@@ -176,6 +176,12 @@ func (n *Node) Overloaded() bool { return n.Power() > n.limit }
 // tripped until Reset.
 func (n *Node) Tripped() bool { return n.tripped }
 
+// Overdrawn reports whether the breaker is inside a sustained-overload
+// episode (Observe saw draw above the trip threshold and the sustain window
+// is running). The event kernel refuses to skip ticks while an episode is
+// open: Observe must keep stamping the physics clock.
+func (n *Node) Overdrawn() bool { return n.overdrawn }
+
 // Reset clears a tripped breaker at virtual time now (the repair action) and
 // restores input power to the subtree where possible.
 func (n *Node) Reset(now time.Duration) {

@@ -362,6 +362,12 @@ func (r *Rack) LoadDropEvents() int { return r.loadDrops }
 // Charging reports whether the rack's batteries are recharging.
 func (r *Rack) Charging() bool { return r.pack.Charging() }
 
+// Capped reports whether any controller or guard currently holds an IT-power
+// cap on this rack. The event kernel refuses to skip ticks while caps exist:
+// cap values are recomputed from per-tick demand, so capped spans are
+// irreducibly dense.
+func (r *Rack) Capped() bool { return r.hasCap }
+
 // OverrideCurrent applies a manual charging-current override from the
 // control plane, clamped to the hardware's [1 A, 5 A] range.
 func (r *Rack) OverrideCurrent(i units.Current) {

@@ -66,6 +66,13 @@ type coordCheckpoint struct {
 	EngineSeq      uint64        `json:"engine_seq,omitempty"`
 	EngineExecuted uint64        `json:"engine_executed,omitempty"`
 
+	// Kernel carries the event kernel's wake queue and tick accounting,
+	// present only when the run was driven by the event kernel (direct
+	// strategy by construction: the kernel requires an engine-free plane).
+	// A dense run resuming this checkpoint ignores it; an event-kernel run
+	// resuming a dense checkpoint rebuilds its schedule unverified.
+	Kernel *KernelState `json:"kernel,omitempty"`
+
 	// Full state, direct strategy only.
 	Racks    []rack.State           `json:"racks,omitempty"`
 	Nodes    []power.NodeState      `json:"nodes,omitempty"`
@@ -175,6 +182,10 @@ func (cr *coordRun) exportCheckpoint(resumeAt time.Duration) (*coordCheckpoint, 
 		return ck, nil
 	}
 	ck.Strategy = strategyDirect
+	if cr.kern != nil {
+		ks := cr.kern.ExportState()
+		ck.Kernel = &ks
+	}
 	ck.Racks = make([]rack.State, 0, cr.n)
 	for _, r := range cr.racks {
 		ck.Racks = append(ck.Racks, r.ExportState())
@@ -271,6 +282,13 @@ func (cr *coordRun) restore(path string) error {
 	cr.nextCkpt = ck.Now + cr.spec.CheckpointEvery
 	// Force a demand-block refill on the first resumed tick.
 	cr.blockStart, cr.blockEnd = ck.Now, ck.Now-cr.spec.Step
+	if cr.kern != nil {
+		// The run state is in place; rebuild the kernel's wake schedule
+		// from it (and verify against the stored queue when present).
+		if err := cr.kern.RestoreState(&ck); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

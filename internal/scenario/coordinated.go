@@ -50,6 +50,13 @@ type CoordSpec struct {
 	AvgDOD units.Fraction
 	// Step is the simulation tick (default 3 s, the trace granularity).
 	Step time.Duration
+	// Kernel selects the tick-loop implementation: KernelDense (the default,
+	// also "") runs every tick; KernelEvent advances analytically between
+	// state-change events, bit-identical to dense. Specs the event kernel
+	// cannot prove bounds for silently run dense (see kernelEligible). The
+	// choice never affects results, so it is excluded from the checkpoint
+	// fingerprint — either kernel resumes the other's checkpoints.
+	Kernel string
 	// PreRoll is how long before the transition the run starts (default 2 min).
 	PreRoll time.Duration
 	// MaxChargeDuration caps the post-restore horizon (default 4 h).
@@ -186,6 +193,11 @@ func (s *CoordSpec) fillDefaults() error {
 	if s.Step <= 0 {
 		return fmt.Errorf("scenario: non-positive step")
 	}
+	switch s.Kernel {
+	case "", KernelDense, KernelEvent:
+	default:
+		return fmt.Errorf("scenario: unknown kernel %q (want %q or %q)", s.Kernel, KernelDense, KernelEvent)
+	}
 	if s.PreRoll == 0 {
 		s.PreRoll = 2 * time.Minute
 	}
@@ -293,6 +305,11 @@ type CoordResult struct {
 	// above are partial, and a final checkpoint (when configured) holds the
 	// state to resume from.
 	Interrupted bool
+	// KernelTicksExecuted and KernelTicksSkipped report the event kernel's
+	// tick accounting: how many grid ticks ran the full dense body and how
+	// many were skipped under the analytic bounds. Both are zero on the
+	// dense kernel (and on event-kernel specs that fell back to dense).
+	KernelTicksExecuted, KernelTicksSkipped uint64
 }
 
 // ErrAborted is returned by RunCoordinated when Spec.HardStop fires: the run
@@ -369,6 +386,10 @@ type coordRun struct {
 	cursor    time.Duration
 	nextCkpt  time.Duration
 	replaying bool
+
+	// kern is the event-driven kernel, non-nil only when the spec selects
+	// it and is eligible; run() dispatches to it instead of the dense loop.
+	kern *eventKernel
 }
 
 // traceSource builds the run's per-rack demand source: the spec's external
@@ -636,6 +657,13 @@ func newCoordRun(spec CoordSpec) (*coordRun, error) {
 	cr.lastSample = time.Duration(-1 << 62)
 	cr.cursor = start
 	cr.nextCkpt = start + spec.CheckpointEvery
+	if spec.Kernel == KernelEvent && kernelEligible(&spec) {
+		// The kernel's demand envelope needs the synthetic generator's
+		// analytic rate bound; any other trace source runs dense.
+		if g, ok := gen.(*trace.Generator); ok {
+			cr.kern = newEventKernel(cr, g)
+		}
+	}
 	return cr, nil
 }
 
@@ -787,6 +815,9 @@ func (cr *coordRun) tick(now time.Duration) (done bool) {
 // Interrupt/HardStop hooks and the checkpoint cadence between ticks, then
 // computes the result tail.
 func (cr *coordRun) run() (*CoordResult, error) {
+	if cr.kern != nil {
+		return cr.kern.run()
+	}
 	spec := &cr.spec
 	for now := cr.cursor; now <= cr.horizon; now += spec.Step {
 		if spec.HardStop != nil && spec.HardStop(now) {

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -22,12 +23,12 @@ type Handler func(now time.Duration)
 // Event is a scheduled callback, returned by the scheduling methods so the
 // caller can cancel it.
 type Event struct {
-	at      time.Duration
-	seq     uint64 // tie-break: FIFO among events at the same instant
-	fn      Handler
-	index   int // heap index, -1 once popped or cancelled
-	cancled bool
-	label   string
+	at        time.Duration
+	seq       uint64 // tie-break: FIFO among events at the same instant
+	fn        Handler
+	index     int // heap index, -1 once popped or cancelled
+	cancelled bool
+	label     string
 }
 
 // At returns the virtual time the event is scheduled for.
@@ -35,6 +36,9 @@ func (e *Event) At() time.Duration { return e.at }
 
 // Label returns the optional debug label attached to the event.
 func (e *Event) Label() string { return e.label }
+
+// Cancelled reports whether the event has been cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
 
 // eventQueue is a min-heap of events ordered by (at, seq).
 type eventQueue []*Event
@@ -98,6 +102,46 @@ func (e *Engine) Seq() uint64 { return e.seq }
 // Pending returns the number of events still queued.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// NextAt returns the virtual time of the earliest pending event and whether
+// one exists (Cancel removes events from the heap, so everything resident is
+// live). This is the batched-wakeup primitive: a time-skipping caller peeks
+// the next deadline, advances analytically up to it, and lets Run execute
+// the batch of events due at that instant.
+func (e *Engine) NextAt() (time.Duration, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].at, true
+}
+
+// EventView is the serializable projection of a pending event: its deadline
+// and debug label. Handler closures cannot be serialized, so a checkpoint
+// stores views; the resuming run rebuilds the real queue from its own spec
+// and verifies the rebuilt deadlines against the stored views.
+type EventView struct {
+	At    time.Duration `json:"at"`
+	Label string        `json:"label"`
+}
+
+// Snapshot returns the pending events as views in deterministic execution
+// order (at, then schedule seq). It allocates a fresh slice and never
+// perturbs the heap.
+func (e *Engine) Snapshot() []EventView {
+	pending := make([]*Event, len(e.queue))
+	copy(pending, e.queue)
+	sort.Slice(pending, func(i, j int) bool {
+		if pending[i].at != pending[j].at {
+			return pending[i].at < pending[j].at
+		}
+		return pending[i].seq < pending[j].seq
+	})
+	views := make([]EventView, len(pending))
+	for i, ev := range pending {
+		views[i] = EventView{At: ev.at, Label: ev.label}
+	}
+	return views
+}
+
 // ErrPast is returned when an event is scheduled before the current virtual
 // time.
 var ErrPast = errors.New("sim: event scheduled in the past")
@@ -124,13 +168,13 @@ func (e *Engine) ScheduleAfter(d time.Duration, label string, fn Handler) *Event
 // Cancel removes ev from the queue if it has not yet run. It is safe to call
 // multiple times and on already-run events.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancled || ev.index < 0 {
+	if ev == nil || ev.cancelled || ev.index < 0 {
 		if ev != nil {
-			ev.cancled = true
+			ev.cancelled = true
 		}
 		return
 	}
-	ev.cancled = true
+	ev.cancelled = true
 	heap.Remove(&e.queue, ev.index)
 }
 
@@ -175,7 +219,7 @@ func (t *Ticker) Stop() {
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancled {
+		if ev.cancelled {
 			continue
 		}
 		e.now = ev.at

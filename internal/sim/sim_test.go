@@ -209,3 +209,76 @@ func TestClockMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCancelledAccessor(t *testing.T) {
+	e := NewEngine()
+	ev := e.ScheduleAt(time.Second, "x", func(time.Duration) {})
+	if ev.Cancelled() {
+		t.Error("fresh event reports cancelled")
+	}
+	e.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Error("cancelled event reports live")
+	}
+	// Cancelling an already-run event still marks it.
+	ran := e.ScheduleAt(2*time.Second, "y", func(time.Duration) {})
+	e.RunAll()
+	if ran.Cancelled() {
+		t.Error("executed event reports cancelled")
+	}
+	e.Cancel(ran)
+	if !ran.Cancelled() {
+		t.Error("post-run cancel did not mark the event")
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Error("empty engine reports a pending deadline")
+	}
+	e.ScheduleAt(5*time.Second, "late", func(time.Duration) {})
+	early := e.ScheduleAt(2*time.Second, "early", func(time.Duration) {})
+	if at, ok := e.NextAt(); !ok || at != 2*time.Second {
+		t.Errorf("NextAt = %v, %t; want 2s, true", at, ok)
+	}
+	e.Cancel(early)
+	if at, ok := e.NextAt(); !ok || at != 5*time.Second {
+		t.Errorf("NextAt after cancel = %v, %t; want 5s, true", at, ok)
+	}
+	e.RunAll()
+	if _, ok := e.NextAt(); ok {
+		t.Error("drained engine reports a pending deadline")
+	}
+}
+
+func TestSnapshotOrderAndIsolation(t *testing.T) {
+	e := NewEngine()
+	e.ScheduleAt(3*time.Second, "c", func(time.Duration) {})
+	e.ScheduleAt(1*time.Second, "a", func(time.Duration) {})
+	e.ScheduleAt(1*time.Second, "b", func(time.Duration) {}) // same instant: seq breaks the tie
+	views := e.Snapshot()
+	want := []EventView{
+		{At: 1 * time.Second, Label: "a"},
+		{At: 1 * time.Second, Label: "b"},
+		{At: 3 * time.Second, Label: "c"},
+	}
+	if len(views) != len(want) {
+		t.Fatalf("snapshot has %d views, want %d", len(views), len(want))
+	}
+	for i := range want {
+		if views[i] != want[i] {
+			t.Errorf("views[%d] = %+v, want %+v", i, views[i], want[i])
+		}
+	}
+	// The snapshot must not perturb execution order.
+	var order []string
+	e2 := NewEngine()
+	e2.ScheduleAt(2*time.Second, "y", func(time.Duration) { order = append(order, "y") })
+	e2.ScheduleAt(1*time.Second, "x", func(time.Duration) { order = append(order, "x") })
+	_ = e2.Snapshot()
+	e2.RunAll()
+	if len(order) != 2 || order[0] != "x" || order[1] != "y" {
+		t.Errorf("execution order after Snapshot = %v, want [x y]", order)
+	}
+}

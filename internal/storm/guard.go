@@ -237,6 +237,14 @@ func (g *Guard) hasActions() bool {
 	return len(g.paused) > 0 || len(g.capped) > 0
 }
 
+// Idle reports whether the guard holds no episode state at all: no open
+// breach, nothing shed, no quiet timer running. An idle guard's Tick below
+// the limit is a pure no-op (modulo gauges), which is what lets the event
+// kernel skip it.
+func (g *Guard) Idle() bool {
+	return !g.over && !g.fired && !g.quiet && !g.hasActions()
+}
+
 // shedOrder returns the candidate racks in shedding order: reverse priority
 // (P3 first), deepest discharge first, then name — the same reverse order
 // the planner's emergency throttle uses.

@@ -62,6 +62,67 @@ func TestGenericFramesFallback(t *testing.T) {
 	}
 }
 
+// TestFrameAggregatesMatchScalarSum holds the bit-exactness contract of the
+// event kernel's demand plane: per-frame clamped aggregates must equal a
+// scalar clamp-then-sum loop in rack-index order, including frames where the
+// clamp actually fires.
+func TestFrameAggregatesMatchScalarSum(t *testing.T) {
+	gen, err := NewGenerator(Spec{NumRacks: 17, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := Frames(gen, nil, 0, time.Hour, 3*time.Second)
+	n := gen.NumRacks()
+	// A clamp tight enough that many samples hit it, plus a negative sample
+	// to exercise the low clamp (generator output is non-negative).
+	frames[3*n+1] = -5
+	const max = 5000 * units.Watt
+	agg := FrameAggregates(frames, n, max, nil)
+	if len(agg) != len(frames)/n {
+		t.Fatalf("got %d aggregates, want %d", len(agg), len(frames)/n)
+	}
+	clamped := 0
+	for k := range agg {
+		var want units.Power
+		for _, p := range frames[k*n : (k+1)*n] {
+			if p < 0 {
+				p = 0
+			}
+			if p > max {
+				p = max
+				clamped++
+			}
+			want += p
+		}
+		if agg[k] != want {
+			t.Fatalf("frame %d: aggregate %v != scalar sum %v", k, agg[k], want)
+		}
+	}
+	if clamped == 0 {
+		t.Fatal("clamp never fired; the test is not exercising the clamped path")
+	}
+	// Buffer reuse must not change a bit.
+	again := FrameAggregates(frames, n, max, agg)
+	for k := range again {
+		var want units.Power
+		for _, p := range frames[k*n : (k+1)*n] {
+			if p < 0 {
+				p = 0
+			}
+			if p > max {
+				p = max
+			}
+			want += p
+		}
+		if again[k] != want {
+			t.Fatalf("frame %d: reused-buffer aggregate %v != scalar sum %v", k, again[k], want)
+		}
+	}
+	if got := FrameAggregates(frames, 0, max, nil); len(got) != 0 {
+		t.Fatalf("numRacks=0 returned %d aggregates, want none", len(got))
+	}
+}
+
 func checkFramesMatchRack(t *testing.T, s Source, seed int64, from, to, step time.Duration) {
 	t.Helper()
 	n := s.NumRacks()
@@ -84,4 +145,85 @@ func checkFramesMatchRack(t *testing.T, s Source, seed int64, from, to, step tim
 			}
 		}
 	}
+}
+
+// TestAggregateRateSound checks the Lipschitz contract: between any two ticks
+// inside one swing regime, the clamped aggregate moves no faster than
+// AggregateRate says, across rack counts, noise levels, and weekend damping.
+func TestAggregateRateSound(t *testing.T) {
+	for _, spec := range []Spec{
+		{NumRacks: 30, Seed: 1},
+		{NumRacks: 316, Seed: 2},
+		{NumRacks: 50, Seed: 3, NoiseFrac: 0.2},
+		{NumRacks: 40, Seed: 4, WeekendLevel: 0.7},
+		{NumRacks: 25, Seed: 5, SwingScale: swingRamp(25)},
+	} {
+		g, err := NewGenerator(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rate := g.AggregateRate()
+		if rate <= 0 {
+			t.Fatalf("seed %d: non-positive rate %v", spec.Seed, rate)
+		}
+		const step = 3 * time.Second
+		maxIT := units.Power(10500)
+		var buf, agg []units.Power
+		// Two windows: a weekday afternoon and the span around the first
+		// weekend boundary (regime checks must gate the bound there).
+		for _, from := range []time.Duration{13 * time.Hour, 5*24*time.Hour - 10*time.Minute} {
+			to := from + 20*time.Minute
+			buf = Frames(g, buf, from, to, step)
+			agg = FrameAggregates(buf, g.NumRacks(), maxIT, agg)
+			for k := 1; k < len(agg); k++ {
+				tk0, tk1 := from+time.Duration(k-1)*step, from+time.Duration(k)*step
+				if g.SwingRegime(tk0) != g.SwingRegime(tk1) {
+					continue // bound holds only within one regime
+				}
+				limit := units.Power(rate * step.Seconds())
+				delta := agg[k] - agg[k-1]
+				if delta < 0 {
+					delta = -delta
+				}
+				if delta > limit {
+					t.Fatalf("seed %d: aggregate moved %v in one step at %v, rate bound allows %v",
+						spec.Seed, delta, tk1, limit)
+				}
+			}
+		}
+	}
+}
+
+func swingRamp(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 0.2 + 1.6*float64(i)/float64(n-1)
+	}
+	return w
+}
+
+// TestFirstPeakMemoized: the memo must be invisible — same answer on repeat
+// calls and the same answer as a fresh generator of an identical spec, while
+// distinct specs stay distinct.
+func TestFirstPeakMemoized(t *testing.T) {
+	spec := Spec{NumRacks: 12, Seed: 97}
+	g1, err := NewGenerator(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := FirstPeak(g1, 24*time.Hour, time.Minute)
+	if again := FirstPeak(g1, 24*time.Hour, time.Minute); again != first {
+		t.Fatalf("repeat call changed: %v then %v", first, again)
+	}
+	g2, _ := NewGenerator(spec)
+	if fresh := FirstPeak(g2, 24*time.Hour, time.Minute); fresh != first {
+		t.Fatalf("fresh generator of same spec diverged: %v vs %v", fresh, first)
+	}
+	// A different resolution or seed is a different scan, not a cache hit.
+	coarse := FirstPeak(g1, 24*time.Hour, 7*time.Minute)
+	if coarse%(7*time.Minute) != 0 {
+		t.Fatalf("coarse scan returned off-grid %v; stale cache entry?", coarse)
+	}
+	other, _ := NewGenerator(Spec{NumRacks: 12, Seed: 98})
+	_ = FirstPeak(other, 24*time.Hour, time.Minute) // must not panic or collide
 }

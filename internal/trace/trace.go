@@ -11,8 +11,12 @@
 package trace
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"coordcharge/internal/rng"
@@ -326,11 +330,45 @@ func (g *Generator) Frames(dst []units.Power, from, to, step time.Duration) []un
 	return dst
 }
 
+// FrameAggregates reduces a frame-major block (as produced by Frames) to one
+// clamped aggregate per frame: dst[k] = Σ_i clamp(frames[k·numRacks+i]),
+// where clamp limits every sample to [0, max]. The clamp and the rack-index
+// summation order mirror exactly what a simulation applying the block through
+// rack.SetDemand and summing ITLoad would compute, bit for bit — which is
+// what lets an event-driven kernel derive demand-crossing wakeups (and even
+// synthesized IT samples) from the block without touching any rack. dst is
+// reused when its capacity suffices; the filled slice is returned.
+func FrameAggregates(frames []units.Power, numRacks int, max units.Power, dst []units.Power) []units.Power {
+	if numRacks <= 0 {
+		return dst[:0]
+	}
+	nf := len(frames) / numRacks
+	dst = growFrames(dst, nf)
+	for k := 0; k < nf; k++ {
+		var total units.Power
+		for _, p := range frames[k*numRacks : (k+1)*numRacks] {
+			if p < 0 {
+				p = 0
+			}
+			if p > max {
+				p = max
+			}
+			total += p
+		}
+		dst[k] = total
+	}
+	return dst
+}
+
 // FirstPeak returns the virtual time of the maximum aggregate draw of any
 // source within [0, horizon], scanned at the given resolution (the paper
 // injects its open transitions "at the first peak in the trace" where
 // available power is most constrained). Non-positive arguments default to
 // 24 hours and one minute.
+//
+// For the synthetic Generator the scan is a pure function of the (seeded)
+// spec, and figure suites, sweeps, and benchmark harnesses rebuild the same
+// generator dozens of times per process — so Generator results are memoised.
 func FirstPeak(s Source, horizon, resolution time.Duration) time.Duration {
 	if horizon <= 0 {
 		horizon = 24 * time.Hour
@@ -338,6 +376,72 @@ func FirstPeak(s Source, horizon, resolution time.Duration) time.Duration {
 	if resolution <= 0 {
 		resolution = time.Minute
 	}
+	g, ok := s.(*Generator)
+	if !ok {
+		return firstPeakScan(s, horizon, resolution)
+	}
+	key := firstPeakKeyOf(g, horizon, resolution)
+	if v, ok := firstPeakMemo.Load(key); ok {
+		return v.(time.Duration)
+	}
+	t := firstPeakScan(s, horizon, resolution)
+	// Bound the cache: a process cycling through unboundedly many distinct
+	// trace specs (a fuzzing loop, a parameter search) must not leak; past the
+	// cap new specs simply pay the scan.
+	if n := firstPeakMemoLen.Add(1); n <= 1024 {
+		firstPeakMemo.Store(key, t)
+	} else {
+		firstPeakMemoLen.Add(-1)
+	}
+	return t
+}
+
+// firstPeakKey identifies one memoised FirstPeak scan: every scalar field of
+// the generator spec (the SwingScale slice, unhashable, is folded to a
+// bit-exact hash) plus the scan window.
+type firstPeakKey struct {
+	numRacks            int
+	duration            time.Duration
+	trough, peak        units.Power
+	diurnal, peakTime   time.Duration
+	noiseFrac, weekend  float64
+	seed                int64
+	swingFP             uint64
+	horizon, resolution time.Duration
+}
+
+var (
+	firstPeakMemo    sync.Map // firstPeakKey → time.Duration
+	firstPeakMemoLen atomic.Int64
+)
+
+func firstPeakKeyOf(g *Generator, horizon, resolution time.Duration) firstPeakKey {
+	key := firstPeakKey{
+		numRacks:   g.spec.NumRacks,
+		duration:   g.spec.Duration,
+		trough:     g.spec.TroughPower,
+		peak:       g.spec.PeakPower,
+		diurnal:    g.spec.DiurnalPeriod,
+		peakTime:   g.spec.PeakTime,
+		noiseFrac:  g.spec.NoiseFrac,
+		weekend:    g.spec.WeekendLevel,
+		seed:       g.spec.Seed,
+		horizon:    horizon,
+		resolution: resolution,
+	}
+	if len(g.spec.SwingScale) != 0 {
+		h := fnv.New64a()
+		var b [8]byte
+		for _, w := range g.spec.SwingScale {
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(w))
+			h.Write(b[:])
+		}
+		key.swingFP = h.Sum64()
+	}
+	return key
+}
+
+func firstPeakScan(s Source, horizon, resolution time.Duration) time.Duration {
 	// Scan in frame blocks: same samples, same summation order, same
 	// first-maximum tie-breaking as the per-call Aggregate loop — but the
 	// per-tick trace terms are computed once per frame.
@@ -363,6 +467,32 @@ func FirstPeak(s Source, horizon, resolution time.Duration) time.Duration {
 	}
 	return bestT
 }
+
+// AggregateRate returns an upper bound, in watts per virtual second, on how
+// fast the generator's aggregate demand can move — clamped or not, since
+// clipping and clamping are 1-Lipschitz. Per rack the bound is the triangle
+// sum of the diurnal term's derivative (|d/dt base·swing·w·diurnal| ≤
+// base·swing·w·π/Period, as |diurnal'| = |0.5·sin·2π/P| ≤ π/P) and the two
+// noise sinusoids' (amp·0.5·(ω₁+ω₂)). It lets an event-driven kernel hold a
+// demand envelope between exact evaluations: |agg(t) − agg(t₀)| ≤
+// AggregateRate()·(t−t₀) whenever SwingRegime is constant over [t₀, t].
+func (g *Generator) AggregateRate() float64 {
+	p := g.spec.DiurnalPeriod.Seconds()
+	var rate float64
+	for i := range g.shapes {
+		sh := &g.shapes[i]
+		rate += sh.base*g.swing*sh.swingWeight*math.Pi/p +
+			sh.noiseAmplitude*math.Pi*(1/sh.n1Period+1/sh.n2Period)
+	}
+	return rate
+}
+
+// SwingRegime identifies the diurnal swing amplitude in effect at t. The
+// weekend damping switches it discontinuously at day boundaries, which
+// invalidates the AggregateRate Lipschitz bound across the switch; callers
+// holding a rate-bounded envelope must re-anchor it whenever the regime of
+// the anchor and the query differ.
+func (g *Generator) SwingRegime(t time.Duration) float64 { return g.swingAt(t) }
 
 // FirstPeak scans the generator's first diurnal period for the aggregate
 // maximum.
